@@ -1,0 +1,89 @@
+//! Cluster construction: sizes the replicated memory from the protocol
+//! layout, builds the ring, and mints endpoints.
+
+use des::SimHandle;
+use scramnet::{CostModel, Ring, RingConfig, TxMode};
+
+use crate::config::{BbpConfig, RecvMode};
+use crate::endpoint::BbpEndpoint;
+use crate::layout::Layout;
+
+/// A SCRAMNet ring plus the BillBoard Protocol layout on top of it.
+///
+/// Build one per simulation, then hand each process its
+/// [`BbpEndpoint`] via [`BbpCluster::endpoint`].
+pub struct BbpCluster {
+    ring: Ring,
+    config: BbpConfig,
+}
+
+impl BbpCluster {
+    /// A cluster with the default hardware cost model and fixed-4-byte
+    /// packets (the paper's measured configuration).
+    pub fn new(handle: &SimHandle, config: BbpConfig) -> Self {
+        Self::with_hardware(handle, config, CostModel::default(), RingConfig::default())
+    }
+
+    /// A cluster with an explicit hardware model — used by the ablation
+    /// benches (variable packet mode, slower PIO, provenance tracking…).
+    pub fn with_hardware(
+        handle: &SimHandle,
+        config: BbpConfig,
+        cost: CostModel,
+        ring_config: RingConfig,
+    ) -> Self {
+        config.validate();
+        let layout = Layout::new(&config);
+        let ring = Ring::with_config(
+            handle,
+            config.nprocs,
+            layout.total_words(),
+            cost,
+            ring_config,
+        );
+        BbpCluster { ring, config }
+    }
+
+    /// The endpoint for `rank`. In [`RecvMode::Interrupt`] this also arms
+    /// the NIC interrupt-on-write watches over the rank's flag blocks.
+    pub fn endpoint(&self, rank: usize) -> BbpEndpoint {
+        assert!(rank < self.config.nprocs, "rank {rank} out of range");
+        Self::endpoint_over(self.ring.nic(rank), rank, self.config.clone())
+    }
+
+    /// Build an endpoint over an arbitrary NIC — the path for running
+    /// the protocol across a [`scramnet::RingHierarchy`], whose NICs do
+    /// not come from a single ring. `rank` is the process's identity in
+    /// the BBP layout (its global host id).
+    pub fn endpoint_over(nic: scramnet::Nic, rank: usize, config: BbpConfig) -> BbpEndpoint {
+        config.validate();
+        let layout = Layout::new(&config);
+        let (recv_signal, ack_signal) = match config.recv_mode {
+            RecvMode::Polling => (None, None),
+            RecvMode::Interrupt => {
+                let handle = nic.sim_handle();
+                let rs = handle.new_signal();
+                nic.watch(layout.msg_flag_range(rank), rs.clone());
+                let asig = handle.new_signal();
+                nic.watch(layout.ack_flag_range(rank), asig.clone());
+                (Some(rs), Some(asig))
+            }
+        };
+        BbpEndpoint::new(nic, rank, config, recv_signal, ack_signal)
+    }
+
+    /// The underlying ring (stats, fault injection, snapshots).
+    pub fn ring(&self) -> &Ring {
+        &self.ring
+    }
+
+    /// The protocol configuration.
+    pub fn config(&self) -> &BbpConfig {
+        &self.config
+    }
+
+    /// Switch the ring's transmission mode (fixed vs variable packets).
+    pub fn set_tx_mode(&self, mode: TxMode) {
+        self.ring.set_mode(mode);
+    }
+}

@@ -1,0 +1,160 @@
+//! Protocol configuration and the calibrated software-path costs.
+
+use des::Time;
+
+/// How the sender's data partition is managed (paper §3 footnote: "If a
+/// buffer cannot be allocated garbage collection is first done").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum GcPolicy {
+    /// Circular allocator, buffers freed strictly in allocation order
+    /// (the classic ring-buffer discipline; cheapest bookkeeping, but an
+    /// unacknowledged front buffer blocks all space behind it).
+    #[default]
+    FifoRing,
+    /// The data partition is pre-cut into `bufs_per_proc` equal slots;
+    /// any acknowledged slot is reusable immediately. No head-of-line
+    /// blocking, but a message cannot exceed one slot.
+    Slotted,
+}
+
+/// How a blocked receive waits for new `MESSAGE` flags.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RecvMode {
+    /// Spin on PIO reads of the flag words (the paper's implementation;
+    /// lowest latency, burns the CPU and the I/O bus).
+    #[default]
+    Polling,
+    /// Block on the NIC's interrupt-on-write (the paper's "future work"
+    /// extension): higher per-message latency (interrupt dispatch) but no
+    /// polling traffic.
+    Interrupt,
+}
+
+/// Calibrated costs of the user-level software path, in nanoseconds.
+/// These model instruction-path lengths on the paper's 300 MHz Pentium II
+/// hosts; together with [`scramnet::CostModel`] they reproduce the
+/// headline latencies (see `EXPERIMENTS.md`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SwCosts {
+    /// `bbp_Send` entry: argument checks, partition math.
+    pub send_entry_ns: Time,
+    /// Buffer/descriptor-slot allocation bookkeeping (no GC).
+    pub alloc_ns: Time,
+    /// One garbage-collection probe (local bookkeeping on top of the ACK
+    /// word PIO reads it triggers).
+    pub gc_probe_ns: Time,
+    /// Pause between GC retries while waiting for acknowledgements.
+    pub gc_retry_gap_ns: Time,
+    /// Per-iteration receive-poll bookkeeping (on top of the flag-word
+    /// PIO read).
+    pub poll_iter_ns: Time,
+    /// Flag diffing + pending-queue insertion per detected message.
+    pub match_ns: Time,
+    /// Delivery epilogue: ACK toggle bookkeeping, returning to caller.
+    pub deliver_ns: Time,
+    /// Extra sender-side bookkeeping per additional multicast target
+    /// (target-mask update; the flag-word write itself is charged by the
+    /// NIC model).
+    pub mcast_target_ns: Time,
+}
+
+impl Default for SwCosts {
+    fn default() -> Self {
+        SwCosts {
+            send_entry_ns: 150,
+            alloc_ns: 150,
+            gc_probe_ns: 100,
+            gc_retry_gap_ns: 1_000,
+            poll_iter_ns: 100,
+            match_ns: 300,
+            deliver_ns: 150,
+            mcast_target_ns: 50,
+        }
+    }
+}
+
+/// Full protocol configuration. [`BbpConfig::for_nodes`] gives the
+/// paper-calibrated default for a given cluster size.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BbpConfig {
+    /// Number of participating processes (one per ring node).
+    pub nprocs: usize,
+    /// Message buffers per process: one `MESSAGE`/`ACK` flag bit each, so
+    /// at most 32.
+    pub bufs_per_proc: usize,
+    /// Words in each process's data partition.
+    pub data_words: usize,
+    /// Software path costs.
+    pub sw: SwCosts,
+    /// Poll or block on interrupts while receiving.
+    pub recv_mode: RecvMode,
+    /// Data-partition allocation discipline.
+    pub gc_policy: GcPolicy,
+}
+
+impl BbpConfig {
+    /// Paper-like defaults: 16 buffers and a 16 KB data partition per
+    /// process.
+    pub fn for_nodes(nprocs: usize) -> Self {
+        BbpConfig {
+            nprocs,
+            bufs_per_proc: 16,
+            data_words: 4096,
+            sw: SwCosts::default(),
+            recv_mode: RecvMode::Polling,
+            gc_policy: GcPolicy::FifoRing,
+        }
+    }
+
+    /// Validate invariants (≥2 processes, 1–32 buffers, nonzero data
+    /// partition). Panics with a descriptive message on misuse.
+    pub fn validate(&self) {
+        assert!(self.nprocs >= 2, "BBP needs at least two processes");
+        assert!(
+            (1..=32).contains(&self.bufs_per_proc),
+            "bufs_per_proc must be in 1..=32 (one flag bit per buffer)"
+        );
+        assert!(self.data_words > 0, "data partition cannot be empty");
+    }
+
+    /// Largest payload (bytes) a single message can carry. Under
+    /// [`GcPolicy::FifoRing`], the whole data partition minus one word
+    /// of allocator slack; under [`GcPolicy::Slotted`], one slot.
+    pub fn max_payload_bytes(&self) -> usize {
+        match self.gc_policy {
+            GcPolicy::FifoRing => (self.data_words - 1) * 4,
+            GcPolicy::Slotted => (self.data_words / self.bufs_per_proc) * 4,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_validate() {
+        BbpConfig::for_nodes(2).validate();
+        BbpConfig::for_nodes(256).validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn single_proc_rejected() {
+        BbpConfig::for_nodes(1).validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "bufs_per_proc")]
+    fn too_many_buffers_rejected() {
+        let mut c = BbpConfig::for_nodes(4);
+        c.bufs_per_proc = 33;
+        c.validate();
+    }
+
+    #[test]
+    fn max_payload_leaves_allocator_slack() {
+        let c = BbpConfig::for_nodes(2);
+        assert_eq!(c.max_payload_bytes(), (c.data_words - 1) * 4);
+    }
+}

@@ -1,0 +1,799 @@
+//! The per-process protocol engine: send/receive/multicast state machines,
+//! the circular buffer allocator, and garbage collection of acknowledged
+//! buffers.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use des::{ProcCtx, Signal};
+use scramnet::{Nic, Word};
+
+use crate::config::{BbpConfig, GcPolicy, RecvMode};
+use crate::error::BbpError;
+use crate::layout::Layout;
+
+/// Running counters for one endpoint (diagnostics and the ablation
+/// benches).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct EndpointStats {
+    /// Completed point-to-point sends.
+    pub sends: u64,
+    /// Completed multicasts.
+    pub mcasts: u64,
+    /// Messages delivered to the application.
+    pub recvs: u64,
+    /// Payload bytes delivered.
+    pub bytes_recved: u64,
+    /// Flag-word poll reads performed.
+    pub polls: u64,
+    /// Garbage-collection sweeps.
+    pub gc_sweeps: u64,
+    /// Times a send had to stall for buffer space or descriptor slots.
+    pub send_stalls: u64,
+}
+
+/// One message buffer slot's sender-side state.
+#[derive(Debug, Clone, Default)]
+struct SlotState {
+    busy: bool,
+    /// Word offset of the payload inside our data partition.
+    data_off: usize,
+    /// Payload length in words.
+    words: usize,
+    /// Receivers that must acknowledge before reuse.
+    targets: Vec<usize>,
+}
+
+/// A message detected by a poll but not yet delivered to the application.
+#[derive(Debug, Clone)]
+struct PendingMsg {
+    slot: usize,
+    data_off: usize,
+    len_bytes: usize,
+}
+
+/// The BillBoard Protocol endpoint for one process.
+///
+/// Owned by (moved into) the simulated process; all methods take the
+/// process's [`ProcCtx`] so every shared-memory access is charged its
+/// PIO cost at the right virtual time.
+pub struct BbpEndpoint {
+    rank: usize,
+    n: usize,
+    nic: Nic,
+    layout: Layout,
+    config: BbpConfig,
+
+    // ---- sender state ----
+    /// Our copy of `msg_flag(r, me)` per receiver `r`.
+    out_msg_flags: Vec<Word>,
+    /// Per receiver `r`: the ACK word value that means "everything I ever
+    /// sent to r is acknowledged" (bit flipped at each send, matched when
+    /// the receiver's toggle lands).
+    ack_expect: Vec<Word>,
+    /// Per-slot sender-side state.
+    slots: Vec<SlotState>,
+    /// Slots in allocation (data-partition ring) order.
+    inflight: VecDeque<usize>,
+    /// Next free word in the circular data allocator.
+    data_head: usize,
+    /// Monotonic message sequence (shared across all destinations).
+    next_seq: u32,
+
+    // ---- receiver state ----
+    /// Last processed value of `msg_flag(me, s)` per sender `s`.
+    shadow_msg: Vec<Word>,
+    /// Detected-but-undelivered messages per sender, ordered by extended
+    /// sequence number (delivery is per-sender FIFO).
+    pending: Vec<BTreeMap<u64, PendingMsg>>,
+    /// Highest extended sequence seen per sender, for wrap handling.
+    ext_seq_hi: Vec<u64>,
+    /// Our copy of `ack_flag(s, me)` per sender `s`.
+    out_ack_flags: Vec<Word>,
+    /// Round-robin cursor for `recv_any` fairness.
+    rr_cursor: usize,
+    /// Interrupt-mode wake-ups (armed over our MESSAGE flag block).
+    recv_signal: Option<Signal>,
+    /// Interrupt-mode wake-ups for ACKs (armed over our ACK flag block).
+    ack_signal: Option<Signal>,
+
+    stats: EndpointStats,
+}
+
+impl BbpEndpoint {
+    pub(crate) fn new(
+        nic: Nic,
+        rank: usize,
+        config: BbpConfig,
+        recv_signal: Option<Signal>,
+        ack_signal: Option<Signal>,
+    ) -> Self {
+        let n = config.nprocs;
+        let layout = Layout::new(&config);
+        BbpEndpoint {
+            rank,
+            n,
+            nic,
+            layout,
+            out_msg_flags: vec![0; n],
+            ack_expect: vec![0; n],
+            slots: vec![SlotState::default(); config.bufs_per_proc],
+            inflight: VecDeque::new(),
+            data_head: 0,
+            next_seq: 0,
+            shadow_msg: vec![0; n],
+            pending: (0..n).map(|_| BTreeMap::new()).collect(),
+            ext_seq_hi: vec![0; n],
+            out_ack_flags: vec![0; n],
+            rr_cursor: 0,
+            recv_signal,
+            ack_signal,
+            stats: EndpointStats::default(),
+            config,
+        }
+    }
+
+    /// This endpoint's rank.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of participating processes.
+    pub fn nprocs(&self) -> usize {
+        self.n
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> &EndpointStats {
+        &self.stats
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &BbpConfig {
+        &self.config
+    }
+
+    // ------------------------------------------------------------------
+    // Send side
+    // ------------------------------------------------------------------
+
+    /// `bbp_Send`: post `payload` for `dst`. Blocks (in virtual time) only
+    /// when buffer space or descriptor slots are exhausted and garbage
+    /// collection has to wait for acknowledgements.
+    pub fn send(&mut self, ctx: &mut ProcCtx, dst: usize, payload: &[u8]) -> Result<(), BbpError> {
+        self.post(ctx, &[dst], payload)?;
+        self.stats.sends += 1;
+        Ok(())
+    }
+
+    /// `bbp_Mcast`: post `payload` once and flag every rank in `targets`.
+    /// Each extra receiver costs one extra flag-word write — the
+    /// single-step multicast the paper builds `MPI_Bcast` on.
+    pub fn mcast(
+        &mut self,
+        ctx: &mut ProcCtx,
+        targets: &[usize],
+        payload: &[u8],
+    ) -> Result<(), BbpError> {
+        if targets.is_empty() {
+            return Err(BbpError::NoTargets);
+        }
+        self.post(ctx, targets, payload)?;
+        self.stats.mcasts += 1;
+        Ok(())
+    }
+
+    fn post(
+        &mut self,
+        ctx: &mut ProcCtx,
+        targets: &[usize],
+        payload: &[u8],
+    ) -> Result<(), BbpError> {
+        ctx.advance(self.config.sw.send_entry_ns);
+        for &t in targets {
+            if t >= self.n || t == self.rank {
+                return Err(BbpError::BadDestination { dst: t });
+            }
+        }
+        if payload.len() > self.config.max_payload_bytes() {
+            return Err(BbpError::MessageTooLarge {
+                len: payload.len(),
+                max: self.config.max_payload_bytes(),
+            });
+        }
+        let words = payload.len().div_ceil(4);
+        let (slot, data_off) = self.allocate(ctx, words);
+
+        // 1. Payload into our data partition.
+        if words > 0 {
+            let packed = pack_words(payload);
+            self.nic
+                .write_block(ctx, self.layout.data_base(self.rank) + data_off, &packed);
+        }
+        // 2. Descriptor: [offset, byte length, sequence].
+        let seq = self.next_seq;
+        self.next_seq = self.next_seq.wrapping_add(1);
+        self.nic.write_block(
+            ctx,
+            self.layout.descriptor(self.rank, slot),
+            &[data_off as Word, payload.len() as Word, seq],
+        );
+        // 3. One MESSAGE flag toggle per receiver (this ordering makes the
+        // flag the last word to land at each receiver, so detection
+        // implies the descriptor and payload already replicated).
+        for (i, &t) in targets.iter().enumerate() {
+            if i > 0 {
+                ctx.advance(self.config.sw.mcast_target_ns);
+            }
+            self.out_msg_flags[t] ^= 1 << slot;
+            self.nic.write_word(
+                ctx,
+                self.layout.msg_flag(t, self.rank),
+                self.out_msg_flags[t],
+            );
+            self.ack_expect[t] ^= 1 << slot;
+        }
+
+        let s = &mut self.slots[slot];
+        s.busy = true;
+        s.data_off = data_off;
+        s.words = words;
+        s.targets = targets.to_vec();
+        self.inflight.push_back(slot);
+        Ok(())
+    }
+
+    /// Find a free descriptor slot and `words` contiguous data words,
+    /// garbage-collecting and (if needed) stalling until space appears.
+    fn allocate(&mut self, ctx: &mut ProcCtx, words: usize) -> (usize, usize) {
+        loop {
+            ctx.advance(self.config.sw.alloc_ns);
+            if let Some(found) = self.try_allocate(words) {
+                return found;
+            }
+            self.stats.send_stalls += 1;
+            // Garbage-collect acknowledged buffers, then retry; if nothing
+            // freed, wait for acknowledgements to arrive.
+            let freed = self.gc(ctx);
+            if freed == 0 {
+                match self.config.recv_mode {
+                    RecvMode::Polling => ctx.advance(self.config.sw.gc_retry_gap_ns),
+                    RecvMode::Interrupt => {
+                        let sig = self
+                            .ack_signal
+                            .clone()
+                            .expect("interrupt mode endpoints carry an ack signal");
+                        ctx.wait(&sig);
+                    }
+                }
+            }
+        }
+    }
+
+    fn try_allocate(&mut self, words: usize) -> Option<(usize, usize)> {
+        match self.config.gc_policy {
+            GcPolicy::FifoRing => self.try_allocate_ring(words),
+            GcPolicy::Slotted => self.try_allocate_slotted(words),
+        }
+    }
+
+    fn try_allocate_ring(&mut self, words: usize) -> Option<(usize, usize)> {
+        let slot = self.slots.iter().position(|s| !s.busy)?;
+        let cap = self.layout.data_words();
+        if words == 0 {
+            return Some((slot, self.data_head));
+        }
+        if words > cap {
+            // Guarded earlier by max_payload_bytes; defensive.
+            return None;
+        }
+        if self.inflight.is_empty() {
+            self.data_head = words % cap;
+            return Some((slot, 0));
+        }
+        let tail = self.slots[*self.inflight.front().unwrap()].data_off;
+        let head = self.data_head;
+        if head >= tail {
+            // Free space is [head, cap) then [0, tail).
+            if cap - head >= words {
+                self.data_head = (head + words) % cap;
+                return Some((slot, head));
+            }
+            if tail > words {
+                self.data_head = words;
+                return Some((slot, 0));
+            }
+        } else if tail - head > words {
+            self.data_head = head + words;
+            return Some((slot, head));
+        }
+        None
+    }
+
+    /// Slotted discipline: descriptor slot `i` owns the fixed data range
+    /// `[i*slot_words, (i+1)*slot_words)`; any free slot fits any message
+    /// up to one slot.
+    fn try_allocate_slotted(&mut self, words: usize) -> Option<(usize, usize)> {
+        let slot_words = self.layout.data_words() / self.config.bufs_per_proc;
+        debug_assert!(words <= slot_words, "guarded by max_payload_bytes");
+        let slot = self.slots.iter().position(|s| !s.busy)?;
+        Some((slot, slot * slot_words))
+    }
+
+    /// One garbage-collection sweep. Under [`GcPolicy::FifoRing`], pops
+    /// fully acknowledged buffers off the *front* of the in-flight queue
+    /// (the ring discipline); under [`GcPolicy::Slotted`], frees every
+    /// acknowledged buffer regardless of order. Returns how many were
+    /// freed.
+    fn gc(&mut self, ctx: &mut ProcCtx) -> usize {
+        ctx.advance(self.config.sw.gc_probe_ns);
+        self.stats.gc_sweeps += 1;
+        // Read each relevant ACK word at most once per sweep.
+        let mut ack_cache: Vec<Option<Word>> = vec![None; self.n];
+        let mut check_slot = |slots: &[SlotState],
+                              ack_expect: &[Word],
+                              nic: &Nic,
+                              layout: &crate::layout::Layout,
+                              rank: usize,
+                              ctx: &mut ProcCtx,
+                              slot: usize|
+         -> bool {
+            for &r in &slots[slot].targets {
+                let word = match ack_cache[r] {
+                    Some(w) => w,
+                    None => {
+                        let w = nic.read_word(ctx, layout.ack_flag(rank, r));
+                        ack_cache[r] = Some(w);
+                        w
+                    }
+                };
+                let bit = 1u32 << slot;
+                if word & bit != ack_expect[r] & bit {
+                    return false;
+                }
+            }
+            true
+        };
+        let mut freed = 0;
+        match self.config.gc_policy {
+            GcPolicy::FifoRing => {
+                while let Some(&slot) = self.inflight.front() {
+                    if !check_slot(
+                        &self.slots,
+                        &self.ack_expect,
+                        &self.nic,
+                        &self.layout,
+                        self.rank,
+                        ctx,
+                        slot,
+                    ) {
+                        break;
+                    }
+                    self.inflight.pop_front();
+                    self.slots[slot].busy = false;
+                    freed += 1;
+                }
+            }
+            GcPolicy::Slotted => {
+                let mut kept = VecDeque::with_capacity(self.inflight.len());
+                while let Some(slot) = self.inflight.pop_front() {
+                    if check_slot(
+                        &self.slots,
+                        &self.ack_expect,
+                        &self.nic,
+                        &self.layout,
+                        self.rank,
+                        ctx,
+                        slot,
+                    ) {
+                        self.slots[slot].busy = false;
+                        freed += 1;
+                    } else {
+                        kept.push_back(slot);
+                    }
+                }
+                self.inflight = kept;
+            }
+        }
+        freed
+    }
+
+    /// True once every message this endpoint ever posted has been
+    /// acknowledged by all of its receivers (drains with a GC sweep).
+    pub fn all_acked(&mut self, ctx: &mut ProcCtx) -> bool {
+        self.gc(ctx);
+        self.inflight.is_empty()
+    }
+
+    // ------------------------------------------------------------------
+    // Receive side
+    // ------------------------------------------------------------------
+
+    /// `bbp_Recv`: blocking receive of the next message from `src`
+    /// (per-sender FIFO order).
+    pub fn recv(&mut self, ctx: &mut ProcCtx, src: usize) -> Vec<u8> {
+        assert!(src < self.n && src != self.rank, "bad source rank {src}");
+        loop {
+            if let Some(msg) = self.pop_pending(src) {
+                return self.deliver(ctx, src, msg);
+            }
+            self.poll_sender(ctx, src);
+            if self.pending[src].is_empty() {
+                self.recv_wait(ctx);
+            }
+        }
+    }
+
+    /// Blocking receive from any sender, round-robin fair across sources.
+    pub fn recv_any(&mut self, ctx: &mut ProcCtx) -> (usize, Vec<u8>) {
+        loop {
+            for off in 0..self.n {
+                let s = (self.rr_cursor + off) % self.n;
+                if s == self.rank {
+                    continue;
+                }
+                if let Some(msg) = self.pop_pending(s) {
+                    self.rr_cursor = (s + 1) % self.n;
+                    let data = self.deliver(ctx, s, msg);
+                    return (s, data);
+                }
+            }
+            self.poll_all(ctx);
+            if !self.has_pending() {
+                self.recv_wait(ctx);
+            }
+        }
+    }
+
+    /// `bbp_MsgAvail`: one poll sweep; true if any message is deliverable.
+    pub fn msg_avail(&mut self, ctx: &mut ProcCtx) -> bool {
+        self.poll_all(ctx);
+        self.has_pending()
+    }
+
+    /// Non-blocking receive from `src`: one poll sweep, then the next
+    /// pending message if any.
+    pub fn try_recv(&mut self, ctx: &mut ProcCtx, src: usize) -> Option<Vec<u8>> {
+        assert!(src < self.n && src != self.rank, "bad source rank {src}");
+        if self.pending[src].is_empty() {
+            self.poll_sender(ctx, src);
+        }
+        let msg = self.pop_pending(src)?;
+        Some(self.deliver(ctx, src, msg))
+    }
+
+    /// Park until new traffic may have arrived. In polling mode this is
+    /// a no-op returning `false` (callers charge their own poll pacing);
+    /// in interrupt mode it blocks on the NIC's flag-block watch and
+    /// returns `true`. Progress engines layered above the BBP use this
+    /// so the paper's interrupt extension benefits them too.
+    pub fn wait_for_traffic(&mut self, ctx: &mut ProcCtx) -> bool {
+        match self.config.recv_mode {
+            RecvMode::Polling => false,
+            RecvMode::Interrupt => {
+                let sig = self
+                    .recv_signal
+                    .clone()
+                    .expect("interrupt mode endpoints carry a recv signal");
+                ctx.wait(&sig);
+                true
+            }
+        }
+    }
+
+    /// Receive from `src` with a virtual-time deadline: returns `None`
+    /// if no message is deliverable by `deadline` (the real-time pattern
+    /// SCRAMNet applications use for frame loops).
+    pub fn recv_deadline(
+        &mut self,
+        ctx: &mut ProcCtx,
+        src: usize,
+        deadline: des::Time,
+    ) -> Option<Vec<u8>> {
+        assert!(src < self.n && src != self.rank, "bad source rank {src}");
+        loop {
+            if let Some(msg) = self.pop_pending(src) {
+                return Some(self.deliver(ctx, src, msg));
+            }
+            if ctx.now() >= deadline {
+                return None;
+            }
+            self.poll_sender(ctx, src);
+            if self.pending[src].is_empty() {
+                match self.config.recv_mode {
+                    RecvMode::Polling => {}
+                    RecvMode::Interrupt => {
+                        // Bounded wait: fall back to a poll tick so the
+                        // deadline can fire even with no traffic at all.
+                        ctx.advance(self.config.sw.gc_retry_gap_ns);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Blocking receive from `src` into a caller-provided buffer
+    /// (avoiding the return-value allocation on hot paths). Returns the
+    /// message length; panics if `buf` is too small — size it with
+    /// [`crate::BbpConfig::max_payload_bytes`].
+    pub fn recv_into(&mut self, ctx: &mut ProcCtx, src: usize, buf: &mut [u8]) -> usize {
+        let msg = self.recv(ctx, src);
+        assert!(
+            buf.len() >= msg.len(),
+            "recv_into buffer of {} bytes cannot hold a {}-byte message",
+            buf.len(),
+            msg.len()
+        );
+        buf[..msg.len()].copy_from_slice(&msg);
+        msg.len()
+    }
+
+    /// Non-blocking receive from any source (one sweep).
+    pub fn try_recv_any(&mut self, ctx: &mut ProcCtx) -> Option<(usize, Vec<u8>)> {
+        if !self.has_pending() {
+            self.poll_all(ctx);
+        }
+        for off in 0..self.n {
+            let s = (self.rr_cursor + off) % self.n;
+            if s == self.rank {
+                continue;
+            }
+            if let Some(msg) = self.pop_pending(s) {
+                self.rr_cursor = (s + 1) % self.n;
+                let data = self.deliver(ctx, s, msg);
+                return Some((s, data));
+            }
+        }
+        None
+    }
+
+    fn has_pending(&self) -> bool {
+        self.pending.iter().any(|p| !p.is_empty())
+    }
+
+    fn pop_pending(&mut self, src: usize) -> Option<PendingMsg> {
+        let (&seq, _) = self.pending[src].iter().next()?;
+        self.pending[src].remove(&seq)
+    }
+
+    /// How a receive path waits when nothing is pending after a poll.
+    fn recv_wait(&mut self, ctx: &mut ProcCtx) {
+        match self.config.recv_mode {
+            // Polling: the PIO reads of the sweep itself advanced time;
+            // loop straight into the next sweep.
+            RecvMode::Polling => {}
+            RecvMode::Interrupt => {
+                let sig = self
+                    .recv_signal
+                    .clone()
+                    .expect("interrupt mode endpoints carry a recv signal");
+                ctx.wait(&sig);
+            }
+        }
+    }
+
+    /// Poll one sender's MESSAGE flag word and enqueue newly flagged
+    /// messages.
+    fn poll_sender(&mut self, ctx: &mut ProcCtx, s: usize) {
+        ctx.advance(self.config.sw.poll_iter_ns);
+        self.stats.polls += 1;
+        let word = self.nic.read_word(ctx, self.layout.msg_flag(self.rank, s));
+        let changed = word ^ self.shadow_msg[s];
+        if changed == 0 {
+            return;
+        }
+        self.shadow_msg[s] = word;
+        for slot in 0..self.config.bufs_per_proc {
+            if changed & (1 << slot) == 0 {
+                continue;
+            }
+            ctx.advance(self.config.sw.match_ns);
+            let desc = self.nic.read_block(
+                ctx,
+                self.layout.descriptor(s, slot),
+                crate::layout::DESC_WORDS,
+            );
+            let (data_off, len_bytes, seq) = (desc[0] as usize, desc[1] as usize, desc[2]);
+            let ext = extend_seq(self.ext_seq_hi[s], seq);
+            self.ext_seq_hi[s] = self.ext_seq_hi[s].max(ext);
+            self.pending[s].insert(
+                ext,
+                PendingMsg {
+                    slot,
+                    data_off,
+                    len_bytes,
+                },
+            );
+        }
+    }
+
+    fn poll_all(&mut self, ctx: &mut ProcCtx) {
+        for s in 0..self.n {
+            if s != self.rank {
+                self.poll_sender(ctx, s);
+            }
+        }
+    }
+
+    /// Read the payload out of the sender's (replicated) data partition,
+    /// toggle the ACK bit, and hand the bytes to the application.
+    fn deliver(&mut self, ctx: &mut ProcCtx, src: usize, msg: PendingMsg) -> Vec<u8> {
+        let words = msg.len_bytes.div_ceil(4);
+        let data = if words > 0 {
+            self.nic
+                .read_block(ctx, self.layout.data_base(src) + msg.data_off, words)
+        } else {
+            Vec::new()
+        };
+        ctx.advance(self.config.sw.deliver_ns);
+        self.out_ack_flags[src] ^= 1 << msg.slot;
+        self.nic.write_word(
+            ctx,
+            self.layout.ack_flag(src, self.rank),
+            self.out_ack_flags[src],
+        );
+        self.stats.recvs += 1;
+        self.stats.bytes_recved += msg.len_bytes as u64;
+        unpack_bytes(&data, msg.len_bytes)
+    }
+}
+
+/// Pack bytes into little-endian words, zero-padding the tail.
+fn pack_words(bytes: &[u8]) -> Vec<Word> {
+    bytes
+        .chunks(4)
+        .map(|c| {
+            let mut w = [0u8; 4];
+            w[..c.len()].copy_from_slice(c);
+            Word::from_le_bytes(w)
+        })
+        .collect()
+}
+
+/// Inverse of [`pack_words`], truncating to `len` bytes.
+fn unpack_bytes(words: &[Word], len: usize) -> Vec<u8> {
+    let mut out = Vec::with_capacity(len);
+    for w in words {
+        out.extend_from_slice(&w.to_le_bytes());
+    }
+    out.truncate(len);
+    out
+}
+
+/// Extend a wrapping 32-bit sequence number against the highest extended
+/// sequence seen so far. In-flight windows are tiny (≤ 32 buffers), so any
+/// candidate within half the 32-bit space forward of `hi` is "new".
+fn extend_seq(hi: u64, seq: u32) -> u64 {
+    let hi_low = hi as u32;
+    let delta = seq.wrapping_sub(hi_low);
+    if delta < u32::MAX / 2 {
+        hi + delta as u64
+    } else {
+        hi - hi_low.wrapping_sub(seq) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // ---- circular-allocator unit tests (internal state access) ----
+
+    fn test_endpoint(data_words: usize, bufs: usize) -> (des::Simulation, BbpEndpoint) {
+        let sim = des::Simulation::new();
+        let mut config = crate::BbpConfig::for_nodes(2);
+        config.data_words = data_words;
+        config.bufs_per_proc = bufs;
+        let ring = scramnet::Ring::new(
+            &sim.handle(),
+            2,
+            crate::Layout::new(&config).total_words(),
+            scramnet::CostModel::default(),
+        );
+        let ep = BbpEndpoint::new(ring.nic(0), 0, config, None, None);
+        (sim, ep)
+    }
+
+    /// Simulate an allocation bookkeeping-only (no ctx needed): mark the
+    /// slot busy and push it in flight, as `post` would.
+    fn take(ep: &mut BbpEndpoint, words: usize) -> Option<usize> {
+        let (slot, off) = ep.try_allocate_ring(words)?;
+        ep.slots[slot].busy = true;
+        ep.slots[slot].data_off = off;
+        ep.slots[slot].words = words;
+        ep.inflight.push_back(slot);
+        Some(off)
+    }
+
+    fn release_front(ep: &mut BbpEndpoint) {
+        let slot = ep.inflight.pop_front().expect("something in flight");
+        ep.slots[slot].busy = false;
+    }
+
+    #[test]
+    fn ring_allocator_is_contiguous_and_bumping() {
+        let (_sim, mut ep) = test_endpoint(64, 8);
+        assert_eq!(take(&mut ep, 10), Some(0));
+        assert_eq!(take(&mut ep, 10), Some(10));
+        assert_eq!(take(&mut ep, 10), Some(20));
+    }
+
+    #[test]
+    fn ring_allocator_wraps_after_frees() {
+        let (_sim, mut ep) = test_endpoint(64, 8);
+        assert_eq!(take(&mut ep, 30), Some(0));
+        assert_eq!(take(&mut ep, 30), Some(30));
+        // 4 words left at the end: a 10-word request fails...
+        assert_eq!(take(&mut ep, 10), None);
+        // ...until the oldest buffer frees, letting it wrap to offset 0.
+        release_front(&mut ep);
+        assert_eq!(take(&mut ep, 10), Some(0));
+    }
+
+    #[test]
+    fn ring_allocator_never_overruns_the_tail() {
+        let (_sim, mut ep) = test_endpoint(64, 8);
+        assert_eq!(take(&mut ep, 30), Some(0));
+        assert_eq!(take(&mut ep, 30), Some(30));
+        release_front(&mut ep); // tail now at 30
+        assert_eq!(take(&mut ep, 20), Some(0));
+        // Head=20, tail=30: exactly 10 free, but head==tail is reserved
+        // (full/empty ambiguity) so a 10-word request must fail...
+        assert_eq!(take(&mut ep, 10), None);
+        // ...while a 9-word request fits.
+        assert_eq!(take(&mut ep, 9), Some(20));
+    }
+
+    #[test]
+    fn ring_allocator_exhausts_descriptor_slots() {
+        let (_sim, mut ep) = test_endpoint(1024, 2);
+        assert!(take(&mut ep, 1).is_some());
+        assert!(take(&mut ep, 1).is_some());
+        assert_eq!(take(&mut ep, 1), None, "only 2 slots");
+        release_front(&mut ep);
+        assert!(take(&mut ep, 1).is_some());
+    }
+
+    #[test]
+    fn zero_word_allocations_need_only_a_slot() {
+        let (_sim, mut ep) = test_endpoint(8, 4);
+        assert_eq!(take(&mut ep, 8), Some(0)); // fills the partition
+        assert!(take(&mut ep, 0).is_some(), "empty message still sends");
+    }
+
+    #[test]
+    fn pack_unpack_round_trip() {
+        for len in [0usize, 1, 3, 4, 5, 8, 13] {
+            let bytes: Vec<u8> = (0..len as u8).collect();
+            let words = pack_words(&bytes);
+            assert_eq!(words.len(), len.div_ceil(4));
+            assert_eq!(unpack_bytes(&words, len), bytes);
+        }
+    }
+
+    #[test]
+    fn pack_pads_with_zeros() {
+        let words = pack_words(&[0xFF]);
+        assert_eq!(words, vec![0x0000_00FF]);
+    }
+
+    #[test]
+    fn extend_seq_monotonic_without_wrap() {
+        assert_eq!(extend_seq(0, 0), 0);
+        assert_eq!(extend_seq(0, 5), 5);
+        assert_eq!(extend_seq(10, 12), 12);
+    }
+
+    #[test]
+    fn extend_seq_handles_wraparound() {
+        let hi = u32::MAX as u64; // last seq seen = u32::MAX
+        let ext = extend_seq(hi, 2); // wrapped to 2
+        assert_eq!(ext, u32::MAX as u64 + 3);
+    }
+
+    #[test]
+    fn extend_seq_handles_reordered_lower_values() {
+        // A slightly older seq (possible across different slots in one
+        // poll) maps below hi, not 2^32 ahead.
+        assert_eq!(extend_seq(100, 99), 99);
+    }
+}

@@ -1,0 +1,53 @@
+//! Protocol errors.
+
+/// Errors surfaced by the BillBoard Protocol API.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BbpError {
+    /// The payload exceeds the data partition (minus allocator slack).
+    MessageTooLarge {
+        /// Requested payload length in bytes.
+        len: usize,
+        /// Largest payload this configuration can carry.
+        max: usize,
+    },
+    /// A destination rank is out of range or is the sender itself.
+    BadDestination {
+        /// The offending rank.
+        dst: usize,
+    },
+    /// An empty multicast target set.
+    NoTargets,
+}
+
+impl std::fmt::Display for BbpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BbpError::MessageTooLarge { len, max } => {
+                write!(
+                    f,
+                    "message of {len} bytes exceeds the {max}-byte partition limit"
+                )
+            }
+            BbpError::BadDestination { dst } => write!(f, "bad destination rank {dst}"),
+            BbpError::NoTargets => write!(f, "multicast requires at least one target"),
+        }
+    }
+}
+
+impl std::error::Error for BbpError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = BbpError::MessageTooLarge { len: 10, max: 4 };
+        assert!(e.to_string().contains("10"));
+        assert!(e.to_string().contains('4'));
+        assert!(BbpError::BadDestination { dst: 9 }
+            .to_string()
+            .contains('9'));
+        assert!(BbpError::NoTargets.to_string().contains("target"));
+    }
+}

@@ -1,0 +1,192 @@
+//! The shared-memory map: where every flag word, descriptor, and data
+//! partition lives. All address math is concentrated here so the
+//! single-writer discipline can be audited (and is, by tests).
+
+use scramnet::WordAddr;
+
+use crate::config::BbpConfig;
+
+/// Words per buffer descriptor: `[data offset, length in bytes, sequence]`.
+pub const DESC_WORDS: usize = 3;
+
+/// Computes word addresses for a given configuration.
+///
+/// Partition `p` (one per process) is laid out as:
+///
+/// ```text
+/// +-----------------------------+  partition_base(p)
+/// | MESSAGE flag words [n]      |  word s written ONLY by process s
+/// +-----------------------------+
+/// | ACK flag words [n]          |  word r written ONLY by process r
+/// +-----------------------------+
+/// | descriptors [bufs][3]       |  written ONLY by p
+/// +-----------------------------+
+/// | data partition [data_words] |  written ONLY by p
+/// +-----------------------------+
+/// ```
+#[derive(Debug, Clone)]
+pub struct Layout {
+    nprocs: usize,
+    bufs: usize,
+    data_words: usize,
+}
+
+impl Layout {
+    /// Compute the layout for `config` (validates it first).
+    pub fn new(config: &BbpConfig) -> Self {
+        config.validate();
+        Layout {
+            nprocs: config.nprocs,
+            bufs: config.bufs_per_proc,
+            data_words: config.data_words,
+        }
+    }
+
+    /// Words in one process partition.
+    pub fn partition_words(&self) -> usize {
+        self.nprocs // MESSAGE flags
+            + self.nprocs // ACK flags
+            + self.bufs * DESC_WORDS
+            + self.data_words
+    }
+
+    /// Total shared-memory words required.
+    pub fn total_words(&self) -> usize {
+        self.partition_words() * self.nprocs
+    }
+
+    /// Base of process `p`'s partition.
+    pub fn partition_base(&self, p: usize) -> WordAddr {
+        debug_assert!(p < self.nprocs);
+        p * self.partition_words()
+    }
+
+    /// `MESSAGE` flag word inside `p`'s partition that sender `s` toggles
+    /// to post messages *to p*. Written only by `s`.
+    pub fn msg_flag(&self, p: usize, s: usize) -> WordAddr {
+        debug_assert!(s < self.nprocs);
+        self.partition_base(p) + s
+    }
+
+    /// `ACK` flag word inside `p`'s partition that receiver `r` toggles to
+    /// acknowledge consuming `p`'s buffers. Written only by `r`.
+    pub fn ack_flag(&self, p: usize, r: usize) -> WordAddr {
+        debug_assert!(r < self.nprocs);
+        self.partition_base(p) + self.nprocs + r
+    }
+
+    /// First word of descriptor `b` in `p`'s partition. Written only by `p`.
+    pub fn descriptor(&self, p: usize, b: usize) -> WordAddr {
+        debug_assert!(b < self.bufs);
+        self.partition_base(p) + 2 * self.nprocs + b * DESC_WORDS
+    }
+
+    /// Base of `p`'s data partition. Written only by `p`.
+    pub fn data_base(&self, p: usize) -> WordAddr {
+        self.partition_base(p) + 2 * self.nprocs + self.bufs * DESC_WORDS
+    }
+
+    /// Words in each data partition.
+    pub fn data_words(&self) -> usize {
+        self.data_words
+    }
+
+    /// The inclusive range of this node's whole MESSAGE-flag block, used
+    /// by interrupt-driven receive to arm the NIC watch.
+    pub fn msg_flag_range(&self, p: usize) -> std::ops::Range<WordAddr> {
+        self.partition_base(p)..self.partition_base(p) + self.nprocs
+    }
+
+    /// The ACK-flag block of `p`'s partition (watched by senders blocked
+    /// in garbage collection under interrupt mode).
+    pub fn ack_flag_range(&self, p: usize) -> std::ops::Range<WordAddr> {
+        let b = self.partition_base(p) + self.nprocs;
+        b..b + self.nprocs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn layout(n: usize) -> Layout {
+        Layout::new(&BbpConfig::for_nodes(n))
+    }
+
+    #[test]
+    fn regions_within_a_partition_do_not_overlap() {
+        let l = layout(4);
+        for p in 0..4 {
+            let base = l.partition_base(p);
+            let msg_end = l.msg_flag(p, 3) + 1;
+            let ack_start = l.ack_flag(p, 0);
+            let ack_end = l.ack_flag(p, 3) + 1;
+            let desc_start = l.descriptor(p, 0);
+            let desc_end = l.descriptor(p, 15) + DESC_WORDS;
+            let data_start = l.data_base(p);
+            assert_eq!(l.msg_flag(p, 0), base);
+            assert_eq!(msg_end, ack_start);
+            assert_eq!(ack_end, desc_start);
+            assert_eq!(desc_end, data_start);
+            assert_eq!(data_start + l.data_words(), base + l.partition_words());
+        }
+    }
+
+    #[test]
+    fn partitions_tile_the_memory_exactly() {
+        let l = layout(5);
+        for p in 0..4 {
+            assert_eq!(
+                l.partition_base(p) + l.partition_words(),
+                l.partition_base(p + 1)
+            );
+        }
+        assert_eq!(l.partition_base(4) + l.partition_words(), l.total_words());
+    }
+
+    #[test]
+    fn every_word_has_exactly_one_writer() {
+        // Build the full writer map for a small configuration and check
+        // that no two (writer, word) claims collide.
+        let n = 4;
+        let l = layout(n);
+        let mut writer = vec![None::<usize>; l.total_words()];
+        let mut claim = |addr: usize, w: usize| {
+            assert!(
+                writer[addr].is_none(),
+                "word {addr} claimed by {} and {w}",
+                writer[addr].unwrap()
+            );
+            writer[addr] = Some(w);
+        };
+        for p in 0..n {
+            for s in 0..n {
+                claim(l.msg_flag(p, s), s);
+            }
+            for r in 0..n {
+                claim(l.ack_flag(p, r), r);
+            }
+            for b in 0..16 {
+                for w in 0..DESC_WORDS {
+                    claim(l.descriptor(p, b) + w, p);
+                }
+            }
+            for w in 0..l.data_words() {
+                claim(l.data_base(p) + w, p);
+            }
+        }
+        assert!(writer.iter().all(Option::is_some), "no dead words");
+    }
+
+    #[test]
+    fn flag_ranges_cover_their_words() {
+        let l = layout(3);
+        let r = l.msg_flag_range(2);
+        assert!(r.contains(&l.msg_flag(2, 0)));
+        assert!(r.contains(&l.msg_flag(2, 2)));
+        assert!(!r.contains(&l.ack_flag(2, 0)));
+        let a = l.ack_flag_range(1);
+        assert!(a.contains(&l.ack_flag(1, 2)));
+        assert!(!a.contains(&l.msg_flag(1, 2)));
+    }
+}

@@ -1,0 +1,72 @@
+#![warn(missing_docs)]
+
+//! # `bbp` — the BillBoard Protocol
+//!
+//! The primary contribution of *Low-Latency Message Passing on Workstation
+//! Clusters using SCRAMNet* (IPPS 1999): a **zero-copy, lock-free,
+//! user-level** message-passing protocol over SCRAMNet's replicated,
+//! non-coherent shared memory.
+//!
+//! ## How it works (paper §3)
+//!
+//! The shared memory is divided equally among the participating processes;
+//! each process's partition is split into a *control partition* and a
+//! *data partition*. To send, a process "posts the message at one place,
+//! where it can be read by one or more receivers" — like advertising on a
+//! billboard:
+//!
+//! 1. the sender allocates a buffer in **its own** data partition
+//!    (garbage-collecting acknowledged buffers if space is short),
+//! 2. writes the payload there and a buffer descriptor (offset, length,
+//!    sequence number) in its own control partition,
+//! 3. toggles one `MESSAGE` flag bit in the **receiver's** control
+//!    partition.
+//!
+//! The receiver polls its `MESSAGE` flag words, diffs them against shadow
+//! copies, reads the descriptor and payload straight out of the (locally
+//! replicated) sender partition, and toggles an `ACK` bit back in the
+//! sender's control partition.
+//!
+//! Every shared word is written by **exactly one process**, so no locks are
+//! needed and the network's lack of coherence is harmless. Because every
+//! data partition is visible to everyone, **multicast is single-step**:
+//! post once, then toggle one flag bit per receiver — each extra receiver
+//! costs one extra word write (paper §3), unlike binomial-tree multicast
+//! over point-to-point links.
+//!
+//! ## Example
+//!
+//! ```
+//! use des::Simulation;
+//! use bbp::{BbpCluster, BbpConfig};
+//!
+//! let mut sim = Simulation::new();
+//! let cluster = BbpCluster::new(&sim.handle(), BbpConfig::for_nodes(2));
+//! let mut a = cluster.endpoint(0);
+//! let mut b = cluster.endpoint(1);
+//! sim.spawn("a", move |ctx| {
+//!     a.send(ctx, 1, b"hello scramnet").unwrap();
+//! });
+//! sim.spawn("b", move |ctx| {
+//!     let msg = b.recv(ctx, 0);
+//!     assert_eq!(msg, b"hello scramnet");
+//! });
+//! assert!(sim.run().is_clean());
+//! ```
+
+mod cluster;
+mod config;
+mod endpoint;
+mod error;
+mod layout;
+
+pub use cluster::BbpCluster;
+
+/// Words per buffer descriptor (exposed for layout-auditing tests).
+pub fn layout_desc_words() -> usize {
+    layout::DESC_WORDS
+}
+pub use config::{BbpConfig, GcPolicy, RecvMode, SwCosts};
+pub use endpoint::{BbpEndpoint, EndpointStats};
+pub use error::BbpError;
+pub use layout::Layout;

@@ -1,0 +1,80 @@
+//! Property-based verification of the shared-memory map: for *any* valid
+//! configuration, the layout assigns every word exactly one writer and
+//! tiles the memory without gaps or overlap — the invariant that makes
+//! the whole protocol lock-free on a non-coherent network.
+
+use bbp::{BbpConfig, Layout};
+use proptest::prelude::*;
+
+fn config_strategy() -> impl Strategy<Value = BbpConfig> {
+    (2usize..=12, 1usize..=32, 1usize..=2048).prop_map(|(nprocs, bufs, data_words)| {
+        let mut c = BbpConfig::for_nodes(nprocs);
+        c.bufs_per_proc = bufs;
+        c.data_words = data_words;
+        c
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, .. ProptestConfig::default() })]
+
+    #[test]
+    fn every_word_has_exactly_one_writer(config in config_strategy()) {
+        let n = config.nprocs;
+        let bufs = config.bufs_per_proc;
+        let l = Layout::new(&config);
+        let mut writer = vec![usize::MAX; l.total_words()];
+        let mut claim = |addr: usize, w: usize| {
+            prop_assert!(addr < writer.len(), "address {addr} out of range");
+            prop_assert_eq!(writer[addr], usize::MAX, "word {} double-claimed", addr);
+            writer[addr] = w;
+            Ok(())
+        };
+        for p in 0..n {
+            for s in 0..n {
+                claim(l.msg_flag(p, s), s)?;
+            }
+            for r in 0..n {
+                claim(l.ack_flag(p, r), r)?;
+            }
+            for b in 0..bufs {
+                for w in 0..bbp::layout_desc_words() {
+                    claim(l.descriptor(p, b) + w, p)?;
+                }
+            }
+            for w in 0..l.data_words() {
+                claim(l.data_base(p) + w, p)?;
+            }
+        }
+        prop_assert!(writer.iter().all(|&w| w != usize::MAX), "unclaimed words exist");
+    }
+
+    #[test]
+    fn partitions_tile_exactly(config in config_strategy()) {
+        let l = Layout::new(&config);
+        for p in 0..config.nprocs - 1 {
+            prop_assert_eq!(l.partition_base(p) + l.partition_words(), l.partition_base(p + 1));
+        }
+        prop_assert_eq!(
+            l.partition_base(config.nprocs - 1) + l.partition_words(),
+            l.total_words()
+        );
+    }
+
+    #[test]
+    fn flag_ranges_cover_exactly_their_flags(config in config_strategy()) {
+        let l = Layout::new(&config);
+        for p in 0..config.nprocs {
+            let mr = l.msg_flag_range(p);
+            let ar = l.ack_flag_range(p);
+            prop_assert_eq!(mr.len(), config.nprocs);
+            prop_assert_eq!(ar.len(), config.nprocs);
+            for s in 0..config.nprocs {
+                prop_assert!(mr.contains(&l.msg_flag(p, s)));
+                prop_assert!(ar.contains(&l.ack_flag(p, s)));
+                prop_assert!(!mr.contains(&l.ack_flag(p, s)));
+                prop_assert!(!ar.contains(&l.msg_flag(p, s)));
+            }
+        }
+    }
+}

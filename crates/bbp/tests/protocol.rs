@@ -1,0 +1,617 @@
+//! Behavioural tests of the BillBoard Protocol: delivery, ordering,
+//! multicast, flow control, garbage collection, and the single-writer
+//! discipline on the wire.
+
+use bbp::{BbpCluster, BbpConfig, BbpError, RecvMode};
+use des::{Simulation, TimeExt};
+use scramnet::{CostModel, RingConfig};
+
+fn cluster(sim: &Simulation, n: usize) -> BbpCluster {
+    BbpCluster::new(&sim.handle(), BbpConfig::for_nodes(n))
+}
+
+#[test]
+fn two_node_round_trip() {
+    let mut sim = Simulation::new();
+    let c = cluster(&sim, 2);
+    let mut a = c.endpoint(0);
+    let mut b = c.endpoint(1);
+    sim.spawn("a", move |ctx| {
+        a.send(ctx, 1, b"ping").unwrap();
+        let back = a.recv(ctx, 1);
+        assert_eq!(back, b"pong");
+    });
+    sim.spawn("b", move |ctx| {
+        let m = b.recv(ctx, 0);
+        assert_eq!(m, b"ping");
+        b.send(ctx, 0, b"pong").unwrap();
+    });
+    let report = sim.run();
+    assert!(report.is_clean(), "deadlocked: {:?}", report.deadlocked);
+}
+
+#[test]
+fn zero_byte_messages_are_valid() {
+    let mut sim = Simulation::new();
+    let c = cluster(&sim, 2);
+    let mut a = c.endpoint(0);
+    let mut b = c.endpoint(1);
+    sim.spawn("a", move |ctx| a.send(ctx, 1, &[]).unwrap());
+    sim.spawn("b", move |ctx| {
+        let m = b.recv(ctx, 0);
+        assert!(m.is_empty());
+    });
+    assert!(sim.run().is_clean());
+}
+
+#[test]
+fn per_pair_fifo_order_holds() {
+    let mut sim = Simulation::new();
+    let c = cluster(&sim, 2);
+    let mut a = c.endpoint(0);
+    let mut b = c.endpoint(1);
+    sim.spawn("a", move |ctx| {
+        for i in 0..50u32 {
+            a.send(ctx, 1, &i.to_le_bytes()).unwrap();
+        }
+    });
+    sim.spawn("b", move |ctx| {
+        for i in 0..50u32 {
+            let m = b.recv(ctx, 0);
+            assert_eq!(u32::from_le_bytes(m.try_into().unwrap()), i);
+        }
+    });
+    assert!(sim.run().is_clean());
+}
+
+#[test]
+fn payload_bytes_survive_odd_lengths() {
+    let mut sim = Simulation::new();
+    let c = cluster(&sim, 2);
+    let mut a = c.endpoint(0);
+    let mut b = c.endpoint(1);
+    sim.spawn("a", move |ctx| {
+        for len in [1usize, 2, 3, 5, 7, 63, 64, 65, 1021] {
+            let payload: Vec<u8> = (0..len).map(|i| (i * 31 % 251) as u8).collect();
+            a.send(ctx, 1, &payload).unwrap();
+        }
+    });
+    sim.spawn("b", move |ctx| {
+        for len in [1usize, 2, 3, 5, 7, 63, 64, 65, 1021] {
+            let m = b.recv(ctx, 0);
+            assert_eq!(m.len(), len);
+            for (i, &byte) in m.iter().enumerate() {
+                assert_eq!(byte, (i * 31 % 251) as u8, "byte {i} of len {len}");
+            }
+        }
+    });
+    assert!(sim.run().is_clean());
+}
+
+#[test]
+fn multicast_reaches_all_targets() {
+    let mut sim = Simulation::new();
+    let c = cluster(&sim, 4);
+    let mut root = c.endpoint(0);
+    sim.spawn("root", move |ctx| {
+        root.mcast(ctx, &[1, 2, 3], b"broadcast!").unwrap();
+    });
+    for r in 1..4 {
+        let mut ep = c.endpoint(r);
+        sim.spawn(format!("r{r}"), move |ctx| {
+            let m = ep.recv(ctx, 0);
+            assert_eq!(m, b"broadcast!");
+        });
+    }
+    assert!(sim.run().is_clean());
+}
+
+#[test]
+fn multicast_to_subset_skips_others() {
+    let mut sim = Simulation::new();
+    let c = cluster(&sim, 4);
+    let mut root = c.endpoint(0);
+    let mut r1 = c.endpoint(1);
+    let mut r3 = c.endpoint(3);
+    let mut bystander = c.endpoint(2);
+    sim.spawn("root", move |ctx| {
+        root.mcast(ctx, &[1, 3], b"subset").unwrap();
+        // A later direct message to 2 must be 2's *first* message.
+        root.send(ctx, 2, b"direct").unwrap();
+    });
+    sim.spawn("r1", move |ctx| assert_eq!(r1.recv(ctx, 0), b"subset"));
+    sim.spawn("r3", move |ctx| assert_eq!(r3.recv(ctx, 0), b"subset"));
+    sim.spawn("r2", move |ctx| {
+        assert_eq!(bystander.recv(ctx, 0), b"direct")
+    });
+    assert!(sim.run().is_clean());
+}
+
+#[test]
+fn recv_any_collects_from_multiple_senders() {
+    let mut sim = Simulation::new();
+    let c = cluster(&sim, 4);
+    for s in 1..4usize {
+        let mut ep = c.endpoint(s);
+        sim.spawn(format!("s{s}"), move |ctx| {
+            ep.send(ctx, 0, &[s as u8]).unwrap();
+        });
+    }
+    let mut sink = c.endpoint(0);
+    sim.spawn("sink", move |ctx| {
+        let mut seen = [false; 4];
+        for _ in 0..3 {
+            let (src, m) = sink.recv_any(ctx);
+            assert_eq!(m, vec![src as u8]);
+            assert!(!seen[src], "duplicate delivery from {src}");
+            seen[src] = true;
+        }
+    });
+    assert!(sim.run().is_clean());
+}
+
+#[test]
+fn try_recv_returns_none_when_quiet() {
+    let mut sim = Simulation::new();
+    let c = cluster(&sim, 2);
+    let mut a = c.endpoint(0);
+    sim.spawn("a", move |ctx| {
+        assert!(a.try_recv(ctx, 1).is_none());
+        assert!(!a.msg_avail(ctx));
+        assert!(a.try_recv_any(ctx).is_none());
+    });
+    assert!(sim.run().is_clean());
+}
+
+#[test]
+fn msg_avail_sees_posted_message() {
+    let mut sim = Simulation::new();
+    let c = cluster(&sim, 2);
+    let mut a = c.endpoint(0);
+    let mut b = c.endpoint(1);
+    sim.spawn("a", move |ctx| a.send(ctx, 1, b"x").unwrap());
+    sim.spawn("b", move |ctx| {
+        ctx.wait_until(des::us(100));
+        assert!(b.msg_avail(ctx));
+        assert_eq!(b.try_recv(ctx, 0).unwrap(), b"x");
+        assert!(!b.msg_avail(ctx));
+    });
+    assert!(sim.run().is_clean());
+}
+
+#[test]
+fn flow_control_blocks_sender_until_receiver_drains() {
+    // More messages than descriptor slots: the sender must stall on GC and
+    // recover once the receiver acks.
+    let mut sim = Simulation::new();
+    let mut cfg = BbpConfig::for_nodes(2);
+    cfg.bufs_per_proc = 4;
+    let c = BbpCluster::new(&sim.handle(), cfg);
+    let mut a = c.endpoint(0);
+    let mut b = c.endpoint(1);
+    sim.spawn("a", move |ctx| {
+        for i in 0..32u32 {
+            a.send(ctx, 1, &i.to_le_bytes()).unwrap();
+        }
+        assert!(a.stats().send_stalls > 0, "expected stalls with 4 slots");
+    });
+    sim.spawn("b", move |ctx| {
+        for i in 0..32u32 {
+            let m = b.recv(ctx, 0);
+            assert_eq!(u32::from_le_bytes(m.try_into().unwrap()), i);
+        }
+    });
+    assert!(sim.run().is_clean());
+}
+
+#[test]
+fn data_partition_wraps_and_reuses_space() {
+    // Payloads sized so the circular allocator must wrap repeatedly.
+    let mut sim = Simulation::new();
+    let mut cfg = BbpConfig::for_nodes(2);
+    cfg.data_words = 64; // 256-byte data partition
+    let c = BbpCluster::new(&sim.handle(), cfg);
+    let mut a = c.endpoint(0);
+    let mut b = c.endpoint(1);
+    sim.spawn("a", move |ctx| {
+        for i in 0..40u32 {
+            let payload = vec![i as u8; 100]; // 25 words each
+            a.send(ctx, 1, &payload).unwrap();
+        }
+    });
+    sim.spawn("b", move |ctx| {
+        for i in 0..40u32 {
+            let m = b.recv(ctx, 0);
+            assert_eq!(m, vec![i as u8; 100]);
+        }
+    });
+    assert!(sim.run().is_clean());
+}
+
+#[test]
+fn oversized_message_is_rejected() {
+    let mut sim = Simulation::new();
+    let c = cluster(&sim, 2);
+    let max = c.config().max_payload_bytes();
+    let mut a = c.endpoint(0);
+    sim.spawn("a", move |ctx| {
+        let err = a.send(ctx, 1, &vec![0u8; max + 1]).unwrap_err();
+        assert!(matches!(err, BbpError::MessageTooLarge { .. }));
+    });
+    assert!(sim.run().is_clean());
+}
+
+#[test]
+fn bad_destinations_are_rejected() {
+    let mut sim = Simulation::new();
+    let c = cluster(&sim, 2);
+    let mut a = c.endpoint(0);
+    sim.spawn("a", move |ctx| {
+        assert!(matches!(
+            a.send(ctx, 0, b"self"),
+            Err(BbpError::BadDestination { dst: 0 })
+        ));
+        assert!(matches!(
+            a.send(ctx, 7, b"oob"),
+            Err(BbpError::BadDestination { dst: 7 })
+        ));
+        assert!(matches!(
+            a.mcast(ctx, &[], b"none"),
+            Err(BbpError::NoTargets)
+        ));
+    });
+    assert!(sim.run().is_clean());
+}
+
+#[test]
+fn wire_traffic_respects_single_writer_discipline() {
+    // Run a busy all-to-all workload with provenance tracking on; the
+    // protocol must never produce a cross-writer conflict.
+    let mut sim = Simulation::new();
+    let cfg = BbpConfig::for_nodes(4);
+    let ring_cfg = RingConfig {
+        track_provenance: true,
+        ..Default::default()
+    };
+    let c = BbpCluster::with_hardware(&sim.handle(), cfg, CostModel::default(), ring_cfg);
+    for r in 0..4usize {
+        let mut ep = c.endpoint(r);
+        sim.spawn(format!("p{r}"), move |ctx| {
+            let peers: Vec<usize> = (0..4).filter(|&p| p != r).collect();
+            for round in 0..10u32 {
+                for &p in &peers {
+                    ep.send(ctx, p, &round.to_le_bytes()).unwrap();
+                }
+                for _ in &peers {
+                    let (_, m) = ep.recv_any(ctx);
+                    assert!(u32::from_le_bytes(m.try_into().unwrap()) <= round);
+                }
+            }
+        });
+    }
+    let report = sim.run();
+    assert!(report.is_clean(), "deadlocked: {:?}", report.deadlocked);
+    assert!(
+        c.ring().conflicts().is_empty(),
+        "single-writer violations: {:?}",
+        c.ring().conflicts()
+    );
+}
+
+#[test]
+fn interrupt_mode_delivers_without_polling_spin() {
+    let mut sim = Simulation::new();
+    let mut cfg = BbpConfig::for_nodes(2);
+    cfg.recv_mode = RecvMode::Interrupt;
+    let c = BbpCluster::new(&sim.handle(), cfg);
+    let mut a = c.endpoint(0);
+    let mut b = c.endpoint(1);
+    sim.spawn("a", move |ctx| {
+        ctx.wait_until(des::us(500)); // receiver blocks long before data
+        a.send(ctx, 1, b"wake up").unwrap();
+    });
+    sim.spawn("b", move |ctx| {
+        let m = b.recv(ctx, 0);
+        assert_eq!(m, b"wake up");
+        assert!(ctx.now() >= des::us(500));
+        // Interrupt mode: only a handful of flag reads, not hundreds of
+        // spin iterations across 500 µs.
+        assert!(b.stats().polls < 10, "polled {} times", b.stats().polls);
+    });
+    let report = sim.run();
+    assert!(report.is_clean(), "deadlocked: {:?}", report.deadlocked);
+}
+
+#[test]
+fn interrupt_mode_latency_pays_dispatch_cost() {
+    let one_way = |mode: RecvMode| {
+        let mut sim = Simulation::new();
+        let mut cfg = BbpConfig::for_nodes(2);
+        cfg.recv_mode = mode;
+        let c = BbpCluster::new(&sim.handle(), cfg);
+        let mut a = c.endpoint(0);
+        let mut b = c.endpoint(1);
+        sim.spawn("a", move |ctx| a.send(ctx, 1, b"racecar").unwrap());
+        sim.spawn("b", move |ctx| {
+            let _ = b.recv(ctx, 0);
+        });
+        sim.run().end_time
+    };
+    let polled = one_way(RecvMode::Polling);
+    let interrupted = one_way(RecvMode::Interrupt);
+    assert!(
+        interrupted > polled,
+        "interrupt ({}) should cost more than polling ({})",
+        interrupted.pretty(),
+        polled.pretty()
+    );
+}
+
+#[test]
+fn all_acked_drains_after_receives() {
+    let mut sim = Simulation::new();
+    let c = cluster(&sim, 2);
+    let mut a = c.endpoint(0);
+    let mut b = c.endpoint(1);
+    sim.spawn("a", move |ctx| {
+        a.send(ctx, 1, b"one").unwrap();
+        a.send(ctx, 1, b"two").unwrap();
+        // Wait long enough for acks to replicate back, then check.
+        ctx.wait_until(des::ms(5));
+        assert!(a.all_acked(ctx));
+    });
+    sim.spawn("b", move |ctx| {
+        let _ = b.recv(ctx, 0);
+        let _ = b.recv(ctx, 0);
+    });
+    assert!(sim.run().is_clean());
+}
+
+#[test]
+fn headline_zero_byte_latency_is_calibrated() {
+    // Paper §5: a 0-byte message crosses the BBP API in ~6.5 µs and a
+    // 4-byte one in ~7.8 µs. Allow ±15% — EXPERIMENTS.md records exacts.
+    // One-way latency is send-call to recv-return (the trailing ACK
+    // replication back to the sender is not on the critical path).
+    let one_way = |len: usize| {
+        use std::sync::Arc;
+        let mut sim = Simulation::new();
+        let c = cluster(&sim, 2);
+        let mut a = c.endpoint(0);
+        let mut b = c.endpoint(1);
+        let payload = vec![0u8; len];
+        let done = Arc::new(parking_lot::Mutex::new(0u64));
+        let done2 = Arc::clone(&done);
+        sim.spawn("a", move |ctx| a.send(ctx, 1, &payload).unwrap());
+        sim.spawn("b", move |ctx| {
+            let _ = b.recv(ctx, 0);
+            *done2.lock() = ctx.now();
+        });
+        sim.run();
+        let t = *done.lock();
+        t.as_us()
+    };
+    let zero = one_way(0);
+    let four = one_way(4);
+    assert!(
+        (zero - 6.5).abs() < 1.0,
+        "0-byte one-way {zero:.2} µs, want ≈6.5"
+    );
+    assert!(
+        (four - 7.8).abs() < 1.2,
+        "4-byte one-way {four:.2} µs, want ≈7.8"
+    );
+    assert!(four > zero);
+}
+
+#[test]
+fn recv_into_fills_caller_buffer() {
+    let mut sim = Simulation::new();
+    let c = cluster(&sim, 2);
+    let mut a = c.endpoint(0);
+    let mut b = c.endpoint(1);
+    sim.spawn("a", move |ctx| {
+        a.send(ctx, 1, b"into the buffer").unwrap();
+        a.send(ctx, 1, &[]).unwrap();
+    });
+    sim.spawn("b", move |ctx| {
+        let mut buf = [0u8; 64];
+        let n = b.recv_into(ctx, 0, &mut buf);
+        assert_eq!(&buf[..n], b"into the buffer");
+        let n2 = b.recv_into(ctx, 0, &mut buf);
+        assert_eq!(n2, 0);
+    });
+    assert!(sim.run().is_clean());
+}
+
+#[test]
+fn endpoint_stats_count_operations() {
+    let mut sim = Simulation::new();
+    let c = cluster(&sim, 3);
+    let mut a = c.endpoint(0);
+    let mut b = c.endpoint(1);
+    sim.spawn("a", move |ctx| {
+        a.send(ctx, 1, b"one").unwrap();
+        a.mcast(ctx, &[1, 2], b"two").unwrap();
+        assert_eq!(a.stats().sends, 1);
+        assert_eq!(a.stats().mcasts, 1);
+    });
+    let mut c2 = c.endpoint(2);
+    sim.spawn("b", move |ctx| {
+        let _ = b.recv(ctx, 0);
+        let _ = b.recv(ctx, 0);
+        assert_eq!(b.stats().recvs, 2);
+        assert_eq!(b.stats().bytes_recved, 6);
+        assert!(b.stats().polls > 0);
+    });
+    sim.spawn("c", move |ctx| {
+        let _ = c2.recv(ctx, 0);
+        assert_eq!(c2.stats().recvs, 1);
+    });
+    assert!(sim.run().is_clean());
+}
+
+#[test]
+fn slotted_gc_delivers_correctly_under_pressure() {
+    use bbp::GcPolicy;
+    let mut sim = Simulation::new();
+    let mut cfg = BbpConfig::for_nodes(2);
+    cfg.gc_policy = GcPolicy::Slotted;
+    cfg.bufs_per_proc = 4;
+    cfg.data_words = 64; // 16-word (64-byte) slots
+    let max = cfg.max_payload_bytes();
+    assert_eq!(max, 64);
+    let c = BbpCluster::new(&sim.handle(), cfg);
+    let mut a = c.endpoint(0);
+    let mut b = c.endpoint(1);
+    sim.spawn("a", move |ctx| {
+        for i in 0..40u32 {
+            let len = (i as usize * 7) % 65; // 0..=64 bytes
+            let payload: Vec<u8> = (0..len).map(|j| (i as u8).wrapping_add(j as u8)).collect();
+            a.send(ctx, 1, &payload).unwrap();
+        }
+    });
+    sim.spawn("b", move |ctx| {
+        for i in 0..40u32 {
+            let m = b.recv(ctx, 0);
+            let len = (i as usize * 7) % 65;
+            assert_eq!(m.len(), len);
+            for (j, &byte) in m.iter().enumerate() {
+                assert_eq!(byte, (i as u8).wrapping_add(j as u8));
+            }
+        }
+    });
+    assert!(sim.run().is_clean());
+}
+
+#[test]
+fn slotted_gc_rejects_messages_beyond_one_slot() {
+    use bbp::GcPolicy;
+    let mut sim = Simulation::new();
+    let mut cfg = BbpConfig::for_nodes(2);
+    cfg.gc_policy = GcPolicy::Slotted;
+    cfg.bufs_per_proc = 4;
+    cfg.data_words = 64;
+    let c = BbpCluster::new(&sim.handle(), cfg);
+    let mut a = c.endpoint(0);
+    sim.spawn("a", move |ctx| {
+        let err = a.send(ctx, 1, &[0u8; 65]).unwrap_err();
+        assert!(matches!(err, BbpError::MessageTooLarge { max: 64, .. }));
+    });
+    assert!(sim.run().is_clean());
+}
+
+#[test]
+fn slotted_gc_avoids_head_of_line_blocking() {
+    // A multicast to a receiver that never drains pins its buffer. Under
+    // the FIFO ring, that pinned front buffer blocks every later free;
+    // under the slotted policy, later acknowledged buffers recycle and
+    // traffic to the live receiver keeps flowing.
+    use bbp::GcPolicy;
+    let run = |policy: GcPolicy| {
+        let mut sim = Simulation::new();
+        let mut cfg = BbpConfig::for_nodes(3);
+        cfg.gc_policy = policy;
+        cfg.bufs_per_proc = 4;
+        cfg.data_words = 64;
+        let c = BbpCluster::new(&sim.handle(), cfg);
+        let mut tx = c.endpoint(0);
+        let mut live = c.endpoint(1);
+        let _dead = c.endpoint(2); // never polls: its ack never comes
+        sim.spawn("tx", move |ctx| {
+            // First message pins a buffer on the dead receiver...
+            tx.send(ctx, 2, b"stuck forever").unwrap();
+            // ...then a stream to the live one.
+            for i in 0..12u32 {
+                tx.send(ctx, 1, &i.to_le_bytes()).unwrap();
+            }
+        });
+        sim.spawn("live", move |ctx| {
+            for i in 0..12u32 {
+                let m = live.recv(ctx, 0);
+                assert_eq!(u32::from_le_bytes(m.try_into().unwrap()), i);
+            }
+        });
+        let report = sim.run_until(des::ms(10));
+        report.is_clean()
+    };
+    assert!(
+        run(GcPolicy::Slotted),
+        "slotted must complete despite the pinned buffer"
+    );
+    // The FIFO ring run wedges: with 4 slots and the front pinned, the
+    // 5th send can never allocate. (run_until keeps the test finite.)
+    assert!(
+        !run(GcPolicy::FifoRing),
+        "the ring policy should exhibit head-of-line blocking"
+    );
+}
+
+#[test]
+fn bbp_has_no_checksums_by_design_corruption_passes_through() {
+    // Paper §2: "there is no overhead of protocol information to be
+    // added on messages" — the BBP trusts SCRAMNet's hardware error
+    // handling completely. Inject bit errors into the data partition
+    // words and the protocol delivers the corrupted payload without
+    // noticing: the zero-copy design has nowhere to hide a checksum.
+    let mut sim = Simulation::new();
+    let cfg = BbpConfig::for_nodes(2);
+    let ring_cfg = RingConfig {
+        bit_error_rate: 0.01,
+        error_seed: 7,
+        ..Default::default()
+    };
+    let c = BbpCluster::with_hardware(&sim.handle(), cfg, CostModel::default(), ring_cfg);
+    let mut a = c.endpoint(0);
+    let mut b = c.endpoint(1);
+    use std::sync::Arc;
+    let corrupt_count = Arc::new(parking_lot::Mutex::new(0u32));
+    let cc = Arc::clone(&corrupt_count);
+    sim.spawn("a", move |ctx| {
+        for i in 0..30u32 {
+            let payload = vec![i as u8; 256];
+            a.send(ctx, 1, &payload).unwrap();
+        }
+    });
+    sim.spawn("b", move |ctx| {
+        for i in 0..30u32 {
+            let m = b.recv(ctx, 0);
+            assert_eq!(m.len(), 256, "framing survives (lengths ride descriptors)");
+            if m.iter().any(|&x| x != i as u8) {
+                *cc.lock() += 1;
+            }
+        }
+    });
+    let report = sim.run();
+    // The protocol may wedge if a *flag or descriptor* word corrupts —
+    // also a legitimate demonstration; either way corruption reached
+    // the application layer undetected.
+    let corrupted = *corrupt_count.lock();
+    assert!(
+        corrupted > 0 || !report.is_clean() || c.ring().stats().bit_errors > 0,
+        "1% BER must visibly break something"
+    );
+}
+
+#[test]
+fn recv_deadline_returns_none_when_quiet_and_some_when_not() {
+    let mut sim = Simulation::new();
+    let c = cluster(&sim, 2);
+    let mut a = c.endpoint(0);
+    let mut b = c.endpoint(1);
+    sim.spawn("b", move |ctx| {
+        // Nothing arrives before 200 µs.
+        let miss = b.recv_deadline(ctx, 0, des::us(200));
+        assert!(miss.is_none());
+        assert!(ctx.now() >= des::us(200));
+        // The message sent at 300 µs arrives well before the 1 ms limit.
+        let hit = b.recv_deadline(ctx, 0, des::ms(1));
+        assert_eq!(hit.unwrap(), b"on time");
+        assert!(ctx.now() < des::us(400));
+    });
+    sim.spawn("a", move |ctx| {
+        ctx.wait_until(des::us(300));
+        a.send(ctx, 1, b"on time").unwrap();
+    });
+    assert!(sim.run().is_clean());
+}

@@ -1,0 +1,82 @@
+//! Criterion micro-benchmarks of the *host-side* performance of the
+//! simulation substrate itself (wall-clock, not virtual time): event
+//! throughput of the DES kernel, end-to-end BBP ping-pong simulations,
+//! and ring write replication.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use bbp::{BbpCluster, BbpConfig};
+use des::Simulation;
+use scramnet::{CostModel, Ring};
+
+/// Schedule-and-drain N pure events.
+fn des_event_throughput(c: &mut Criterion) {
+    c.bench_function("des_10k_events", |b| {
+        b.iter(|| {
+            let mut sim = Simulation::new();
+            let h = sim.handle();
+            for i in 0..10_000u64 {
+                h.schedule_at(i, |t| {
+                    black_box(t);
+                });
+            }
+            let report = sim.run();
+            black_box(report.dispatches)
+        })
+    });
+}
+
+/// A full 2-process BBP ping-pong simulation, including thread spawn and
+/// teardown — the unit of work every sweep point in the figures costs.
+fn bbp_pingpong_sim(c: &mut Criterion) {
+    c.bench_function("bbp_pingpong_16rt", |b| {
+        b.iter(|| {
+            let mut sim = Simulation::new();
+            let cluster = BbpCluster::new(&sim.handle(), BbpConfig::for_nodes(2));
+            let mut a = cluster.endpoint(0);
+            let mut e = cluster.endpoint(1);
+            sim.spawn("a", move |ctx| {
+                for _ in 0..16 {
+                    a.send(ctx, 1, b"ping").unwrap();
+                    black_box(a.recv(ctx, 1));
+                }
+            });
+            sim.spawn("b", move |ctx| {
+                for _ in 0..16 {
+                    let m = e.recv(ctx, 0);
+                    e.send(ctx, 0, &m).unwrap();
+                }
+            });
+            let report = sim.run();
+            black_box(report.end_time)
+        })
+    });
+}
+
+/// Raw ring replication: one process blasting 1024-word blocks.
+fn ring_replication(c: &mut Criterion) {
+    c.bench_function("ring_64_block_writes", |b| {
+        b.iter(|| {
+            let mut sim = Simulation::new();
+            let ring = Ring::new(&sim.handle(), 8, 65_536, CostModel::default());
+            let nic = ring.nic(0);
+            sim.spawn("w", move |ctx| {
+                let data = vec![0xFFu32; 1024];
+                for i in 0..64usize {
+                    nic.write_block(ctx, i * 1024, &data);
+                }
+            });
+            let report = sim.run();
+            black_box(report.end_time)
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    des_event_throughput,
+    bbp_pingpong_sim,
+    ring_replication
+);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Figure 1 — One-way message latency on SCRAMNet, BillBoard API vs MPI,
+//! for 0–64 bytes (fine sweep) and 0–1000 bytes (coarse sweep).
+//!
+//! Paper anchors: 0 B API 6.5 µs, 4 B API 7.8 µs, 0 B MPI 44 µs,
+//! 4 B MPI 49 µs; "the MPI layer only adds a constant overhead to the API
+//! layer latency".
+
+use bench::{bbp_one_way_us, mpi_one_way_us, print_table, report_anchor, MpiNet, Series};
+
+fn main() {
+    let fine: Vec<usize> = (0..=16).map(|i| i * 4).collect();
+    let api_fine = Series::sweep("SCRAMNet API", &fine, |n| bbp_one_way_us(n, 4));
+    let mpi_fine = Series::sweep("MPI", &fine, |n| mpi_one_way_us(MpiNet::Scramnet, n));
+    print_table(
+        "Figure 1a: one-way latency, 0-64 bytes",
+        &[api_fine, mpi_fine],
+    );
+
+    let coarse: Vec<usize> = (0..=10).map(|i| i * 100).collect();
+    let api_coarse = Series::sweep("SCRAMNet API", &coarse, |n| bbp_one_way_us(n, 4));
+    let mpi_coarse = Series::sweep("MPI", &coarse, |n| mpi_one_way_us(MpiNet::Scramnet, n));
+
+    // The paper's observation: the MPI layer adds a roughly constant
+    // overhead. Report the measured layer tax across the sweep.
+    let taxes: Vec<f64> = api_coarse
+        .points
+        .iter()
+        .zip(&mpi_coarse.points)
+        .map(|((_, a), (_, m))| m - a)
+        .collect();
+    print_table(
+        "Figure 1b: one-way latency, 0-1000 bytes",
+        &[api_coarse, mpi_coarse],
+    );
+
+    println!("\n-- anchors --");
+    report_anchor("0-byte BBP API one-way", 6.5, bbp_one_way_us(0, 4));
+    report_anchor("4-byte BBP API one-way", 7.8, bbp_one_way_us(4, 4));
+    report_anchor(
+        "0-byte MPI one-way",
+        44.0,
+        mpi_one_way_us(MpiNet::Scramnet, 0),
+    );
+    report_anchor(
+        "4-byte MPI one-way",
+        49.0,
+        mpi_one_way_us(MpiNet::Scramnet, 4),
+    );
+    let (min_tax, max_tax) = taxes
+        .iter()
+        .fold((f64::MAX, f64::MIN), |(lo, hi), &t| (lo.min(t), hi.max(t)));
+    println!(
+        "MPI layer overhead over the API across 0-1000 B: {min_tax:.1}-{max_tax:.1} µs \
+         (paper: approximately constant, ≈37.5 µs at 0 B)"
+    );
+}

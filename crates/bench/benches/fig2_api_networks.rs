@@ -1,0 +1,51 @@
+//! Figure 2 — API-level one-way latency: SCRAMNet (BBP) vs Fast Ethernet
+//! (TCP/IP), ATM (TCP/IP), Myrinet (native API and TCP/IP).
+//!
+//! Paper shape: SCRAMNet wins for short messages on every network; Fast
+//! Ethernet overtakes at "several thousand" bytes, ATM at ≈1000 bytes,
+//! the Myrinet API at ≈500 bytes.
+
+use bench::{api_one_way_us, crossover, print_table, ApiNet, Series};
+
+fn main() {
+    let sizes: Vec<usize> = vec![
+        0, 4, 16, 64, 128, 256, 384, 512, 768, 1024, 1536, 2048, 3072, 4096, 6144, 8192,
+    ];
+    let nets = [
+        ApiNet::ScramnetBbp,
+        ApiNet::FastEthernetTcp,
+        ApiNet::MyrinetApi,
+        ApiNet::MyrinetTcp,
+        ApiNet::AtmTcp,
+    ];
+    let series: Vec<Series> = nets
+        .iter()
+        .map(|&n| Series::sweep(n.label(), &sizes, |len| api_one_way_us(n, len)))
+        .collect();
+    print_table(
+        "Figure 2: API-level one-way latency across networks",
+        &series,
+    );
+
+    println!("\n-- crossovers (first size at which the other network beats SCRAMNet) --");
+    let scramnet = &series[0];
+    let paper = [
+        (1, "several thousand bytes"),
+        (2, "≈500 bytes"),
+        (3, "(between API and Fast Ethernet)"),
+        (4, "≈1000 bytes"),
+    ];
+    for (idx, expect) in paper {
+        let x = crossover(scramnet, &series[idx]);
+        match x {
+            Some(size) => println!(
+                "{:<24} overtakes at {size} B (paper: {expect})",
+                series[idx].label
+            ),
+            None => println!(
+                "{:<24} never overtakes within 8 KB (paper: {expect})",
+                series[idx].label
+            ),
+        }
+    }
+}

@@ -1,0 +1,38 @@
+//! Figure 3 — MPI-level one-way latency: SCRAMNet vs Fast Ethernet vs ATM
+//! (both baselines are MPICH over TCP/IP).
+//!
+//! Paper shape: SCRAMNet faster below ≈512 bytes (Fast Ethernet) and
+//! ≈580 bytes (ATM).
+
+use bench::{crossover, mpi_one_way_us, print_table, MpiNet, Series};
+
+fn main() {
+    let sizes: Vec<usize> = vec![
+        0, 4, 16, 64, 128, 256, 384, 512, 640, 768, 1024, 1536, 2048, 4096, 8192,
+    ];
+    let nets = [MpiNet::Scramnet, MpiNet::FastEthernet, MpiNet::Atm];
+    let series: Vec<Series> = nets
+        .iter()
+        .map(|&n| Series::sweep(n.label(), &sizes, |len| mpi_one_way_us(n, len)))
+        .collect();
+    print_table(
+        "Figure 3: MPI-level one-way latency across networks",
+        &series,
+    );
+
+    println!("\n-- crossovers --");
+    for (idx, paper) in [(1usize, "≈512 B"), (2, "≈580 B")] {
+        match crossover(&series[0], &series[idx]) {
+            Some(size) => {
+                println!(
+                    "{:<16} overtakes SCRAMNet at {size} B (paper: {paper})",
+                    series[idx].label
+                )
+            }
+            None => println!(
+                "{:<16} never overtakes SCRAMNet within 8 KB (paper: {paper})",
+                series[idx].label
+            ),
+        }
+    }
+}

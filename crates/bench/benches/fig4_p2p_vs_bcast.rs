@@ -1,0 +1,33 @@
+//! Figure 4 — SCRAMNet point-to-point latency vs 4-node broadcast
+//! latency at the BBP API level.
+//!
+//! Paper shape: "a 4-node broadcast adds very little overhead to a
+//! unicast message" — the hardware replicates every write anyway, so a
+//! multicast only adds one extra flag-word write per extra receiver.
+
+use bench::{bbp_bcast_us, bbp_one_way_us, print_table, report_anchor, Series};
+
+fn main() {
+    let sizes: Vec<usize> = vec![0, 4, 16, 64, 128, 256, 512, 1024, 2048, 4096];
+    let p2p = Series::sweep("Point-to-Point", &sizes, |n| bbp_one_way_us(n, 4));
+    let bcast = Series::sweep("4-node Broadcast", &sizes, |n| bbp_bcast_us(n, 4));
+
+    let overheads: Vec<f64> = p2p
+        .points
+        .iter()
+        .zip(&bcast.points)
+        .map(|((_, p), (_, b))| b - p)
+        .collect();
+    print_table(
+        "Figure 4: point-to-point vs 4-node broadcast (BBP API)",
+        &[p2p, bcast],
+    );
+
+    println!("\n-- anchors --");
+    report_anchor("4-byte 4-node broadcast", 10.1, bbp_bcast_us(4, 4));
+    let max_overhead = overheads.iter().cloned().fold(f64::MIN, f64::max);
+    println!(
+        "broadcast overhead over unicast stays within {max_overhead:.1} µs across the sweep \
+         (paper: 'very little overhead')"
+    );
+}

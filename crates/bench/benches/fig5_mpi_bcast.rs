@@ -1,0 +1,49 @@
+//! Figure 5 — 4-node `MPI_Bcast`: Fast Ethernet (point-to-point trees),
+//! SCRAMNet with the stock point-to-point algorithm, and SCRAMNet with
+//! the API-level multicast implementation.
+//!
+//! Paper shape: p2p-SCRAMNet beats Fast Ethernet below ≈450 bytes; the
+//! native-multicast implementation is "much faster" and stays ahead of
+//! Fast Ethernet up to at least 1 KB.
+
+use bench::{crossover, mpi_bcast_us, print_table, MpiNet, Series};
+use smpi::CollectiveImpl;
+
+fn main() {
+    let sizes: Vec<usize> = vec![0, 4, 16, 64, 128, 256, 448, 512, 768, 1024, 2048, 4096];
+    let fast_eth = Series::sweep("Fast Ethernet (p2p)", &sizes, |n| {
+        mpi_bcast_us(MpiNet::FastEthernet, n, 4, CollectiveImpl::PointToPoint)
+    });
+    let scr_p2p = Series::sweep("SCRAMNet (p2p)", &sizes, |n| {
+        mpi_bcast_us(MpiNet::Scramnet, n, 4, CollectiveImpl::PointToPoint)
+    });
+    let scr_native = Series::sweep("SCRAMNet (API multicast)", &sizes, |n| {
+        mpi_bcast_us(MpiNet::Scramnet, n, 4, CollectiveImpl::Native)
+    });
+    print_table(
+        "Figure 5: 4-node MPI_Bcast on SCRAMNet and Fast Ethernet",
+        &[fast_eth, scr_p2p, scr_native],
+    );
+
+    // Re-sweep minimal series for crossover reporting.
+    let fe = Series::sweep("fe", &sizes, |n| {
+        mpi_bcast_us(MpiNet::FastEthernet, n, 4, CollectiveImpl::PointToPoint)
+    });
+    let sp = Series::sweep("sp", &sizes, |n| {
+        mpi_bcast_us(MpiNet::Scramnet, n, 4, CollectiveImpl::PointToPoint)
+    });
+    let sn = Series::sweep("sn", &sizes, |n| {
+        mpi_bcast_us(MpiNet::Scramnet, n, 4, CollectiveImpl::Native)
+    });
+    println!("\n-- crossovers --");
+    match crossover(&sp, &fe) {
+        Some(s) => println!("Fast Ethernet overtakes SCRAMNet-p2p at {s} B (paper: ≈450 B)"),
+        None => println!("Fast Ethernet never overtakes SCRAMNet-p2p within 4 KB (paper: ≈450 B)"),
+    }
+    match crossover(&sn, &fe) {
+        Some(s) => println!("Fast Ethernet overtakes SCRAMNet-native at {s} B (paper: >1 KB)"),
+        None => {
+            println!("Fast Ethernet never overtakes SCRAMNet-native within 4 KB (paper: >1 KB)")
+        }
+    }
+}

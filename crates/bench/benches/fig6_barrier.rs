@@ -1,0 +1,33 @@
+//! Figure 6 — `MPI_Barrier` performance.
+//!
+//! (a) SCRAMNet 3- and 4-node barriers, point-to-point vs API-multicast
+//! implementation; (b) 3-node barriers across networks.
+//!
+//! Paper anchors (3 nodes): Fast Ethernet 554 µs, ATM 660 µs, SCRAMNet
+//! p2p 179 µs, SCRAMNet with API multicast 37 µs.
+
+use bench::{mpi_barrier_us, report_anchor, MpiNet};
+use smpi::CollectiveImpl;
+
+fn main() {
+    println!("== Figure 6a: SCRAMNet barrier, p2p vs API multicast ==");
+    println!("{:>7} {:>18} {:>18}", "nodes", "w/ API mcast", "w/ p2p");
+    for nodes in 2..=8 {
+        let native = mpi_barrier_us(MpiNet::Scramnet, nodes, CollectiveImpl::Native);
+        let p2p = mpi_barrier_us(MpiNet::Scramnet, nodes, CollectiveImpl::PointToPoint);
+        println!("{nodes:>7} {native:>15.1} µs {p2p:>15.1} µs");
+    }
+
+    println!("\n== Figure 6b: 3-node barrier across networks ==");
+    let fe = mpi_barrier_us(MpiNet::FastEthernet, 3, CollectiveImpl::PointToPoint);
+    let atm = mpi_barrier_us(MpiNet::Atm, 3, CollectiveImpl::PointToPoint);
+    let sp = mpi_barrier_us(MpiNet::Scramnet, 3, CollectiveImpl::PointToPoint);
+    let sn = mpi_barrier_us(MpiNet::Scramnet, 3, CollectiveImpl::Native);
+    report_anchor("3-node barrier, Fast Ethernet (p2p)", 554.0, fe);
+    report_anchor("3-node barrier, ATM (p2p)", 660.0, atm);
+    report_anchor("3-node barrier, SCRAMNet (p2p)", 179.0, sp);
+    report_anchor("3-node barrier, SCRAMNet (API multicast)", 37.0, sn);
+
+    let n4 = mpi_barrier_us(MpiNet::Scramnet, 4, CollectiveImpl::Native);
+    report_anchor("4-node barrier, SCRAMNet (API multicast)", 37.0, n4);
+}

@@ -1,0 +1,59 @@
+//! The paper's headline numbers (abstract + §5 text) in one table:
+//! paper-reported vs measured, with deviations.
+
+use bench::{bbp_bcast_us, bbp_one_way_us, mpi_barrier_us, mpi_one_way_us, report_anchor, MpiNet};
+use smpi::CollectiveImpl;
+
+fn main() {
+    println!("== Headline anchors: paper vs this reproduction ==\n");
+    report_anchor(
+        "BBP API one-way latency, 0 bytes",
+        6.5,
+        bbp_one_way_us(0, 4),
+    );
+    report_anchor(
+        "BBP API one-way latency, 4 bytes",
+        7.8,
+        bbp_one_way_us(4, 4),
+    );
+    report_anchor(
+        "MPI one-way latency, 0 bytes",
+        44.0,
+        mpi_one_way_us(MpiNet::Scramnet, 0),
+    );
+    report_anchor(
+        "MPI one-way latency, 4 bytes",
+        49.0,
+        mpi_one_way_us(MpiNet::Scramnet, 4),
+    );
+    report_anchor(
+        "BBP 4-node broadcast, short message",
+        10.1,
+        bbp_bcast_us(4, 4),
+    );
+    report_anchor(
+        "4-node MPI_Barrier (API multicast)",
+        37.0,
+        mpi_barrier_us(MpiNet::Scramnet, 4, CollectiveImpl::Native),
+    );
+    report_anchor(
+        "3-node MPI_Barrier (API multicast)",
+        37.0,
+        mpi_barrier_us(MpiNet::Scramnet, 3, CollectiveImpl::Native),
+    );
+    report_anchor(
+        "3-node MPI_Barrier (SCRAMNet p2p)",
+        179.0,
+        mpi_barrier_us(MpiNet::Scramnet, 3, CollectiveImpl::PointToPoint),
+    );
+    report_anchor(
+        "3-node MPI_Barrier (Fast Ethernet)",
+        554.0,
+        mpi_barrier_us(MpiNet::FastEthernet, 3, CollectiveImpl::PointToPoint),
+    );
+    report_anchor(
+        "3-node MPI_Barrier (ATM)",
+        660.0,
+        mpi_barrier_us(MpiNet::Atm, 3, CollectiveImpl::PointToPoint),
+    );
+}

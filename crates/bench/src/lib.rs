@@ -1,0 +1,493 @@
+//! Shared measurement machinery for the experiment harnesses: one
+//! function per microbenchmark (ping-pong, broadcast, barrier) on every
+//! network, plus table/crossover reporting helpers.
+//!
+//! Each `benches/figN_*.rs` target (run by `cargo bench`) regenerates one
+//! figure of the paper by sweeping these functions and printing the
+//! series next to the paper's reference values.
+
+use std::sync::Arc;
+
+use bbp::{BbpCluster, BbpConfig};
+use des::{Simulation, Time, TimeExt};
+use netsim::{MyrinetApiNet, NetSpec, TcpCosts, TcpNet};
+use parking_lot::Mutex;
+use smpi::{CollectiveImpl, MpiWorld, SmpiCosts};
+
+/// The API-level transports of Figure 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ApiNet {
+    /// The BillBoard Protocol on SCRAMNet.
+    ScramnetBbp,
+    /// TCP/IP on switched Fast Ethernet.
+    FastEthernetTcp,
+    /// TCP/IP on ATM OC-3.
+    AtmTcp,
+    /// The native user-level Myrinet API.
+    MyrinetApi,
+    /// TCP/IP on Myrinet.
+    MyrinetTcp,
+}
+
+impl ApiNet {
+    /// Display label matching the paper's legends.
+    pub fn label(self) -> &'static str {
+        match self {
+            ApiNet::ScramnetBbp => "SCRAMNet (API)",
+            ApiNet::FastEthernetTcp => "Fast Ethernet (TCP/IP)",
+            ApiNet::AtmTcp => "ATM (TCP/IP)",
+            ApiNet::MyrinetApi => "Myrinet API",
+            ApiNet::MyrinetTcp => "Myrinet (TCP/IP)",
+        }
+    }
+}
+
+/// The MPI-level configurations of Figures 3, 5, 6.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MpiNet {
+    /// MPICH/channel-interface over the BillBoard Protocol.
+    Scramnet,
+    /// The ADI-direct extension (paper §7 future work).
+    ScramnetAdiDirect,
+    /// MPICH over TCP on Fast Ethernet.
+    FastEthernet,
+    /// MPICH over TCP on ATM.
+    Atm,
+}
+
+impl MpiNet {
+    /// Display label matching the paper's legends.
+    pub fn label(self) -> &'static str {
+        match self {
+            MpiNet::Scramnet => "SCRAMNet",
+            MpiNet::ScramnetAdiDirect => "SCRAMNet (ADI-direct)",
+            MpiNet::FastEthernet => "Fast Ethernet",
+            MpiNet::Atm => "ATM",
+        }
+    }
+
+    fn world(self, sim: &Simulation, nodes: usize, coll: CollectiveImpl) -> MpiWorld {
+        match self {
+            MpiNet::Scramnet => {
+                let mut cfg = BbpConfig::for_nodes(nodes);
+                cfg.data_words = 16 * 1024; // room for 8 KB sweeps + headers
+                MpiWorld::scramnet_with(
+                    &sim.handle(),
+                    cfg,
+                    scramnet::CostModel::default(),
+                    SmpiCosts::channel_interface(),
+                    coll,
+                )
+            }
+            MpiNet::ScramnetAdiDirect => {
+                let mut cfg = BbpConfig::for_nodes(nodes);
+                cfg.data_words = 16 * 1024;
+                MpiWorld::scramnet_with(
+                    &sim.handle(),
+                    cfg,
+                    scramnet::CostModel::default(),
+                    SmpiCosts::adi_direct(),
+                    coll,
+                )
+            }
+            MpiNet::FastEthernet => MpiWorld::fast_ethernet(&sim.handle(), nodes),
+            MpiNet::Atm => MpiWorld::atm(&sim.handle(), nodes),
+        }
+    }
+}
+
+/// Number of timed round trips per latency measurement (after warm-up).
+const PING_REPS: u32 = 8;
+/// Warm-up round trips excluded from timing.
+const WARMUP: u32 = 2;
+
+fn shared_cell() -> (Arc<Mutex<Time>>, Arc<Mutex<Time>>) {
+    (Arc::new(Mutex::new(0)), Arc::new(Mutex::new(0)))
+}
+
+fn half_rtt_us(t_start: Time, t_end: Time) -> f64 {
+    (t_end - t_start).as_us() / (2.0 * PING_REPS as f64)
+}
+
+/// One-way latency at the messaging-API level (Figure 2), microseconds.
+pub fn api_one_way_us(net: ApiNet, len: usize) -> f64 {
+    match net {
+        ApiNet::ScramnetBbp => bbp_one_way_us(len, 4),
+        ApiNet::FastEthernetTcp => {
+            tcp_one_way_us(NetSpec::fast_ethernet(4), TcpCosts::fast_ethernet(), len)
+        }
+        ApiNet::AtmTcp => tcp_one_way_us(NetSpec::atm_oc3(4), TcpCosts::atm(), len),
+        ApiNet::MyrinetTcp => tcp_one_way_us(NetSpec::myrinet(4), TcpCosts::myrinet_tcp(), len),
+        ApiNet::MyrinetApi => myrinet_api_one_way_us(len),
+    }
+}
+
+/// BBP ping-pong between ring neighbours on an `nodes`-node ring.
+pub fn bbp_one_way_us(len: usize, nodes: usize) -> f64 {
+    let mut sim = Simulation::new();
+    let mut cfg = BbpConfig::for_nodes(nodes);
+    cfg.data_words = 16 * 1024;
+    let cluster = BbpCluster::new(&sim.handle(), cfg);
+    let mut a = cluster.endpoint(0);
+    let mut b = cluster.endpoint(1);
+    let (start, end) = shared_cell();
+    let (s2, e2) = (Arc::clone(&start), Arc::clone(&end));
+    let payload = vec![0xA5u8; len];
+    let echo = payload.clone();
+    sim.spawn("a", move |ctx| {
+        for i in 0..WARMUP + PING_REPS {
+            if i == WARMUP {
+                *s2.lock() = ctx.now();
+            }
+            a.send(ctx, 1, &payload).unwrap();
+            let _ = a.recv(ctx, 1);
+        }
+        *e2.lock() = ctx.now();
+    });
+    sim.spawn("b", move |ctx| {
+        for _ in 0..WARMUP + PING_REPS {
+            let m = b.recv(ctx, 0);
+            debug_assert_eq!(m.len(), echo.len());
+            b.send(ctx, 0, &m).unwrap();
+        }
+    });
+    let report = sim.run();
+    assert!(
+        report.is_clean(),
+        "bbp ping-pong deadlocked: {:?}",
+        report.deadlocked
+    );
+    let (s, e) = (*start.lock(), *end.lock());
+    half_rtt_us(s, e)
+}
+
+fn tcp_one_way_us(spec: NetSpec, costs: TcpCosts, len: usize) -> f64 {
+    let mut sim = Simulation::new();
+    let net = TcpNet::new(&sim.handle(), spec, costs);
+    let (a, b) = net.socket_pair(0, 1);
+    let (start, end) = shared_cell();
+    let (s2, e2) = (Arc::clone(&start), Arc::clone(&end));
+    let payload = vec![0xA5u8; len];
+    sim.spawn("a", move |ctx| {
+        for i in 0..WARMUP + PING_REPS {
+            if i == WARMUP {
+                *s2.lock() = ctx.now();
+            }
+            a.send(ctx, &payload);
+            let _ = a.recv(ctx);
+        }
+        *e2.lock() = ctx.now();
+    });
+    sim.spawn("b", move |ctx| {
+        for _ in 0..WARMUP + PING_REPS {
+            let m = b.recv(ctx);
+            b.send(ctx, &m);
+        }
+    });
+    assert!(sim.run().is_clean());
+    let (s, e) = (*start.lock(), *end.lock());
+    half_rtt_us(s, e)
+}
+
+fn myrinet_api_one_way_us(len: usize) -> f64 {
+    let mut sim = Simulation::new();
+    let net = MyrinetApiNet::new(&sim.handle(), 4);
+    let a = net.port(0);
+    let b = net.port(1);
+    let (start, end) = shared_cell();
+    let (s2, e2) = (Arc::clone(&start), Arc::clone(&end));
+    let payload = vec![0xA5u8; len];
+    sim.spawn("a", move |ctx| {
+        for i in 0..WARMUP + PING_REPS {
+            if i == WARMUP {
+                *s2.lock() = ctx.now();
+            }
+            a.send(ctx, 1, &payload);
+            let _ = a.recv(ctx);
+        }
+        *e2.lock() = ctx.now();
+    });
+    sim.spawn("b", move |ctx| {
+        for _ in 0..WARMUP + PING_REPS {
+            let (_, m) = b.recv(ctx);
+            b.send(ctx, 0, &m);
+        }
+    });
+    assert!(sim.run().is_clean());
+    let (s, e) = (*start.lock(), *end.lock());
+    half_rtt_us(s, e)
+}
+
+/// One-way MPI latency (Figures 1 and 3), microseconds.
+pub fn mpi_one_way_us(net: MpiNet, len: usize) -> f64 {
+    let mut sim = Simulation::new();
+    let world = net.world(&sim, 4, CollectiveImpl::Native);
+    let (start, end) = shared_cell();
+    let (s2, e2) = (Arc::clone(&start), Arc::clone(&end));
+    let payload = vec![0xA5u8; len];
+    let mut p0 = world.proc(0);
+    let mut p1 = world.proc(1);
+    sim.spawn("rank0", move |ctx| {
+        let comm = p0.comm_world();
+        for i in 0..WARMUP + PING_REPS {
+            if i == WARMUP {
+                *s2.lock() = ctx.now();
+            }
+            p0.send(ctx, &comm, 1, 1, &payload).unwrap();
+            let _ = p0.recv(ctx, &comm, Some(1), Some(2)).unwrap();
+        }
+        *e2.lock() = ctx.now();
+    });
+    sim.spawn("rank1", move |ctx| {
+        let comm = p1.comm_world();
+        for _ in 0..WARMUP + PING_REPS {
+            let (_, m) = p1.recv(ctx, &comm, Some(0), Some(1)).unwrap();
+            p1.send(ctx, &comm, 0, 2, &m).unwrap();
+        }
+    });
+    let report = sim.run();
+    assert!(
+        report.is_clean(),
+        "mpi ping-pong deadlocked: {:?}",
+        report.deadlocked
+    );
+    let (s, e) = (*start.lock(), *end.lock());
+    half_rtt_us(s, e)
+}
+
+/// BBP-level multicast latency (Figure 4): root posts once to all
+/// `nodes - 1` receivers; reported is last-receiver delivery time,
+/// microseconds.
+pub fn bbp_bcast_us(len: usize, nodes: usize) -> f64 {
+    let mut sim = Simulation::new();
+    let mut cfg = BbpConfig::for_nodes(nodes);
+    cfg.data_words = 16 * 1024;
+    let cluster = BbpCluster::new(&sim.handle(), cfg);
+    let align: Time = des::us(300);
+    let last = Arc::new(Mutex::new(0u64));
+    let mut root = cluster.endpoint(0);
+    let targets: Vec<usize> = (1..nodes).collect();
+    let payload = vec![0x5Au8; len];
+    sim.spawn("root", move |ctx| {
+        // Warm-up exchange to settle allocator state.
+        root.mcast(ctx, &targets, b"warm").unwrap();
+        ctx.wait_until(align);
+        root.mcast(ctx, &targets, &payload).unwrap();
+    });
+    for r in 1..nodes {
+        let mut ep = cluster.endpoint(r);
+        let last = Arc::clone(&last);
+        sim.spawn(format!("r{r}"), move |ctx| {
+            let _ = ep.recv(ctx, 0);
+            let m = ep.recv(ctx, 0);
+            assert_eq!(m.len(), len);
+            let mut l = last.lock();
+            *l = (*l).max(ctx.now());
+        });
+    }
+    assert!(sim.run().is_clean());
+    let t = *last.lock();
+    (t - align).as_us()
+}
+
+/// MPI_Bcast latency (Figure 5): aligned entry, last-receiver return,
+/// microseconds. `coll` selects the point-to-point tree or the native
+/// multicast implementation.
+pub fn mpi_bcast_us(net: MpiNet, len: usize, nodes: usize, coll: CollectiveImpl) -> f64 {
+    let mut sim = Simulation::new();
+    let world = net.world(&sim, nodes, coll);
+    let align: Time = des::ms(5);
+    let last = Arc::new(Mutex::new(0u64));
+    for rank in 0..nodes {
+        let mut mpi = world.proc(rank);
+        let last = Arc::clone(&last);
+        let payload = vec![0x5Au8; len];
+        sim.spawn(format!("rank{rank}"), move |ctx| {
+            let comm = mpi.comm_world();
+            // Warm-up broadcast.
+            let warm = (mpi.rank() == 0).then(|| vec![1u8; 4]);
+            let _ = mpi.bcast(ctx, &comm, 0, warm.as_deref());
+            ctx.wait_until(align);
+            let data = (mpi.rank() == 0).then_some(&payload[..]);
+            let out = mpi.bcast(ctx, &comm, 0, data);
+            assert_eq!(out.len(), len);
+            if mpi.rank() != 0 {
+                let mut l = last.lock();
+                *l = (*l).max(ctx.now());
+            }
+        });
+    }
+    let report = sim.run();
+    assert!(
+        report.is_clean(),
+        "bcast deadlocked: {:?}",
+        report.deadlocked
+    );
+    let t = *last.lock();
+    (t - align).as_us()
+}
+
+/// MPI_Barrier latency (Figure 6): aligned entry, last-rank exit,
+/// microseconds.
+pub fn mpi_barrier_us(net: MpiNet, nodes: usize, coll: CollectiveImpl) -> f64 {
+    let mut sim = Simulation::new();
+    let world = net.world(&sim, nodes, coll);
+    let align: Time = des::ms(5);
+    let last = Arc::new(Mutex::new(0u64));
+    for rank in 0..nodes {
+        let mut mpi = world.proc(rank);
+        let last = Arc::clone(&last);
+        sim.spawn(format!("rank{rank}"), move |ctx| {
+            let comm = mpi.comm_world();
+            mpi.barrier(ctx, &comm); // warm-up
+            ctx.wait_until(align);
+            mpi.barrier(ctx, &comm);
+            let mut l = last.lock();
+            *l = (*l).max(ctx.now());
+        });
+    }
+    let report = sim.run();
+    assert!(
+        report.is_clean(),
+        "barrier deadlocked: {:?}",
+        report.deadlocked
+    );
+    let t = *last.lock();
+    (t - align).as_us()
+}
+
+// ----------------------------------------------------------------------
+// Reporting
+// ----------------------------------------------------------------------
+
+/// One latency-vs-size curve.
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// `(message bytes, latency µs)` points, ascending in bytes.
+    pub points: Vec<(usize, f64)>,
+}
+
+impl Series {
+    /// Sweep `f` over `sizes`.
+    pub fn sweep(
+        label: impl Into<String>,
+        sizes: &[usize],
+        mut f: impl FnMut(usize) -> f64,
+    ) -> Self {
+        Series {
+            label: label.into(),
+            points: sizes.iter().map(|&s| (s, f(s))).collect(),
+        }
+    }
+}
+
+/// Print an aligned latency table, one row per size, one column per
+/// series (values in µs).
+pub fn print_table(title: &str, series: &[Series]) {
+    print_table_with_unit(title, series, "µs");
+}
+
+/// [`print_table`] with an explicit value unit (e.g. "MB/s").
+pub fn print_table_with_unit(title: &str, series: &[Series], unit: &str) {
+    println!("\n== {title} ==");
+    print!("{:>9}", "bytes");
+    for s in series {
+        print!("  {:>26}", s.label);
+    }
+    println!();
+    let rows = series[0].points.len();
+    for i in 0..rows {
+        print!("{:>9}", series[0].points[i].0);
+        for s in series {
+            assert_eq!(s.points[i].0, series[0].points[i].0, "misaligned sweeps");
+            print!("  {:>23.1} {unit}", s.points[i].1);
+        }
+        println!();
+    }
+}
+
+/// First size at which `challenger` becomes faster than `incumbent`
+/// (`None` if it never does within the sweep).
+pub fn crossover(incumbent: &Series, challenger: &Series) -> Option<usize> {
+    incumbent
+        .points
+        .iter()
+        .zip(&challenger.points)
+        .find(|((_, a), (_, b))| b < a)
+        .map(|((size, _), _)| *size)
+}
+
+/// Report a paper-vs-measured anchor value with its deviation.
+pub fn report_anchor(what: &str, paper_us: f64, measured_us: f64) {
+    let dev = (measured_us - paper_us) / paper_us * 100.0;
+    println!("{what:<58} paper {paper_us:>8.1} µs   measured {measured_us:>8.1} µs   ({dev:+.0}%)");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crossover_finds_first_win() {
+        let a = Series {
+            label: "a".into(),
+            points: vec![(0, 10.0), (100, 20.0), (200, 30.0)],
+        };
+        let b = Series {
+            label: "b".into(),
+            points: vec![(0, 50.0), (100, 25.0), (200, 29.0)],
+        };
+        assert_eq!(crossover(&a, &b), Some(200));
+        assert_eq!(crossover(&b, &a), Some(0));
+    }
+
+    #[test]
+    fn crossover_none_when_never_faster() {
+        let a = Series {
+            label: "a".into(),
+            points: vec![(0, 10.0), (100, 20.0)],
+        };
+        let b = Series {
+            label: "b".into(),
+            points: vec![(0, 50.0), (100, 60.0)],
+        };
+        assert_eq!(crossover(&a, &b), None);
+    }
+
+    #[test]
+    fn sweep_preserves_sizes() {
+        let s = Series::sweep("x", &[0, 4, 8], |n| n as f64);
+        assert_eq!(s.points, vec![(0, 0.0), (4, 4.0), (8, 8.0)]);
+    }
+
+    #[test]
+    fn bbp_one_way_matches_paper_anchors() {
+        assert!((bbp_one_way_us(0, 4) - 6.5).abs() < 1.0);
+        assert!((bbp_one_way_us(4, 4) - 7.8).abs() < 1.2);
+    }
+
+    #[test]
+    fn mpi_one_way_matches_paper_anchors() {
+        assert!((mpi_one_way_us(MpiNet::Scramnet, 0) - 44.0).abs() < 7.0);
+        assert!((mpi_one_way_us(MpiNet::Scramnet, 4) - 49.0).abs() < 8.0);
+    }
+
+    #[test]
+    fn bcast_adds_little_over_p2p() {
+        let p2p = bbp_one_way_us(4, 4);
+        let bcast = bbp_bcast_us(4, 4);
+        assert!(bcast > p2p, "bcast {bcast:.1} vs p2p {p2p:.1}");
+        assert!(
+            bcast < 2.5 * p2p,
+            "bcast {bcast:.1} should be far below 2×p2p {p2p:.1}"
+        );
+    }
+
+    #[test]
+    fn native_barrier_beats_p2p_barrier() {
+        let native = mpi_barrier_us(MpiNet::Scramnet, 4, CollectiveImpl::Native);
+        let p2p = mpi_barrier_us(MpiNet::Scramnet, 4, CollectiveImpl::PointToPoint);
+        assert!(native < p2p / 2.0, "native {native:.1} vs p2p {p2p:.1}");
+    }
+}

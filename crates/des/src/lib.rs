@@ -1,0 +1,63 @@
+#![warn(missing_docs)]
+
+//! # `des` — a deterministic discrete-event simulation kernel
+//!
+//! This crate is the substrate on which the whole SCRAMNet reproduction
+//! runs. It provides *virtual time* (integer nanoseconds), *processes*
+//! (simulated host programs, each running on its own OS thread but scheduled
+//! cooperatively, one at a time), *events* (pure callbacks modelling
+//! hardware activity that proceeds concurrently with host CPUs), and
+//! *signals* (blocking wake-ups used for interrupt-driven receives and
+//! socket queues).
+//!
+//! ## Execution model
+//!
+//! Exactly one entity — a process or an event — executes at any instant.
+//! The scheduler always picks the entity with the smallest virtual deadline;
+//! ties are broken by insertion order. This makes every run fully
+//! deterministic: the same program produces the same interleaving and the
+//! same virtual-time results on every execution, regardless of host load.
+//!
+//! Processes express the passage of simulated time explicitly:
+//!
+//! ```
+//! use des::{Simulation, us};
+//!
+//! let mut sim = Simulation::new();
+//! sim.spawn("worker", |ctx| {
+//!     ctx.advance(us(3));            // model 3 µs of work
+//!     assert_eq!(ctx.now(), us(3));
+//! });
+//! let report = sim.run();
+//! assert_eq!(report.end_time, us(3));
+//! ```
+//!
+//! Because only one entity runs at a time, shared state guarded by a
+//! [`parking_lot::Mutex`] is never contended; the mutex exists only to
+//! satisfy the borrow checker across threads. The one discipline users must
+//! follow is: **never hold a lock across a yield point**
+//! ([`ProcCtx::advance`], [`ProcCtx::wait`], …).
+//!
+//! ## Determinism and tracing
+//!
+//! [`Simulation::enable_trace`] records every scheduling decision; the
+//! integration tests assert that two runs of the same seeded workload
+//! produce byte-identical traces.
+
+mod process;
+mod sched;
+mod signal;
+mod sim;
+mod time;
+mod trace;
+
+pub mod metrics;
+pub mod queue;
+pub mod rng;
+
+pub use process::{ProcCtx, ProcId};
+pub use sched::SimHandle;
+pub use signal::Signal;
+pub use sim::{RunReport, Simulation};
+pub use time::{ms, ns, secs, us, Time, TimeExt};
+pub use trace::{TraceEntry, TraceKind};

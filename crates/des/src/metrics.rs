@@ -1,0 +1,208 @@
+//! Measurement helpers for workloads: latency histograms and summary
+//! statistics over virtual-time samples. Used by the traffic-pattern
+//! and telemetry harnesses; deterministic like everything else.
+
+use crate::time::{Time, TimeExt};
+
+/// A log₂-bucketed histogram of [`Time`] samples (nanoseconds).
+///
+/// Bucket `i` covers `[2^i, 2^(i+1))` ns, with bucket 0 also absorbing
+/// zero. Quantiles are answered from bucket boundaries, so they are
+/// upper bounds with ≤2× resolution — plenty for latency distributions
+/// spanning decades.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    buckets: [u64; 64],
+    count: u64,
+    sum: u128,
+    min: Time,
+    max: Time,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            buckets: [0; 64],
+            count: 0,
+            sum: 0,
+            min: Time::MAX,
+            max: 0,
+        }
+    }
+
+    /// Record one sample.
+    pub fn record(&mut self, sample: Time) {
+        let bucket = if sample == 0 {
+            0
+        } else {
+            63 - sample.leading_zeros() as usize
+        };
+        self.buckets[bucket] += 1;
+        self.count += 1;
+        self.sum += sample as u128;
+        self.min = self.min.min(sample);
+        self.max = self.max.max(sample);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Smallest sample (0 if empty).
+    pub fn min(&self) -> Time {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest sample.
+    pub fn max(&self) -> Time {
+        self.max
+    }
+
+    /// Arithmetic mean (0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// An upper bound on the `q`-quantile (`0.0..=1.0`): the top edge of
+    /// the bucket containing it, clamped to the observed maximum.
+    pub fn quantile(&self, q: f64) -> Time {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                let top = if i >= 63 {
+                    Time::MAX
+                } else {
+                    (1u64 << (i + 1)) - 1
+                };
+                return top.min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Merge another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        if other.count > 0 {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+    }
+
+    /// One-line human summary.
+    pub fn summary(&self) -> String {
+        if self.count == 0 {
+            return "no samples".to_string();
+        }
+        format!(
+            "n={} min={} mean={} p50≤{} p99≤{} max={}",
+            self.count,
+            self.min().pretty(),
+            ((self.mean().round()) as Time).pretty(),
+            self.quantile(0.5).pretty(),
+            self.quantile(0.99).pretty(),
+            self.max().pretty()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::us;
+
+    #[test]
+    fn empty_histogram_is_safe() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.quantile(0.99), 0);
+        assert_eq!(h.summary(), "no samples");
+    }
+
+    #[test]
+    fn basic_stats_are_exact() {
+        let mut h = Histogram::new();
+        for s in [us(1), us(2), us(3)] {
+            h.record(s);
+        }
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.min(), us(1));
+        assert_eq!(h.max(), us(3));
+        assert!((h.mean() - us(2) as f64).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantiles_bound_the_samples() {
+        let mut h = Histogram::new();
+        for i in 1..=1000u64 {
+            h.record(i * 100); // 100 ns .. 100 µs
+        }
+        let p50 = h.quantile(0.5);
+        let p99 = h.quantile(0.99);
+        // Upper bounds within 2x of the true values.
+        assert!((50_000..=100_000).contains(&p50), "p50 bound {p50}");
+        assert!((99_000..=198_000).contains(&p99), "p99 bound {p99}");
+        assert!(h.quantile(1.0) >= 100_000);
+        assert_eq!(h.quantile(1.0), h.max());
+    }
+
+    #[test]
+    fn zero_samples_land_in_bucket_zero() {
+        let mut h = Histogram::new();
+        h.record(0);
+        h.record(1);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.quantile(0.01), 1); // top of bucket 0, clamped to max? min(1, max=1)
+    }
+
+    #[test]
+    fn merge_combines_distributions() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        a.record(us(1));
+        b.record(us(100));
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.min(), us(1));
+        assert_eq!(a.max(), us(100));
+        let empty = Histogram::new();
+        a.merge(&empty);
+        assert_eq!(a.count(), 2);
+    }
+
+    #[test]
+    fn summary_mentions_the_count() {
+        let mut h = Histogram::new();
+        h.record(us(5));
+        assert!(h.summary().contains("n=1"));
+    }
+}

@@ -1,0 +1,296 @@
+//! Simulated processes: each runs on its own OS thread but is scheduled
+//! cooperatively — exactly one process (or event) executes at a time, so
+//! process code can use plain blocking style while the simulation stays
+//! deterministic.
+
+use std::sync::Arc;
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::sched::{SchedShared, SimHandle, WakeWhat};
+use crate::signal::Signal;
+use crate::time::Time;
+use crate::trace::{TraceEntry, TraceKind};
+
+/// Identifies a process within one [`crate::Simulation`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ProcId(pub usize);
+
+/// Handshake slot between the scheduler thread and one process thread.
+pub(crate) enum Slot {
+    /// Process is parked, waiting for the scheduler.
+    Parked,
+    /// Scheduler granted execution, with the virtual time of resumption.
+    Go(Time),
+    /// Simulation is being dropped; the process thread must unwind.
+    Abort,
+    /// Process yielded back to the scheduler.
+    Yielded(YieldReason),
+}
+
+/// Every yield carries the process's clock at the moment it parked, so
+/// the scheduler's notion of elapsed time covers fast-path jumps (see
+/// [`ProcCtx::advance`]).
+#[derive(Debug)]
+pub(crate) enum YieldReason {
+    /// Resume me via the queue entry I pushed; I parked at `now`.
+    ResumeAt {
+        /// Process clock at park time (the queued entry holds the target).
+        now: Time,
+    },
+    /// I registered with a [`Signal`]; resume me when it fires.
+    Blocked {
+        /// Process clock at park time.
+        now: Time,
+    },
+    /// The process body returned at this virtual time.
+    Finished(Time),
+    /// The process body panicked with this message.
+    Panicked(String),
+}
+
+impl YieldReason {
+    /// The parked process's clock, where known.
+    pub(crate) fn park_time(&self) -> Option<Time> {
+        match self {
+            YieldReason::ResumeAt { now } | YieldReason::Blocked { now } => Some(*now),
+            YieldReason::Finished(t) => Some(*t),
+            YieldReason::Panicked(_) => None,
+        }
+    }
+}
+
+pub(crate) struct ProcShared {
+    pub slot: Mutex<Slot>,
+    pub cv: Condvar,
+    pub name: String,
+}
+
+pub(crate) struct ProcEntry {
+    pub shared: Arc<ProcShared>,
+    pub join: Option<std::thread::JoinHandle<()>>,
+    pub finished: bool,
+}
+
+/// Payload used to unwind a process thread when its simulation is dropped
+/// before the process finished (e.g. after a deadlock report).
+pub(crate) struct AbortToken;
+
+/// The execution context handed to every process body.
+///
+/// All interaction with virtual time flows through this object. It is not
+/// `Send`-away-able into events; events receive only the fire time.
+pub struct ProcCtx {
+    pub(crate) id: ProcId,
+    pub(crate) now: Time,
+    pub(crate) shared: Arc<ProcShared>,
+    pub(crate) sched: Arc<SchedShared>,
+    pub(crate) procs: Arc<Mutex<Vec<ProcEntry>>>,
+}
+
+impl ProcCtx {
+    /// Current virtual time.
+    #[inline]
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// This process's id.
+    #[inline]
+    pub fn id(&self) -> ProcId {
+        self.id
+    }
+
+    /// This process's name (as given to `spawn`).
+    pub fn name(&self) -> &str {
+        &self.shared.name
+    }
+
+    /// A cloneable scheduler handle, for wiring hardware models.
+    pub fn handle(&self) -> SimHandle {
+        SimHandle {
+            sched: Arc::clone(&self.sched),
+        }
+    }
+
+    /// Consume `dt` nanoseconds of virtual time (CPU work, PIO stall, …).
+    /// Other entities with earlier deadlines run in the meantime.
+    pub fn advance(&mut self, dt: Time) {
+        let target = self.now + dt;
+        // Fast path: we are the only running entity; if nothing in the
+        // queue is due before `target`, no other process or event can
+        // possibly interleave (everyone else is parked behind a queue
+        // entry or a signal only we could fire), so the clock can jump
+        // without a scheduler round-trip. This keeps polling protocols
+        // cheap in host time without changing any observable schedule.
+        if self.no_wakeups_before(target) {
+            self.now = target;
+            return;
+        }
+        self.sched.push(target, WakeWhat::Resume(self.id));
+        self.park(YieldReason::ResumeAt { now: self.now });
+    }
+
+    /// Block until absolute virtual time `t` (no-op if `t` has passed).
+    pub fn wait_until(&mut self, t: Time) {
+        if t > self.now {
+            if self.no_wakeups_before(t) {
+                self.now = t;
+                return;
+            }
+            self.sched.push(t, WakeWhat::Resume(self.id));
+            self.park(YieldReason::ResumeAt { now: self.now });
+        }
+    }
+
+    /// True when the pending queue holds nothing due at or before `t`
+    /// and `t` is inside the active run horizon.
+    fn no_wakeups_before(&self, t: Time) -> bool {
+        if t > *self.sched.horizon.lock() {
+            return false;
+        }
+        match self.sched.pending.lock().peek() {
+            Some(item) => item.0.time > t,
+            None => true,
+        }
+    }
+
+    /// Yield at the current instant, letting every other entity already
+    /// scheduled at `now` run first. Models releasing the CPU for one
+    /// scheduling quantum without consuming measurable time.
+    pub fn yield_now(&mut self) {
+        self.advance(0);
+    }
+
+    /// Block until `signal` is notified. May wake spuriously if the signal
+    /// is shared; callers re-check their condition in a loop.
+    pub fn wait(&mut self, signal: &Signal) {
+        signal.register(self.id);
+        self.park(YieldReason::Blocked { now: self.now });
+    }
+
+    /// Spawn a sibling process starting at the current virtual time.
+    pub fn spawn(
+        &mut self,
+        name: impl Into<String>,
+        body: impl FnOnce(&mut ProcCtx) + Send + 'static,
+    ) -> ProcId {
+        spawn_process(
+            &self.procs,
+            &self.sched,
+            name.into(),
+            self.now,
+            Box::new(body),
+        )
+    }
+
+    /// Park this thread and hand control to the scheduler; returns with the
+    /// granted resumption time.
+    fn park(&mut self, reason: YieldReason) {
+        self.sched.record(TraceEntry {
+            time: self.now,
+            kind: TraceKind::Yield,
+            detail: format!("{} {:?}", self.shared.name, reason),
+        });
+        let mut slot = self.shared.slot.lock();
+        *slot = Slot::Yielded(reason);
+        self.shared.cv.notify_all();
+        loop {
+            match &*slot {
+                Slot::Go(t) => {
+                    debug_assert!(*t >= self.now, "virtual time went backwards");
+                    self.now = *t;
+                    *slot = Slot::Parked;
+                    return;
+                }
+                Slot::Abort => {
+                    *slot = Slot::Parked;
+                    drop(slot);
+                    std::panic::resume_unwind(Box::new(AbortToken));
+                }
+                _ => self.shared.cv.wait(&mut slot),
+            }
+        }
+    }
+}
+
+type ProcBody = Box<dyn FnOnce(&mut ProcCtx) + Send + 'static>;
+
+/// Create the thread for a new process and schedule its first resumption
+/// at `start`. Shared between `Simulation::spawn` and `ProcCtx::spawn`.
+pub(crate) fn spawn_process(
+    procs: &Arc<Mutex<Vec<ProcEntry>>>,
+    sched: &Arc<SchedShared>,
+    name: String,
+    start: Time,
+    body: ProcBody,
+) -> ProcId {
+    let mut table = procs.lock();
+    let id = ProcId(table.len());
+    let shared = Arc::new(ProcShared {
+        slot: Mutex::new(Slot::Parked),
+        cv: Condvar::new(),
+        name: name.clone(),
+    });
+    let thread_shared = Arc::clone(&shared);
+    let thread_sched = Arc::clone(sched);
+    let thread_procs = Arc::clone(procs);
+    let join = std::thread::Builder::new()
+        .name(format!("des-{name}"))
+        .spawn(move || {
+            // Wait for the first Go.
+            let first = {
+                let mut slot = thread_shared.slot.lock();
+                loop {
+                    match &*slot {
+                        Slot::Go(t) => {
+                            let t = *t;
+                            *slot = Slot::Parked;
+                            break t;
+                        }
+                        Slot::Abort => {
+                            *slot = Slot::Parked;
+                            return;
+                        }
+                        _ => thread_shared.cv.wait(&mut slot),
+                    }
+                }
+            };
+            let mut ctx = ProcCtx {
+                id,
+                now: first,
+                shared: Arc::clone(&thread_shared),
+                sched: thread_sched,
+                procs: thread_procs,
+            };
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(&mut ctx)));
+            let reason = match result {
+                Ok(()) => YieldReason::Finished(ctx.now),
+                Err(payload) => {
+                    if payload.downcast_ref::<AbortToken>().is_some() {
+                        // Simulation dropped: exit quietly without touching
+                        // the handshake (the dropper is not waiting).
+                        return;
+                    }
+                    let msg = payload
+                        .downcast_ref::<&str>()
+                        .map(|s| s.to_string())
+                        .or_else(|| payload.downcast_ref::<String>().cloned())
+                        .unwrap_or_else(|| "non-string panic payload".to_string());
+                    YieldReason::Panicked(msg)
+                }
+            };
+            let mut slot = ctx.shared.slot.lock();
+            *slot = Slot::Yielded(reason);
+            ctx.shared.cv.notify_all();
+        })
+        .expect("failed to spawn des process thread");
+    table.push(ProcEntry {
+        shared,
+        join: Some(join),
+        finished: false,
+    });
+    drop(table);
+    sched.push(start, WakeWhat::Resume(id));
+    id
+}

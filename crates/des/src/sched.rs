@@ -1,0 +1,163 @@
+//! The scheduler's pending queue and the cloneable [`SimHandle`] through
+//! which processes, events, and hardware models insert future work.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::process::ProcId;
+use crate::signal::Signal;
+use crate::time::Time;
+use crate::trace::{TraceEntry, TraceKind};
+
+/// A callback modelling hardware activity (ring propagation, NIC DMA,
+/// switch forwarding). It receives the virtual time at which it fires.
+pub(crate) type EventFn = Box<dyn FnOnce(Time) + Send>;
+
+/// What a queue entry wakes up.
+pub(crate) enum WakeWhat {
+    /// Run a pure event callback.
+    Event(EventFn),
+    /// Resume the process with this id.
+    Resume(ProcId),
+}
+
+/// One pending entry: fires at `time`; `seq` breaks ties FIFO so the
+/// schedule is deterministic.
+pub(crate) struct Item {
+    pub time: Time,
+    pub seq: u64,
+    pub what: WakeWhat,
+}
+
+impl PartialEq for Item {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for Item {}
+impl PartialOrd for Item {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Item {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+/// Scheduler state shared between the run loop, all processes, and every
+/// [`SimHandle`] clone. Only one entity executes at a time, so the mutexes
+/// are never contended; they exist to satisfy `Send`/`Sync`.
+pub(crate) struct SchedShared {
+    pub pending: Mutex<BinaryHeap<Reverse<Item>>>,
+    pub seq: Mutex<u64>,
+    pub trace: Mutex<Option<Vec<TraceEntry>>>,
+    /// Active run horizon: the advance fast path must not carry a
+    /// process's clock past it (see `ProcCtx::advance`).
+    pub horizon: Mutex<Time>,
+}
+
+impl SchedShared {
+    pub fn new() -> Arc<Self> {
+        Arc::new(SchedShared {
+            pending: Mutex::new(BinaryHeap::new()),
+            seq: Mutex::new(0),
+            trace: Mutex::new(None),
+            horizon: Mutex::new(Time::MAX),
+        })
+    }
+
+    pub fn push(&self, time: Time, what: WakeWhat) {
+        let seq = {
+            let mut s = self.seq.lock();
+            let v = *s;
+            *s += 1;
+            v
+        };
+        self.pending.lock().push(Reverse(Item { time, seq, what }));
+    }
+
+    pub fn record(&self, entry: TraceEntry) {
+        if let Some(t) = self.trace.lock().as_mut() {
+            t.push(entry);
+        }
+    }
+}
+
+/// A cloneable handle into the scheduler. Hardware models hold one to
+/// schedule propagation events; processes obtain one via
+/// [`crate::ProcCtx::handle`].
+#[derive(Clone)]
+pub struct SimHandle {
+    pub(crate) sched: Arc<SchedShared>,
+}
+
+impl SimHandle {
+    /// Schedule `f` to run at absolute virtual time `t`. Scheduling into
+    /// the past is a logic error and panics: hardware cannot retroact.
+    pub fn schedule_at(&self, t: Time, f: impl FnOnce(Time) + Send + 'static) {
+        self.sched.push(t, WakeWhat::Event(Box::new(f)));
+    }
+
+    /// Create a fresh [`Signal`] bound to this simulation.
+    pub fn new_signal(&self) -> Signal {
+        Signal::new(Arc::clone(&self.sched))
+    }
+
+    /// Append a custom entry to the deterministic trace (no-op when tracing
+    /// is disabled). Components use this to label interesting transitions.
+    pub fn trace_mark(&self, t: Time, label: impl Into<String>) {
+        self.sched.record(TraceEntry {
+            time: t,
+            kind: TraceKind::Mark,
+            detail: label.into(),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn items_order_by_time_then_seq() {
+        let a = Item {
+            time: 5,
+            seq: 1,
+            what: WakeWhat::Resume(ProcId(0)),
+        };
+        let b = Item {
+            time: 5,
+            seq: 2,
+            what: WakeWhat::Resume(ProcId(1)),
+        };
+        let c = Item {
+            time: 4,
+            seq: 9,
+            what: WakeWhat::Resume(ProcId(2)),
+        };
+        assert!(c < a && a < b);
+    }
+
+    #[test]
+    fn push_assigns_monotonic_seq() {
+        let s = SchedShared::new();
+        s.push(10, WakeWhat::Resume(ProcId(0)));
+        s.push(10, WakeWhat::Resume(ProcId(1)));
+        let mut q = s.pending.lock();
+        let first = q.pop().unwrap().0;
+        let second = q.pop().unwrap().0;
+        assert!(first.seq < second.seq);
+        match (first.what, second.what) {
+            (WakeWhat::Resume(a), WakeWhat::Resume(b)) => {
+                assert_eq!(a, ProcId(0));
+                assert_eq!(b, ProcId(1));
+            }
+            _ => panic!("expected resumes"),
+        }
+    }
+}

@@ -1,0 +1,62 @@
+//! Signals: the blocking/wake-up primitive connecting hardware events
+//! (packet arrival, NIC interrupt) to waiting processes.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::process::ProcId;
+use crate::sched::{SchedShared, WakeWhat};
+use crate::time::Time;
+
+/// A multi-waiter wake-up channel.
+///
+/// A process blocks with [`crate::ProcCtx::wait`]; any entity — another
+/// process, or a hardware event callback — wakes all current waiters with
+/// [`Signal::notify_at`]. Wake-ups are edge-triggered and may be spurious
+/// from the waiter's perspective (several waiters can race for one item),
+/// so waiters always re-check their condition in a loop.
+///
+/// Because only one entity executes at a time, the check-then-wait sequence
+/// inside a process is atomic with respect to notifications: a lost wake-up
+/// is impossible as long as the condition is re-checked after registering.
+#[derive(Clone)]
+pub struct Signal {
+    inner: Arc<SignalInner>,
+}
+
+struct SignalInner {
+    sched: Arc<SchedShared>,
+    waiters: Mutex<Vec<ProcId>>,
+}
+
+impl Signal {
+    pub(crate) fn new(sched: Arc<SchedShared>) -> Self {
+        Signal {
+            inner: Arc::new(SignalInner {
+                sched,
+                waiters: Mutex::new(Vec::new()),
+            }),
+        }
+    }
+
+    pub(crate) fn register(&self, id: ProcId) {
+        self.inner.waiters.lock().push(id);
+    }
+
+    /// Wake every process currently waiting, scheduling each to resume at
+    /// virtual time `t`. Waiters that registered after this call are not
+    /// woken (edge semantics).
+    pub fn notify_at(&self, t: Time) {
+        let drained: Vec<ProcId> = std::mem::take(&mut *self.inner.waiters.lock());
+        for id in drained {
+            self.inner.sched.push(t, WakeWhat::Resume(id));
+        }
+    }
+
+    /// Number of processes currently parked on this signal. Useful in
+    /// tests and in the deadlock reporter.
+    pub fn waiter_count(&self) -> usize {
+        self.inner.waiters.lock().len()
+    }
+}

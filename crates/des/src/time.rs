@@ -1,0 +1,100 @@
+//! Virtual time: integer nanoseconds since simulation start.
+
+/// Virtual time in nanoseconds. `u64` covers ~584 years of simulated time,
+/// far beyond anything an experiment sweep needs.
+pub type Time = u64;
+
+/// `n` nanoseconds.
+#[inline]
+pub const fn ns(n: u64) -> Time {
+    n
+}
+
+/// `n` microseconds.
+#[inline]
+pub const fn us(n: u64) -> Time {
+    n * 1_000
+}
+
+/// `n` milliseconds.
+#[inline]
+pub const fn ms(n: u64) -> Time {
+    n * 1_000_000
+}
+
+/// `n` seconds.
+#[inline]
+pub const fn secs(n: u64) -> Time {
+    n * 1_000_000_000
+}
+
+/// Convenience conversions out of a [`Time`] value, used throughout the
+/// benchmark harnesses when printing paper-style tables.
+///
+/// `Time` is `Copy`, so taking `self` by value is the natural calling
+/// convention despite the `as_*` names.
+#[allow(clippy::wrong_self_convention)]
+pub trait TimeExt {
+    /// Time as fractional microseconds.
+    fn as_us(self) -> f64;
+    /// Time as fractional milliseconds.
+    fn as_ms(self) -> f64;
+    /// Human-readable rendering with an adaptive unit (`ns`, `µs`, `ms`, `s`).
+    fn pretty(self) -> String;
+}
+
+impl TimeExt for Time {
+    #[inline]
+    fn as_us(self) -> f64 {
+        self as f64 / 1_000.0
+    }
+
+    #[inline]
+    fn as_ms(self) -> f64 {
+        self as f64 / 1_000_000.0
+    }
+
+    fn pretty(self) -> String {
+        if self < 1_000 {
+            format!("{self} ns")
+        } else if self < 1_000_000 {
+            format!("{:.2} µs", self.as_us())
+        } else if self < 1_000_000_000 {
+            format!("{:.3} ms", self.as_ms())
+        } else {
+            format!("{:.3} s", self as f64 / 1e9)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_constructors_scale() {
+        assert_eq!(ns(7), 7);
+        assert_eq!(us(7), 7_000);
+        assert_eq!(ms(7), 7_000_000);
+        assert_eq!(secs(7), 7_000_000_000);
+    }
+
+    #[test]
+    fn as_us_is_fractional() {
+        assert!((ns(7_800).as_us() - 7.8).abs() < 1e-9);
+        assert!((us(37).as_us() - 37.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pretty_picks_adaptive_units() {
+        assert_eq!(ns(250).pretty(), "250 ns");
+        assert_eq!(us(8).pretty(), "8.00 µs");
+        assert_eq!(ms(5).pretty(), "5.000 ms");
+        assert_eq!(secs(2).pretty(), "2.000 s");
+    }
+
+    #[test]
+    fn as_ms_matches_unit() {
+        assert!((ms(554).as_ms() - 554.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,131 @@
+//! A NIC's on-board memory bank, with optional write-provenance records
+//! used by tests to verify the BillBoard Protocol's single-writer
+//! discipline.
+
+use crate::{Word, WordAddr};
+
+/// Who wrote a word, and when — recorded only when provenance tracking is
+/// enabled on the owning [`crate::Ring`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WriteRecord {
+    /// Node id of the writer.
+    pub writer: usize,
+    /// Virtual time the write was applied *at this bank*.
+    pub applied_at: des::Time,
+}
+
+/// One node's replicated memory image.
+pub(crate) struct Bank {
+    words: Vec<Word>,
+    /// Last writer per word, when tracking is on.
+    provenance: Option<Vec<Option<WriteRecord>>>,
+}
+
+impl Bank {
+    pub fn new(words: usize, track_provenance: bool) -> Self {
+        Bank {
+            words: vec![0; words],
+            provenance: track_provenance.then(|| vec![None; words]),
+        }
+    }
+
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    #[inline]
+    pub fn read(&self, addr: WordAddr) -> Word {
+        self.words[addr]
+    }
+
+    pub fn read_block(&self, addr: WordAddr, len: usize) -> Vec<Word> {
+        self.words[addr..addr + len].to_vec()
+    }
+
+    /// Apply a replicated write. Returns the set of conflicting writers if
+    /// provenance is tracked and this word previously had a *different*
+    /// writer — the caller surfaces that to the single-writer checker.
+    pub fn apply(
+        &mut self,
+        addr: WordAddr,
+        data: &[Word],
+        writer: usize,
+        at: des::Time,
+    ) -> Vec<(WordAddr, usize)> {
+        let mut conflicts = Vec::new();
+        self.words[addr..addr + data.len()].copy_from_slice(data);
+        if let Some(prov) = self.provenance.as_mut() {
+            for (i, slot) in prov[addr..addr + data.len()].iter_mut().enumerate() {
+                if let Some(prev) = slot {
+                    if prev.writer != writer {
+                        conflicts.push((addr + i, prev.writer));
+                    }
+                }
+                *slot = Some(WriteRecord {
+                    writer,
+                    applied_at: at,
+                });
+            }
+        }
+        conflicts
+    }
+
+    /// Provenance of one word (None if never written or tracking is off).
+    pub fn provenance(&self, addr: WordAddr) -> Option<WriteRecord> {
+        self.provenance.as_ref().and_then(|p| p[addr])
+    }
+
+    /// Raw snapshot of the whole bank, for eventual-consistency checks.
+    pub fn snapshot(&self) -> Vec<Word> {
+        self.words.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_after_apply_sees_data() {
+        let mut b = Bank::new(64, false);
+        b.apply(10, &[1, 2, 3], 0, 5);
+        assert_eq!(b.read(10), 1);
+        assert_eq!(b.read_block(10, 3), vec![1, 2, 3]);
+        assert_eq!(b.read(13), 0);
+    }
+
+    #[test]
+    fn provenance_records_last_writer() {
+        let mut b = Bank::new(16, true);
+        b.apply(3, &[9], 2, 100);
+        let rec = b.provenance(3).unwrap();
+        assert_eq!(rec.writer, 2);
+        assert_eq!(rec.applied_at, 100);
+        assert!(b.provenance(4).is_none());
+    }
+
+    #[test]
+    fn conflicting_writers_are_reported() {
+        let mut b = Bank::new(16, true);
+        assert!(b.apply(5, &[1], 0, 10).is_empty());
+        assert!(b.apply(5, &[2], 0, 20).is_empty(), "same writer is fine");
+        let conflicts = b.apply(5, &[3], 1, 30);
+        assert_eq!(conflicts, vec![(5, 0)]);
+    }
+
+    #[test]
+    fn no_provenance_means_no_conflicts_reported() {
+        let mut b = Bank::new(16, false);
+        b.apply(5, &[1], 0, 10);
+        assert!(b.apply(5, &[2], 1, 20).is_empty());
+        assert!(b.provenance(5).is_none());
+    }
+
+    #[test]
+    fn snapshot_copies_contents() {
+        let mut b = Bank::new(4, false);
+        b.apply(0, &[7, 8], 0, 1);
+        assert_eq!(b.snapshot(), vec![7, 8, 0, 0]);
+    }
+}

@@ -1,0 +1,295 @@
+//! The host-side view of one SCRAMNet NIC: programmed-I/O access to the
+//! local bank, write injection into the ring, and interrupt subscriptions.
+
+use std::ops::Range;
+use std::sync::Arc;
+
+use des::{ProcCtx, Signal};
+
+use crate::ring::RingShared;
+use crate::{Word, WordAddr};
+
+/// A host's port onto the ring. Clone freely; all clones refer to the same
+/// node. Every operation charges the calibrated PIO cost to the calling
+/// process before touching memory — SCRAMNet has no driver in the data
+/// path, but every access still crosses the I/O bus.
+#[derive(Clone)]
+pub struct Nic {
+    shared: Arc<RingShared>,
+    node: usize,
+}
+
+impl Nic {
+    pub(crate) fn new(shared: Arc<RingShared>, node: usize) -> Self {
+        Nic { shared, node }
+    }
+
+    /// This NIC's node id on the ring.
+    pub fn node(&self) -> usize {
+        self.node
+    }
+
+    /// Number of nodes on the ring.
+    pub fn ring_nodes(&self) -> usize {
+        self.shared.n
+    }
+
+    /// Words in each bank.
+    pub fn bank_words(&self) -> usize {
+        self.shared.banks[self.node].lock().len()
+    }
+
+    /// The hardware cost model in force (synchronization primitives use
+    /// it to bound write-propagation delays).
+    pub fn cost_model(&self) -> &crate::CostModel {
+        &self.shared.cost
+    }
+
+    /// The simulation handle this NIC's ring schedules on (protocol
+    /// layers use it to mint interrupt signals).
+    pub fn sim_handle(&self) -> des::SimHandle {
+        self.shared.handle.clone()
+    }
+
+    /// Store one word: a single posted PIO write, replicated to the ring.
+    pub fn write_word(&self, ctx: &mut ProcCtx, addr: WordAddr, value: Word) {
+        ctx.advance(self.shared.cost.pio_write_ns);
+        self.shared.stats.lock().pio_writes += 1;
+        self.shared
+            .inject(self.node, ctx.now(), addr, Arc::new(vec![value]));
+    }
+
+    /// Store a contiguous block. The host pays the word/burst PIO cost;
+    /// the block is injected as one train (its words replicate in order).
+    pub fn write_block(&self, ctx: &mut ProcCtx, addr: WordAddr, data: &[Word]) {
+        if data.is_empty() {
+            return;
+        }
+        let cost = &self.shared.cost;
+        ctx.advance(cost.host_write_ns(data.len()));
+        {
+            let mut stats = self.shared.stats.lock();
+            if data.len() >= cost.burst_threshold_words {
+                stats.bursts += 1;
+            } else {
+                stats.pio_writes += data.len() as u64;
+            }
+        }
+        self.shared
+            .inject(self.node, ctx.now(), addr, Arc::new(data.to_vec()));
+    }
+
+    /// Load one word from the local bank (a blocking PIO read — the
+    /// expensive operation the paper blames for polling overhead).
+    pub fn read_word(&self, ctx: &mut ProcCtx, addr: WordAddr) -> Word {
+        ctx.advance(self.shared.cost.pio_read_ns);
+        self.shared.stats.lock().pio_reads += 1;
+        self.shared.banks[self.node].lock().read(addr)
+    }
+
+    /// Load a contiguous block from the local bank.
+    pub fn read_block(&self, ctx: &mut ProcCtx, addr: WordAddr, len: usize) -> Vec<Word> {
+        if len == 0 {
+            return Vec::new();
+        }
+        let cost = &self.shared.cost;
+        ctx.advance(cost.host_read_ns(len));
+        {
+            let mut stats = self.shared.stats.lock();
+            if len >= cost.burst_threshold_words {
+                stats.bursts += 1;
+            } else {
+                stats.pio_reads += len as u64;
+            }
+        }
+        self.shared.banks[self.node].lock().read_block(addr, len)
+    }
+
+    /// Program a DMA transfer: the host pays only the setup cost and is
+    /// free immediately; the NIC's DMA engine streams the block from
+    /// host memory in the background and injects it into the ring when
+    /// the staging completes. `done` (if provided) fires at injection
+    /// time — the paper's §2 "For larger data transfers, programmed I/O
+    /// or DMA can be used".
+    pub fn dma_write(
+        &self,
+        ctx: &mut ProcCtx,
+        addr: WordAddr,
+        data: &[Word],
+        done: Option<Signal>,
+    ) {
+        let cost = &self.shared.cost;
+        ctx.advance(cost.dma_setup_ns);
+        if data.is_empty() {
+            // Completion is always asynchronous (an interrupt), even for
+            // a degenerate transfer — so the caller can park first.
+            if let Some(sig) = done {
+                self.shared
+                    .handle
+                    .schedule_at(ctx.now(), move |t| sig.notify_at(t));
+            }
+            return;
+        }
+        self.shared.stats.lock().bursts += 1;
+        let staged_at = ctx.now() + data.len() as u64 * cost.dma_word_ns;
+        let shared = std::sync::Arc::clone(&self.shared);
+        let node = self.node;
+        let data = std::sync::Arc::new(data.to_vec());
+        self.shared.handle.schedule_at(staged_at, move |t| {
+            shared.inject(node, t, addr, data);
+            if let Some(sig) = done {
+                sig.notify_at(t);
+            }
+        });
+    }
+
+    /// Subscribe `signal` to replicated writes landing anywhere in
+    /// `range` of this node's bank (SCRAMNet interrupt-on-write). The
+    /// notification is delayed by the interrupt dispatch cost.
+    pub fn watch(&self, range: Range<WordAddr>, signal: Signal) {
+        self.shared
+            .add_watch(self.node, range.start, range.end, signal);
+    }
+
+    /// Remove all interrupt subscriptions on this node.
+    pub fn clear_watches(&self) {
+        self.shared.clear_watches(self.node);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{CostModel, Ring};
+    use des::Simulation;
+
+    #[test]
+    fn word_ops_charge_pio_costs() {
+        let mut sim = Simulation::new();
+        let ring = Ring::new(&sim.handle(), 2, 64, CostModel::default());
+        let nic = ring.nic(0);
+        let c = CostModel::default();
+        sim.spawn("p", move |ctx| {
+            let t0 = ctx.now();
+            nic.write_word(ctx, 0, 1);
+            assert_eq!(ctx.now() - t0, c.pio_write_ns);
+            let t1 = ctx.now();
+            let _ = nic.read_word(ctx, 0);
+            assert_eq!(ctx.now() - t1, c.pio_read_ns);
+        });
+        assert!(sim.run().is_clean());
+    }
+
+    #[test]
+    fn block_ops_use_burst_above_threshold() {
+        let mut sim = Simulation::new();
+        let ring = Ring::new(&sim.handle(), 2, 1024, CostModel::default());
+        let nic = ring.nic(0);
+        sim.spawn("p", move |ctx| {
+            nic.write_block(ctx, 0, &vec![1; 64]);
+            let _ = nic.read_block(ctx, 0, 64);
+        });
+        sim.run();
+        assert_eq!(ring.stats().bursts, 2);
+    }
+
+    #[test]
+    fn empty_block_ops_are_free_noops() {
+        let mut sim = Simulation::new();
+        let ring = Ring::new(&sim.handle(), 2, 64, CostModel::default());
+        let nic = ring.nic(0);
+        sim.spawn("p", move |ctx| {
+            nic.write_block(ctx, 0, &[]);
+            assert!(nic.read_block(ctx, 0, 0).is_empty());
+            assert_eq!(ctx.now(), 0);
+        });
+        assert!(sim.run().is_clean());
+        assert_eq!(ring.stats().injections, 0);
+    }
+
+    #[test]
+    fn read_block_returns_replicated_data() {
+        let mut sim = Simulation::new();
+        let ring = Ring::new(&sim.handle(), 3, 1024, CostModel::default());
+        let tx = ring.nic(0);
+        let rx = ring.nic(2);
+        sim.spawn("tx", move |ctx| {
+            let data: Vec<u32> = (0..32).collect();
+            tx.write_block(ctx, 100, &data);
+        });
+        sim.spawn("rx", move |ctx| {
+            ctx.wait_until(des::ms(1));
+            let got = rx.read_block(ctx, 100, 32);
+            assert_eq!(got, (0..32).collect::<Vec<u32>>());
+        });
+        assert!(sim.run().is_clean());
+    }
+    #[test]
+    fn dma_write_frees_the_host_immediately() {
+        let mut sim = Simulation::new();
+        let ring = Ring::new(&sim.handle(), 2, 8192, CostModel::default());
+        let nic = ring.nic(0);
+        let c = CostModel::default();
+        sim.spawn("p", move |ctx| {
+            let data = vec![9u32; 2048]; // 8 KB
+            let t0 = ctx.now();
+            nic.dma_write(ctx, 0, &data, None);
+            assert_eq!(ctx.now() - t0, c.dma_setup_ns, "host pays setup only");
+            // Compare: a PIO burst of the same size occupies the host far
+            // longer.
+            let t1 = ctx.now();
+            nic.write_block(ctx, 4096, &data);
+            assert!(ctx.now() - t1 > 20 * c.dma_setup_ns);
+        });
+        assert!(sim.run().is_clean());
+    }
+
+    #[test]
+    fn dma_write_replicates_to_all_banks() {
+        let mut sim = Simulation::new();
+        let ring = Ring::new(&sim.handle(), 3, 4096, CostModel::default());
+        let nic = ring.nic(0);
+        sim.spawn("p", move |ctx| {
+            let data: Vec<u32> = (0..512).collect();
+            nic.dma_write(ctx, 100, &data, None);
+        });
+        sim.run();
+        for node in 0..3 {
+            let snap = ring.snapshot(node);
+            assert_eq!(snap[100], 0);
+            assert_eq!(snap[100 + 511], 511, "node {node}");
+        }
+    }
+
+    #[test]
+    fn dma_done_signal_fires_at_injection_time() {
+        let mut sim = Simulation::new();
+        let ring = Ring::new(&sim.handle(), 2, 4096, CostModel::default());
+        let nic = ring.nic(0);
+        let sig = sim.handle().new_signal();
+        let sig2 = sig.clone();
+        let c = CostModel::default();
+        sim.spawn("p", move |ctx| {
+            let data = vec![1u32; 1000];
+            nic.dma_write(ctx, 0, &data, Some(sig2));
+            let setup_done = ctx.now();
+            ctx.wait(&sig);
+            assert_eq!(ctx.now() - setup_done, 1000 * c.dma_word_ns);
+        });
+        assert!(sim.run().is_clean());
+    }
+
+    #[test]
+    fn empty_dma_fires_done_immediately() {
+        let mut sim = Simulation::new();
+        let ring = Ring::new(&sim.handle(), 2, 64, CostModel::default());
+        let nic = ring.nic(0);
+        let sig = sim.handle().new_signal();
+        let sig2 = sig.clone();
+        sim.spawn("p", move |ctx| {
+            nic.dma_write(ctx, 0, &[], Some(sig2));
+            ctx.wait(&sig);
+        });
+        assert!(sim.run().is_clean());
+        assert_eq!(ring.stats().injections, 0);
+    }
+}

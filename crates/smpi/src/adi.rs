@@ -1,0 +1,793 @@
+//! The Abstract Device Interface: request objects, posted-receive and
+//! unexpected-message queues, the eager/rendezvous protocols, and the
+//! polling progress engine.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use des::ProcCtx;
+
+use crate::costs::SmpiCosts;
+use crate::device::{decode_null, encode_null, Device, PacketHeader, PacketKind, MAGIC_CHANNEL};
+use crate::types::{ReqId, Status, Tag};
+
+/// A posted (pending) receive.
+struct Posted {
+    req: ReqId,
+    context: u16,
+    src: Option<usize>, // world rank, None = ANY_SOURCE
+    tag: Option<Tag>,   // None = ANY_TAG
+}
+
+/// A message that arrived before a matching receive was posted.
+struct Unexpected {
+    context: u16,
+    src: usize,
+    tag: Tag,
+    /// Eager: the payload. Rendezvous RTS: empty until the data phase.
+    payload: Vec<u8>,
+    /// Full message length.
+    len: usize,
+    /// Sender's rendezvous request, if this is an RTS.
+    rts_req: Option<u64>,
+}
+
+/// A rendezvous send parked until its CTS arrives.
+struct PendingSend {
+    dst: usize,
+    payload: Vec<u8>,
+}
+
+/// The ADI engine for one rank. Owns the device.
+pub struct Adi {
+    dev: Box<dyn Device>,
+    costs: SmpiCosts,
+    posted: VecDeque<Posted>,
+    unexpected: VecDeque<Unexpected>,
+    /// Rendezvous sends keyed by our request id.
+    rndz_sends: HashMap<u64, PendingSend>,
+    /// Receives whose CTS went out, awaiting the data packet.
+    rndz_recvs: HashMap<u64, ReqId>,
+    /// Status metadata (source, tag, length) for in-flight rendezvous
+    /// receives, keyed by our request id.
+    rndz_recv_meta: HashMap<u64, (usize, Tag, usize)>,
+    /// Reassembly buffers for chunked rendezvous data, keyed by our
+    /// request id (per-pair FIFO makes append-order correct).
+    rndz_recv_buf: HashMap<u64, Vec<u8>>,
+    completed_recvs: HashMap<ReqId, (Status, Vec<u8>)>,
+    completed_sends: HashSet<ReqId>,
+    /// Native-collective null frames: (src world rank, context, phase).
+    nulls: VecDeque<(usize, u16, u8)>,
+    next_req: u64,
+}
+
+impl Adi {
+    /// Build an ADI engine over `dev` with the given per-layer costs.
+    pub fn new(dev: Box<dyn Device>, costs: SmpiCosts) -> Self {
+        Adi {
+            dev,
+            costs,
+            posted: VecDeque::new(),
+            unexpected: VecDeque::new(),
+            rndz_sends: HashMap::new(),
+            rndz_recvs: HashMap::new(),
+            rndz_recv_meta: HashMap::new(),
+            rndz_recv_buf: HashMap::new(),
+            completed_recvs: HashMap::new(),
+            completed_sends: HashSet::new(),
+            nulls: VecDeque::new(),
+            next_req: 1,
+        }
+    }
+
+    /// This rank.
+    pub fn rank(&self) -> usize {
+        self.dev.rank()
+    }
+
+    /// World size.
+    pub fn nprocs(&self) -> usize {
+        self.dev.nprocs()
+    }
+
+    /// The per-layer cost model in force.
+    pub fn costs(&self) -> &SmpiCosts {
+        &self.costs
+    }
+
+    /// Borrow the underlying device.
+    pub fn device(&self) -> &dyn Device {
+        self.dev.as_ref()
+    }
+
+    /// Whether the device offers hardware multicast.
+    pub fn has_native_mcast(&self) -> bool {
+        self.dev.has_native_mcast()
+    }
+
+    fn fresh_req(&mut self) -> ReqId {
+        let id = ReqId(self.next_req);
+        self.next_req += 1;
+        id
+    }
+
+    /// Largest payload one frame can carry under this device.
+    fn chunk_max(&self) -> usize {
+        match self.dev.max_frame() {
+            Some(max) => {
+                let c = max.saturating_sub(self.costs.header_bytes);
+                assert!(c > 0, "device frame limit smaller than the channel header");
+                c
+            }
+            None => usize::MAX,
+        }
+    }
+
+    /// Whether an eager multicast of `len` payload bytes fits in one
+    /// frame (native broadcast cannot segment: it must post exactly
+    /// once).
+    pub fn eager_mcast_fits(&self, len: usize) -> bool {
+        len <= self.chunk_max()
+    }
+
+    // ------------------------------------------------------------------
+    // Send path
+    // ------------------------------------------------------------------
+
+    /// Start a send. Eager sends complete immediately; rendezvous sends
+    /// complete once the receiver's CTS is answered with the data.
+    pub fn isend(
+        &mut self,
+        ctx: &mut ProcCtx,
+        dst: usize,
+        context: u16,
+        tag: Tag,
+        payload: &[u8],
+    ) -> ReqId {
+        self.isend_mode(ctx, dst, context, tag, payload, false)
+    }
+
+    /// Start a synchronous-mode send (`MPI_Issend`): always rendezvous,
+    /// so completion implies the receiver matched the message.
+    pub fn issend(
+        &mut self,
+        ctx: &mut ProcCtx,
+        dst: usize,
+        context: u16,
+        tag: Tag,
+        payload: &[u8],
+    ) -> ReqId {
+        self.isend_mode(ctx, dst, context, tag, payload, true)
+    }
+
+    fn isend_mode(
+        &mut self,
+        ctx: &mut ProcCtx,
+        dst: usize,
+        context: u16,
+        tag: Tag,
+        payload: &[u8],
+        synchronous: bool,
+    ) -> ReqId {
+        ctx.advance(self.costs.request_ns);
+        let req = self.fresh_req();
+        if !synchronous
+            && payload.len() < self.costs.rendezvous_threshold
+            && payload.len() <= self.chunk_max()
+        {
+            let header = PacketHeader {
+                kind: PacketKind::Eager,
+                src: self.dev.rank(),
+                tag,
+                context,
+                len: payload.len() as u32,
+                req: 0,
+            };
+            self.send_packet(ctx, dst, &header, payload);
+            self.completed_sends.insert(req);
+        } else {
+            let header = PacketHeader {
+                kind: PacketKind::RndzRts,
+                src: self.dev.rank(),
+                tag,
+                context,
+                len: payload.len() as u32,
+                req: req.0,
+            };
+            self.send_packet(ctx, dst, &header, &[]);
+            self.rndz_sends.insert(
+                req.0,
+                PendingSend {
+                    dst,
+                    payload: payload.to_vec(),
+                },
+            );
+        }
+        req
+    }
+
+    /// Frame assembly + device hand-off, charging the channel costs.
+    fn send_packet(
+        &mut self,
+        ctx: &mut ProcCtx,
+        dst: usize,
+        header: &PacketHeader,
+        payload: &[u8],
+    ) {
+        ctx.advance(self.costs.header_build_ns + self.costs.pack_ns(payload.len()));
+        let mut frame = header.encode(self.costs.header_bytes);
+        frame.extend_from_slice(payload);
+        self.dev.send_frame(ctx, dst, &frame);
+    }
+
+    // ------------------------------------------------------------------
+    // Receive path
+    // ------------------------------------------------------------------
+
+    /// Post a receive (checks the unexpected queue first, per MPI
+    /// semantics).
+    pub fn irecv(
+        &mut self,
+        ctx: &mut ProcCtx,
+        context: u16,
+        src: Option<usize>,
+        tag: Option<Tag>,
+    ) -> ReqId {
+        ctx.advance(self.costs.request_ns + self.costs.queue_ns);
+        let req = self.fresh_req();
+        if let Some(idx) = self.unexpected.iter().position(|u| {
+            u.context == context && src.is_none_or(|s| s == u.src) && tag.is_none_or(|t| t == u.tag)
+        }) {
+            let u = self.unexpected.remove(idx).unwrap();
+            self.accept_matched(ctx, req, u);
+        } else {
+            self.posted.push_back(Posted {
+                req,
+                context,
+                src,
+                tag,
+            });
+        }
+        req
+    }
+
+    /// An unexpected entry just matched `req`: complete it (eager) or run
+    /// the rendezvous CTS (long message).
+    fn accept_matched(&mut self, ctx: &mut ProcCtx, req: ReqId, u: Unexpected) {
+        match u.rts_req {
+            None => {
+                ctx.advance(self.costs.unpack_ns(u.payload.len()));
+                let status = Status {
+                    source: u.src,
+                    tag: u.tag,
+                    len: u.len,
+                };
+                self.completed_recvs.insert(req, (status, u.payload));
+            }
+            Some(rts) => {
+                // Long message: grant the sender a clear-to-send carrying
+                // our request id; the data packet will complete `req`.
+                let header = PacketHeader {
+                    kind: PacketKind::RndzCts,
+                    src: self.dev.rank(),
+                    tag: u.tag,
+                    context: u.context,
+                    len: u.len as u32,
+                    req: rts,
+                };
+                // CTS reuses the sender's req in `req` field and carries
+                // ours in the payload.
+                let ours = req.0.to_le_bytes();
+                self.send_packet(ctx, u.src, &header, &ours);
+                self.rndz_recvs.insert(req.0, req);
+                // Remember status pieces for completion time.
+                self.rndz_recv_meta.insert(req.0, (u.src, u.tag, u.len));
+            }
+        }
+    }
+
+    /// Block until `req` completes; receives yield their payload.
+    pub fn wait(&mut self, ctx: &mut ProcCtx, req: ReqId) -> Option<(Status, Vec<u8>)> {
+        loop {
+            if self.completed_sends.remove(&req) {
+                ctx.advance(self.costs.request_ns);
+                return None;
+            }
+            if let Some(done) = self.completed_recvs.remove(&req) {
+                ctx.advance(self.costs.request_ns);
+                return Some(done);
+            }
+            self.progress(ctx);
+        }
+    }
+
+    /// True if `req` already completed (does not progress).
+    pub fn is_complete(&self, req: ReqId) -> bool {
+        self.completed_sends.contains(&req) || self.completed_recvs.contains_key(&req)
+    }
+
+    /// `MPI_Iprobe` at the ADI: one progress poll, then report — without
+    /// consuming — the first unexpected message matching the selector.
+    /// (Posted receives would have consumed matching arrivals already,
+    /// so probing only ever inspects the unexpected queue, as in MPICH.)
+    pub fn iprobe(
+        &mut self,
+        ctx: &mut ProcCtx,
+        context: u16,
+        src: Option<usize>,
+        tag: Option<Tag>,
+    ) -> Option<Status> {
+        self.progress(ctx);
+        ctx.advance(self.costs.queue_ns);
+        self.unexpected
+            .iter()
+            .find(|u| {
+                u.context == context
+                    && src.is_none_or(|s| s == u.src)
+                    && tag.is_none_or(|t| t == u.tag)
+            })
+            .map(|u| Status {
+                source: u.src,
+                tag: u.tag,
+                len: u.len,
+            })
+    }
+
+    // ------------------------------------------------------------------
+    // Native-collective raw frames
+    // ------------------------------------------------------------------
+
+    /// Send a one-word null frame (native barrier traffic), bypassing the
+    /// whole channel packet path.
+    pub fn send_null(&mut self, ctx: &mut ProcCtx, dst: usize, context: u16, phase: u8) {
+        self.dev.send_frame(ctx, dst, &encode_null(context, phase));
+    }
+
+    /// Multicast a null frame. Panics if the device lacks native
+    /// multicast (callers check [`Adi::has_native_mcast`]).
+    pub fn mcast_null(&mut self, ctx: &mut ProcCtx, targets: &[usize], context: u16, phase: u8) {
+        let ok = self
+            .dev
+            .mcast_frame(ctx, targets, &encode_null(context, phase));
+        assert!(ok, "device has no native multicast");
+    }
+
+    /// Multicast an eager channel packet (native broadcast). Panics if
+    /// unsupported.
+    pub fn mcast_eager(
+        &mut self,
+        ctx: &mut ProcCtx,
+        targets: &[usize],
+        context: u16,
+        tag: Tag,
+        payload: &[u8],
+    ) {
+        ctx.advance(self.costs.header_build_ns + self.costs.pack_ns(payload.len()));
+        let header = PacketHeader {
+            kind: PacketKind::Eager,
+            src: self.dev.rank(),
+            tag,
+            context,
+            len: payload.len() as u32,
+            req: 0,
+        };
+        let mut frame = header.encode(self.costs.header_bytes);
+        frame.extend_from_slice(payload);
+        let ok = self.dev.mcast_frame(ctx, targets, &frame);
+        assert!(ok, "device has no native multicast");
+    }
+
+    /// Block until a null frame with this context and phase arrives from
+    /// `src` (or from anyone, with `None`). Returns the actual source.
+    pub fn wait_null(
+        &mut self,
+        ctx: &mut ProcCtx,
+        src: Option<usize>,
+        context: u16,
+        phase: u8,
+    ) -> usize {
+        loop {
+            if let Some(idx) = self
+                .nulls
+                .iter()
+                .position(|&(s, c, p)| c == context && p == phase && src.is_none_or(|w| w == s))
+            {
+                let (s, _, _) = self.nulls.remove(idx).unwrap();
+                return s;
+            }
+            self.progress(ctx);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Progress engine
+    // ------------------------------------------------------------------
+
+    /// One progress iteration: poll the device, dispatch at most one
+    /// frame. Advances virtual time even when idle so blocked loops make
+    /// progress.
+    pub fn progress(&mut self, ctx: &mut ProcCtx) {
+        let Some((src, frame)) = self.dev.try_recv_frame(ctx) else {
+            // Idle: block on the device's interrupt if it has one,
+            // otherwise pace the polling loop.
+            if !self.dev.idle_wait(ctx) {
+                ctx.advance(self.costs.progress_poll_ns);
+            }
+            return;
+        };
+        if let Some((context, phase)) = decode_null(&frame) {
+            // Even the one-word nulls pass through the progress engine's
+            // dispatch queue (the paper: "each layer has to manage
+            // received message queues").
+            ctx.advance(self.costs.queue_ns);
+            self.nulls.push_back((src, context, phase));
+            return;
+        }
+        assert_eq!(
+            frame[0], MAGIC_CHANNEL,
+            "unknown frame type from rank {src}"
+        );
+        ctx.advance(self.costs.header_parse_ns);
+        let header = PacketHeader::decode(&frame);
+        let payload = frame[self.costs.header_bytes..].to_vec();
+        match header.kind {
+            PacketKind::Eager => self.dispatch_message(ctx, header, payload, None),
+            PacketKind::RndzRts => {
+                let rts = header.req;
+                self.dispatch_message(ctx, header, Vec::new(), Some(rts));
+            }
+            PacketKind::RndzCts => {
+                let their_req = u64::from_le_bytes(payload[..8].try_into().unwrap());
+                let send = self
+                    .rndz_sends
+                    .remove(&header.req)
+                    .expect("CTS for unknown rendezvous send");
+                // Segment the data to the device's frame limit; per-pair
+                // FIFO keeps the chunks in order at the receiver.
+                let chunk = self.chunk_max().min(send.payload.len().max(1));
+                for piece in send.payload.chunks(chunk) {
+                    let data_header = PacketHeader {
+                        kind: PacketKind::RndzData,
+                        src: self.dev.rank(),
+                        tag: header.tag,
+                        context: header.context,
+                        len: send.payload.len() as u32,
+                        req: their_req,
+                    };
+                    self.send_packet(ctx, send.dst, &data_header, piece);
+                }
+                if send.payload.is_empty() {
+                    // Degenerate rendezvous (an application can lower the
+                    // threshold to 0): one empty data frame.
+                    let data_header = PacketHeader {
+                        kind: PacketKind::RndzData,
+                        src: self.dev.rank(),
+                        tag: header.tag,
+                        context: header.context,
+                        len: 0,
+                        req: their_req,
+                    };
+                    self.send_packet(ctx, send.dst, &data_header, &[]);
+                }
+                self.completed_sends.insert(ReqId(header.req));
+            }
+            PacketKind::RndzData => {
+                let (src, tag, len) = *self
+                    .rndz_recv_meta
+                    .get(&header.req)
+                    .expect("data for unknown rendezvous receive");
+                ctx.advance(self.costs.unpack_ns(payload.len()));
+                let buf = self.rndz_recv_buf.entry(header.req).or_default();
+                buf.extend_from_slice(&payload);
+                if buf.len() >= len {
+                    let data = self.rndz_recv_buf.remove(&header.req).unwrap();
+                    debug_assert_eq!(data.len(), len, "rendezvous over-delivery");
+                    let req = self
+                        .rndz_recvs
+                        .remove(&header.req)
+                        .expect("completing unknown rendezvous receive");
+                    self.rndz_recv_meta.remove(&header.req);
+                    self.completed_recvs.insert(
+                        req,
+                        (
+                            Status {
+                                source: src,
+                                tag,
+                                len,
+                            },
+                            data,
+                        ),
+                    );
+                }
+            }
+        }
+    }
+
+    /// Route an arrived message (eager payload or RTS) against the posted
+    /// queue, else park it as unexpected.
+    fn dispatch_message(
+        &mut self,
+        ctx: &mut ProcCtx,
+        header: PacketHeader,
+        payload: Vec<u8>,
+        rts_req: Option<u64>,
+    ) {
+        ctx.advance(self.costs.queue_ns);
+        let u = Unexpected {
+            context: header.context,
+            src: header.src,
+            tag: header.tag,
+            len: header.len as usize,
+            payload,
+            rts_req,
+        };
+        if let Some(idx) = self.posted.iter().position(|p| {
+            p.context == u.context
+                && p.src.is_none_or(|s| s == u.src)
+                && p.tag.is_none_or(|t| t == u.tag)
+        }) {
+            let p = self.posted.remove(idx).unwrap();
+            self.accept_matched(ctx, p.req, u);
+        } else {
+            self.unexpected.push_back(u);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::costs::SmpiCosts;
+    use crate::device::{PacketHeader, PacketKind};
+    use crate::testutil::{with_ctx, ScriptProbe, ScriptedDevice};
+
+    fn adi(rank: usize, n: usize) -> (Adi, ScriptProbe) {
+        let (dev, probe) = ScriptedDevice::new(rank, n);
+        (
+            Adi::new(Box::new(dev), SmpiCosts::channel_interface()),
+            probe,
+        )
+    }
+
+    fn eager_frame(
+        costs: &SmpiCosts,
+        src: usize,
+        context: u16,
+        tag: Tag,
+        payload: &[u8],
+    ) -> Vec<u8> {
+        let header = PacketHeader {
+            kind: PacketKind::Eager,
+            src,
+            tag,
+            context,
+            len: payload.len() as u32,
+            req: 0,
+        };
+        let mut f = header.encode(costs.header_bytes);
+        f.extend_from_slice(payload);
+        f
+    }
+
+    #[test]
+    fn eager_send_is_one_frame_and_completes_immediately() {
+        with_ctx(|ctx| {
+            let (mut a, probe) = adi(0, 2);
+            let req = a.isend(ctx, 1, 0, 5, b"hello");
+            assert!(a.is_complete(req));
+            let sent = probe.sent();
+            assert_eq!(sent.len(), 1);
+            assert_eq!(sent[0].0, 1);
+            let h = PacketHeader::decode(&sent[0].1);
+            assert_eq!(h.kind, PacketKind::Eager);
+            assert_eq!(h.tag, 5);
+            assert_eq!(h.len, 5);
+            assert_eq!(&sent[0].1[a.costs().header_bytes..], b"hello");
+        });
+    }
+
+    #[test]
+    fn posted_receive_matches_later_arrival() {
+        with_ctx(|ctx| {
+            let (mut a, probe) = adi(0, 2);
+            let req = a.irecv(ctx, 0, Some(1), Some(9));
+            assert!(!a.is_complete(req));
+            let frame = eager_frame(a.costs(), 1, 0, 9, b"payload");
+            probe.feed(1, frame);
+            let (st, data) = a.wait(ctx, req).unwrap();
+            assert_eq!(st.source, 1);
+            assert_eq!(st.tag, 9);
+            assert_eq!(data, b"payload");
+        });
+    }
+
+    #[test]
+    fn unexpected_arrival_matches_later_receive() {
+        with_ctx(|ctx| {
+            let (mut a, probe) = adi(0, 2);
+            probe.feed(
+                1,
+                eager_frame(&SmpiCosts::channel_interface(), 1, 0, 3, b"early"),
+            );
+            a.progress(ctx); // parks it in the unexpected queue
+            let req = a.irecv(ctx, 0, Some(1), Some(3));
+            assert!(a.is_complete(req), "irecv must drain the unexpected queue");
+            let (_, data) = a.wait(ctx, req).unwrap();
+            assert_eq!(data, b"early");
+        });
+    }
+
+    #[test]
+    fn matching_respects_posting_order_for_equal_selectors() {
+        with_ctx(|ctx| {
+            let (mut a, probe) = adi(0, 2);
+            let r1 = a.irecv(ctx, 0, Some(1), Some(7));
+            let r2 = a.irecv(ctx, 0, Some(1), Some(7));
+            let costs = SmpiCosts::channel_interface();
+            probe.feed(1, eager_frame(&costs, 1, 0, 7, b"first"));
+            probe.feed(1, eager_frame(&costs, 1, 0, 7, b"second"));
+            let (_, d1) = a.wait(ctx, r1).unwrap();
+            let (_, d2) = a.wait(ctx, r2).unwrap();
+            assert_eq!(d1, b"first");
+            assert_eq!(d2, b"second");
+        });
+    }
+
+    #[test]
+    fn wildcard_receive_matches_any_source_and_tag() {
+        with_ctx(|ctx| {
+            let (mut a, probe) = adi(0, 3);
+            let req = a.irecv(ctx, 0, None, None);
+            probe.feed(
+                2,
+                eager_frame(&SmpiCosts::channel_interface(), 2, 0, 1234, b"w"),
+            );
+            let (st, _) = a.wait(ctx, req).unwrap();
+            assert_eq!(st.source, 2);
+            assert_eq!(st.tag, 1234);
+        });
+    }
+
+    #[test]
+    fn context_isolation_prevents_cross_communicator_matching() {
+        with_ctx(|ctx| {
+            let (mut a, probe) = adi(0, 2);
+            let req = a.irecv(ctx, 5, Some(1), Some(1)); // context 5
+            probe.feed(
+                1,
+                eager_frame(&SmpiCosts::channel_interface(), 1, 4, 1, b"ctx4"),
+            );
+            a.progress(ctx);
+            assert!(!a.is_complete(req), "context 4 must not match context 5");
+            probe.feed(
+                1,
+                eager_frame(&SmpiCosts::channel_interface(), 1, 5, 1, b"ctx5"),
+            );
+            let (_, data) = a.wait(ctx, req).unwrap();
+            assert_eq!(data, b"ctx5");
+        });
+    }
+
+    #[test]
+    fn rendezvous_send_emits_rts_then_data_after_cts() {
+        with_ctx(|ctx| {
+            let (mut a, probe) = adi(0, 2);
+            let payload = vec![7u8; 20 * 1024]; // above the 16 KiB threshold
+            let req = a.isend(ctx, 1, 0, 2, &payload);
+            assert!(!a.is_complete(req), "rendezvous waits for CTS");
+            let sent = probe.sent();
+            assert_eq!(sent.len(), 1);
+            let rts = PacketHeader::decode(&sent[0].1);
+            assert_eq!(rts.kind, PacketKind::RndzRts);
+            assert_eq!(rts.len as usize, payload.len());
+            // Fabricate the CTS the peer would send.
+            let cts_header = PacketHeader {
+                kind: PacketKind::RndzCts,
+                src: 1,
+                tag: 2,
+                context: 0,
+                len: payload.len() as u32,
+                req: rts.req,
+            };
+            let mut cts = cts_header.encode(a.costs().header_bytes);
+            cts.extend_from_slice(&999u64.to_le_bytes()); // receiver's req id
+            probe.feed(1, cts);
+            a.progress(ctx);
+            assert!(a.is_complete(req), "send completes once data flies");
+            let sent = probe.sent();
+            assert_eq!(sent.len(), 2, "one data frame for an unlimited device");
+            let data = PacketHeader::decode(&sent[1].1);
+            assert_eq!(data.kind, PacketKind::RndzData);
+            assert_eq!(data.req, 999);
+        });
+    }
+
+    #[test]
+    fn rendezvous_data_is_chunked_to_the_frame_limit() {
+        with_ctx(|ctx| {
+            let (dev, probe) = ScriptedDevice::new(0, 2);
+            let mut dev = dev;
+            dev.max_frame = Some(4 * 1024);
+            let mut a = Adi::new(Box::new(dev), SmpiCosts::channel_interface());
+            let payload = vec![3u8; 20 * 1024];
+            let req = a.isend(ctx, 1, 0, 2, &payload);
+            let rts = PacketHeader::decode(&probe.sent()[0].1);
+            let cts_header = PacketHeader {
+                kind: PacketKind::RndzCts,
+                src: 1,
+                tag: 2,
+                context: 0,
+                len: payload.len() as u32,
+                req: rts.req,
+            };
+            let mut cts = cts_header.encode(a.costs().header_bytes);
+            cts.extend_from_slice(&1u64.to_le_bytes());
+            probe.feed(1, cts);
+            a.progress(ctx);
+            assert!(a.is_complete(req));
+            // chunkature: payload per frame = 4096 - 64 header = 4032.
+            let frames = probe.sent_count() - 1;
+            let chunk = 4 * 1024 - a.costs().header_bytes;
+            assert_eq!(frames, (20 * 1024usize).div_ceil(chunk));
+        });
+    }
+
+    #[test]
+    fn iprobe_reports_without_consuming() {
+        with_ctx(|ctx| {
+            let (mut a, probe) = adi(0, 2);
+            assert!(a.iprobe(ctx, 0, Some(1), Some(8)).is_none());
+            probe.feed(
+                1,
+                eager_frame(&SmpiCosts::channel_interface(), 1, 0, 8, b"look"),
+            );
+            let st = a
+                .iprobe(ctx, 0, Some(1), Some(8))
+                .expect("probe should see it");
+            assert_eq!(st.len, 4);
+            // Still there for the actual receive.
+            let req = a.irecv(ctx, 0, Some(1), Some(8));
+            let (_, data) = a.wait(ctx, req).unwrap();
+            assert_eq!(data, b"look");
+            assert!(a.iprobe(ctx, 0, Some(1), Some(8)).is_none());
+        });
+    }
+
+    #[test]
+    fn nulls_queue_separately_and_match_phase_and_context() {
+        with_ctx(|ctx| {
+            let (mut a, probe) = adi(0, 3);
+            probe.feed(2, crate::device::encode_null(7, 1));
+            probe.feed(1, crate::device::encode_null(7, 2));
+            let src = a.wait_null(ctx, None, 7, 2);
+            assert_eq!(src, 1, "phase 2 null is from rank 1");
+            let src = a.wait_null(ctx, None, 7, 1);
+            assert_eq!(src, 2);
+        });
+    }
+
+    #[test]
+    fn mcast_eager_uses_the_device_multicast() {
+        with_ctx(|ctx| {
+            let (mut a, probe) = adi(0, 4);
+            a.mcast_eager(ctx, &[1, 2, 3], 1, 77, b"fanout");
+            let sent = probe.sent();
+            assert_eq!(sent.len(), 3);
+            for (i, (dst, frame)) in sent.iter().enumerate() {
+                assert_eq!(*dst, i + 1);
+                let h = PacketHeader::decode(frame);
+                assert_eq!(h.tag, 77);
+                assert_eq!(h.kind, PacketKind::Eager);
+            }
+        });
+    }
+
+    #[test]
+    fn eager_mcast_fits_respects_frame_limit() {
+        let (dev, _probe) = ScriptedDevice::new(0, 2);
+        let mut dev = dev;
+        dev.max_frame = Some(1000);
+        let a = Adi::new(Box::new(dev), SmpiCosts::channel_interface());
+        assert!(a.eager_mcast_fits(1000 - a.costs().header_bytes));
+        assert!(!a.eager_mcast_fits(1000));
+    }
+}

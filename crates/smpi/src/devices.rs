@@ -1,0 +1,163 @@
+//! Concrete devices: the BillBoard Protocol on SCRAMNet and TCP sockets
+//! on the conventional networks.
+
+use bbp::BbpEndpoint;
+use des::ProcCtx;
+use netsim::{MyrinetApiPort, TcpSock};
+
+use crate::device::Device;
+
+/// The SCRAMNet channel device: frames ride the BillBoard Protocol, which
+/// already guarantees reliable per-pair-FIFO delivery and provides the
+/// hardware-replicated multicast the native collectives exploit.
+pub struct BbpDevice {
+    ep: BbpEndpoint,
+}
+
+impl BbpDevice {
+    /// Wrap a BillBoard endpoint as the channel device.
+    pub fn new(ep: BbpEndpoint) -> Self {
+        BbpDevice { ep }
+    }
+
+    /// Borrow the underlying endpoint (stats).
+    pub fn endpoint(&self) -> &BbpEndpoint {
+        &self.ep
+    }
+}
+
+impl Device for BbpDevice {
+    fn rank(&self) -> usize {
+        self.ep.rank()
+    }
+
+    fn nprocs(&self) -> usize {
+        self.ep.nprocs()
+    }
+
+    fn send_frame(&mut self, ctx: &mut ProcCtx, dst: usize, frame: &[u8]) {
+        self.ep
+            .send(ctx, dst, frame)
+            .expect("BBP send failed under the channel device");
+    }
+
+    fn try_recv_frame(&mut self, ctx: &mut ProcCtx) -> Option<(usize, Vec<u8>)> {
+        self.ep.try_recv_any(ctx)
+    }
+
+    fn mcast_frame(&mut self, ctx: &mut ProcCtx, targets: &[usize], frame: &[u8]) -> bool {
+        self.ep
+            .mcast(ctx, targets, frame)
+            .expect("BBP mcast failed under the channel device");
+        true
+    }
+
+    fn has_native_mcast(&self) -> bool {
+        true
+    }
+
+    fn max_frame(&self) -> Option<usize> {
+        Some(self.ep.config().max_payload_bytes())
+    }
+
+    fn idle_wait(&mut self, ctx: &mut ProcCtx) -> bool {
+        self.ep.wait_for_traffic(ctx)
+    }
+}
+
+/// The TCP channel device (MPICH's `ch_p4`-style socket device): one
+/// connection per peer, polled round-robin.
+pub struct TcpDevice {
+    rank: usize,
+    /// `socks[p]` is the connection to peer `p` (`None` at `p == rank`).
+    socks: Vec<Option<TcpSock>>,
+    rr: usize,
+}
+
+impl TcpDevice {
+    /// Build from a full mesh of sockets; `socks[rank]` must be `None`
+    /// and every other slot connected to the matching peer.
+    pub fn new(rank: usize, socks: Vec<Option<TcpSock>>) -> Self {
+        assert!(socks[rank].is_none(), "no loopback socket at own rank");
+        TcpDevice { rank, socks, rr: 0 }
+    }
+}
+
+impl Device for TcpDevice {
+    fn rank(&self) -> usize {
+        self.rank
+    }
+
+    fn nprocs(&self) -> usize {
+        self.socks.len()
+    }
+
+    fn send_frame(&mut self, ctx: &mut ProcCtx, dst: usize, frame: &[u8]) {
+        self.socks[dst]
+            .as_ref()
+            .unwrap_or_else(|| panic!("no connection to rank {dst}"))
+            .send(ctx, frame);
+    }
+
+    fn try_recv_frame(&mut self, ctx: &mut ProcCtx) -> Option<(usize, Vec<u8>)> {
+        let n = self.socks.len();
+        for off in 0..n {
+            let p = (self.rr + off) % n;
+            if let Some(sock) = &self.socks[p] {
+                if let Some(frame) = sock.try_recv(ctx) {
+                    self.rr = (p + 1) % n;
+                    return Some((p, frame));
+                }
+            }
+        }
+        None
+    }
+
+    fn mcast_frame(&mut self, _ctx: &mut ProcCtx, _targets: &[usize], _frame: &[u8]) -> bool {
+        false // no hardware multicast on switched point-to-point fabrics
+    }
+
+    fn has_native_mcast(&self) -> bool {
+        false
+    }
+}
+
+/// The native (user-level) Myrinet device: OS-bypass messaging. Used as
+/// the bulk path of [`crate::HybridDevice`], or standalone.
+pub struct MyrinetDevice {
+    port: MyrinetApiPort,
+    nprocs: usize,
+}
+
+impl MyrinetDevice {
+    /// Build a device over an existing Myrinet port for a world of `nprocs` ranks.
+    pub fn new(port: MyrinetApiPort, nprocs: usize) -> Self {
+        MyrinetDevice { port, nprocs }
+    }
+}
+
+impl Device for MyrinetDevice {
+    fn rank(&self) -> usize {
+        self.port.host()
+    }
+
+    fn nprocs(&self) -> usize {
+        self.nprocs
+    }
+
+    fn send_frame(&mut self, ctx: &mut ProcCtx, dst: usize, frame: &[u8]) {
+        self.port.send(ctx, dst, frame);
+    }
+
+    fn try_recv_frame(&mut self, ctx: &mut ProcCtx) -> Option<(usize, Vec<u8>)> {
+        self.port.try_recv(ctx)
+    }
+
+    fn mcast_frame(&mut self, _ctx: &mut ProcCtx, _targets: &[usize], _frame: &[u8]) -> bool {
+        false // wormhole switches have no replication hardware
+    }
+
+    fn has_native_mcast(&self) -> bool {
+        false
+    }
+}

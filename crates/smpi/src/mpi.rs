@@ -1,0 +1,407 @@
+//! The MPI bindings: communicators and point-to-point operations.
+
+use std::collections::HashMap;
+
+use des::ProcCtx;
+
+use crate::adi::Adi;
+use crate::collectives::CollectiveImpl;
+use crate::costs::SmpiCosts;
+use crate::device::Device;
+use crate::types::{MpiError, ReqId, Status, Tag};
+
+/// Highest tag value applications may use; tags above are reserved for
+/// the collective implementations.
+pub const MAX_USER_TAG: Tag = 0xEFFF_FFFF;
+
+/// A communicator: a context id pair (point-to-point + collective, as in
+/// MPICH) and an ordered group of world ranks.
+#[derive(Debug, Clone)]
+pub struct Comm {
+    pub(crate) context: u16,
+    pub(crate) coll_context: u16,
+    /// World rank per communicator rank.
+    pub(crate) ranks: Vec<usize>,
+    /// Our communicator rank.
+    pub(crate) me: usize,
+    /// Collective algorithm selection.
+    pub(crate) coll: CollectiveImpl,
+}
+
+impl Comm {
+    /// Our rank within this communicator.
+    pub fn rank(&self) -> usize {
+        self.me
+    }
+
+    /// Number of processes in this communicator.
+    pub fn size(&self) -> usize {
+        self.ranks.len()
+    }
+
+    /// Translate a communicator rank to a world rank.
+    pub fn world_rank(&self, comm_rank: usize) -> usize {
+        self.ranks[comm_rank]
+    }
+
+    /// Translate a world rank back to a communicator rank (None if the
+    /// process is not in the group).
+    pub fn comm_rank(&self, world: usize) -> Option<usize> {
+        self.ranks.iter().position(|&r| r == world)
+    }
+
+    /// Which collective implementation this communicator uses.
+    pub fn collective_impl(&self) -> CollectiveImpl {
+        self.coll
+    }
+
+    /// A copy of this communicator pinned to the given collective
+    /// implementation (the benches compare both on one world).
+    pub fn with_collectives(&self, coll: CollectiveImpl) -> Comm {
+        Comm {
+            coll,
+            ..self.clone()
+        }
+    }
+
+    fn check(&self, rank: usize) -> Result<(), MpiError> {
+        if rank < self.ranks.len() {
+            Ok(())
+        } else {
+            Err(MpiError::BadRank {
+                rank,
+                size: self.ranks.len(),
+            })
+        }
+    }
+}
+
+/// One rank's MPI library instance. Owns the ADI (and through it the
+/// device); moved into the rank's simulated process.
+pub struct Mpi {
+    pub(crate) adi: Adi,
+    default_coll: CollectiveImpl,
+    pub(crate) next_context: u16,
+    /// Per-collective-context barrier phase counters.
+    pub(crate) barrier_phase: HashMap<u16, u8>,
+}
+
+impl Mpi {
+    /// Build from a device. Most users go through
+    /// [`crate::MpiWorld`] instead.
+    pub fn new(dev: Box<dyn Device>, costs: SmpiCosts, default_coll: CollectiveImpl) -> Self {
+        Mpi {
+            adi: Adi::new(dev, costs),
+            default_coll,
+            next_context: 2, // 0/1 belong to the world communicator
+            barrier_phase: HashMap::new(),
+        }
+    }
+
+    /// Our world rank.
+    pub fn rank(&self) -> usize {
+        self.adi.rank()
+    }
+
+    /// World size.
+    pub fn size(&self) -> usize {
+        self.adi.nprocs()
+    }
+
+    /// The ADI (stats, device access).
+    pub fn adi(&self) -> &Adi {
+        &self.adi
+    }
+
+    /// `MPI_COMM_WORLD`.
+    pub fn comm_world(&self) -> Comm {
+        Comm {
+            context: 0,
+            coll_context: 1,
+            ranks: (0..self.size()).collect(),
+            me: self.rank(),
+            coll: self.default_coll,
+        }
+    }
+
+    fn charge_binding(&self, ctx: &mut ProcCtx) {
+        ctx.advance(self.adi.costs().binding_ns);
+    }
+
+    // ------------------------------------------------------------------
+    // Point-to-point
+    // ------------------------------------------------------------------
+
+    /// Blocking standard-mode send.
+    pub fn send(
+        &mut self,
+        ctx: &mut ProcCtx,
+        comm: &Comm,
+        dst: usize,
+        tag: Tag,
+        data: &[u8],
+    ) -> Result<(), MpiError> {
+        let req = self.isend(ctx, comm, dst, tag, data)?;
+        self.wait_send(ctx, req);
+        Ok(())
+    }
+
+    /// Blocking receive. `src`/`tag` of `None` are the wildcards.
+    pub fn recv(
+        &mut self,
+        ctx: &mut ProcCtx,
+        comm: &Comm,
+        src: Option<usize>,
+        tag: Option<Tag>,
+    ) -> Result<(Status, Vec<u8>), MpiError> {
+        let req = self.irecv(ctx, comm, src, tag)?;
+        Ok(self.wait_recv(ctx, comm, req))
+    }
+
+    /// Non-blocking send.
+    pub fn isend(
+        &mut self,
+        ctx: &mut ProcCtx,
+        comm: &Comm,
+        dst: usize,
+        tag: Tag,
+        data: &[u8],
+    ) -> Result<ReqId, MpiError> {
+        assert!(tag <= MAX_USER_TAG, "tag {tag:#x} is reserved");
+        self.charge_binding(ctx);
+        comm.check(dst)?;
+        Ok(self
+            .adi
+            .isend(ctx, comm.world_rank(dst), comm.context, tag, data))
+    }
+
+    /// Non-blocking receive.
+    pub fn irecv(
+        &mut self,
+        ctx: &mut ProcCtx,
+        comm: &Comm,
+        src: Option<usize>,
+        tag: Option<Tag>,
+    ) -> Result<ReqId, MpiError> {
+        if let Some(t) = tag {
+            assert!(t <= MAX_USER_TAG, "tag {t:#x} is reserved");
+        }
+        self.charge_binding(ctx);
+        let world_src = match src {
+            Some(s) => {
+                comm.check(s)?;
+                Some(comm.world_rank(s))
+            }
+            None => None,
+        };
+        Ok(self.adi.irecv(ctx, comm.context, world_src, tag))
+    }
+
+    /// Blocking synchronous-mode send (`MPI_Ssend`): returns only after
+    /// the receiver has matched the message (always uses the rendezvous
+    /// handshake, whatever the payload size).
+    pub fn ssend(
+        &mut self,
+        ctx: &mut ProcCtx,
+        comm: &Comm,
+        dst: usize,
+        tag: Tag,
+        data: &[u8],
+    ) -> Result<(), MpiError> {
+        assert!(tag <= MAX_USER_TAG, "tag {tag:#x} is reserved");
+        self.charge_binding(ctx);
+        comm.check(dst)?;
+        let req = self
+            .adi
+            .issend(ctx, comm.world_rank(dst), comm.context, tag, data);
+        self.wait_send(ctx, req);
+        Ok(())
+    }
+
+    /// Complete a send request.
+    pub fn wait_send(&mut self, ctx: &mut ProcCtx, req: ReqId) {
+        let r = self.adi.wait(ctx, req);
+        debug_assert!(r.is_none(), "wait_send redeemed a receive request");
+    }
+
+    /// Complete a receive request, translating the source into the
+    /// communicator's rank space.
+    pub fn wait_recv(&mut self, ctx: &mut ProcCtx, comm: &Comm, req: ReqId) -> (Status, Vec<u8>) {
+        let (mut status, data) = self
+            .adi
+            .wait(ctx, req)
+            .expect("wait_recv redeemed a send request");
+        status.source = comm
+            .comm_rank(status.source)
+            .expect("message from outside the communicator matched its context");
+        (status, data)
+    }
+
+    /// Complete a batch of receive requests, in order.
+    pub fn waitall_recv(
+        &mut self,
+        ctx: &mut ProcCtx,
+        comm: &Comm,
+        reqs: Vec<ReqId>,
+    ) -> Vec<(Status, Vec<u8>)> {
+        reqs.into_iter()
+            .map(|r| self.wait_recv(ctx, comm, r))
+            .collect()
+    }
+
+    /// Simultaneous send and receive (deadlock-free exchange). The
+    /// argument count mirrors the MPI binding.
+    #[allow(clippy::too_many_arguments)]
+    pub fn sendrecv(
+        &mut self,
+        ctx: &mut ProcCtx,
+        comm: &Comm,
+        dst: usize,
+        send_tag: Tag,
+        data: &[u8],
+        src: Option<usize>,
+        recv_tag: Option<Tag>,
+    ) -> Result<(Status, Vec<u8>), MpiError> {
+        let rreq = self.irecv(ctx, comm, src, recv_tag)?;
+        let sreq = self.isend(ctx, comm, dst, send_tag, data)?;
+        self.wait_send(ctx, sreq);
+        Ok(self.wait_recv(ctx, comm, rreq))
+    }
+
+    /// Drive the progress engine once without blocking (lets applications
+    /// overlap computation with rendezvous traffic).
+    pub fn progress(&mut self, ctx: &mut ProcCtx) {
+        self.adi.progress(ctx);
+    }
+
+    /// `MPI_Iprobe`: non-blocking check for a matching incoming message
+    /// (does not consume it).
+    pub fn iprobe(
+        &mut self,
+        ctx: &mut ProcCtx,
+        comm: &Comm,
+        src: Option<usize>,
+        tag: Option<Tag>,
+    ) -> Result<Option<Status>, MpiError> {
+        self.charge_binding(ctx);
+        let world_src = match src {
+            Some(s) => {
+                comm.check(s)?;
+                Some(comm.world_rank(s))
+            }
+            None => None,
+        };
+        Ok(self
+            .adi
+            .iprobe(ctx, comm.context, world_src, tag)
+            .map(|mut st| {
+                st.source = comm
+                    .comm_rank(st.source)
+                    .expect("probe matched foreign context");
+                st
+            }))
+    }
+
+    /// `MPI_Probe`: block until a matching message is available, and
+    /// report it without consuming it.
+    pub fn probe(
+        &mut self,
+        ctx: &mut ProcCtx,
+        comm: &Comm,
+        src: Option<usize>,
+        tag: Option<Tag>,
+    ) -> Result<Status, MpiError> {
+        loop {
+            if let Some(st) = self.iprobe(ctx, comm, src, tag)? {
+                return Ok(st);
+            }
+        }
+    }
+
+    /// `MPI_Waitany` over receive requests: block until one completes
+    /// and return `(index, status, payload)`.
+    pub fn waitany_recv(
+        &mut self,
+        ctx: &mut ProcCtx,
+        comm: &Comm,
+        reqs: &[ReqId],
+    ) -> (usize, Status, Vec<u8>) {
+        assert!(!reqs.is_empty(), "waitany on an empty request set");
+        loop {
+            if let Some(idx) = reqs.iter().position(|&r| self.adi.is_complete(r)) {
+                let (st, data) = self.wait_recv(ctx, comm, reqs[idx]);
+                return (idx, st, data);
+            }
+            self.adi.progress(ctx);
+        }
+    }
+
+    /// `MPI_Comm_dup`: a congruent communicator with fresh contexts (so
+    /// libraries can isolate their traffic). Collective: synchronizes
+    /// the group like the real call does.
+    pub fn comm_dup(&mut self, ctx: &mut ProcCtx, comm: &Comm) -> Comm {
+        // Every rank allocates the same context pair because all ranks
+        // perform communicator-creating calls in the same collective
+        // order (the MPI requirement that makes this sound).
+        let base = self.next_context;
+        self.next_context += 2;
+        self.barrier(ctx, comm);
+        Comm {
+            context: base,
+            coll_context: base + 1,
+            ranks: comm.ranks.clone(),
+            me: comm.me,
+            coll: comm.coll,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collectives::CollectiveImpl;
+    use crate::costs::SmpiCosts;
+    use crate::testutil::ScriptedDevice;
+
+    fn mpi(rank: usize, n: usize) -> Mpi {
+        let (dev, _probe) = ScriptedDevice::new(rank, n);
+        Mpi::new(
+            Box::new(dev),
+            SmpiCosts::channel_interface(),
+            CollectiveImpl::Native,
+        )
+    }
+
+    #[test]
+    fn comm_world_covers_all_ranks() {
+        let m = mpi(2, 5);
+        let comm = m.comm_world();
+        assert_eq!(comm.size(), 5);
+        assert_eq!(comm.rank(), 2);
+        for r in 0..5 {
+            assert_eq!(comm.world_rank(r), r);
+            assert_eq!(comm.comm_rank(r), Some(r));
+        }
+        assert_eq!(comm.comm_rank(9), None);
+    }
+
+    #[test]
+    fn with_collectives_overrides_only_the_algorithm() {
+        let m = mpi(0, 3);
+        let comm = m.comm_world();
+        assert_eq!(comm.collective_impl(), CollectiveImpl::Native);
+        let p2p = comm.with_collectives(CollectiveImpl::PointToPoint);
+        assert_eq!(p2p.collective_impl(), CollectiveImpl::PointToPoint);
+        assert_eq!(p2p.size(), comm.size());
+        assert_eq!(p2p.rank(), comm.rank());
+        assert_eq!(p2p.context, comm.context);
+    }
+
+    #[test]
+    fn rank_and_size_mirror_the_device() {
+        let m = mpi(3, 7);
+        assert_eq!(m.rank(), 3);
+        assert_eq!(m.size(), 7);
+        assert!(m.adi().has_native_mcast());
+    }
+}

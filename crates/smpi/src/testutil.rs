@@ -1,0 +1,117 @@
+//! Test doubles for exercising the ADI and hybrid layers without a
+//! network: a scripted device with an inspectable outbox and a
+//! hand-fed inbox, both shared with the test through a probe handle.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use des::ProcCtx;
+use parking_lot::Mutex;
+
+use crate::device::Device;
+
+#[derive(Default)]
+pub(crate) struct ScriptState {
+    /// Every frame sent, with its destination.
+    pub sent: Vec<(usize, Vec<u8>)>,
+    /// Frames the test has queued for delivery (src, frame).
+    pub incoming: VecDeque<(usize, Vec<u8>)>,
+}
+
+/// Shared view of a [`ScriptedDevice`]'s traffic.
+#[derive(Clone)]
+pub(crate) struct ScriptProbe {
+    state: Arc<Mutex<ScriptState>>,
+}
+
+impl ScriptProbe {
+    /// Queue a frame as if `src` had sent it.
+    pub fn feed(&self, src: usize, frame: Vec<u8>) {
+        self.state.lock().incoming.push_back((src, frame));
+    }
+
+    /// Snapshot of everything sent so far.
+    pub fn sent(&self) -> Vec<(usize, Vec<u8>)> {
+        self.state.lock().sent.clone()
+    }
+
+    /// Number of frames sent so far.
+    pub fn sent_count(&self) -> usize {
+        self.state.lock().sent.len()
+    }
+}
+
+/// An in-memory device: sends are recorded, receives are fed by tests.
+pub(crate) struct ScriptedDevice {
+    rank: usize,
+    n: usize,
+    state: Arc<Mutex<ScriptState>>,
+    /// Frame-size limit reported through [`Device::max_frame`].
+    pub max_frame: Option<usize>,
+    /// Whether multicast reports success.
+    pub mcast_ok: bool,
+}
+
+impl ScriptedDevice {
+    pub fn new(rank: usize, n: usize) -> (Self, ScriptProbe) {
+        let state = Arc::new(Mutex::new(ScriptState::default()));
+        let probe = ScriptProbe {
+            state: Arc::clone(&state),
+        };
+        (
+            ScriptedDevice {
+                rank,
+                n,
+                state,
+                max_frame: None,
+                mcast_ok: true,
+            },
+            probe,
+        )
+    }
+}
+
+impl Device for ScriptedDevice {
+    fn rank(&self) -> usize {
+        self.rank
+    }
+
+    fn nprocs(&self) -> usize {
+        self.n
+    }
+
+    fn send_frame(&mut self, _ctx: &mut ProcCtx, dst: usize, frame: &[u8]) {
+        self.state.lock().sent.push((dst, frame.to_vec()));
+    }
+
+    fn try_recv_frame(&mut self, _ctx: &mut ProcCtx) -> Option<(usize, Vec<u8>)> {
+        self.state.lock().incoming.pop_front()
+    }
+
+    fn mcast_frame(&mut self, _ctx: &mut ProcCtx, targets: &[usize], frame: &[u8]) -> bool {
+        if !self.mcast_ok {
+            return false;
+        }
+        let mut s = self.state.lock();
+        for &t in targets {
+            s.sent.push((t, frame.to_vec()));
+        }
+        true
+    }
+
+    fn has_native_mcast(&self) -> bool {
+        self.mcast_ok
+    }
+
+    fn max_frame(&self) -> Option<usize> {
+        self.max_frame
+    }
+}
+
+/// Run `f` inside a one-process simulation (most ADI unit tests need a
+/// `ProcCtx` but no real time structure).
+pub(crate) fn with_ctx(f: impl FnOnce(&mut ProcCtx) + Send + 'static) {
+    let mut sim = des::Simulation::new();
+    sim.spawn("t", f);
+    assert!(sim.run().is_clean());
+}

@@ -1,0 +1,116 @@
+//! Core MPI-facing types: ranks, tags, statuses, requests, errors.
+
+/// Message tag. `ANY_TAG` in a receive matches any tag.
+pub type Tag = u32;
+
+/// Wildcard source for receives.
+pub const ANY_SOURCE: Option<usize> = None;
+
+/// Wildcard tag for receives.
+pub const ANY_TAG: Option<Tag> = None;
+
+/// Completion information for a receive.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Status {
+    /// Communicator-relative rank of the sender.
+    pub source: usize,
+    /// The message tag.
+    pub tag: Tag,
+    /// Payload length in bytes.
+    pub len: usize,
+}
+
+/// Handle for a non-blocking operation, returned by `isend`/`irecv` and
+/// redeemed by `wait`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ReqId(pub u64);
+
+/// Reduction operators for `reduce`/`allreduce` over `f64` vectors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReduceOp {
+    /// Elementwise sum.
+    Sum,
+    /// Elementwise minimum.
+    Min,
+    /// Elementwise maximum.
+    Max,
+    /// Elementwise product.
+    Prod,
+}
+
+impl ReduceOp {
+    /// Apply the operator elementwise: `acc[i] = op(acc[i], x[i])`.
+    pub fn fold(self, acc: &mut [f64], x: &[f64]) {
+        assert_eq!(acc.len(), x.len(), "reduce length mismatch");
+        match self {
+            ReduceOp::Sum => acc.iter_mut().zip(x).for_each(|(a, b)| *a += b),
+            ReduceOp::Min => acc.iter_mut().zip(x).for_each(|(a, b)| *a = a.min(*b)),
+            ReduceOp::Max => acc.iter_mut().zip(x).for_each(|(a, b)| *a = a.max(*b)),
+            ReduceOp::Prod => acc.iter_mut().zip(x).for_each(|(a, b)| *a *= b),
+        }
+    }
+}
+
+/// MPI-level errors. Protocol-internal failures panic (they indicate bugs
+/// in the stack, not conditions an application can handle).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MpiError {
+    /// Destination or source rank outside the communicator.
+    BadRank {
+        /// The offending communicator-relative rank.
+        rank: usize,
+        /// Communicator size.
+        size: usize,
+    },
+    /// An unknown request id passed to `wait`.
+    BadRequest(ReqId),
+}
+
+impl std::fmt::Display for MpiError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MpiError::BadRank { rank, size } => {
+                write!(
+                    f,
+                    "rank {rank} out of range for communicator of size {size}"
+                )
+            }
+            MpiError::BadRequest(id) => write!(f, "unknown request {id:?}"),
+        }
+    }
+}
+
+impl std::error::Error for MpiError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reduce_ops_fold_elementwise() {
+        let mut acc = vec![1.0, 5.0, -2.0];
+        ReduceOp::Sum.fold(&mut acc, &[1.0, 1.0, 1.0]);
+        assert_eq!(acc, vec![2.0, 6.0, -1.0]);
+        ReduceOp::Min.fold(&mut acc, &[0.0, 10.0, -5.0]);
+        assert_eq!(acc, vec![0.0, 6.0, -5.0]);
+        ReduceOp::Max.fold(&mut acc, &[3.0, 0.0, 0.0]);
+        assert_eq!(acc, vec![3.0, 6.0, 0.0]);
+        let mut p = vec![2.0, 3.0];
+        ReduceOp::Prod.fold(&mut p, &[4.0, 0.5]);
+        assert_eq!(p, vec![8.0, 1.5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn reduce_rejects_mismatched_lengths() {
+        ReduceOp::Sum.fold(&mut [1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn errors_render() {
+        assert!(MpiError::BadRank { rank: 9, size: 4 }
+            .to_string()
+            .contains('9'));
+        assert!(MpiError::BadRequest(ReqId(3)).to_string().contains('3'));
+    }
+}

@@ -1,0 +1,225 @@
+//! Device-layer integration tests: the channel-interface contract
+//! (reliable per-pair FIFO frames, round-robin progress) over each real
+//! transport, below the ADI.
+
+use des::{Simulation, Time};
+use netsim::{MyrinetApiNet, NetSpec, TcpCosts, TcpNet};
+use parking_lot::Mutex;
+use smpi::{BbpDevice, Device, HybridDevice, MyrinetDevice, TcpDevice};
+use std::sync::Arc;
+
+fn tcp_device_pairs(sim: &Simulation, hosts: usize) -> Vec<TcpDevice> {
+    let net = TcpNet::new(
+        &sim.handle(),
+        NetSpec::fast_ethernet(hosts),
+        TcpCosts::fast_ethernet(),
+    );
+    (0..hosts)
+        .map(|rank| {
+            let socks = (0..hosts)
+                .map(|p| (p != rank).then(|| net.connect(rank, p)))
+                .collect();
+            TcpDevice::new(rank, socks)
+        })
+        .collect()
+}
+
+#[test]
+fn tcp_device_preserves_per_pair_fifo() {
+    let mut sim = Simulation::new();
+    let mut devs = tcp_device_pairs(&sim, 3);
+    let d2 = devs.pop().unwrap();
+    let d1 = devs.pop().unwrap();
+    let mut d0 = devs.pop().unwrap();
+    for (mut dev, label) in [(d1, 1u8), (d2, 2u8)] {
+        sim.spawn(format!("tx{label}"), move |ctx| {
+            for i in 0..15u8 {
+                dev.send_frame(ctx, 0, &[label, i]);
+            }
+        });
+    }
+    sim.spawn("rx", move |ctx| {
+        let mut next = [0u8; 3];
+        let mut got = 0;
+        while got < 30 {
+            if let Some((src, frame)) = d0.try_recv_frame(ctx) {
+                assert_eq!(frame[0] as usize, src);
+                assert_eq!(frame[1], next[src], "per-pair FIFO broken for {src}");
+                next[src] += 1;
+                got += 1;
+            } else {
+                ctx.advance(5_000);
+            }
+        }
+    });
+    assert!(sim.run().is_clean());
+}
+
+#[test]
+fn tcp_device_round_robin_serves_all_peers() {
+    // With frames waiting from two peers, consecutive try_recv calls
+    // must not starve either source.
+    let mut sim = Simulation::new();
+    let mut devs = tcp_device_pairs(&sim, 3);
+    let d2 = devs.pop().unwrap();
+    let d1 = devs.pop().unwrap();
+    let mut d0 = devs.pop().unwrap();
+    for (mut dev, label) in [(d1, 1u8), (d2, 2u8)] {
+        sim.spawn(format!("tx{label}"), move |ctx| {
+            for i in 0..8u8 {
+                dev.send_frame(ctx, 0, &[label, i]);
+            }
+        });
+    }
+    let order: Arc<Mutex<Vec<usize>>> = Arc::new(Mutex::new(Vec::new()));
+    let order2 = Arc::clone(&order);
+    sim.spawn("rx", move |ctx| {
+        ctx.wait_until(des::ms(5)); // let everything arrive first
+        let mut got = 0;
+        while got < 16 {
+            if let Some((src, _)) = d0.try_recv_frame(ctx) {
+                order2.lock().push(src);
+                got += 1;
+            } else {
+                ctx.advance(1_000);
+            }
+        }
+    });
+    assert!(sim.run().is_clean());
+    let order = order.lock();
+    // With both queues full, RR must alternate: no source appears three
+    // times consecutively.
+    for w in order.windows(3) {
+        assert!(
+            !(w[0] == w[1] && w[1] == w[2]),
+            "round-robin starved a source: {order:?}"
+        );
+    }
+}
+
+#[test]
+fn myrinet_device_carries_frames() {
+    let mut sim = Simulation::new();
+    let net = MyrinetApiNet::new(&sim.handle(), 2);
+    let mut tx = MyrinetDevice::new(net.port(0), 2);
+    let mut rx = MyrinetDevice::new(net.port(1), 2);
+    assert_eq!(tx.rank(), 0);
+    assert_eq!(rx.nprocs(), 2);
+    assert!(!rx.has_native_mcast());
+    sim.spawn("tx", move |ctx| tx.send_frame(ctx, 1, b"over myrinet"));
+    sim.spawn("rx", move |ctx| loop {
+        if let Some((src, frame)) = rx.try_recv_frame(ctx) {
+            assert_eq!(src, 0);
+            assert_eq!(frame, b"over myrinet");
+            break;
+        }
+        ctx.advance(5_000);
+    });
+    assert!(sim.run().is_clean());
+}
+
+#[test]
+fn hybrid_device_reports_fast_path_capabilities() {
+    let mut sim = Simulation::new();
+    let cluster = bbp::BbpCluster::new(&sim.handle(), bbp::BbpConfig::for_nodes(2));
+    let net = MyrinetApiNet::new(&sim.handle(), 2);
+    let fast = Box::new(BbpDevice::new(cluster.endpoint(0)));
+    let bulk = Box::new(MyrinetDevice::new(net.port(0), 2));
+    let hy = HybridDevice::new(fast, bulk, 512);
+    assert!(hy.has_native_mcast(), "mcast comes from the BBP fast path");
+    assert_eq!(hy.threshold(), 512);
+    assert_eq!(hy.rank(), 0);
+    // Bulk path (Myrinet) is unlimited, minus the 5-byte wrapper = None.
+    assert_eq!(hy.max_frame(), None);
+    drop(sim.run());
+}
+
+#[test]
+fn hybrid_device_mixed_sizes_stay_ordered_at_device_level() {
+    let mut sim = Simulation::new();
+    let cluster = bbp::BbpCluster::new(&sim.handle(), {
+        let mut c = bbp::BbpConfig::for_nodes(2);
+        c.data_words = 4096;
+        c
+    });
+    let net = MyrinetApiNet::new(&sim.handle(), 2);
+    let mut tx = HybridDevice::new(
+        Box::new(BbpDevice::new(cluster.endpoint(0))),
+        Box::new(MyrinetDevice::new(net.port(0), 2)),
+        256,
+    );
+    let mut rx = HybridDevice::new(
+        Box::new(BbpDevice::new(cluster.endpoint(1))),
+        Box::new(MyrinetDevice::new(net.port(1), 2)),
+        256,
+    );
+    sim.spawn("tx", move |ctx| {
+        for i in 0..20u8 {
+            // Alternate tiny (fast path) and 1 KB (bulk path) frames.
+            let len = if i % 2 == 0 { 8 } else { 1024 };
+            let mut frame = vec![i; len];
+            frame[0] = i;
+            tx.send_frame(ctx, 1, &frame);
+        }
+    });
+    let seen: Arc<Mutex<Vec<u8>>> = Arc::new(Mutex::new(Vec::new()));
+    let seen2 = Arc::clone(&seen);
+    sim.spawn("rx", move |ctx| {
+        let mut got = 0;
+        while got < 20 {
+            if let Some((_, frame)) = rx.try_recv_frame(ctx) {
+                seen2.lock().push(frame[0]);
+                got += 1;
+            } else {
+                ctx.advance(2_000);
+            }
+        }
+    });
+    let report = sim.run();
+    assert!(report.is_clean(), "deadlocked: {:?}", report.deadlocked);
+    let seen = seen.lock();
+    let expect: Vec<u8> = (0..20).collect();
+    assert_eq!(*seen, expect, "resequencer must restore send order");
+}
+
+/// The Myrinet-path timing matters: a tiny frame right behind a bulk one
+/// must not be delayed by it (it overtakes on the fast network and waits
+/// in the resequencer only as long as the bulk frame's true transit).
+#[test]
+fn small_frames_overtake_on_the_wire_but_deliver_in_order() {
+    let mut sim = Simulation::new();
+    let cluster = bbp::BbpCluster::new(&sim.handle(), bbp::BbpConfig::for_nodes(2));
+    let net = MyrinetApiNet::new(&sim.handle(), 2);
+    let mut tx = HybridDevice::new(
+        Box::new(BbpDevice::new(cluster.endpoint(0))),
+        Box::new(MyrinetDevice::new(net.port(0), 2)),
+        256,
+    );
+    let mut rx = HybridDevice::new(
+        Box::new(BbpDevice::new(cluster.endpoint(1))),
+        Box::new(MyrinetDevice::new(net.port(1), 2)),
+        256,
+    );
+    let times: Arc<Mutex<Vec<(u8, Time)>>> = Arc::new(Mutex::new(Vec::new()));
+    let times2 = Arc::clone(&times);
+    sim.spawn("tx", move |ctx| {
+        tx.send_frame(ctx, 1, &vec![1u8; 8 * 1024]); // bulk
+        tx.send_frame(ctx, 1, &[2u8; 8]); // tiny, right behind
+    });
+    sim.spawn("rx", move |ctx| {
+        let mut got = 0;
+        while got < 2 {
+            if let Some((_, frame)) = rx.try_recv_frame(ctx) {
+                times2.lock().push((frame[0], ctx.now()));
+                got += 1;
+            } else {
+                ctx.advance(2_000);
+            }
+        }
+    });
+    assert!(sim.run().is_clean());
+    let times = times.lock();
+    assert_eq!(times[0].0, 1, "bulk first (order preserved)");
+    assert_eq!(times[1].0, 2);
+    assert!(times[1].1 >= times[0].1);
+}

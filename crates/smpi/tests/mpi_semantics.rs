@@ -1,0 +1,689 @@
+#![allow(clippy::needless_range_loop)]
+
+//! MPI semantics over both devices: matching, wildcards, ordering,
+//! rendezvous, and collectives (native vs point-to-point).
+
+use std::sync::Arc;
+
+use des::{Simulation, TimeExt};
+use parking_lot::Mutex;
+use smpi::{CollectiveImpl, MpiWorld, ReduceOp, ANY_SOURCE, ANY_TAG};
+
+/// Run `body(rank)` on every rank of a world; panics inside propagate.
+fn run_world<F>(world: &MpiWorld, sim: &mut Simulation, body: F)
+where
+    F: Fn(&mut smpi::Mpi, &mut des::ProcCtx) + Send + Sync + 'static,
+{
+    let body = Arc::new(body);
+    for rank in 0..world.nprocs() {
+        let mut mpi = world.proc(rank);
+        let body = Arc::clone(&body);
+        sim.spawn(format!("rank{rank}"), move |ctx| body(&mut mpi, ctx));
+    }
+}
+
+fn finish(mut sim: Simulation) {
+    let report = sim.run();
+    assert!(report.is_clean(), "deadlocked: {:?}", report.deadlocked);
+}
+
+#[test]
+fn ping_pong_over_scramnet() {
+    let mut sim = Simulation::new();
+    let world = MpiWorld::scramnet(&sim.handle(), 2);
+    run_world(&world, &mut sim, |mpi, ctx| {
+        let comm = mpi.comm_world();
+        if mpi.rank() == 0 {
+            mpi.send(ctx, &comm, 1, 7, b"ping").unwrap();
+            let (st, m) = mpi.recv(ctx, &comm, Some(1), Some(8)).unwrap();
+            assert_eq!(m, b"pong");
+            assert_eq!(st.source, 1);
+            assert_eq!(st.len, 4);
+        } else {
+            let (st, m) = mpi.recv(ctx, &comm, Some(0), Some(7)).unwrap();
+            assert_eq!(m, b"ping");
+            assert_eq!(st.tag, 7);
+            mpi.send(ctx, &comm, 0, 8, b"pong").unwrap();
+        }
+    });
+    finish(sim);
+}
+
+#[test]
+fn ping_pong_over_fast_ethernet() {
+    let mut sim = Simulation::new();
+    let world = MpiWorld::fast_ethernet(&sim.handle(), 2);
+    run_world(&world, &mut sim, |mpi, ctx| {
+        let comm = mpi.comm_world();
+        if mpi.rank() == 0 {
+            mpi.send(ctx, &comm, 1, 1, b"e-ping").unwrap();
+            let (_, m) = mpi.recv(ctx, &comm, Some(1), Some(2)).unwrap();
+            assert_eq!(m, b"e-pong");
+        } else {
+            let (_, m) = mpi.recv(ctx, &comm, Some(0), Some(1)).unwrap();
+            assert_eq!(m, b"e-ping");
+            mpi.send(ctx, &comm, 0, 2, b"e-pong").unwrap();
+        }
+    });
+    finish(sim);
+}
+
+#[test]
+fn tag_matching_is_selective_not_fifo() {
+    let mut sim = Simulation::new();
+    let world = MpiWorld::scramnet(&sim.handle(), 2);
+    run_world(&world, &mut sim, |mpi, ctx| {
+        let comm = mpi.comm_world();
+        if mpi.rank() == 0 {
+            mpi.send(ctx, &comm, 1, 10, b"ten").unwrap();
+            mpi.send(ctx, &comm, 1, 20, b"twenty").unwrap();
+        } else {
+            // Receive out of arrival order by tag selection.
+            let (_, m20) = mpi.recv(ctx, &comm, Some(0), Some(20)).unwrap();
+            assert_eq!(m20, b"twenty");
+            let (_, m10) = mpi.recv(ctx, &comm, Some(0), Some(10)).unwrap();
+            assert_eq!(m10, b"ten");
+        }
+    });
+    finish(sim);
+}
+
+#[test]
+fn wildcard_source_and_tag_receive_everything() {
+    let mut sim = Simulation::new();
+    let world = MpiWorld::scramnet(&sim.handle(), 4);
+    run_world(&world, &mut sim, |mpi, ctx| {
+        let comm = mpi.comm_world();
+        if mpi.rank() == 0 {
+            let mut got = [false; 4];
+            for _ in 0..3 {
+                let (st, m) = mpi.recv(ctx, &comm, ANY_SOURCE, ANY_TAG).unwrap();
+                assert_eq!(m, st.source.to_le_bytes()[..1]);
+                assert_eq!(st.tag as usize, st.source * 100);
+                got[st.source] = true;
+            }
+            assert_eq!(got, [false, true, true, true]);
+        } else {
+            let r = mpi.rank();
+            mpi.send(ctx, &comm, 0, (r * 100) as u32, &[r as u8])
+                .unwrap();
+        }
+    });
+    finish(sim);
+}
+
+#[test]
+fn same_tag_messages_arrive_in_fifo_order() {
+    let mut sim = Simulation::new();
+    let world = MpiWorld::scramnet(&sim.handle(), 2);
+    run_world(&world, &mut sim, |mpi, ctx| {
+        let comm = mpi.comm_world();
+        if mpi.rank() == 0 {
+            for i in 0..25u32 {
+                mpi.send(ctx, &comm, 1, 5, &i.to_le_bytes()).unwrap();
+            }
+        } else {
+            for i in 0..25u32 {
+                let (_, m) = mpi.recv(ctx, &comm, Some(0), Some(5)).unwrap();
+                assert_eq!(u32::from_le_bytes(m.try_into().unwrap()), i);
+            }
+        }
+    });
+    finish(sim);
+}
+
+#[test]
+fn rendezvous_long_messages_round_trip() {
+    let mut sim = Simulation::new();
+    let world = MpiWorld::scramnet(&sim.handle(), 2);
+    // Default threshold is 16 KiB; make sure a 24 KiB message (which must
+    // use RTS/CTS/Data) survives. Needs a partition that can hold it.
+    let payload: Vec<u8> = (0..24 * 1024).map(|i| (i % 251) as u8).collect();
+    let expected = payload.clone();
+    let mut cfg = bbp::BbpConfig::for_nodes(2);
+    cfg.data_words = 16 * 1024; // 64 KiB data partition
+    let world = {
+        drop(world);
+        MpiWorld::scramnet_with(
+            &sim.handle(),
+            cfg,
+            scramnet::CostModel::default(),
+            smpi::SmpiCosts::channel_interface(),
+            CollectiveImpl::Native,
+        )
+    };
+    let payload2 = payload.clone();
+    let mut p0 = world.proc(0);
+    let mut p1 = world.proc(1);
+    sim.spawn("rank0", move |ctx| {
+        let comm = p0.comm_world();
+        p0.send(ctx, &comm, 1, 3, &payload2).unwrap();
+    });
+    sim.spawn("rank1", move |ctx| {
+        let comm = p1.comm_world();
+        let (st, m) = p1.recv(ctx, &comm, Some(0), Some(3)).unwrap();
+        assert_eq!(st.len, expected.len());
+        assert_eq!(m, expected);
+    });
+    finish(sim);
+}
+
+#[test]
+fn isend_irecv_overlap() {
+    let mut sim = Simulation::new();
+    let world = MpiWorld::scramnet(&sim.handle(), 2);
+    run_world(&world, &mut sim, |mpi, ctx| {
+        let comm = mpi.comm_world();
+        let peer = 1 - mpi.rank();
+        let r = mpi.irecv(ctx, &comm, Some(peer), Some(1)).unwrap();
+        let s = mpi.isend(ctx, &comm, peer, 1, &[mpi.rank() as u8]).unwrap();
+        mpi.wait_send(ctx, s);
+        let (_, m) = mpi.wait_recv(ctx, &comm, r);
+        assert_eq!(m, vec![peer as u8]);
+    });
+    finish(sim);
+}
+
+#[test]
+fn sendrecv_exchanges_without_deadlock() {
+    let mut sim = Simulation::new();
+    let world = MpiWorld::scramnet(&sim.handle(), 4);
+    run_world(&world, &mut sim, |mpi, ctx| {
+        let comm = mpi.comm_world();
+        let right = (mpi.rank() + 1) % 4;
+        let left = (mpi.rank() + 3) % 4;
+        let (st, m) = mpi
+            .sendrecv(
+                ctx,
+                &comm,
+                right,
+                9,
+                &[mpi.rank() as u8],
+                Some(left),
+                Some(9),
+            )
+            .unwrap();
+        assert_eq!(st.source, left);
+        assert_eq!(m, vec![left as u8]);
+    });
+    finish(sim);
+}
+
+#[test]
+fn bcast_native_and_p2p_agree() {
+    for coll in [CollectiveImpl::Native, CollectiveImpl::PointToPoint] {
+        let mut sim = Simulation::new();
+        let mut world = MpiWorld::scramnet(&sim.handle(), 4);
+        world.set_collectives(coll);
+        run_world(&world, &mut sim, |mpi, ctx| {
+            let comm = mpi.comm_world();
+            for root in 0..4 {
+                let data = if mpi.rank() == root {
+                    Some(vec![root as u8; 33])
+                } else {
+                    None
+                };
+                let out = mpi.bcast(ctx, &comm, root, data.as_deref());
+                assert_eq!(out, vec![root as u8; 33]);
+            }
+        });
+        finish(sim);
+    }
+}
+
+#[test]
+fn barrier_actually_synchronizes() {
+    for coll in [CollectiveImpl::Native, CollectiveImpl::PointToPoint] {
+        let mut sim = Simulation::new();
+        let mut world = MpiWorld::scramnet(&sim.handle(), 4);
+        world.set_collectives(coll);
+        let entered = Arc::new(Mutex::new(Vec::new()));
+        let exited = Arc::new(Mutex::new(Vec::new()));
+        for rank in 0..4 {
+            let mut mpi = world.proc(rank);
+            let entered = Arc::clone(&entered);
+            let exited = Arc::clone(&exited);
+            sim.spawn(format!("rank{rank}"), move |ctx| {
+                let comm = mpi.comm_world();
+                // Stagger arrivals.
+                ctx.wait_until(des::us(50 * rank as u64));
+                entered.lock().push(ctx.now());
+                mpi.barrier(ctx, &comm);
+                exited.lock().push(ctx.now());
+            });
+        }
+        finish(sim);
+        let max_enter = *entered.lock().iter().max().unwrap();
+        let min_exit = *exited.lock().iter().min().unwrap();
+        assert!(
+            min_exit >= max_enter,
+            "{coll:?}: someone left ({}) before the last arrival ({})",
+            min_exit.pretty(),
+            max_enter.pretty()
+        );
+    }
+}
+
+#[test]
+fn reduce_and_allreduce_are_correct() {
+    let mut sim = Simulation::new();
+    let world = MpiWorld::scramnet(&sim.handle(), 4);
+    run_world(&world, &mut sim, |mpi, ctx| {
+        let comm = mpi.comm_world();
+        let mine = vec![mpi.rank() as f64, 1.0, -(mpi.rank() as f64)];
+        let summed = mpi.reduce(ctx, &comm, 2, ReduceOp::Sum, &mine);
+        if mpi.rank() == 2 {
+            assert_eq!(summed.unwrap(), vec![6.0, 4.0, -6.0]);
+        } else {
+            assert!(summed.is_none());
+        }
+        let all = mpi.allreduce(ctx, &comm, ReduceOp::Max, &mine);
+        assert_eq!(all, vec![3.0, 1.0, 0.0]);
+    });
+    finish(sim);
+}
+
+#[test]
+fn gather_scatter_allgather_alltoall() {
+    let mut sim = Simulation::new();
+    let world = MpiWorld::scramnet(&sim.handle(), 4);
+    run_world(&world, &mut sim, |mpi, ctx| {
+        let comm = mpi.comm_world();
+        let r = mpi.rank();
+        // Gather to 1.
+        let g = mpi.gather(ctx, &comm, 1, &vec![r as u8; r + 1]);
+        if r == 1 {
+            let g = g.unwrap();
+            for (i, block) in g.iter().enumerate() {
+                assert_eq!(block, &vec![i as u8; i + 1]);
+            }
+        }
+        // Scatter from 3.
+        let blocks: Option<Vec<Vec<u8>>> =
+            (r == 3).then(|| (0..4).map(|i| vec![i as u8 * 2; 3]).collect());
+        let part = mpi.scatter(ctx, &comm, 3, blocks.as_deref());
+        assert_eq!(part, vec![r as u8 * 2; 3]);
+        // Allgather.
+        let all = mpi.allgather(ctx, &comm, &[r as u8]);
+        assert_eq!(all, vec![vec![0], vec![1], vec![2], vec![3]]);
+        // Alltoall: send rank-stamped blocks.
+        let outgoing: Vec<Vec<u8>> = (0..4).map(|d| vec![(r * 10 + d) as u8]).collect();
+        let incoming = mpi.alltoall(ctx, &comm, &outgoing);
+        for s in 0..4 {
+            assert_eq!(incoming[s], vec![(s * 10 + r) as u8]);
+        }
+    });
+    finish(sim);
+}
+
+#[test]
+fn comm_split_creates_working_subcommunicators() {
+    let mut sim = Simulation::new();
+    let world = MpiWorld::scramnet(&sim.handle(), 4);
+    run_world(&world, &mut sim, |mpi, ctx| {
+        let comm = mpi.comm_world();
+        // Even/odd split, reverse key order inside each group.
+        let color = (mpi.rank() % 2) as i64;
+        let key = -(mpi.rank() as i64);
+        let sub = mpi.comm_split(ctx, &comm, color, key).unwrap();
+        assert_eq!(sub.size(), 2);
+        // Reverse key: higher world rank sits at sub rank 0.
+        let expect_me = usize::from(mpi.rank() < 2);
+        assert_eq!(sub.rank(), expect_me);
+        // Collectives inside the sub-communicator.
+        let sum = mpi.allreduce(ctx, &sub, ReduceOp::Sum, &[mpi.rank() as f64]);
+        let expected = if color == 0 { 2.0 } else { 4.0 };
+        assert_eq!(sum, vec![expected]);
+        // Point-to-point inside the sub-communicator.
+        let peer = 1 - sub.rank();
+        let (_, m) = mpi
+            .sendrecv(ctx, &sub, peer, 4, &[sub.rank() as u8], Some(peer), Some(4))
+            .unwrap();
+        assert_eq!(m, vec![peer as u8]);
+    });
+    finish(sim);
+}
+
+#[test]
+fn undefined_color_returns_none_but_participates() {
+    let mut sim = Simulation::new();
+    let world = MpiWorld::scramnet(&sim.handle(), 4);
+    run_world(&world, &mut sim, |mpi, ctx| {
+        let comm = mpi.comm_world();
+        let color = if mpi.rank() == 0 { -1 } else { 1 };
+        let sub = mpi.comm_split(ctx, &comm, color, 0);
+        if mpi.rank() == 0 {
+            assert!(sub.is_none());
+        } else {
+            let sub = sub.unwrap();
+            assert_eq!(sub.size(), 3);
+            mpi.barrier(ctx, &sub);
+        }
+    });
+    finish(sim);
+}
+
+#[test]
+fn bad_ranks_are_rejected() {
+    let mut sim = Simulation::new();
+    let world = MpiWorld::scramnet(&sim.handle(), 2);
+    let mut mpi = world.proc(0);
+    sim.spawn("rank0", move |ctx| {
+        let comm = mpi.comm_world();
+        assert!(mpi.send(ctx, &comm, 5, 0, b"x").is_err());
+        assert!(mpi.recv(ctx, &comm, Some(9), None).is_err());
+    });
+    finish(sim);
+}
+
+#[test]
+fn mpi_headline_latency_is_calibrated() {
+    // Paper §5: 0-byte MPI one-way ≈44 µs, 4-byte ≈49 µs over SCRAMNet.
+    // We accept ±15% and record exact values in EXPERIMENTS.md.
+    let one_way = |len: usize| {
+        let mut sim = Simulation::new();
+        let world = MpiWorld::scramnet(&sim.handle(), 2);
+        let done = Arc::new(Mutex::new(0u64));
+        let done2 = Arc::clone(&done);
+        let payload = vec![0u8; len];
+        let mut p0 = world.proc(0);
+        let mut p1 = world.proc(1);
+        sim.spawn("rank0", move |ctx| {
+            let comm = p0.comm_world();
+            p0.send(ctx, &comm, 1, 0, &payload).unwrap();
+        });
+        sim.spawn("rank1", move |ctx| {
+            let comm = p1.comm_world();
+            let _ = p1.recv(ctx, &comm, Some(0), Some(0)).unwrap();
+            *done2.lock() = ctx.now();
+        });
+        sim.run();
+        let t = *done.lock();
+        t.as_us()
+    };
+    let zero = one_way(0);
+    let four = one_way(4);
+    assert!(
+        (zero - 44.0).abs() < 7.0,
+        "0-byte MPI one-way {zero:.1} µs, want ≈44"
+    );
+    assert!(
+        (four - 49.0).abs() < 8.0,
+        "4-byte MPI one-way {four:.1} µs, want ≈49"
+    );
+    assert!(four > zero);
+}
+
+#[test]
+fn probe_reports_without_consuming() {
+    let mut sim = Simulation::new();
+    let world = MpiWorld::scramnet(&sim.handle(), 2);
+    run_world(&world, &mut sim, |mpi, ctx| {
+        let comm = mpi.comm_world();
+        if mpi.rank() == 0 {
+            mpi.send(ctx, &comm, 1, 42, b"probed").unwrap();
+        } else {
+            // Nothing probed from a tag that was never sent.
+            assert!(mpi.iprobe(ctx, &comm, Some(0), Some(99)).unwrap().is_none());
+            let st = mpi.probe(ctx, &comm, Some(0), Some(42)).unwrap();
+            assert_eq!(st.source, 0);
+            assert_eq!(st.tag, 42);
+            assert_eq!(st.len, 6);
+            // Probe twice: still there.
+            let st2 = mpi.probe(ctx, &comm, None, None).unwrap();
+            assert_eq!(st2, st);
+            let (_, m) = mpi.recv(ctx, &comm, Some(0), Some(42)).unwrap();
+            assert_eq!(m, b"probed");
+            assert!(mpi.iprobe(ctx, &comm, Some(0), Some(42)).unwrap().is_none());
+        }
+    });
+    finish(sim);
+}
+
+#[test]
+fn waitany_returns_first_completion() {
+    let mut sim = Simulation::new();
+    let world = MpiWorld::scramnet(&sim.handle(), 3);
+    run_world(&world, &mut sim, |mpi, ctx| {
+        let comm = mpi.comm_world();
+        match mpi.rank() {
+            0 => {
+                let r1 = mpi.irecv(ctx, &comm, Some(1), Some(1)).unwrap();
+                let r2 = mpi.irecv(ctx, &comm, Some(2), Some(2)).unwrap();
+                let (idx, st, m) = mpi.waitany_recv(ctx, &comm, &[r1, r2]);
+                // Rank 2 sends immediately; rank 1 sends late.
+                assert_eq!(idx, 1);
+                assert_eq!(st.source, 2);
+                assert_eq!(m, b"fast");
+                let (idx2, _, m2) = mpi.waitany_recv(ctx, &comm, &[r1, r2]);
+                assert_eq!(idx2, 0);
+                assert_eq!(m2, b"slow");
+            }
+            1 => {
+                ctx.wait_until(des::ms(2));
+                mpi.send(ctx, &comm, 0, 1, b"slow").unwrap();
+            }
+            2 => {
+                mpi.send(ctx, &comm, 0, 2, b"fast").unwrap();
+            }
+            _ => unreachable!(),
+        }
+    });
+    finish(sim);
+}
+
+#[test]
+fn scan_computes_inclusive_prefixes() {
+    let mut sim = Simulation::new();
+    let world = MpiWorld::scramnet(&sim.handle(), 4);
+    run_world(&world, &mut sim, |mpi, ctx| {
+        let comm = mpi.comm_world();
+        let mine = vec![mpi.rank() as f64 + 1.0, 1.0];
+        let prefix = mpi.scan(ctx, &comm, ReduceOp::Sum, &mine);
+        let r = mpi.rank() as f64;
+        assert_eq!(
+            prefix[0],
+            (r + 1.0) * (r + 2.0) / 2.0,
+            "rank {}",
+            mpi.rank()
+        );
+        assert_eq!(prefix[1], r + 1.0);
+        let p = mpi.scan(ctx, &comm, ReduceOp::Prod, &[2.0]);
+        assert_eq!(p, vec![2f64.powi(mpi.rank() as i32 + 1)]);
+    });
+    finish(sim);
+}
+
+#[test]
+fn comm_dup_isolates_traffic() {
+    let mut sim = Simulation::new();
+    let world = MpiWorld::scramnet(&sim.handle(), 2);
+    run_world(&world, &mut sim, |mpi, ctx| {
+        let comm = mpi.comm_world();
+        let dup = mpi.comm_dup(ctx, &comm);
+        assert_eq!(dup.size(), comm.size());
+        assert_eq!(dup.rank(), comm.rank());
+        if mpi.rank() == 0 {
+            // Same tag on both communicators: contexts keep them apart.
+            mpi.send(ctx, &dup, 1, 7, b"on dup").unwrap();
+            mpi.send(ctx, &comm, 1, 7, b"on world").unwrap();
+        } else {
+            // Receive in the opposite order of sending: context matching
+            // must route each message to the right communicator.
+            let (_, w) = mpi.recv(ctx, &comm, Some(0), Some(7)).unwrap();
+            assert_eq!(w, b"on world");
+            let (_, d) = mpi.recv(ctx, &dup, Some(0), Some(7)).unwrap();
+            assert_eq!(d, b"on dup");
+        }
+        mpi.barrier(ctx, &dup);
+    });
+    finish(sim);
+}
+
+#[test]
+fn rendezvous_chunks_through_small_partitions() {
+    // A 40 KiB message over a device whose max frame is ~16 KiB: the ADI
+    // must segment the rendezvous data and reassemble it exactly.
+    let mut sim = Simulation::new();
+    let mut cfg = bbp::BbpConfig::for_nodes(2);
+    cfg.data_words = 4096; // 16 KiB partitions (frame limit ~16 KiB)
+    let world = MpiWorld::scramnet_with(
+        &sim.handle(),
+        cfg,
+        scramnet::CostModel::default(),
+        smpi::SmpiCosts::channel_interface(),
+        CollectiveImpl::Native,
+    );
+    let payload: Vec<u8> = (0..40 * 1024).map(|i| (i % 249) as u8).collect();
+    let expect = payload.clone();
+    let mut p0 = world.proc(0);
+    let mut p1 = world.proc(1);
+    sim.spawn("rank0", move |ctx| {
+        let comm = p0.comm_world();
+        p0.send(ctx, &comm, 1, 9, &payload).unwrap();
+    });
+    sim.spawn("rank1", move |ctx| {
+        let comm = p1.comm_world();
+        let (st, m) = p1.recv(ctx, &comm, Some(0), Some(9)).unwrap();
+        assert_eq!(st.len, expect.len());
+        assert_eq!(m, expect);
+    });
+    finish(sim);
+}
+
+#[test]
+fn oversized_native_bcast_falls_back_to_point_to_point() {
+    // A broadcast too large for one BBP frame must still complete under
+    // native collectives (root falls back to direct sends).
+    let mut sim = Simulation::new();
+    let mut cfg = bbp::BbpConfig::for_nodes(4);
+    cfg.data_words = 2048; // 8 KiB partitions
+    let world = MpiWorld::scramnet_with(
+        &sim.handle(),
+        cfg,
+        scramnet::CostModel::default(),
+        smpi::SmpiCosts::channel_interface(),
+        CollectiveImpl::Native,
+    );
+    run_world(&world, &mut sim, |mpi, ctx| {
+        let comm = mpi.comm_world();
+        let big = vec![0xABu8; 20 * 1024];
+        let data = (mpi.rank() == 0).then_some(&big[..]);
+        let out = mpi.bcast(ctx, &comm, 0, data);
+        assert_eq!(out.len(), 20 * 1024);
+        assert!(out.iter().all(|&b| b == 0xAB));
+    });
+    finish(sim);
+}
+
+#[test]
+fn ssend_synchronizes_with_the_matching_receive() {
+    let mut sim = Simulation::new();
+    let world = MpiWorld::scramnet(&sim.handle(), 2);
+    let posted_at = Arc::new(Mutex::new(0u64));
+    let ssend_done_at = Arc::new(Mutex::new(0u64));
+    let p1 = Arc::clone(&posted_at);
+    let s1 = Arc::clone(&ssend_done_at);
+    let mut tx = world.proc(0);
+    let mut rx = world.proc(1);
+    sim.spawn("tx", move |ctx| {
+        let comm = tx.comm_world();
+        tx.ssend(ctx, &comm, 1, 1, b"sync").unwrap();
+        *s1.lock() = ctx.now();
+    });
+    sim.spawn("rx", move |ctx| {
+        let comm = rx.comm_world();
+        ctx.wait_until(des::ms(3)); // receiver shows up very late
+        *p1.lock() = ctx.now();
+        let (_, m) = rx.recv(ctx, &comm, Some(0), Some(1)).unwrap();
+        assert_eq!(m, b"sync");
+    });
+    finish(sim);
+    assert!(
+        *ssend_done_at.lock() >= *posted_at.lock(),
+        "ssend ({}) must not complete before the receive was posted ({})",
+        *ssend_done_at.lock(),
+        *posted_at.lock()
+    );
+}
+
+#[test]
+fn plain_send_of_small_messages_does_not_synchronize() {
+    // Control for the ssend test: an eager send completes long before a
+    // late receiver shows up.
+    let mut sim = Simulation::new();
+    let world = MpiWorld::scramnet(&sim.handle(), 2);
+    let send_done_at = Arc::new(Mutex::new(0u64));
+    let s1 = Arc::clone(&send_done_at);
+    let mut tx = world.proc(0);
+    let mut rx = world.proc(1);
+    sim.spawn("tx", move |ctx| {
+        let comm = tx.comm_world();
+        tx.send(ctx, &comm, 1, 1, b"eager").unwrap();
+        *s1.lock() = ctx.now();
+    });
+    sim.spawn("rx", move |ctx| {
+        let comm = rx.comm_world();
+        ctx.wait_until(des::ms(3));
+        let (_, m) = rx.recv(ctx, &comm, Some(0), Some(1)).unwrap();
+        assert_eq!(m, b"eager");
+    });
+    finish(sim);
+    assert!(
+        *send_done_at.lock() < des::ms(1),
+        "eager send should complete immediately"
+    );
+}
+
+#[test]
+fn exscan_computes_exclusive_prefixes() {
+    let mut sim = Simulation::new();
+    let world = MpiWorld::scramnet(&sim.handle(), 4);
+    run_world(&world, &mut sim, |mpi, ctx| {
+        let comm = mpi.comm_world();
+        let mine = vec![mpi.rank() as f64 + 1.0];
+        let prefix = mpi.exscan(ctx, &comm, ReduceOp::Sum, &mine);
+        match mpi.rank() {
+            0 => assert!(prefix.is_none()),
+            r => {
+                // Exclusive prefix of 1,2,3,4 at rank r = r*(r+1)/2.
+                let want = (r * (r + 1) / 2) as f64;
+                assert_eq!(prefix.unwrap(), vec![want]);
+            }
+        }
+    });
+    finish(sim);
+}
+
+#[test]
+fn reduce_scatter_block_hands_each_rank_its_block() {
+    let mut sim = Simulation::new();
+    let world = MpiWorld::scramnet(&sim.handle(), 4);
+    run_world(&world, &mut sim, |mpi, ctx| {
+        let comm = mpi.comm_world();
+        // Each rank contributes [rank; 8]: two values per destination.
+        let data = vec![mpi.rank() as f64; 8];
+        let mine = mpi.reduce_scatter_block(ctx, &comm, ReduceOp::Sum, &data);
+        // Sum over ranks of `rank` = 0+1+2+3 = 6 in every slot.
+        assert_eq!(mine, vec![6.0, 6.0]);
+    });
+    finish(sim);
+}
+
+#[test]
+fn scan_exscan_consistency() {
+    // scan(r) == op(exscan(r), mine) for r > 0.
+    let mut sim = Simulation::new();
+    let world = MpiWorld::scramnet(&sim.handle(), 4);
+    run_world(&world, &mut sim, |mpi, ctx| {
+        let comm = mpi.comm_world();
+        let mine = vec![(mpi.rank() as f64 + 1.0) * 2.0];
+        let inc = mpi.scan(ctx, &comm, ReduceOp::Sum, &mine);
+        let exc = mpi.exscan(ctx, &comm, ReduceOp::Sum, &mine);
+        match exc {
+            None => assert_eq!(inc, mine),
+            Some(p) => assert_eq!(inc[0], p[0] + mine[0]),
+        }
+    });
+    finish(sim);
+}

@@ -1,0 +1,105 @@
+//! Dual-ring fault tolerance: SCRAMNet's insertion registers can be
+//! switched out ("bypassed") when a node dies, healing the ring around
+//! it. This example runs steady point-to-point traffic among four nodes,
+//! bypasses node 2 mid-run, shows the survivors keep communicating (with
+//! *lower* hop latency across the bypass switch), then rejoins the node
+//! and demonstrates why a rejoined bank must resynchronize before use.
+//!
+//! Run with: `cargo run --release --example fault_bypass`
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use scramnet_cluster::bbp::{BbpCluster, BbpConfig};
+use scramnet_cluster::des::{ms, Simulation, TimeExt};
+
+fn main() {
+    let mut sim = Simulation::new();
+    let cluster = BbpCluster::new(&sim.handle(), BbpConfig::for_nodes(4));
+    let ring = cluster.ring();
+
+    let log = Arc::new(Mutex::new(Vec::<String>::new()));
+
+    // Node 0 streams sequence numbers to node 3 (the path 0→1→2→3 crosses
+    // node 2's position) throughout the whole run.
+    let mut tx = cluster.endpoint(0);
+    sim.spawn("sender", move |ctx| {
+        for seq in 0..60u32 {
+            tx.send(ctx, 3, &seq.to_le_bytes()).unwrap();
+            ctx.wait_until(ms(seq as u64 + 1));
+        }
+    });
+    let mut rx = cluster.endpoint(3);
+    let log_rx = Arc::clone(&log);
+    sim.spawn("receiver", move |ctx| {
+        let mut latencies_healthy = Vec::new();
+        let mut latencies_bypassed = Vec::new();
+        for seq in 0..60u32 {
+            let m = rx.recv(ctx, 0);
+            assert_eq!(u32::from_le_bytes(m.try_into().unwrap()), seq);
+            let sent_at = ms(seq as u64); // sender paces on millisecond marks
+            let latency = ctx.now().saturating_sub(sent_at);
+            if (20..40).contains(&seq) {
+                latencies_bypassed.push(latency);
+            } else if seq < 20 {
+                latencies_healthy.push(latency);
+            }
+        }
+        let mean = |v: &[u64]| v.iter().sum::<u64>() as f64 / v.len() as f64 / 1000.0;
+        log_rx.lock().push(format!(
+            "receiver: all 60 messages delivered in order; mean latency healthy {:.2} µs, \
+             during bypass {:.2} µs (bypass switch is faster than a live insertion register)",
+            mean(&latencies_healthy),
+            mean(&latencies_bypassed)
+        ));
+    });
+
+    // The failing node: receives until the fault, misses traffic while
+    // bypassed.
+    let mut victim = cluster.endpoint(2);
+    let log_victim = Arc::clone(&log);
+    sim.spawn("victim", move |ctx| {
+        ctx.wait_until(ms(45));
+        // After rejoining, its bank missed the bypassed window; the BBP
+        // flags written during the outage never reached it.
+        let waiting = victim.msg_avail(ctx);
+        log_victim.lock().push(format!(
+            "victim after rejoin: msg_avail = {waiting} (traffic sent while bypassed is lost \
+             to this node; a rejoining node must resynchronize at the application level)"
+        ));
+    });
+
+    // Fault controller: bypass node 2 at t=20 ms, rejoin at t=40 ms.
+    {
+        let handle = sim.handle();
+        let ring2 = cluster.ring().clone();
+        let ring3 = ring2.clone();
+        let log_a = Arc::clone(&log);
+        let log_b = Arc::clone(&log);
+        handle.schedule_at(ms(20), move |t| {
+            ring2.bypass_node(2);
+            log_a
+                .lock()
+                .push(format!("t={}: node 2 bypassed (ring healed)", t.pretty()));
+        });
+        handle.schedule_at(ms(40), move |t| {
+            ring3.rejoin_node(2);
+            log_b
+                .lock()
+                .push(format!("t={}: node 2 rejoined", t.pretty()));
+        });
+    }
+
+    let report = sim.run();
+    assert!(report.is_clean(), "deadlocked: {:?}", report.deadlocked);
+
+    println!("dual-ring bypass demo (4 nodes, node 2 fails from 20 ms to 40 ms)\n");
+    for line in log.lock().iter() {
+        println!("  {line}");
+    }
+    println!(
+        "\nring carried {} words total",
+        cluster.ring().stats().words_carried
+    );
+    assert!(!ring.is_bypassed(2));
+}

@@ -1,0 +1,27 @@
+#![warn(missing_docs)]
+
+//! # scramnet-cluster
+//!
+//! Umbrella crate for the reproduction of *Low-Latency Message Passing on
+//! Workstation Clusters using SCRAMNet* (IPPS 1999). It re-exports the
+//! member crates so examples and integration tests can `use
+//! scramnet_cluster::...` uniformly:
+//!
+//! - [`des`] — deterministic discrete-event simulation kernel;
+//! - [`scramnet`] — the SCRAMNet replicated shared-memory ring model;
+//! - [`bbp`] — the BillBoard Protocol (the paper's contribution);
+//! - [`netsim`] — Fast Ethernet / ATM / Myrinet baselines with a TCP-like
+//!   stack;
+//! - [`smpi`] — an MPI subset layered MPICH-style over pluggable devices;
+//! - [`shmem`] — the shared-memory programming model SCRAMNet was
+//!   originally used with (bakery locks, barriers, counters, events).
+//!
+//! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
+//! paper-vs-measured record of every figure.
+
+pub use bbp;
+pub use des;
+pub use netsim;
+pub use scramnet;
+pub use shmem;
+pub use smpi;

@@ -1,0 +1,127 @@
+//! The whole stack is deterministic: identical programs produce
+//! byte-identical schedules and identical virtual end times, run after
+//! run. This is what makes the experiment tables reproducible.
+
+use scramnet_cluster::bbp::{BbpCluster, BbpConfig};
+use scramnet_cluster::des::rng::SimRng;
+use scramnet_cluster::des::Simulation;
+use scramnet_cluster::smpi::{MpiWorld, ReduceOp};
+
+/// A moderately chaotic BBP workload driven by a seeded RNG: the traffic
+/// plan (who sends what to whom, with what think time) is generated up
+/// front so every receiver knows exactly how many messages to drain.
+fn chaotic_bbp_run(seed: u64) -> (u64, u64, Vec<String>) {
+    // Plan: per sender, a list of (dst, payload, think-time ns).
+    let mut plans: Vec<Vec<(usize, Vec<u8>, u64)>> = Vec::new();
+    let mut incoming = [0usize; 4];
+    for rank in 0..4usize {
+        let mut rng = SimRng::seeded(seed ^ rank as u64);
+        let peers: Vec<usize> = (0..4).filter(|&p| p != rank).collect();
+        let mut plan = Vec::new();
+        for _ in 0..12 {
+            let dst = peers[rng.index(peers.len())];
+            let len = rng.below(200) as usize;
+            let payload = rng.payload(len);
+            let think = if rng.chance(0.3) { rng.below(5_000) } else { 0 };
+            incoming[dst] += 1;
+            plan.push((dst, payload, think));
+        }
+        plans.push(plan);
+    }
+
+    let mut sim = Simulation::new();
+    sim.enable_trace();
+    let cluster = BbpCluster::new(&sim.handle(), BbpConfig::for_nodes(4));
+    for (rank, plan) in plans.into_iter().enumerate() {
+        let mut ep = cluster.endpoint(rank);
+        let expect = incoming[rank];
+        sim.spawn(format!("p{rank}"), move |ctx| {
+            for (dst, payload, think) in plan {
+                ep.send(ctx, dst, &payload).unwrap();
+                if think > 0 {
+                    ctx.advance(think);
+                }
+            }
+            for _ in 0..expect {
+                let _ = ep.recv_any(ctx);
+            }
+        });
+    }
+    let report = sim.run();
+    assert!(report.is_clean(), "deadlocked: {:?}", report.deadlocked);
+    let trace: Vec<String> = sim.take_trace().iter().map(|e| e.to_string()).collect();
+    (report.end_time, report.dispatches, trace)
+}
+
+#[test]
+fn identical_runs_produce_identical_traces() {
+    let (t1, d1, trace1) = chaotic_bbp_run(0xFEED);
+    let (t2, d2, trace2) = chaotic_bbp_run(0xFEED);
+    assert_eq!(t1, t2, "virtual end times differ");
+    assert_eq!(d1, d2, "dispatch counts differ");
+    assert_eq!(trace1.len(), trace2.len(), "trace lengths differ");
+    for (i, (a, b)) in trace1.iter().zip(&trace2).enumerate() {
+        assert_eq!(a, b, "traces diverge at entry {i}");
+    }
+}
+
+#[test]
+fn different_seeds_produce_different_schedules() {
+    let (_, _, trace1) = chaotic_bbp_run(1);
+    let (_, _, trace2) = chaotic_bbp_run(2);
+    assert_ne!(
+        trace1, trace2,
+        "distinct seeds should explore distinct schedules"
+    );
+}
+
+#[test]
+fn mpi_collective_results_are_reproducible() {
+    let run = || {
+        let mut sim = Simulation::new();
+        let world = MpiWorld::scramnet(&sim.handle(), 4);
+        let result = std::sync::Arc::new(parking_lot::Mutex::new(Vec::new()));
+        for rank in 0..4 {
+            let mut mpi = world.proc(rank);
+            let result = std::sync::Arc::clone(&result);
+            sim.spawn(format!("rank{rank}"), move |ctx| {
+                let comm = mpi.comm_world();
+                let v = mpi.allreduce(ctx, &comm, ReduceOp::Sum, &[mpi.rank() as f64 + 0.5]);
+                mpi.barrier(ctx, &comm);
+                if mpi.rank() == 0 {
+                    result.lock().push((v[0], ctx.now()));
+                }
+            });
+        }
+        sim.run();
+        let r = result.lock().clone();
+        r[0]
+    };
+    let (v1, t1) = run();
+    let (v2, t2) = run();
+    assert_eq!(v1, 6.0 + 2.0);
+    assert_eq!(v1, v2);
+    assert_eq!(
+        t1, t2,
+        "identical collective schedules must take identical virtual time"
+    );
+}
+
+#[test]
+fn ethernet_worlds_are_deterministic_too() {
+    let run = || {
+        let mut sim = Simulation::new();
+        let world = MpiWorld::fast_ethernet(&sim.handle(), 3);
+        for rank in 0..3 {
+            let mut mpi = world.proc(rank);
+            sim.spawn(format!("rank{rank}"), move |ctx| {
+                let comm = mpi.comm_world();
+                for _ in 0..3 {
+                    mpi.barrier(ctx, &comm);
+                }
+            });
+        }
+        sim.run().end_time
+    };
+    assert_eq!(run(), run());
+}

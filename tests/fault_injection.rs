@@ -1,0 +1,123 @@
+//! Fault injection: node bypass (the dual-ring heal) while protocol
+//! traffic is in flight. Survivor pairs must keep full delivery
+//! guarantees; the bypassed node's bank silently misses the window.
+
+use scramnet_cluster::bbp::{BbpCluster, BbpConfig};
+use scramnet_cluster::des::{ms, Simulation};
+
+#[test]
+fn survivors_keep_full_delivery_during_bypass() {
+    let mut sim = Simulation::new();
+    let cluster = BbpCluster::new(&sim.handle(), BbpConfig::for_nodes(4));
+    let ring = cluster.ring().clone();
+    // Node 2 drops out between 5 ms and 15 ms.
+    let ring_b = ring.clone();
+    sim.handle()
+        .schedule_at(ms(5), move |_| ring_b.bypass_node(2));
+    let ring_r = ring.clone();
+    sim.handle()
+        .schedule_at(ms(15), move |_| ring_r.rejoin_node(2));
+
+    // 0 streams to 3 across node 2's ring position for 20 ms.
+    let mut tx = cluster.endpoint(0);
+    sim.spawn("tx", move |ctx| {
+        for seq in 0..100u32 {
+            tx.send(ctx, 3, &seq.to_le_bytes()).unwrap();
+            ctx.advance(200_000); // 200 µs pacing
+        }
+    });
+    let mut rx = cluster.endpoint(3);
+    sim.spawn("rx", move |ctx| {
+        for seq in 0..100u32 {
+            let m = rx.recv(ctx, 0);
+            assert_eq!(
+                u32::from_le_bytes(m.try_into().unwrap()),
+                seq,
+                "loss or reorder"
+            );
+        }
+    });
+    let report = sim.run();
+    assert!(report.is_clean(), "deadlocked: {:?}", report.deadlocked);
+}
+
+#[test]
+fn bypassed_receiver_misses_messages_sent_during_outage() {
+    let mut sim = Simulation::new();
+    let cluster = BbpCluster::new(&sim.handle(), BbpConfig::for_nodes(3));
+    let ring = cluster.ring().clone();
+    cluster.ring().bypass_node(2);
+
+    let mut tx = cluster.endpoint(0);
+    sim.spawn("tx", move |ctx| {
+        tx.send(ctx, 2, b"lost in the void").unwrap();
+    });
+    let mut rx = cluster.endpoint(2);
+    sim.spawn("rx", move |ctx| {
+        ctx.wait_until(ms(2));
+        assert!(!rx.msg_avail(ctx), "a bypassed node must not see flags");
+    });
+    let report = sim.run();
+    assert!(report.is_clean());
+    assert!(ring.is_bypassed(2));
+}
+
+#[test]
+fn rejoined_node_exchanges_fresh_traffic() {
+    // After a rejoin, *new* messages flow normally in both directions.
+    let mut sim = Simulation::new();
+    let cluster = BbpCluster::new(&sim.handle(), BbpConfig::for_nodes(3));
+    let ring = cluster.ring().clone();
+    cluster.ring().bypass_node(1);
+    sim.handle()
+        .schedule_at(ms(1), move |_| ring.rejoin_node(1));
+
+    let mut a = cluster.endpoint(0);
+    sim.spawn("a", move |ctx| {
+        ctx.wait_until(ms(2)); // after the rejoin
+        a.send(ctx, 1, b"welcome back").unwrap();
+        let m = a.recv(ctx, 1);
+        assert_eq!(m, b"thanks");
+    });
+    let mut b = cluster.endpoint(1);
+    sim.spawn("b", move |ctx| {
+        let m = b.recv(ctx, 0);
+        assert_eq!(m, b"welcome back");
+        b.send(ctx, 0, b"thanks").unwrap();
+    });
+    let report = sim.run();
+    assert!(report.is_clean(), "deadlocked: {:?}", report.deadlocked);
+}
+
+#[test]
+fn bypass_shortens_the_detour_hop() {
+    // Raw propagation 0→3 with node 2 alive vs bypassed: the bypass
+    // switch (80 ns) is faster than a live insertion register (250 ns),
+    // so the write lands earlier — matching SCRAMNet's documented
+    // behaviour. Measured at the ring level: the saving (~170 ns) is
+    // below the BBP's polling granularity.
+    use scramnet_cluster::scramnet::{CostModel, Ring, RingConfig};
+    let arrival = |bypass: bool| {
+        let mut sim = Simulation::new();
+        let cfg = RingConfig {
+            track_provenance: true,
+            ..Default::default()
+        };
+        let ring = Ring::with_config(&sim.handle(), 4, 64, CostModel::default(), cfg);
+        if bypass {
+            ring.bypass_node(2);
+        }
+        let nic = ring.nic(0);
+        sim.spawn("tx", move |ctx| nic.write_word(ctx, 7, 1));
+        sim.run();
+        ring.provenance(3, 7).unwrap().applied_at
+    };
+    let alive = arrival(false);
+    let bypassed = arrival(true);
+    let c = scramnet_cluster::scramnet::CostModel::default();
+    assert_eq!(
+        alive - bypassed,
+        c.hop_ns - c.bypass_hop_ns,
+        "bypass should save exactly one register's worth of latency"
+    );
+}

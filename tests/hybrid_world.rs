@@ -1,0 +1,108 @@
+//! The hybrid SCRAMNet+Myrinet world (paper §7's concluding direction):
+//! correctness under mixed small/large traffic where frames split across
+//! two physical networks, and the best-of-both performance envelope.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use scramnet_cluster::des::{SimHandle, Simulation, Time, TimeExt};
+use scramnet_cluster::smpi::{MpiWorld, ReduceOp};
+
+const THRESHOLD: usize = 1024;
+
+#[test]
+fn mixed_size_traffic_keeps_mpi_ordering() {
+    // Alternating small (fast path) and large (bulk path) messages with
+    // the same tag: MPI's non-overtaking rule must survive the split.
+    let mut sim = Simulation::new();
+    let world = MpiWorld::hybrid(&sim.handle(), 2, THRESHOLD);
+    let mut tx = world.proc(0);
+    let mut rx = world.proc(1);
+    sim.spawn("tx", move |ctx| {
+        let comm = tx.comm_world();
+        for i in 0..20u32 {
+            // Even i: 16-byte message; odd i: 4-KB message.
+            let len = if i % 2 == 0 { 16 } else { 4096 };
+            let mut payload = vec![(i % 251) as u8; len];
+            payload[0..4].copy_from_slice(&i.to_le_bytes());
+            tx.send(ctx, &comm, 1, 5, &payload).unwrap();
+        }
+    });
+    sim.spawn("rx", move |ctx| {
+        let comm = rx.comm_world();
+        for i in 0..20u32 {
+            let (_, m) = rx.recv(ctx, &comm, Some(0), Some(5)).unwrap();
+            let got = u32::from_le_bytes(m[0..4].try_into().unwrap());
+            assert_eq!(got, i, "hybrid split broke FIFO ordering");
+            let want_len = if i % 2 == 0 { 16 } else { 4096 };
+            assert_eq!(m.len(), want_len);
+        }
+    });
+    let report = sim.run();
+    assert!(report.is_clean(), "deadlocked: {:?}", report.deadlocked);
+}
+
+#[test]
+fn collectives_work_on_the_hybrid_world() {
+    let mut sim = Simulation::new();
+    let world = MpiWorld::hybrid(&sim.handle(), 4, THRESHOLD);
+    for rank in 0..4 {
+        let mut mpi = world.proc(rank);
+        sim.spawn(format!("rank{rank}"), move |ctx| {
+            let comm = mpi.comm_world();
+            let data = (mpi.rank() == 2).then_some(&[9u8; 100][..]);
+            let out = mpi.bcast(ctx, &comm, 2, data);
+            assert_eq!(out, vec![9u8; 100]);
+            let s = mpi.allreduce(ctx, &comm, ReduceOp::Sum, &[1.0, 2.0]);
+            assert_eq!(s, vec![4.0, 8.0]);
+            mpi.barrier(ctx, &comm);
+        });
+    }
+    let report = sim.run();
+    assert!(report.is_clean(), "deadlocked: {:?}", report.deadlocked);
+}
+
+/// One-way MPI latency on a world built by `build`.
+fn one_way_us(build: impl Fn(&SimHandle) -> MpiWorld, len: usize) -> f64 {
+    let mut sim = Simulation::new();
+    let world = build(&sim.handle());
+    let done: Arc<Mutex<Time>> = Arc::new(Mutex::new(0));
+    let done2 = Arc::clone(&done);
+    let payload = vec![1u8; len];
+    let mut tx = world.proc(0);
+    let mut rx = world.proc(1);
+    sim.spawn("tx", move |ctx| {
+        let comm = tx.comm_world();
+        tx.send(ctx, &comm, 1, 0, &payload).unwrap();
+    });
+    sim.spawn("rx", move |ctx| {
+        let comm = rx.comm_world();
+        let _ = rx.recv(ctx, &comm, Some(0), Some(0)).unwrap();
+        *done2.lock() = ctx.now();
+    });
+    let report = sim.run();
+    assert!(report.is_clean());
+    let t = *done.lock();
+    t.as_us()
+}
+
+#[test]
+fn hybrid_tracks_scramnet_for_small_messages() {
+    let hybrid = one_way_us(|h| MpiWorld::hybrid(h, 2, THRESHOLD), 4);
+    let scramnet = one_way_us(|h| MpiWorld::scramnet(h, 2), 4);
+    // The 5-byte sequencing wrapper costs a little; it must stay small.
+    assert!(
+        (hybrid - scramnet).abs() < 0.15 * scramnet,
+        "hybrid {hybrid:.1} µs should track SCRAMNet {scramnet:.1} µs for short messages"
+    );
+}
+
+#[test]
+fn hybrid_beats_pure_scramnet_for_bulk_messages() {
+    let hybrid = one_way_us(|h| MpiWorld::hybrid(h, 2, THRESHOLD), 16 * 1024);
+    let scramnet = one_way_us(|h| MpiWorld::scramnet(h, 2), 16 * 1024);
+    assert!(
+        hybrid < scramnet / 2.0,
+        "hybrid {hybrid:.1} µs should be far below pure SCRAMNet {scramnet:.1} µs at 16 KB"
+    );
+}
