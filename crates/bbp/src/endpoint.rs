@@ -4,6 +4,7 @@
 
 use std::collections::{BTreeMap, VecDeque};
 
+use des::obs::Layer;
 use des::{ProcCtx, Signal};
 use scramnet::{Nic, Word};
 
@@ -160,7 +161,12 @@ impl BbpEndpoint {
     /// when buffer space or descriptor slots are exhausted and garbage
     /// collection has to wait for acknowledgements.
     pub fn send(&mut self, ctx: &mut ProcCtx, dst: usize, payload: &[u8]) -> Result<(), BbpError> {
-        self.post(ctx, &[dst], payload)?;
+        ctx.obs()
+            .span_enter(ctx.now(), self.rank as u32, Layer::Bbp, "send");
+        let posted = self.post(ctx, &[dst], payload);
+        ctx.obs()
+            .span_exit(ctx.now(), self.rank as u32, Layer::Bbp, "send");
+        posted?;
         self.stats.sends += 1;
         Ok(())
     }
@@ -177,7 +183,12 @@ impl BbpEndpoint {
         if targets.is_empty() {
             return Err(BbpError::NoTargets);
         }
-        self.post(ctx, targets, payload)?;
+        ctx.obs()
+            .span_enter(ctx.now(), self.rank as u32, Layer::Bbp, "mcast");
+        let posted = self.post(ctx, targets, payload);
+        ctx.obs()
+            .span_exit(ctx.now(), self.rank as u32, Layer::Bbp, "mcast");
+        posted?;
         self.stats.mcasts += 1;
         Ok(())
     }
@@ -325,8 +336,12 @@ impl BbpEndpoint {
     /// acknowledged buffer regardless of order. Returns how many were
     /// freed.
     fn gc(&mut self, ctx: &mut ProcCtx) -> usize {
+        ctx.obs()
+            .span_enter(ctx.now(), self.rank as u32, Layer::Bbp, "gc");
         ctx.advance(self.config.sw.gc_probe_ns);
         self.stats.gc_sweeps += 1;
+        ctx.obs()
+            .count(ctx.now(), self.rank as u32, "bbp.gc_sweeps", 1);
         // Read each relevant ACK word at most once per sweep.
         let mut ack_cache: Vec<Option<Word>> = vec![None; self.n];
         let mut check_slot = |slots: &[SlotState],
@@ -394,6 +409,8 @@ impl BbpEndpoint {
                 self.inflight = kept;
             }
         }
+        ctx.obs()
+            .span_exit(ctx.now(), self.rank as u32, Layer::Bbp, "gc");
         freed
     }
 
@@ -412,9 +429,14 @@ impl BbpEndpoint {
     /// (per-sender FIFO order).
     pub fn recv(&mut self, ctx: &mut ProcCtx, src: usize) -> Vec<u8> {
         assert!(src < self.n && src != self.rank, "bad source rank {src}");
+        ctx.obs()
+            .span_enter(ctx.now(), self.rank as u32, Layer::Bbp, "recv");
         loop {
             if let Some(msg) = self.pop_pending(src) {
-                return self.deliver(ctx, src, msg);
+                let data = self.deliver(ctx, src, msg);
+                ctx.obs()
+                    .span_exit(ctx.now(), self.rank as u32, Layer::Bbp, "recv");
+                return data;
             }
             self.poll_sender(ctx, src);
             if self.pending[src].is_empty() {
@@ -425,6 +447,8 @@ impl BbpEndpoint {
 
     /// Blocking receive from any sender, round-robin fair across sources.
     pub fn recv_any(&mut self, ctx: &mut ProcCtx) -> (usize, Vec<u8>) {
+        ctx.obs()
+            .span_enter(ctx.now(), self.rank as u32, Layer::Bbp, "recv");
         loop {
             for off in 0..self.n {
                 let s = (self.rr_cursor + off) % self.n;
@@ -434,6 +458,8 @@ impl BbpEndpoint {
                 if let Some(msg) = self.pop_pending(s) {
                     self.rr_cursor = (s + 1) % self.n;
                     let data = self.deliver(ctx, s, msg);
+                    ctx.obs()
+                        .span_exit(ctx.now(), self.rank as u32, Layer::Bbp, "recv");
                     return (s, data);
                 }
             }
@@ -576,6 +602,7 @@ impl BbpEndpoint {
     fn poll_sender(&mut self, ctx: &mut ProcCtx, s: usize) {
         ctx.advance(self.config.sw.poll_iter_ns);
         self.stats.polls += 1;
+        ctx.obs().count(ctx.now(), self.rank as u32, "bbp.polls", 1);
         let word = self.nic.read_word(ctx, self.layout.msg_flag(self.rank, s));
         let changed = word ^ self.shadow_msg[s];
         if changed == 0 {
@@ -617,6 +644,8 @@ impl BbpEndpoint {
     /// Read the payload out of the sender's (replicated) data partition,
     /// toggle the ACK bit, and hand the bytes to the application.
     fn deliver(&mut self, ctx: &mut ProcCtx, src: usize, msg: PendingMsg) -> Vec<u8> {
+        ctx.obs()
+            .span_enter(ctx.now(), self.rank as u32, Layer::Bbp, "deliver");
         let words = msg.len_bytes.div_ceil(4);
         let data = if words > 0 {
             self.nic
@@ -633,6 +662,8 @@ impl BbpEndpoint {
         );
         self.stats.recvs += 1;
         self.stats.bytes_recved += msg.len_bytes as u64;
+        ctx.obs()
+            .span_exit(ctx.now(), self.rank as u32, Layer::Bbp, "deliver");
         unpack_bytes(&data, msg.len_bytes)
     }
 }

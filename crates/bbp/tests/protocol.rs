@@ -576,8 +576,10 @@ fn bbp_has_no_checksums_by_design_corruption_passes_through() {
     sim.spawn("b", move |ctx| {
         for i in 0..30u32 {
             let m = b.recv(ctx, 0);
-            assert_eq!(m.len(), 256, "framing survives (lengths ride descriptors)");
-            if m.iter().any(|&x| x != i as u8) {
+            // Lengths ride descriptors, but descriptor words transit the
+            // ring like any other: a flip there mangles the framing just
+            // as undetectably as one in the payload.
+            if m.len() != 256 || m.iter().any(|&x| x != i as u8) {
                 *cc.lock() += 1;
             }
         }

@@ -1,0 +1,204 @@
+//! `bench-report` — the machine-readable latency report.
+//!
+//! Runs the paper's core microbenchmarks with the `obs` recorder, then
+//! writes a schema-validated `BENCH_summary.json`: paper anchors,
+//! latency sweeps, the MPI-over-BBP layering constant (≈37.5 µs), a
+//! per-layer self-time attribution of a 4-node `MPI_Bcast`, and
+//! per-repetition latency quantiles.
+//!
+//! ```text
+//! bench-report [--quick] [--out PATH] [--trace PATH]
+//! bench-report --check PATH
+//! ```
+//!
+//! - `--quick`: smaller size sweep (the CI configuration).
+//! - `--out PATH`: where to write the JSON summary
+//!   (default `BENCH_summary.json`).
+//! - `--trace PATH`: also write a Chrome `trace_event` JSON of the
+//!   instrumented 4-node broadcast (load in Perfetto).
+//! - `--check PATH`: validate an existing summary against the schema
+//!   and exit (runs no benchmarks).
+//!
+//! Exits non-zero if the report fails its own schema validation or the
+//! measured layering constant deviates from the paper by more than 20%.
+
+use std::process::ExitCode;
+
+use bench::{
+    bbp_one_way_us, bbp_pingpong_histogram, crossover, mpi_bcast_events, mpi_one_way_us,
+    mpi_pingpong_histogram, print_table, report, report_anchor, MpiNet, Series,
+};
+use obs::report::PAPER_LAYERING_US;
+use smpi::CollectiveImpl;
+
+/// Maximum tolerated deviation of the layering constant, percent.
+const LAYERING_TOLERANCE_PCT: f64 = 20.0;
+
+const USAGE: &str = "usage: bench-report [--quick] [--out PATH] [--trace PATH] | --check PATH";
+
+struct Args {
+    quick: bool,
+    out: String,
+    trace: Option<String>,
+    check: Option<String>,
+    help: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        quick: false,
+        out: "BENCH_summary.json".to_string(),
+        trace: None,
+        check: None,
+        help: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => args.quick = true,
+            "--out" => args.out = it.next().ok_or("--out needs a path")?,
+            "--trace" => args.trace = Some(it.next().ok_or("--trace needs a path")?),
+            "--check" => args.check = Some(it.next().ok_or("--check needs a path")?),
+            "--help" | "-h" => args.help = true,
+            other => return Err(format!("unknown argument '{other}'\n{USAGE}")),
+        }
+    }
+    Ok(args)
+}
+
+/// Validate an existing summary file against the schema.
+fn check(path: &str) -> ExitCode {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match obs::report::validate_json(&text) {
+        Ok(()) => {
+            println!("{path}: valid (schema v{})", obs::report::SCHEMA_VERSION);
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("{path}: schema violation: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if args.help {
+        println!("{USAGE}");
+        return ExitCode::SUCCESS;
+    }
+    if let Some(path) = &args.check {
+        return check(path);
+    }
+    report::begin(if args.quick {
+        "bench-report --quick"
+    } else {
+        "bench-report"
+    });
+
+    // Paper anchors (Moorthy et al., IPPS 1999, Figures 1-3).
+    report_anchor("BBP one-way 0 B", 6.5, bbp_one_way_us(0, 4));
+    report_anchor("BBP one-way 4 B", 7.8, bbp_one_way_us(4, 4));
+    let mpi0 = mpi_one_way_us(MpiNet::Scramnet, 0);
+    report_anchor("MPI one-way 0 B (SCRAMNet)", 44.0, mpi0);
+    report_anchor(
+        "MPI one-way 4 B (SCRAMNet)",
+        49.0,
+        mpi_one_way_us(MpiNet::Scramnet, 4),
+    );
+
+    // The layering constant: what the MPICH stack adds on top of raw BBP.
+    let bbp0 = bbp_one_way_us(0, 4);
+    let layering = mpi0 - bbp0;
+    report::set_layering(layering);
+    println!(
+        "\nMPI-over-BBP layering: {layering:.1} µs measured vs {PAPER_LAYERING_US:.1} µs paper \
+         ({:+.0}%)",
+        (layering - PAPER_LAYERING_US) / PAPER_LAYERING_US * 100.0
+    );
+
+    // Latency sweeps (recorded into the report by print_table).
+    let sizes: &[usize] = if args.quick {
+        &[0, 4, 64, 256, 1024]
+    } else {
+        &[0, 4, 16, 64, 256, 1024, 4096, 8192]
+    };
+    let bbp = Series::sweep("SCRAMNet (BBP)", sizes, |n| bbp_one_way_us(n, 4));
+    let mpi_scr = Series::sweep("SCRAMNet (MPI)", sizes, |n| {
+        mpi_one_way_us(MpiNet::Scramnet, n)
+    });
+    let mpi_fe = Series::sweep("Fast Ethernet (MPI)", sizes, |n| {
+        mpi_one_way_us(MpiNet::FastEthernet, n)
+    });
+    print_table("one-way latency", &[bbp, mpi_scr.clone(), mpi_fe.clone()]);
+    match crossover(&mpi_scr, &mpi_fe) {
+        Some(b) => println!("Fast Ethernet overtakes SCRAMNet MPI at {b} B"),
+        None => println!("Fast Ethernet never overtakes SCRAMNet MPI in this sweep"),
+    }
+
+    // Per-layer attribution of a 4-node MPI_Bcast.
+    let bcast_len = if args.quick { 256 } else { 1024 };
+    let (bcast_us, events) =
+        mpi_bcast_events(MpiNet::Scramnet, bcast_len, 4, CollectiveImpl::Native);
+    let breakdown = obs::attribute(&events);
+    report::set_layers(&breakdown);
+    println!("\n== MPI_Bcast {bcast_len} B on 4 nodes: {bcast_us:.1} µs, per-layer self time ==");
+    for (layer, self_us) in breakdown.rows_us() {
+        println!("  {:<8} {self_us:>8.1} µs", layer.name());
+    }
+    if breakdown.unbalanced > 0 {
+        eprintln!(
+            "warning: {} unbalanced spans in the trace",
+            breakdown.unbalanced
+        );
+    }
+    if let Some(path) = &args.trace {
+        let trace = obs::chrome_trace_json(&events);
+        if let Err(e) = std::fs::write(path, trace) {
+            eprintln!("failed to write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("Chrome trace written to {path}");
+    }
+
+    // Per-repetition latency distributions.
+    report::push_quantiles("bbp_pingpong_0B", &bbp_pingpong_histogram(0, 4));
+    report::push_quantiles(
+        "mpi_pingpong_0B",
+        &mpi_pingpong_histogram(MpiNet::Scramnet, 0),
+    );
+
+    // Write and self-validate the summary.
+    let rep = report::finish().expect("report sink was armed at startup");
+    let json = rep.to_json();
+    if let Err(e) = obs::report::validate_json(&json) {
+        eprintln!("generated report fails schema validation: {e}");
+        return ExitCode::FAILURE;
+    }
+    if let Err(e) = std::fs::write(&args.out, &json) {
+        eprintln!("failed to write {}: {e}", args.out);
+        return ExitCode::FAILURE;
+    }
+    println!("\nReport written to {}", args.out);
+
+    let dev_pct = ((layering - PAPER_LAYERING_US) / PAPER_LAYERING_US * 100.0).abs();
+    if dev_pct > LAYERING_TOLERANCE_PCT {
+        eprintln!(
+            "layering constant off by {dev_pct:.0}% (> {LAYERING_TOLERANCE_PCT:.0}% tolerance)"
+        );
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -9,10 +9,13 @@
 use std::sync::Arc;
 
 use bbp::{BbpCluster, BbpConfig};
+use des::metrics::Histogram;
 use des::{Simulation, Time, TimeExt};
 use netsim::{MyrinetApiNet, NetSpec, TcpCosts, TcpNet};
 use parking_lot::Mutex;
 use smpi::{CollectiveImpl, MpiWorld, SmpiCosts};
+
+pub mod report;
 
 /// The API-level transports of Figure 2.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -357,10 +360,140 @@ pub fn mpi_barrier_us(net: MpiNet, nodes: usize, coll: CollectiveImpl) -> f64 {
 }
 
 // ----------------------------------------------------------------------
+// Instrumented runs (obs-backed)
+// ----------------------------------------------------------------------
+
+/// Per-repetition one-way BBP latencies at `len` bytes: a histogram of
+/// nanosecond samples, one per timed round trip.
+pub fn bbp_pingpong_histogram(len: usize, nodes: usize) -> Histogram {
+    let mut sim = Simulation::new();
+    let mut cfg = BbpConfig::for_nodes(nodes);
+    cfg.data_words = 16 * 1024;
+    let cluster = BbpCluster::new(&sim.handle(), cfg);
+    let mut a = cluster.endpoint(0);
+    let mut b = cluster.endpoint(1);
+    let hist = Arc::new(Mutex::new(Histogram::new()));
+    let h2 = Arc::clone(&hist);
+    let payload = vec![0xA5u8; len];
+    sim.spawn("a", move |ctx| {
+        for i in 0..WARMUP + PING_REPS {
+            let t0 = ctx.now();
+            a.send(ctx, 1, &payload).unwrap();
+            let _ = a.recv(ctx, 1);
+            if i >= WARMUP {
+                h2.lock().record((ctx.now() - t0) / 2);
+            }
+        }
+    });
+    sim.spawn("b", move |ctx| {
+        for _ in 0..WARMUP + PING_REPS {
+            let m = b.recv(ctx, 0);
+            b.send(ctx, 0, &m).unwrap();
+        }
+    });
+    assert!(sim.run().is_clean());
+    Arc::try_unwrap(hist)
+        .expect("sole owner after run")
+        .into_inner()
+}
+
+/// Per-repetition one-way MPI latencies at `len` bytes (histogram of
+/// nanosecond samples, one per timed round trip).
+pub fn mpi_pingpong_histogram(net: MpiNet, len: usize) -> Histogram {
+    let mut sim = Simulation::new();
+    let world = net.world(&sim, 4, CollectiveImpl::Native);
+    let hist = Arc::new(Mutex::new(Histogram::new()));
+    let h2 = Arc::clone(&hist);
+    let payload = vec![0xA5u8; len];
+    let mut p0 = world.proc(0);
+    let mut p1 = world.proc(1);
+    sim.spawn("rank0", move |ctx| {
+        let comm = p0.comm_world();
+        for i in 0..WARMUP + PING_REPS {
+            let t0 = ctx.now();
+            p0.send(ctx, &comm, 1, 1, &payload).unwrap();
+            let _ = p0.recv(ctx, &comm, Some(1), Some(2)).unwrap();
+            if i >= WARMUP {
+                h2.lock().record((ctx.now() - t0) / 2);
+            }
+        }
+    });
+    sim.spawn("rank1", move |ctx| {
+        let comm = p1.comm_world();
+        for _ in 0..WARMUP + PING_REPS {
+            let (_, m) = p1.recv(ctx, &comm, Some(0), Some(1)).unwrap();
+            p1.send(ctx, &comm, 0, 2, &m).unwrap();
+        }
+    });
+    let report = sim.run();
+    assert!(
+        report.is_clean(),
+        "mpi ping-pong deadlocked: {:?}",
+        report.deadlocked
+    );
+    Arc::try_unwrap(hist)
+        .expect("sole owner after run")
+        .into_inner()
+}
+
+/// The MPI_Bcast of [`mpi_bcast_us`] with the obs recorder armed for the
+/// timed (post-warm-up) broadcast. Returns the last-receiver latency in
+/// microseconds and the recorded event stream: spans for every layer of
+/// the stack plus scheduler entries, ready for
+/// [`obs::attribute`] or [`obs::chrome_trace_json`].
+pub fn mpi_bcast_events(
+    net: MpiNet,
+    len: usize,
+    nodes: usize,
+    coll: CollectiveImpl,
+) -> (f64, Vec<obs::Event>) {
+    let mut sim = Simulation::new();
+    let world = net.world(&sim, nodes, coll);
+    let align: Time = des::ms(5);
+    let last = Arc::new(Mutex::new(0u64));
+    // Arm the recorder only once warm-up has settled — every rank is
+    // parked in `wait_until(align)` long before this fires — so the
+    // trace holds exactly the timed broadcast.
+    let rec = sim.recorder_arc();
+    sim.spawn("obs-arm", move |ctx| {
+        ctx.wait_until(align - des::us(1));
+        rec.enable();
+    });
+    for rank in 0..nodes {
+        let mut mpi = world.proc(rank);
+        let last = Arc::clone(&last);
+        let payload = vec![0x5Au8; len];
+        sim.spawn(format!("rank{rank}"), move |ctx| {
+            let comm = mpi.comm_world();
+            let warm = (mpi.rank() == 0).then(|| vec![1u8; 4]);
+            let _ = mpi.bcast(ctx, &comm, 0, warm.as_deref());
+            ctx.wait_until(align);
+            let data = (mpi.rank() == 0).then_some(&payload[..]);
+            let out = mpi.bcast(ctx, &comm, 0, data);
+            assert_eq!(out.len(), len);
+            if mpi.rank() != 0 {
+                let mut l = last.lock();
+                *l = (*l).max(ctx.now());
+            }
+        });
+    }
+    let report = sim.run();
+    assert!(
+        report.is_clean(),
+        "bcast deadlocked: {:?}",
+        report.deadlocked
+    );
+    sim.recorder().disable();
+    let t = *last.lock();
+    ((t - align).as_us(), sim.recorder().take_events())
+}
+
+// ----------------------------------------------------------------------
 // Reporting
 // ----------------------------------------------------------------------
 
 /// One latency-vs-size curve.
+#[derive(Debug, Clone)]
 pub struct Series {
     /// Legend label.
     pub label: String,
@@ -388,8 +521,11 @@ pub fn print_table(title: &str, series: &[Series]) {
     print_table_with_unit(title, series, "µs");
 }
 
-/// [`print_table`] with an explicit value unit (e.g. "MB/s").
+/// [`print_table`] with an explicit value unit (e.g. "MB/s"). When a
+/// report is armed (see [`report::begin`]) the table is also recorded
+/// into the machine-readable summary.
 pub fn print_table_with_unit(title: &str, series: &[Series], unit: &str) {
+    report::record_table(title, unit, series);
     println!("\n== {title} ==");
     print!("{:>9}", "bytes");
     for s in series {
@@ -408,18 +544,23 @@ pub fn print_table_with_unit(title: &str, series: &[Series], unit: &str) {
 }
 
 /// First size at which `challenger` becomes faster than `incumbent`
-/// (`None` if it never does within the sweep).
+/// (`None` if it never does within the sweep). Recorded into the armed
+/// report, if any.
 pub fn crossover(incumbent: &Series, challenger: &Series) -> Option<usize> {
-    incumbent
+    let at = incumbent
         .points
         .iter()
         .zip(&challenger.points)
         .find(|((_, a), (_, b))| b < a)
-        .map(|((size, _), _)| *size)
+        .map(|((size, _), _)| *size);
+    report::record_crossover(incumbent, challenger, at);
+    at
 }
 
-/// Report a paper-vs-measured anchor value with its deviation.
+/// Report a paper-vs-measured anchor value with its deviation. Recorded
+/// into the armed report, if any.
 pub fn report_anchor(what: &str, paper_us: f64, measured_us: f64) {
+    report::record_anchor(what, paper_us, measured_us);
     let dev = (measured_us - paper_us) / paper_us * 100.0;
     println!("{what:<58} paper {paper_us:>8.1} µs   measured {measured_us:>8.1} µs   ({dev:+.0}%)");
 }

@@ -1,0 +1,110 @@
+//! An API-compatible subset of the `criterion` benchmark harness. The
+//! build container has no access to crates.io, so the workspace vendors
+//! the surface `benches/criterion_micro.rs` uses: [`Criterion`],
+//! [`Bencher::iter`], and the [`criterion_group!`]/[`criterion_main!`]
+//! macros.
+//!
+//! Unlike the real crate there is no statistical engine: each benchmark
+//! runs a short warmup, then a fixed iteration count, and prints the mean
+//! wall-clock time per iteration. Good enough to keep `cargo bench`
+//! runnable and `clippy --all-targets` compiling; not a measurement tool.
+
+use std::time::Instant;
+
+const WARMUP_ITERS: u32 = 3;
+const MEASURE_ITERS: u32 = 30;
+
+/// Benchmark registry and runner.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Register and immediately run one benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            total_nanos: 0,
+            iters: 0,
+        };
+        f(&mut b);
+        let mean = if b.iters > 0 {
+            b.total_nanos / b.iters as u128
+        } else {
+            0
+        };
+        println!("bench {name:<32} {mean:>12} ns/iter ({} iters)", b.iters);
+        self
+    }
+
+    /// Finalize (upstream prints summaries here; nothing to do).
+    pub fn final_summary(&mut self) {}
+}
+
+/// Timing context passed to each benchmark closure.
+pub struct Bencher {
+    total_nanos: u128,
+    iters: u32,
+}
+
+impl Bencher {
+    /// Time `routine`, excluding warmup iterations.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        for _ in 0..WARMUP_ITERS {
+            std::hint::black_box(routine());
+        }
+        let start = Instant::now();
+        for _ in 0..MEASURE_ITERS {
+            std::hint::black_box(routine());
+        }
+        self.total_nanos += start.elapsed().as_nanos();
+        self.iters += MEASURE_ITERS;
+    }
+}
+
+/// Re-export so call sites may use `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// Bundle benchmark functions into a single runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+            criterion.final_summary();
+        }
+    };
+}
+
+/// Emit `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_closure() {
+        let mut ran = 0u32;
+        Criterion::default().bench_function("noop", |b| {
+            b.iter(|| {
+                ran += 1;
+            })
+        });
+        assert_eq!(ran, super::WARMUP_ITERS + super::MEASURE_ITERS);
+    }
+}

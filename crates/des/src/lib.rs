@@ -38,11 +38,16 @@
 //! follow is: **never hold a lock across a yield point**
 //! ([`ProcCtx::advance`], [`ProcCtx::wait`], …).
 //!
-//! ## Determinism and tracing
+//! ## Determinism, tracing, and observability
 //!
 //! [`Simulation::enable_trace`] records every scheduling decision; the
 //! integration tests assert that two runs of the same seeded workload
-//! produce byte-identical traces.
+//! produce byte-identical traces. The trace is one event kind in the
+//! wider [`obs`] event log ([`Simulation::recorder`]), which also carries
+//! layer spans and counters from every instrumented protocol layer —
+//! export it with [`obs::chrome_trace_json`] or fold it into a per-layer
+//! latency breakdown with [`obs::attribute`]. Recording is off by
+//! default and costs one relaxed atomic load per instrumentation site.
 
 mod process;
 mod sched;
@@ -61,3 +66,7 @@ pub use signal::Signal;
 pub use sim::{RunReport, Simulation};
 pub use time::{ms, ns, secs, us, Time, TimeExt};
 pub use trace::{TraceEntry, TraceKind};
+
+// Re-export the observability crate so downstream layers can instrument
+// (`des::obs::Layer`, …) without declaring their own dependency.
+pub use obs;

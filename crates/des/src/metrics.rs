@@ -205,4 +205,76 @@ mod tests {
         h.record(us(5));
         assert!(h.summary().contains("n=1"));
     }
+
+    #[test]
+    fn extreme_sample_lands_in_top_bucket_and_clamps() {
+        let mut h = Histogram::new();
+        h.record(Time::MAX);
+        assert_eq!(h.quantile(1.0), Time::MAX);
+        assert_eq!(h.quantile(0.5), Time::MAX);
+        assert_eq!(h.max(), Time::MAX);
+    }
+
+    #[test]
+    fn quantile_zero_still_answers_from_first_sample() {
+        let mut h = Histogram::new();
+        h.record(us(3));
+        h.record(us(7));
+        // q = 0 clamps to rank 1: the bucket of the smallest sample.
+        let q0 = h.quantile(0.0);
+        assert!(q0 >= us(3) && q0 <= us(7), "q0 bound {q0}");
+        // Out-of-range q is clamped, not a panic.
+        assert_eq!(h.quantile(2.0), h.max());
+        assert_eq!(h.quantile(-1.0), q0);
+    }
+
+    #[test]
+    fn merge_into_empty_adopts_the_other() {
+        let mut empty = Histogram::new();
+        let mut full = Histogram::new();
+        for s in [us(1), us(8), us(64)] {
+            full.record(s);
+        }
+        empty.merge(&full);
+        assert_eq!(empty.count(), full.count());
+        // The empty side's Time::MAX min sentinel must not leak through.
+        assert_eq!(empty.min(), full.min());
+        assert_eq!(empty.max(), full.max());
+        assert_eq!(empty.quantile(0.5), full.quantile(0.5));
+    }
+
+    #[test]
+    fn merge_of_empties_stays_empty() {
+        let mut a = Histogram::new();
+        a.merge(&Histogram::new());
+        assert_eq!(a.count(), 0);
+        assert_eq!(a.min(), 0);
+        assert_eq!(a.max(), 0);
+        assert_eq!(a.quantile(0.9), 0);
+    }
+
+    #[test]
+    fn merge_equals_recording_everything_in_one() {
+        let lo: Vec<Time> = (1..=100).map(|i| i * 37).collect();
+        let hi: Vec<Time> = (1..=100).map(|i| i * 9_001).collect();
+        let mut merged = Histogram::new();
+        let mut other = Histogram::new();
+        let mut combined = Histogram::new();
+        for &s in &lo {
+            merged.record(s);
+            combined.record(s);
+        }
+        for &s in &hi {
+            other.record(s);
+            combined.record(s);
+        }
+        merged.merge(&other);
+        assert_eq!(merged.count(), combined.count());
+        assert_eq!(merged.min(), combined.min());
+        assert_eq!(merged.max(), combined.max());
+        assert!((merged.mean() - combined.mean()).abs() < 1e-9);
+        for q in [0.0, 0.1, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(merged.quantile(q), combined.quantile(q), "q={q}");
+        }
+    }
 }

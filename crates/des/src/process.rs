@@ -184,14 +184,23 @@ impl ProcCtx {
         )
     }
 
+    /// The simulation's observability recorder, for instrumenting layer
+    /// spans and counters from inside process bodies.
+    pub fn obs(&self) -> &obs::Recorder {
+        &self.sched.recorder
+    }
+
     /// Park this thread and hand control to the scheduler; returns with the
     /// granted resumption time.
     fn park(&mut self, reason: YieldReason) {
-        self.sched.record(TraceEntry {
-            time: self.now,
-            kind: TraceKind::Yield,
-            detail: format!("{} {:?}", self.shared.name, reason),
-        });
+        if self.sched.recorder.is_enabled() {
+            // Gated so the hot yield path never formats the detail string.
+            self.sched.record(TraceEntry {
+                time: self.now,
+                kind: TraceKind::Yield,
+                detail: format!("{} {:?}", self.shared.name, reason),
+            });
+        }
         let mut slot = self.shared.slot.lock();
         *slot = Slot::Yielded(reason);
         self.shared.cv.notify_all();

@@ -55,7 +55,10 @@ impl Ord for Item {
 pub(crate) struct SchedShared {
     pub pending: Mutex<BinaryHeap<Reverse<Item>>>,
     pub seq: Mutex<u64>,
-    pub trace: Mutex<Option<Vec<TraceEntry>>>,
+    /// The cross-layer observability log. Scheduler trace entries, layer
+    /// spans, and counters all land here; disabled (the default) it costs
+    /// one relaxed atomic load per instrumentation site.
+    pub recorder: Arc<obs::Recorder>,
     /// Active run horizon: the advance fast path must not carry a
     /// process's clock past it (see `ProcCtx::advance`).
     pub horizon: Mutex<Time>,
@@ -66,7 +69,7 @@ impl SchedShared {
         Arc::new(SchedShared {
             pending: Mutex::new(BinaryHeap::new()),
             seq: Mutex::new(0),
-            trace: Mutex::new(None),
+            recorder: Arc::new(obs::Recorder::new()),
             horizon: Mutex::new(Time::MAX),
         })
     }
@@ -82,9 +85,7 @@ impl SchedShared {
     }
 
     pub fn record(&self, entry: TraceEntry) {
-        if let Some(t) = self.trace.lock().as_mut() {
-            t.push(entry);
-        }
+        self.recorder.sched(entry);
     }
 }
 
@@ -111,11 +112,28 @@ impl SimHandle {
     /// Append a custom entry to the deterministic trace (no-op when tracing
     /// is disabled). Components use this to label interesting transitions.
     pub fn trace_mark(&self, t: Time, label: impl Into<String>) {
+        if !self.sched.recorder.is_enabled() {
+            return; // skip the `label.into()` allocation entirely
+        }
         self.sched.record(TraceEntry {
             time: t,
             kind: TraceKind::Mark,
             detail: label.into(),
         });
+    }
+
+    /// The simulation's observability recorder: layer spans, counters, and
+    /// scheduler trace entries. Hardware and protocol models instrument
+    /// through this; disabled (the default) every call is a single relaxed
+    /// atomic load.
+    pub fn recorder(&self) -> &obs::Recorder {
+        &self.sched.recorder
+    }
+
+    /// A clone of the recorder handle, for exporters that outlive the
+    /// simulation's borrow.
+    pub fn recorder_arc(&self) -> Arc<obs::Recorder> {
+        Arc::clone(&self.sched.recorder)
     }
 }
 

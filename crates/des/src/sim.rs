@@ -46,13 +46,28 @@ impl Simulation {
     }
 
     /// Record every scheduling decision; retrieve with [`Simulation::take_trace`].
+    /// This also turns on span/counter recording across all instrumented
+    /// layers (see [`Simulation::recorder`]).
     pub fn enable_trace(&self) {
-        *self.sched.trace.lock() = Some(Vec::new());
+        self.sched.recorder.enable();
     }
 
-    /// Drain the recorded trace (empty if tracing was never enabled).
+    /// Drain the recorded scheduler trace and stop recording (empty if
+    /// tracing was never enabled). Structured spans and counters recorded
+    /// alongside are dropped; use [`Simulation::recorder`] to drain the
+    /// full event log instead.
     pub fn take_trace(&self) -> Vec<TraceEntry> {
-        self.sched.trace.lock().take().unwrap_or_default()
+        self.sched.recorder.take_trace()
+    }
+
+    /// The simulation's observability recorder (see [`obs::Recorder`]).
+    pub fn recorder(&self) -> &obs::Recorder {
+        &self.sched.recorder
+    }
+
+    /// A clone of the recorder handle, e.g. for exporting after `run`.
+    pub fn recorder_arc(&self) -> Arc<obs::Recorder> {
+        Arc::clone(&self.sched.recorder)
     }
 
     /// A cloneable scheduler handle for wiring hardware models before the
@@ -109,11 +124,13 @@ impl Simulation {
             dispatches += 1;
             match item.what {
                 WakeWhat::Event(f) => {
-                    self.sched.record(TraceEntry {
-                        time: now,
-                        kind: TraceKind::Event,
-                        detail: String::new(),
-                    });
+                    if self.sched.recorder.is_enabled() {
+                        self.sched.record(TraceEntry {
+                            time: now,
+                            kind: TraceKind::Event,
+                            detail: String::new(),
+                        });
+                    }
                     f(now);
                 }
                 WakeWhat::Resume(id) => {
@@ -151,11 +168,14 @@ impl Simulation {
             // resume in the queue; ignore it.
             return;
         }
-        self.sched.record(TraceEntry {
-            time: t,
-            kind: TraceKind::Resume,
-            detail: shared.name.clone(),
-        });
+        if self.sched.recorder.is_enabled() {
+            // Gated so the hot dispatch path never clones the name.
+            self.sched.record(TraceEntry {
+                time: t,
+                kind: TraceKind::Resume,
+                detail: shared.name.clone(),
+            });
+        }
         let reason = {
             let mut slot = shared.slot.lock();
             *slot = Slot::Go(t);

@@ -1,34 +1,9 @@
 //! Deterministic execution traces, used by the determinism integration
 //! tests and available for debugging protocol schedules.
+//!
+//! The types themselves now live in the `obs` crate — scheduler trace
+//! entries are one event kind in the cross-layer observability log. This
+//! module re-exports them so existing `des::{TraceEntry, TraceKind}`
+//! imports keep compiling.
 
-use crate::time::Time;
-
-/// What kind of scheduling decision a trace entry records.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum TraceKind {
-    /// A process yielded (advance / block / finish).
-    Yield,
-    /// A process was resumed.
-    Resume,
-    /// A pure event fired.
-    Event,
-    /// A component-defined marker (see [`crate::SimHandle::trace_mark`]).
-    Mark,
-}
-
-/// One recorded scheduling decision.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct TraceEntry {
-    /// Virtual time of the decision.
-    pub time: Time,
-    /// Category.
-    pub kind: TraceKind,
-    /// Free-form detail (process name, reason, marker label).
-    pub detail: String,
-}
-
-impl std::fmt::Display for TraceEntry {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "[{:>12}] {:?} {}", self.time, self.kind, self.detail)
-    }
-}
+pub use obs::{TraceEntry, TraceKind};

@@ -1,9 +1,7 @@
 //! Link-layer specifications for each comparator technology.
 
-use serde::{Deserialize, Serialize};
-
 /// How payload bytes are framed on the wire.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Framing {
     /// Frame-per-segment with a fixed header+trailer overhead (Ethernet,
     /// Myrinet).
@@ -24,7 +22,7 @@ pub enum Framing {
 }
 
 /// One comparator network's link layer.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct NetSpec {
     /// Display name for tables.
     pub name: &'static str,

@@ -1,0 +1,202 @@
+//! Latency attribution: fold a span stream into per-layer *self time* —
+//! the time a layer spent working that is not covered by a deeper
+//! nested span. Summed over a ping-pong this is exactly the paper's
+//! layering breakdown (the ≈37.5 µs MPI-over-BBP constant).
+
+use crate::event::{Event, Layer};
+use crate::Time;
+
+/// Per-layer self-time totals over one event stream.
+#[derive(Debug, Clone, Default)]
+pub struct LayerBreakdown {
+    /// Self time per layer, indexed by [`Layer::index`], nanoseconds.
+    pub self_ns: [u64; Layer::COUNT],
+    /// Total span-covered time (sum of all top-level span extents), ns.
+    pub covered_ns: u64,
+    /// Spans whose exit never arrived (still open at stream end) or whose
+    /// exit had no matching enter. Non-zero means instrumentation bugs.
+    pub unbalanced: u64,
+}
+
+impl LayerBreakdown {
+    /// Self time of one layer, nanoseconds.
+    pub fn layer_ns(&self, layer: Layer) -> u64 {
+        self.self_ns[layer.index()]
+    }
+
+    /// Self time of one layer, microseconds.
+    pub fn layer_us(&self, layer: Layer) -> f64 {
+        self.layer_ns(layer) as f64 / 1000.0
+    }
+
+    /// Sum of self time over `layers`, microseconds.
+    pub fn sum_us(&self, layers: &[Layer]) -> f64 {
+        layers.iter().map(|&l| self.layer_us(l)).sum()
+    }
+
+    /// `(layer, self µs)` rows in stack order, skipping empty layers.
+    pub fn rows_us(&self) -> Vec<(Layer, f64)> {
+        Layer::ALL
+            .iter()
+            .filter(|l| self.layer_ns(**l) > 0)
+            .map(|&l| (l, self.layer_us(l)))
+            .collect()
+    }
+}
+
+struct Frame {
+    layer: Layer,
+    enter: Time,
+    child_ns: u64,
+}
+
+/// Attribute span time to layers. Spans nest per node: each exit closes
+/// the most recent open span of the same layer on that node (enter/exit
+/// names are informational). Events must be in recording order, which
+/// the simulator guarantees is time-ordered.
+pub fn attribute(events: &[Event]) -> LayerBreakdown {
+    // Per-node span stacks, keyed by node id. Nodes are small integers
+    // (plus NO_NODE), so a sorted Vec beats a HashMap here.
+    let mut stacks: Vec<(u32, Vec<Frame>)> = Vec::new();
+    let mut out = LayerBreakdown::default();
+
+    for ev in events {
+        match *ev {
+            Event::SpanEnter {
+                time, node, layer, ..
+            } => {
+                let stack = match stacks.iter_mut().find(|(n, _)| *n == node) {
+                    Some((_, s)) => s,
+                    None => {
+                        stacks.push((node, Vec::new()));
+                        &mut stacks.last_mut().expect("just pushed").1
+                    }
+                };
+                stack.push(Frame {
+                    layer,
+                    enter: time,
+                    child_ns: 0,
+                });
+            }
+            Event::SpanExit {
+                time, node, layer, ..
+            } => {
+                let Some((_, stack)) = stacks.iter_mut().find(|(n, _)| *n == node) else {
+                    out.unbalanced += 1;
+                    continue;
+                };
+                // Close the innermost open span of this layer; anything
+                // deeper that was left open is itself unbalanced.
+                let Some(pos) = stack.iter().rposition(|f| f.layer == layer) else {
+                    out.unbalanced += 1;
+                    continue;
+                };
+                out.unbalanced += (stack.len() - pos - 1) as u64;
+                stack.truncate(pos + 1);
+                let frame = stack.pop().expect("rposition guarantees an element");
+                let extent = time.saturating_sub(frame.enter);
+                let self_ns = extent.saturating_sub(frame.child_ns);
+                out.self_ns[layer.index()] += self_ns;
+                match stack.last_mut() {
+                    Some(parent) => parent.child_ns += extent,
+                    None => out.covered_ns += extent,
+                }
+            }
+            Event::Count { .. } | Event::Sched(_) => {}
+        }
+    }
+    for (_, stack) in &stacks {
+        out.unbalanced += stack.len() as u64;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn enter(time: Time, node: u32, layer: Layer) -> Event {
+        Event::SpanEnter {
+            time,
+            node,
+            layer,
+            name: "x",
+        }
+    }
+
+    fn exit(time: Time, node: u32, layer: Layer) -> Event {
+        Event::SpanExit {
+            time,
+            node,
+            layer,
+            name: "x",
+        }
+    }
+
+    #[test]
+    fn nested_spans_attribute_self_time() {
+        // mpi [0,100] wrapping adi [10,40] wrapping nic [20,25].
+        let events = [
+            enter(0, 0, Layer::Mpi),
+            enter(10, 0, Layer::Adi),
+            enter(20, 0, Layer::Nic),
+            exit(25, 0, Layer::Nic),
+            exit(40, 0, Layer::Adi),
+            exit(100, 0, Layer::Mpi),
+        ];
+        let b = attribute(&events);
+        assert_eq!(b.layer_ns(Layer::Nic), 5);
+        assert_eq!(b.layer_ns(Layer::Adi), 25);
+        assert_eq!(b.layer_ns(Layer::Mpi), 70);
+        assert_eq!(b.covered_ns, 100);
+        assert_eq!(b.unbalanced, 0);
+    }
+
+    #[test]
+    fn nodes_do_not_interfere() {
+        let events = [
+            enter(0, 0, Layer::Bbp),
+            enter(5, 1, Layer::Bbp),
+            exit(10, 0, Layer::Bbp),
+            exit(25, 1, Layer::Bbp),
+        ];
+        let b = attribute(&events);
+        assert_eq!(b.layer_ns(Layer::Bbp), 10 + 20);
+        assert_eq!(b.covered_ns, 30);
+        assert_eq!(b.unbalanced, 0);
+    }
+
+    #[test]
+    fn sequential_spans_sum() {
+        let events = [
+            enter(0, 0, Layer::Ring),
+            exit(3, 0, Layer::Ring),
+            enter(10, 0, Layer::Ring),
+            exit(14, 0, Layer::Ring),
+        ];
+        let b = attribute(&events);
+        assert_eq!(b.layer_ns(Layer::Ring), 7);
+        // The 3..10 gap is not covered by any span.
+        assert_eq!(b.covered_ns, 7);
+    }
+
+    #[test]
+    fn unbalanced_spans_are_counted_not_crashing() {
+        let events = [
+            enter(0, 0, Layer::Mpi),
+            exit(5, 0, Layer::Adi),  // exit without enter
+            enter(6, 0, Layer::Nic), // never exits
+        ];
+        let b = attribute(&events);
+        assert_eq!(b.unbalanced, 3); // bad exit + open nic + open mpi
+    }
+
+    #[test]
+    fn rows_skip_empty_layers() {
+        let events = [enter(0, 2, Layer::Channel), exit(9, 2, Layer::Channel)];
+        let rows = attribute(&events).rows_us();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].0, Layer::Channel);
+        assert!((rows[0].1 - 0.009).abs() < 1e-12);
+    }
+}

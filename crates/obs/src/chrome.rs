@@ -1,0 +1,260 @@
+//! Chrome `trace_event` export: the recorded event log rendered as JSON
+//! that Perfetto (<https://ui.perfetto.dev>) and `about://tracing` load
+//! directly. Nodes become processes, layers become threads, counters
+//! become counter tracks.
+
+use std::fmt::Write as _;
+
+use crate::event::{Event, Layer, TraceKind, NO_NODE};
+use crate::json::write_string;
+use crate::Time;
+
+/// `pid` used for events not tied to a node (`NO_NODE`): Chrome accepts
+/// any integer, and `-1` sorts the hardware track away from rank 0..N.
+const HW_PID: i64 = -1;
+
+fn pid_of(node: u32) -> i64 {
+    if node == NO_NODE {
+        HW_PID
+    } else {
+        node as i64
+    }
+}
+
+/// Virtual-time ns → trace `ts` in µs, printed with fixed precision so
+/// the output is byte-stable (golden-file tested).
+fn write_ts(out: &mut String, t: Time) {
+    let _ = write!(out, "{}.{:03}", t / 1_000, t % 1_000);
+}
+
+/// Render `events` as a complete Chrome `trace_event` JSON document.
+///
+/// Span enters/exits map to `B`/`E` phases on `(pid = node, tid = layer)`
+/// tracks, counters to `C` phase counter tracks, and legacy `Mark`
+/// scheduler entries to global instant events. Other legacy scheduler
+/// entries (yield/resume/event) are omitted — they narrate the scheduler,
+/// not the workload, and triple the file size.
+pub fn chrome_trace_json(events: &[Event]) -> String {
+    let mut out = String::with_capacity(events.len() * 96 + 256);
+    out.push_str("{\"traceEvents\":[");
+    let mut first = true;
+
+    // Metadata first: name every (pid, tid) track we are about to use,
+    // sorted for deterministic output.
+    let mut tracks: Vec<(i64, usize)> = Vec::new();
+    for e in events {
+        if let Event::SpanEnter { node, layer, .. } | Event::SpanExit { node, layer, .. } = e {
+            let key = (pid_of(*node), layer.index());
+            if !tracks.contains(&key) {
+                tracks.push(key);
+            }
+        }
+    }
+    tracks.sort_unstable();
+    let mut pids: Vec<i64> = tracks.iter().map(|(p, _)| *p).collect();
+    pids.dedup();
+    for pid in &pids {
+        push_sep(&mut out, &mut first);
+        let name = if *pid == HW_PID {
+            "hardware".to_string()
+        } else {
+            format!("node{pid}")
+        };
+        let _ = write!(
+            out,
+            "{{\"ph\":\"M\",\"pid\":{pid},\"name\":\"process_name\",\"args\":{{\"name\":"
+        );
+        write_string(&mut out, &name);
+        out.push_str("}}");
+    }
+    for (pid, tid) in &tracks {
+        push_sep(&mut out, &mut first);
+        let _ = write!(
+            out,
+            "{{\"ph\":\"M\",\"pid\":{pid},\"tid\":{tid},\"name\":\"thread_name\",\"args\":{{\"name\":"
+        );
+        write_string(&mut out, Layer::ALL[*tid].name());
+        out.push_str("}}");
+    }
+
+    // Running totals so counter tracks plot cumulative values.
+    let mut totals: Vec<(&'static str, u32, u64)> = Vec::new();
+
+    for e in events {
+        match e {
+            Event::SpanEnter {
+                time,
+                node,
+                layer,
+                name,
+            }
+            | Event::SpanExit {
+                time,
+                node,
+                layer,
+                name,
+            } => {
+                let ph = if matches!(e, Event::SpanEnter { .. }) {
+                    'B'
+                } else {
+                    'E'
+                };
+                push_sep(&mut out, &mut first);
+                out.push_str("{\"name\":");
+                write_string(&mut out, name);
+                out.push_str(",\"cat\":");
+                write_string(&mut out, layer.name());
+                let _ = write!(out, ",\"ph\":\"{ph}\",\"ts\":");
+                write_ts(&mut out, *time);
+                let _ = write!(
+                    out,
+                    ",\"pid\":{},\"tid\":{}}}",
+                    pid_of(*node),
+                    layer.index()
+                );
+            }
+            Event::Count {
+                time,
+                node,
+                name,
+                delta,
+            } => {
+                let total = match totals.iter_mut().find(|(n, nd, _)| n == name && nd == node) {
+                    Some(slot) => {
+                        slot.2 += delta;
+                        slot.2
+                    }
+                    None => {
+                        totals.push((name, *node, *delta));
+                        *delta
+                    }
+                };
+                push_sep(&mut out, &mut first);
+                out.push_str("{\"name\":");
+                write_string(&mut out, name);
+                out.push_str(",\"ph\":\"C\",\"ts\":");
+                write_ts(&mut out, *time);
+                let _ = write!(
+                    out,
+                    ",\"pid\":{},\"args\":{{\"value\":{total}}}}}",
+                    pid_of(*node)
+                );
+            }
+            Event::Sched(entry) if entry.kind == TraceKind::Mark => {
+                push_sep(&mut out, &mut first);
+                out.push_str("{\"name\":");
+                write_string(&mut out, &entry.detail);
+                out.push_str(",\"ph\":\"i\",\"s\":\"g\",\"ts\":");
+                write_ts(&mut out, entry.time);
+                let _ = write!(out, ",\"pid\":{HW_PID},\"tid\":{}}}", Layer::Sched.index());
+            }
+            Event::Sched(_) => {}
+        }
+    }
+    out.push_str("],\"displayTimeUnit\":\"ms\"}");
+    out
+}
+
+fn push_sep(out: &mut String, first: &mut bool) {
+    if *first {
+        *first = false;
+    } else {
+        out.push(',');
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::TraceEntry;
+    use crate::json;
+
+    #[test]
+    fn export_is_valid_json_with_expected_phases() {
+        let events = [
+            Event::SpanEnter {
+                time: 1_500,
+                node: 0,
+                layer: Layer::Mpi,
+                name: "send",
+            },
+            Event::Count {
+                time: 2_000,
+                node: 0,
+                name: "nic.pio_words",
+                delta: 16,
+            },
+            Event::Count {
+                time: 2_500,
+                node: 0,
+                name: "nic.pio_words",
+                delta: 4,
+            },
+            Event::SpanExit {
+                time: 44_000,
+                node: 0,
+                layer: Layer::Mpi,
+                name: "send",
+            },
+            Event::Sched(TraceEntry {
+                time: 50_000,
+                kind: TraceKind::Mark,
+                detail: "done".to_string(),
+            }),
+        ];
+        let text = chrome_trace_json(&events);
+        let doc = json::parse(&text).expect("exporter must emit valid JSON");
+        let items = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        let phases: Vec<&str> = items
+            .iter()
+            .map(|e| e.get("ph").unwrap().as_str().unwrap())
+            .collect();
+        // 1 process_name + 1 thread_name + B + 2×C + E + instant.
+        assert_eq!(phases, vec!["M", "M", "B", "C", "C", "E", "i"]);
+        // Counter is cumulative.
+        assert_eq!(
+            items[4].get("args").unwrap().get("value").unwrap().as_f64(),
+            Some(20.0)
+        );
+        // ts is µs with fixed 3-decimal rendering.
+        assert_eq!(items[2].get("ts").unwrap().as_f64(), Some(1.5));
+    }
+
+    #[test]
+    fn scheduler_noise_is_omitted() {
+        let events = [Event::Sched(TraceEntry {
+            time: 10,
+            kind: TraceKind::Resume,
+            detail: "p0".to_string(),
+        })];
+        let text = chrome_trace_json(&events);
+        let doc = json::parse(&text).unwrap();
+        assert!(doc.get("traceEvents").unwrap().as_arr().unwrap().is_empty());
+    }
+
+    #[test]
+    fn hardware_events_use_the_hw_pid() {
+        let events = [
+            Event::SpanEnter {
+                time: 0,
+                node: NO_NODE,
+                layer: Layer::Ring,
+                name: "hop",
+            },
+            Event::SpanExit {
+                time: 250,
+                node: NO_NODE,
+                layer: Layer::Ring,
+                name: "hop",
+            },
+        ];
+        let text = chrome_trace_json(&events);
+        let doc = json::parse(&text).unwrap();
+        let items = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        let b = items
+            .iter()
+            .find(|e| e.get("ph").unwrap().as_str() == Some("B"))
+            .unwrap();
+        assert_eq!(b.get("pid").unwrap().as_f64(), Some(-1.0));
+    }
+}

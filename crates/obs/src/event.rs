@@ -1,0 +1,228 @@
+//! The structured event model: layers, spans, counters, and the legacy
+//! scheduler trace entries absorbed from `des::trace`.
+
+use crate::Time;
+
+/// Node id for events not attributable to any simulated node (scheduler
+/// activity, cross-node hardware like the ring serializer).
+pub const NO_NODE: u32 = u32::MAX;
+
+/// Which layer of the stack produced an event. Order matters: it is the
+/// nesting order of a deep MPI send (binding on top, wire at the bottom)
+/// and the row order of attribution reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Layer {
+    /// MPI bindings (`MPI_Send`, collectives): argument checking, request
+    /// bookkeeping — the top of the paper's layering stack.
+    Mpi,
+    /// The Abstract Device Interface: posted/unexpected queues, matching.
+    Adi,
+    /// The MPICH channel interface: 64-byte header packets.
+    Channel,
+    /// The device binding under the channel interface (BBP / TCP / hybrid
+    /// routing).
+    Device,
+    /// The BillBoard Protocol: descriptor slots, flag toggles, buffer GC.
+    Bbp,
+    /// NIC access: PIO word/block programmed I/O and DMA.
+    Nic,
+    /// The SCRAMNet register-insertion ring itself: packet hops.
+    Ring,
+    /// The simulation kernel (scheduler dispatch).
+    Sched,
+}
+
+impl Layer {
+    /// All layers, in stack order (top first).
+    pub const ALL: [Layer; 8] = [
+        Layer::Mpi,
+        Layer::Adi,
+        Layer::Channel,
+        Layer::Device,
+        Layer::Bbp,
+        Layer::Nic,
+        Layer::Ring,
+        Layer::Sched,
+    ];
+
+    /// Number of layers.
+    pub const COUNT: usize = Self::ALL.len();
+
+    /// Stable lowercase name (used as the Chrome trace category and the
+    /// JSON report key).
+    pub fn name(self) -> &'static str {
+        match self {
+            Layer::Mpi => "mpi",
+            Layer::Adi => "adi",
+            Layer::Channel => "channel",
+            Layer::Device => "device",
+            Layer::Bbp => "bbp",
+            Layer::Nic => "nic",
+            Layer::Ring => "ring",
+            Layer::Sched => "sched",
+        }
+    }
+
+    /// Index into [`Layer::ALL`]-shaped arrays.
+    pub fn index(self) -> usize {
+        match self {
+            Layer::Mpi => 0,
+            Layer::Adi => 1,
+            Layer::Channel => 2,
+            Layer::Device => 3,
+            Layer::Bbp => 4,
+            Layer::Nic => 5,
+            Layer::Ring => 6,
+            Layer::Sched => 7,
+        }
+    }
+}
+
+/// One recorded observation. Span names are `&'static str` by design:
+/// recording must never allocate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Event {
+    /// A layer began work on a node at `time`.
+    SpanEnter {
+        /// Virtual time, ns.
+        time: Time,
+        /// Node (rank) the work runs on, or [`NO_NODE`].
+        node: u32,
+        /// Stack layer doing the work.
+        layer: Layer,
+        /// What the work is (e.g. `"send"`, `"pio_write"`).
+        name: &'static str,
+    },
+    /// The matching end of a [`Event::SpanEnter`].
+    SpanExit {
+        /// Virtual time, ns.
+        time: Time,
+        /// Node (rank) the work ran on, or [`NO_NODE`].
+        node: u32,
+        /// Stack layer that did the work.
+        layer: Layer,
+        /// Span name (must match the enter).
+        name: &'static str,
+    },
+    /// A monotonic counter increment (ring packets, PIO words, GC scans,
+    /// unexpected-queue hits, …).
+    Count {
+        /// Virtual time, ns.
+        time: Time,
+        /// Node the count belongs to, or [`NO_NODE`].
+        node: u32,
+        /// Counter name (e.g. `"ring.packets"`).
+        name: &'static str,
+        /// Increment.
+        delta: u64,
+    },
+    /// A legacy scheduler trace entry (see [`TraceEntry`]).
+    Sched(TraceEntry),
+}
+
+impl Event {
+    /// Virtual time of the event.
+    pub fn time(&self) -> Time {
+        match self {
+            Event::SpanEnter { time, .. }
+            | Event::SpanExit { time, .. }
+            | Event::Count { time, .. } => *time,
+            Event::Sched(e) => e.time,
+        }
+    }
+}
+
+/// What kind of scheduling decision a trace entry records.
+///
+/// Absorbed from the old `des::trace` module; `des` re-exports this type
+/// so existing imports keep compiling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceKind {
+    /// A process yielded (advance / block / finish).
+    Yield,
+    /// A process was resumed.
+    Resume,
+    /// A pure event fired.
+    Event,
+    /// A component-defined marker (see `des::SimHandle::trace_mark`).
+    Mark,
+}
+
+/// One recorded scheduling decision (legacy determinism-trace entry).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEntry {
+    /// Virtual time of the decision.
+    pub time: Time,
+    /// Category.
+    pub kind: TraceKind,
+    /// Free-form detail (process name, reason, marker label).
+    pub detail: String,
+}
+
+impl std::fmt::Display for TraceEntry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{:>12}] {:?} {}", self.time, self.kind, self.detail)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layer_indices_match_all_order() {
+        for (i, l) in Layer::ALL.iter().enumerate() {
+            assert_eq!(l.index(), i);
+        }
+    }
+
+    #[test]
+    fn layer_names_are_unique() {
+        let mut names: Vec<&str> = Layer::ALL.iter().map(|l| l.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), Layer::COUNT);
+    }
+
+    #[test]
+    fn trace_entry_display_is_stable() {
+        let e = TraceEntry {
+            time: 42,
+            kind: TraceKind::Resume,
+            detail: "p0".to_string(),
+        };
+        assert_eq!(e.to_string(), "[          42] Resume p0");
+    }
+
+    #[test]
+    fn event_time_covers_all_variants() {
+        let t = TraceEntry {
+            time: 7,
+            kind: TraceKind::Event,
+            detail: String::new(),
+        };
+        for e in [
+            Event::SpanEnter {
+                time: 5,
+                node: 0,
+                layer: Layer::Bbp,
+                name: "send",
+            },
+            Event::SpanExit {
+                time: 5,
+                node: 0,
+                layer: Layer::Bbp,
+                name: "send",
+            },
+            Event::Count {
+                time: 5,
+                node: 0,
+                name: "x",
+                delta: 1,
+            },
+        ] {
+            assert_eq!(e.time(), 5);
+        }
+        assert_eq!(Event::Sched(t).time(), 7);
+    }
+}

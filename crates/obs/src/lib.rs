@@ -1,0 +1,49 @@
+#![warn(missing_docs)]
+
+//! # `obs` — cross-layer observability
+//!
+//! The measurement substrate for the whole SCRAMNet reproduction. Every
+//! layer of the stack — the `des` scheduler, the SCRAMNet ring and NIC,
+//! the BillBoard Protocol, and the MPI stack (binding → ADI → channel
+//! interface → device) — records structured [`Event`]s into a shared
+//! [`Recorder`]:
+//!
+//! - **Spans** (`SpanEnter`/`SpanExit`) carry virtual-time stamps, a node
+//!   id, and a [`Layer`] label, and nest per node. [`attribute`] folds a
+//!   finished event stream into per-layer *self time*, which is how the
+//!   paper's ≈37.5 µs MPI-over-BBP layering constant becomes an artifact
+//!   you can regenerate (`bench-report` in `crates/bench`).
+//! - **Counters** track discrete hardware work: ring packets, PIO words,
+//!   buffer-GC scans, unexpected-queue hits.
+//! - **Scheduler events** ([`TraceEntry`], absorbed from the old
+//!   `des::trace` module) preserve the byte-identical determinism traces
+//!   the integration tests compare.
+//!
+//! The recorder is **zero-overhead when disabled**: every recording call
+//! is one relaxed atomic load, no locks and no allocations (verified by
+//! `tests/obs_zero_cost.rs`).
+//!
+//! Exporters: [`chrome_trace_json`] writes Chrome `trace_event` JSON
+//! loadable in Perfetto / `about://tracing`; [`report::BenchReport`]
+//! writes the versioned machine-readable bench summary. See
+//! `docs/OBSERVABILITY.md` for the span taxonomy and schemas.
+//!
+//! This crate sits at the bottom of the dependency stack (it depends on
+//! nothing, `des` depends on it), so it defines its own [`Time`] alias —
+//! the same integer nanoseconds as `des::Time`.
+
+mod attr;
+mod chrome;
+mod event;
+mod recorder;
+
+pub mod json;
+pub mod report;
+
+pub use attr::{attribute, LayerBreakdown};
+pub use chrome::chrome_trace_json;
+pub use event::{Event, Layer, TraceEntry, TraceKind, NO_NODE};
+pub use recorder::Recorder;
+
+/// Virtual time in integer nanoseconds (identical to `des::Time`).
+pub type Time = u64;

@@ -1,0 +1,225 @@
+//! The shared recorder: a single append-only event log behind an atomic
+//! enable gate.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, PoisonError};
+
+use crate::event::{Event, Layer, TraceEntry};
+use crate::Time;
+
+/// Records [`Event`]s from every layer of one simulation.
+///
+/// Exactly one entity executes at a time in the simulator, so the inner
+/// mutex is never contended; it exists to make the recorder `Sync`.
+///
+/// **Disabled is the default and costs one relaxed atomic load per
+/// recording call** — no locks, no allocations, no branches beyond the
+/// gate. Span names are `&'static str` so even the enabled path never
+/// allocates per event (the event vector amortizes its growth).
+#[derive(Debug, Default)]
+pub struct Recorder {
+    enabled: AtomicBool,
+    events: Mutex<Vec<Event>>,
+}
+
+impl Recorder {
+    /// A disabled recorder with an empty log.
+    pub fn new() -> Self {
+        Recorder {
+            enabled: AtomicBool::new(false),
+            events: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Whether recording is on. Inlined gate for every instrumentation
+    /// site.
+    #[inline(always)]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Clear the log and start recording.
+    pub fn enable(&self) {
+        self.lock().clear();
+        self.enabled.store(true, Ordering::Relaxed);
+    }
+
+    /// Stop recording (the log is kept until drained or re-enabled).
+    pub fn disable(&self) {
+        self.enabled.store(false, Ordering::Relaxed);
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Vec<Event>> {
+        self.events.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Record the start of a span.
+    #[inline]
+    pub fn span_enter(&self, time: Time, node: u32, layer: Layer, name: &'static str) {
+        if !self.is_enabled() {
+            return;
+        }
+        self.lock().push(Event::SpanEnter {
+            time,
+            node,
+            layer,
+            name,
+        });
+    }
+
+    /// Record the end of a span.
+    #[inline]
+    pub fn span_exit(&self, time: Time, node: u32, layer: Layer, name: &'static str) {
+        if !self.is_enabled() {
+            return;
+        }
+        self.lock().push(Event::SpanExit {
+            time,
+            node,
+            layer,
+            name,
+        });
+    }
+
+    /// Record a counter increment.
+    #[inline]
+    pub fn count(&self, time: Time, node: u32, name: &'static str, delta: u64) {
+        if !self.is_enabled() {
+            return;
+        }
+        self.lock().push(Event::Count {
+            time,
+            node,
+            name,
+            delta,
+        });
+    }
+
+    /// Record a legacy scheduler trace entry. Callers that must build a
+    /// `String` detail should gate on [`Recorder::is_enabled`] first so
+    /// the disabled path stays allocation-free.
+    #[inline]
+    pub fn sched(&self, entry: TraceEntry) {
+        if !self.is_enabled() {
+            return;
+        }
+        self.lock().push(Event::Sched(entry));
+    }
+
+    /// Number of events currently in the log.
+    pub fn len(&self) -> usize {
+        self.lock().len()
+    }
+
+    /// True when the log is empty.
+    pub fn is_empty(&self) -> bool {
+        self.lock().is_empty()
+    }
+
+    /// Drain the full structured log (recording state is unchanged).
+    pub fn take_events(&self) -> Vec<Event> {
+        std::mem::take(&mut *self.lock())
+    }
+
+    /// Snapshot the log without draining it.
+    pub fn snapshot(&self) -> Vec<Event> {
+        self.lock().clone()
+    }
+
+    /// Drain only the legacy scheduler entries and stop recording —
+    /// the exact contract of the old `des::Simulation::take_trace`.
+    pub fn take_trace(&self) -> Vec<TraceEntry> {
+        self.disable();
+        self.take_events()
+            .into_iter()
+            .filter_map(|e| match e {
+                Event::Sched(entry) => Some(entry),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Aggregate counter totals, sorted by name then node for stable
+    /// output.
+    pub fn counter_totals(&self) -> Vec<(&'static str, u32, u64)> {
+        let mut totals: Vec<(&'static str, u32, u64)> = Vec::new();
+        for e in self.lock().iter() {
+            if let Event::Count {
+                name, node, delta, ..
+            } = e
+            {
+                match totals.iter_mut().find(|(n, nd, _)| n == name && nd == node) {
+                    Some(slot) => slot.2 += delta,
+                    None => totals.push((name, *node, *delta)),
+                }
+            }
+        }
+        totals.sort_unstable_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)));
+        totals
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::TraceKind;
+
+    #[test]
+    fn disabled_recorder_drops_everything() {
+        let r = Recorder::new();
+        r.span_enter(1, 0, Layer::Bbp, "send");
+        r.count(2, 0, "x", 5);
+        r.sched(TraceEntry {
+            time: 3,
+            kind: TraceKind::Mark,
+            detail: "m".into(),
+        });
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn enable_clears_previous_log() {
+        let r = Recorder::new();
+        r.enable();
+        r.count(1, 0, "x", 1);
+        assert_eq!(r.len(), 1);
+        r.enable();
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn take_trace_filters_and_disables() {
+        let r = Recorder::new();
+        r.enable();
+        r.span_enter(1, 0, Layer::Mpi, "send");
+        r.sched(TraceEntry {
+            time: 2,
+            kind: TraceKind::Resume,
+            detail: "p".into(),
+        });
+        r.span_exit(3, 0, Layer::Mpi, "send");
+        let trace = r.take_trace();
+        assert_eq!(trace.len(), 1);
+        assert_eq!(trace[0].kind, TraceKind::Resume);
+        assert!(!r.is_enabled());
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn counter_totals_aggregate_per_node() {
+        let r = Recorder::new();
+        r.enable();
+        r.count(1, 0, "ring.packets", 2);
+        r.count(2, 1, "ring.packets", 3);
+        r.count(3, 0, "ring.packets", 5);
+        r.count(4, 0, "nic.pio_words", 1);
+        assert_eq!(
+            r.counter_totals(),
+            vec![
+                ("nic.pio_words", 0, 1),
+                ("ring.packets", 0, 7),
+                ("ring.packets", 1, 3),
+            ]
+        );
+    }
+}

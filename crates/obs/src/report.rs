@@ -1,0 +1,464 @@
+//! The machine-readable bench report: a versioned JSON schema
+//! (`BENCH_summary.json`) that CI validates and archives. The writer and
+//! validator live together so the schema cannot drift from its checker.
+
+use crate::json::{self, write_f64, write_string, Json};
+
+/// Version stamped into every report; bump on breaking schema changes.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// The paper's MPI-over-BBP layering constant: MPI adds ≈37.5 µs of
+/// software overhead on top of raw BBP latency, independent of message
+/// size (Moorthy et al., IPPS 1999, Table 2).
+pub const PAPER_LAYERING_US: f64 = 37.5;
+
+/// One latency anchor: a measured number pinned against the paper.
+#[derive(Debug, Clone)]
+pub struct Anchor {
+    /// Anchor id, e.g. `"bbp_0B_one_way"`.
+    pub name: String,
+    /// The paper's value, µs.
+    pub paper_us: f64,
+    /// Our measured value, µs.
+    pub measured_us: f64,
+}
+
+impl Anchor {
+    /// Signed deviation from the paper, percent.
+    pub fn deviation_pct(&self) -> f64 {
+        if self.paper_us == 0.0 {
+            0.0
+        } else {
+            (self.measured_us - self.paper_us) / self.paper_us * 100.0
+        }
+    }
+}
+
+/// One labelled series in a [`Table`].
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Series label, e.g. `"bbp"`.
+    pub label: String,
+    /// One value per table size, in the table's unit.
+    pub values: Vec<f64>,
+}
+
+/// A size-sweep table (latency or bandwidth vs message size).
+#[derive(Debug, Clone)]
+pub struct Table {
+    /// Table title.
+    pub title: String,
+    /// Unit of the values, e.g. `"us"` or `"MB/s"`.
+    pub unit: String,
+    /// Message sizes, bytes.
+    pub sizes: Vec<usize>,
+    /// Measured series.
+    pub series: Vec<Series>,
+}
+
+/// A crossover point between two series.
+#[derive(Debug, Clone)]
+pub struct Crossover {
+    /// Series that wins below the crossover.
+    pub incumbent: String,
+    /// Series that wins above it.
+    pub challenger: String,
+    /// First size (bytes) at which the challenger wins, if any.
+    pub at_bytes: Option<usize>,
+}
+
+/// Per-layer self-time attribution row.
+#[derive(Debug, Clone)]
+pub struct LayerRow {
+    /// Layer name (see `Layer::name`).
+    pub layer: String,
+    /// Self time, µs.
+    pub self_us: f64,
+    /// Share of covered time, percent.
+    pub share_pct: f64,
+}
+
+/// The MPI-over-BBP layering constant check.
+#[derive(Debug, Clone)]
+pub struct Layering {
+    /// The paper's constant ([`PAPER_LAYERING_US`]).
+    pub paper_us: f64,
+    /// Measured `mpi_one_way − bbp_one_way` at 0 bytes, µs.
+    pub measured_us: f64,
+}
+
+impl Layering {
+    /// Absolute deviation from the paper, percent.
+    pub fn within_pct(&self) -> f64 {
+        ((self.measured_us - self.paper_us) / self.paper_us * 100.0).abs()
+    }
+}
+
+/// Quantile summary of one latency distribution.
+#[derive(Debug, Clone)]
+pub struct Quantiles {
+    /// Distribution name, e.g. `"mpi_pingpong_0B"`.
+    pub name: String,
+    /// Sample count.
+    pub n: u64,
+    /// Minimum, µs.
+    pub min_us: f64,
+    /// Median, µs.
+    pub p50_us: f64,
+    /// 90th percentile, µs.
+    pub p90_us: f64,
+    /// 99th percentile, µs.
+    pub p99_us: f64,
+    /// Maximum, µs.
+    pub max_us: f64,
+    /// Mean, µs.
+    pub mean_us: f64,
+}
+
+/// The complete report (`BENCH_summary.json`).
+#[derive(Debug, Clone, Default)]
+pub struct BenchReport {
+    /// Tool that produced the report, e.g. `"bench-report --quick"`.
+    pub generated_by: String,
+    /// Paper-pinned anchors.
+    pub anchors: Vec<Anchor>,
+    /// Size-sweep tables.
+    pub tables: Vec<Table>,
+    /// Crossover points.
+    pub crossovers: Vec<Crossover>,
+    /// Per-layer attribution.
+    pub layers: Vec<LayerRow>,
+    /// The layering-constant check (absent until measured).
+    pub layering: Option<Layering>,
+    /// Latency distributions.
+    pub quantiles: Vec<Quantiles>,
+}
+
+impl BenchReport {
+    /// Serialize to the versioned JSON document.
+    pub fn to_json(&self) -> String {
+        let mut o = String::with_capacity(4096);
+        o.push_str("{\n  \"schema_version\": ");
+        let _ = std::fmt::Write::write_fmt(&mut o, format_args!("{SCHEMA_VERSION}"));
+        o.push_str(",\n  \"generated_by\": ");
+        write_string(&mut o, &self.generated_by);
+
+        o.push_str(",\n  \"anchors\": [");
+        for (i, a) in self.anchors.iter().enumerate() {
+            o.push_str(if i == 0 { "\n" } else { ",\n" });
+            o.push_str("    {\"name\": ");
+            write_string(&mut o, &a.name);
+            o.push_str(", \"paper_us\": ");
+            write_f64(&mut o, a.paper_us);
+            o.push_str(", \"measured_us\": ");
+            write_f64(&mut o, a.measured_us);
+            o.push_str(", \"deviation_pct\": ");
+            write_f64(&mut o, a.deviation_pct());
+            o.push('}');
+        }
+        o.push_str("\n  ],\n  \"tables\": [");
+        for (i, t) in self.tables.iter().enumerate() {
+            o.push_str(if i == 0 { "\n" } else { ",\n" });
+            o.push_str("    {\"title\": ");
+            write_string(&mut o, &t.title);
+            o.push_str(", \"unit\": ");
+            write_string(&mut o, &t.unit);
+            o.push_str(", \"sizes\": [");
+            for (j, s) in t.sizes.iter().enumerate() {
+                if j > 0 {
+                    o.push(',');
+                }
+                let _ = std::fmt::Write::write_fmt(&mut o, format_args!("{s}"));
+            }
+            o.push_str("], \"series\": [");
+            for (j, s) in t.series.iter().enumerate() {
+                if j > 0 {
+                    o.push_str(", ");
+                }
+                o.push_str("{\"label\": ");
+                write_string(&mut o, &s.label);
+                o.push_str(", \"values\": [");
+                for (k, v) in s.values.iter().enumerate() {
+                    if k > 0 {
+                        o.push(',');
+                    }
+                    write_f64(&mut o, *v);
+                }
+                o.push_str("]}");
+            }
+            o.push_str("]}");
+        }
+        o.push_str("\n  ],\n  \"crossovers\": [");
+        for (i, c) in self.crossovers.iter().enumerate() {
+            o.push_str(if i == 0 { "\n" } else { ",\n" });
+            o.push_str("    {\"incumbent\": ");
+            write_string(&mut o, &c.incumbent);
+            o.push_str(", \"challenger\": ");
+            write_string(&mut o, &c.challenger);
+            o.push_str(", \"at_bytes\": ");
+            match c.at_bytes {
+                Some(b) => {
+                    let _ = std::fmt::Write::write_fmt(&mut o, format_args!("{b}"));
+                }
+                None => o.push_str("null"),
+            }
+            o.push('}');
+        }
+        o.push_str("\n  ],\n  \"layers\": [");
+        for (i, l) in self.layers.iter().enumerate() {
+            o.push_str(if i == 0 { "\n" } else { ",\n" });
+            o.push_str("    {\"layer\": ");
+            write_string(&mut o, &l.layer);
+            o.push_str(", \"self_us\": ");
+            write_f64(&mut o, l.self_us);
+            o.push_str(", \"share_pct\": ");
+            write_f64(&mut o, l.share_pct);
+            o.push('}');
+        }
+        o.push_str("\n  ],\n  \"layering\": ");
+        match &self.layering {
+            Some(l) => {
+                o.push_str("{\"paper_us\": ");
+                write_f64(&mut o, l.paper_us);
+                o.push_str(", \"measured_us\": ");
+                write_f64(&mut o, l.measured_us);
+                o.push_str(", \"within_pct\": ");
+                write_f64(&mut o, l.within_pct());
+                o.push('}');
+            }
+            None => o.push_str("null"),
+        }
+        o.push_str(",\n  \"quantiles\": [");
+        for (i, q) in self.quantiles.iter().enumerate() {
+            o.push_str(if i == 0 { "\n" } else { ",\n" });
+            o.push_str("    {\"name\": ");
+            write_string(&mut o, &q.name);
+            o.push_str(", \"n\": ");
+            let _ = std::fmt::Write::write_fmt(&mut o, format_args!("{}", q.n));
+            for (key, v) in [
+                ("min_us", q.min_us),
+                ("p50_us", q.p50_us),
+                ("p90_us", q.p90_us),
+                ("p99_us", q.p99_us),
+                ("max_us", q.max_us),
+                ("mean_us", q.mean_us),
+            ] {
+                o.push_str(", \"");
+                o.push_str(key);
+                o.push_str("\": ");
+                write_f64(&mut o, v);
+            }
+            o.push('}');
+        }
+        o.push_str("\n  ]\n}\n");
+        o
+    }
+}
+
+fn require<'a>(doc: &'a Json, key: &str) -> Result<&'a Json, String> {
+    doc.get(key).ok_or_else(|| format!("missing key '{key}'"))
+}
+
+fn require_arr<'a>(doc: &'a Json, key: &str) -> Result<&'a [Json], String> {
+    require(doc, key)?
+        .as_arr()
+        .ok_or_else(|| format!("'{key}' must be an array"))
+}
+
+fn require_num(obj: &Json, key: &str, ctx: &str) -> Result<f64, String> {
+    require(obj, key)
+        .map_err(|e| format!("{ctx}: {e}"))?
+        .as_f64()
+        .ok_or_else(|| format!("{ctx}: '{key}' must be a number"))
+}
+
+fn require_str<'a>(obj: &'a Json, key: &str, ctx: &str) -> Result<&'a str, String> {
+    require(obj, key)
+        .map_err(|e| format!("{ctx}: {e}"))?
+        .as_str()
+        .ok_or_else(|| format!("{ctx}: '{key}' must be a string"))
+}
+
+/// Validate a `BENCH_summary.json` document against schema version
+/// [`SCHEMA_VERSION`]. Returns the first problem found.
+pub fn validate_json(text: &str) -> Result<(), String> {
+    let doc = json::parse(text)?;
+    if !doc.is_obj() {
+        return Err("report must be a JSON object".to_string());
+    }
+    let version = require_num(&doc, "schema_version", "root")?;
+    if version != SCHEMA_VERSION as f64 {
+        return Err(format!(
+            "schema_version {version} != supported {SCHEMA_VERSION}"
+        ));
+    }
+    require_str(&doc, "generated_by", "root")?;
+
+    for (i, a) in require_arr(&doc, "anchors")?.iter().enumerate() {
+        let ctx = format!("anchors[{i}]");
+        require_str(a, "name", &ctx)?;
+        require_num(a, "paper_us", &ctx)?;
+        require_num(a, "measured_us", &ctx)?;
+        require_num(a, "deviation_pct", &ctx)?;
+    }
+    for (i, t) in require_arr(&doc, "tables")?.iter().enumerate() {
+        let ctx = format!("tables[{i}]");
+        require_str(t, "title", &ctx)?;
+        require_str(t, "unit", &ctx)?;
+        let sizes = require(t, "sizes")
+            .map_err(|e| format!("{ctx}: {e}"))?
+            .as_arr()
+            .ok_or_else(|| format!("{ctx}: 'sizes' must be an array"))?;
+        for s in require(t, "series")
+            .map_err(|e| format!("{ctx}: {e}"))?
+            .as_arr()
+            .ok_or_else(|| format!("{ctx}: 'series' must be an array"))?
+        {
+            require_str(s, "label", &ctx)?;
+            let values = require(s, "values")
+                .map_err(|e| format!("{ctx}: {e}"))?
+                .as_arr()
+                .ok_or_else(|| format!("{ctx}: 'values' must be an array"))?;
+            if values.len() != sizes.len() {
+                return Err(format!(
+                    "{ctx}: series '{}' has {} values for {} sizes",
+                    s.get("label").and_then(Json::as_str).unwrap_or("?"),
+                    values.len(),
+                    sizes.len()
+                ));
+            }
+        }
+    }
+    for (i, c) in require_arr(&doc, "crossovers")?.iter().enumerate() {
+        let ctx = format!("crossovers[{i}]");
+        require_str(c, "incumbent", &ctx)?;
+        require_str(c, "challenger", &ctx)?;
+        let at = require(c, "at_bytes").map_err(|e| format!("{ctx}: {e}"))?;
+        if !matches!(at, Json::Null | Json::Num(_)) {
+            return Err(format!("{ctx}: 'at_bytes' must be a number or null"));
+        }
+    }
+    for (i, l) in require_arr(&doc, "layers")?.iter().enumerate() {
+        let ctx = format!("layers[{i}]");
+        require_str(l, "layer", &ctx)?;
+        require_num(l, "self_us", &ctx)?;
+        require_num(l, "share_pct", &ctx)?;
+    }
+    let layering = require(&doc, "layering")?;
+    if *layering != Json::Null {
+        require_num(layering, "paper_us", "layering")?;
+        require_num(layering, "measured_us", "layering")?;
+        require_num(layering, "within_pct", "layering")?;
+    }
+    for (i, q) in require_arr(&doc, "quantiles")?.iter().enumerate() {
+        let ctx = format!("quantiles[{i}]");
+        require_str(q, "name", &ctx)?;
+        for key in [
+            "n", "min_us", "p50_us", "p90_us", "p99_us", "max_us", "mean_us",
+        ] {
+            require_num(q, key, &ctx)?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> BenchReport {
+        BenchReport {
+            generated_by: "bench-report --quick".to_string(),
+            anchors: vec![Anchor {
+                name: "bbp_0B_one_way".to_string(),
+                paper_us: 6.5,
+                measured_us: 6.6,
+            }],
+            tables: vec![Table {
+                title: "one-way latency".to_string(),
+                unit: "us".to_string(),
+                sizes: vec![0, 4],
+                series: vec![Series {
+                    label: "bbp".to_string(),
+                    values: vec![6.5, 7.8],
+                }],
+            }],
+            crossovers: vec![Crossover {
+                incumbent: "pio".to_string(),
+                challenger: "dma".to_string(),
+                at_bytes: Some(1024),
+            }],
+            layers: vec![LayerRow {
+                layer: "mpi".to_string(),
+                self_us: 20.0,
+                share_pct: 45.5,
+            }],
+            layering: Some(Layering {
+                paper_us: PAPER_LAYERING_US,
+                measured_us: 37.4,
+            }),
+            quantiles: vec![Quantiles {
+                name: "mpi_pingpong_0B".to_string(),
+                n: 8,
+                min_us: 43.0,
+                p50_us: 44.0,
+                p90_us: 45.0,
+                p99_us: 45.0,
+                max_us: 45.1,
+                mean_us: 44.2,
+            }],
+        }
+    }
+
+    #[test]
+    fn sample_report_validates() {
+        let text = sample().to_json();
+        validate_json(&text).unwrap();
+    }
+
+    #[test]
+    fn empty_report_validates() {
+        let text = BenchReport::default().to_json();
+        validate_json(&text).unwrap();
+    }
+
+    #[test]
+    fn wrong_schema_version_is_rejected() {
+        let text = sample()
+            .to_json()
+            .replace("\"schema_version\": 1", "\"schema_version\": 99");
+        assert!(validate_json(&text).unwrap_err().contains("schema_version"));
+    }
+
+    #[test]
+    fn missing_key_is_rejected() {
+        let text = sample().to_json().replace("\"anchors\"", "\"anchorz\"");
+        assert!(validate_json(&text).unwrap_err().contains("anchors"));
+    }
+
+    #[test]
+    fn ragged_series_is_rejected() {
+        let mut r = sample();
+        r.tables[0].series[0].values.pop();
+        assert!(validate_json(&r.to_json()).unwrap_err().contains("values"));
+    }
+
+    #[test]
+    fn layering_within_pct() {
+        let l = Layering {
+            paper_us: 37.5,
+            measured_us: 41.25,
+        };
+        assert!((l.within_pct() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn anchor_deviation() {
+        let a = Anchor {
+            name: "x".to_string(),
+            paper_us: 10.0,
+            measured_us: 11.0,
+        };
+        assert!((a.deviation_pct() - 10.0).abs() < 1e-9);
+    }
+}

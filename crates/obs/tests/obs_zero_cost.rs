@@ -1,0 +1,70 @@
+//! The disabled recorder must be genuinely free: no allocations and no
+//! recorded state, so leaving instrumentation compiled into every layer
+//! cannot perturb a simulation that never enables it.
+//!
+//! Allocation counting uses a wrapping global allocator, so everything
+//! runs inside ONE test function — a sibling test on another harness
+//! thread would pollute the counter.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use obs::{Layer, Recorder};
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::SeqCst);
+        System.alloc(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::SeqCst);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+#[test]
+fn disabled_recorder_never_allocates() {
+    let rec = Recorder::new();
+    assert!(!rec.is_enabled());
+
+    let before = ALLOCS.load(Ordering::SeqCst);
+    for t in 0..10_000u64 {
+        rec.span_enter(t, 0, Layer::Mpi, "send");
+        rec.count(t, 1, "ring.packets", 3);
+        rec.span_exit(t + 1, 0, Layer::Mpi, "send");
+    }
+    let after = ALLOCS.load(Ordering::SeqCst);
+
+    assert_eq!(
+        after - before,
+        0,
+        "disabled recording calls must not allocate"
+    );
+    assert!(
+        rec.is_empty(),
+        "disabled recording calls must record nothing"
+    );
+
+    // Sanity-check the counter itself: the enabled path does allocate
+    // (the event vector grows), so a broken counter cannot fake a pass.
+    rec.enable();
+    let before = ALLOCS.load(Ordering::SeqCst);
+    for t in 0..64u64 {
+        rec.span_enter(t, 0, Layer::Mpi, "send");
+    }
+    let after = ALLOCS.load(Ordering::SeqCst);
+    assert!(after > before, "enabled recording should allocate");
+    assert_eq!(rec.len(), 64);
+}

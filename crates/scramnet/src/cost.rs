@@ -2,14 +2,13 @@
 //! hardware in one place.
 
 use des::Time;
-use serde::{Deserialize, Serialize};
 
 /// SCRAMNet transmission mode (paper §2).
 ///
 /// Fixed 4-byte packets give the lowest latency at 6.5 MB/s aggregate
 /// throughput; variable-length packets (up to 1 KB payload) reach
 /// 16.7 MB/s at higher per-packet latency.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum TxMode {
     /// Fixed 4-byte packets: one word per packet, 6.5 MB/s.
     #[default]
@@ -24,9 +23,9 @@ pub enum TxMode {
 /// (0-byte BBP one-way 6.5 µs, 4-byte 7.8 µs, …); the calibration record
 /// lives in `EXPERIMENTS.md`.
 ///
-/// The struct is `serde`-able so experiment harnesses can log the exact
-/// model alongside their results.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+/// The struct Debug-formats stably so experiment harnesses can log the
+/// exact model alongside their results.
+#[derive(Debug, Clone, PartialEq)]
 pub struct CostModel {
     /// Host cost of one posted PIO word write across the I/O bus.
     pub pio_write_ns: Time,

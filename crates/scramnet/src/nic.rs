@@ -4,6 +4,7 @@
 use std::ops::Range;
 use std::sync::Arc;
 
+use des::obs::Layer;
 use des::{ProcCtx, Signal};
 
 use crate::ring::RingShared;
@@ -27,6 +28,12 @@ impl Nic {
     /// This NIC's node id on the ring.
     pub fn node(&self) -> usize {
         self.node
+    }
+
+    /// Global node id for observability labels (differs from the local
+    /// ring slot inside a hierarchy).
+    fn gid(&self) -> u32 {
+        self.shared.node_ids[self.node] as u32
     }
 
     /// Number of nodes on the ring.
@@ -53,10 +60,15 @@ impl Nic {
 
     /// Store one word: a single posted PIO write, replicated to the ring.
     pub fn write_word(&self, ctx: &mut ProcCtx, addr: WordAddr, value: Word) {
+        ctx.obs()
+            .span_enter(ctx.now(), self.gid(), Layer::Nic, "pio_write");
         ctx.advance(self.shared.cost.pio_write_ns);
         self.shared.stats.lock().pio_writes += 1;
+        ctx.obs().count(ctx.now(), self.gid(), "nic.pio_words", 1);
         self.shared
             .inject(self.node, ctx.now(), addr, Arc::new(vec![value]));
+        ctx.obs()
+            .span_exit(ctx.now(), self.gid(), Layer::Nic, "pio_write");
     }
 
     /// Store a contiguous block. The host pays the word/burst PIO cost;
@@ -65,6 +77,8 @@ impl Nic {
         if data.is_empty() {
             return;
         }
+        ctx.obs()
+            .span_enter(ctx.now(), self.gid(), Layer::Nic, "pio_block");
         let cost = &self.shared.cost;
         ctx.advance(cost.host_write_ns(data.len()));
         {
@@ -75,16 +89,26 @@ impl Nic {
                 stats.pio_writes += data.len() as u64;
             }
         }
+        ctx.obs()
+            .count(ctx.now(), self.gid(), "nic.pio_words", data.len() as u64);
         self.shared
             .inject(self.node, ctx.now(), addr, Arc::new(data.to_vec()));
+        ctx.obs()
+            .span_exit(ctx.now(), self.gid(), Layer::Nic, "pio_block");
     }
 
     /// Load one word from the local bank (a blocking PIO read — the
     /// expensive operation the paper blames for polling overhead).
     pub fn read_word(&self, ctx: &mut ProcCtx, addr: WordAddr) -> Word {
+        ctx.obs()
+            .span_enter(ctx.now(), self.gid(), Layer::Nic, "pio_read");
         ctx.advance(self.shared.cost.pio_read_ns);
         self.shared.stats.lock().pio_reads += 1;
-        self.shared.banks[self.node].lock().read(addr)
+        ctx.obs().count(ctx.now(), self.gid(), "nic.pio_reads", 1);
+        let w = self.shared.banks[self.node].lock().read(addr);
+        ctx.obs()
+            .span_exit(ctx.now(), self.gid(), Layer::Nic, "pio_read");
+        w
     }
 
     /// Load a contiguous block from the local bank.
@@ -92,6 +116,8 @@ impl Nic {
         if len == 0 {
             return Vec::new();
         }
+        ctx.obs()
+            .span_enter(ctx.now(), self.gid(), Layer::Nic, "pio_read");
         let cost = &self.shared.cost;
         ctx.advance(cost.host_read_ns(len));
         {
@@ -102,7 +128,12 @@ impl Nic {
                 stats.pio_reads += len as u64;
             }
         }
-        self.shared.banks[self.node].lock().read_block(addr, len)
+        ctx.obs()
+            .count(ctx.now(), self.gid(), "nic.pio_reads", len as u64);
+        let block = self.shared.banks[self.node].lock().read_block(addr, len);
+        ctx.obs()
+            .span_exit(ctx.now(), self.gid(), Layer::Nic, "pio_read");
+        block
     }
 
     /// Program a DMA transfer: the host pays only the setup cost and is
@@ -118,8 +149,12 @@ impl Nic {
         data: &[Word],
         done: Option<Signal>,
     ) {
+        ctx.obs()
+            .span_enter(ctx.now(), self.gid(), Layer::Nic, "dma_setup");
         let cost = &self.shared.cost;
         ctx.advance(cost.dma_setup_ns);
+        ctx.obs()
+            .span_exit(ctx.now(), self.gid(), Layer::Nic, "dma_setup");
         if data.is_empty() {
             // Completion is always asynchronous (an interrupt), even for
             // a degenerate transfer — so the caller can park first.
@@ -131,6 +166,8 @@ impl Nic {
             return;
         }
         self.shared.stats.lock().bursts += 1;
+        ctx.obs()
+            .count(ctx.now(), self.gid(), "nic.dma_words", data.len() as u64);
         let staged_at = ctx.now() + data.len() as u64 * cost.dma_word_ns;
         let shared = std::sync::Arc::clone(&self.shared);
         let node = self.node;

@@ -3,6 +3,7 @@
 
 use std::sync::Arc;
 
+use des::obs::{Layer, NO_NODE};
 use des::{Signal, SimHandle, Time};
 use parking_lot::Mutex;
 
@@ -276,6 +277,11 @@ impl RingShared {
             stats.words_carried += words as u64;
         }
         let ser = self.cost.serialize_ns(words, mode);
+        {
+            let rec = self.handle.recorder();
+            rec.count(t_ready, NO_NODE, "ring.packets", 1);
+            rec.count(t_ready, NO_NODE, "ring.words", words as u64);
+        }
         let bypassed = self.bypassed.lock().clone();
         if bypassed[src] {
             // A bypassed node's host cannot inject: its NIC is out of the
@@ -289,6 +295,7 @@ impl RingShared {
         self.stats.lock().link_busy_ns += ser;
         // Walk the ring; the packet is removed when it returns to src.
         let mut hop_from = src;
+        let mut span_end = head + ser;
         loop {
             let next = (hop_from + 1) % self.n;
             if next == src {
@@ -312,12 +319,21 @@ impl RingShared {
                 let depart = arrive_head.max(links[next]);
                 links[next] = depart + ser;
                 self.stats.lock().link_busy_ns += ser;
+                span_end = tail.max(depart + ser);
                 head = depart;
             } else {
                 // Bypass switch: no bank, no egress queueing.
                 head = arrive_head;
             }
             hop_from = next;
+        }
+        // The packet's whole ring transit as one hardware-track span. The
+        // exit time is computed synchronously, so the enter/exit pair is
+        // adjacent in the log even though the applies are still scheduled.
+        let rec = self.handle.recorder();
+        if rec.is_enabled() {
+            rec.span_enter(t_ready, NO_NODE, Layer::Ring, "packet");
+            rec.span_exit(span_end, NO_NODE, Layer::Ring, "packet");
         }
     }
 
@@ -347,6 +363,9 @@ impl RingShared {
                 .collect();
             if flipped {
                 self.stats.lock().bit_errors += 1;
+                self.handle
+                    .recorder()
+                    .count(t, self.node_ids[node] as u32, "ring.bit_errors", 1);
             }
             corrupted = mutated;
             &corrupted
@@ -366,6 +385,12 @@ impl RingShared {
             for w in &watches[node] {
                 if addr < w.end && w.start < end {
                     self.stats.lock().interrupts += 1;
+                    self.handle.recorder().count(
+                        t,
+                        self.node_ids[node] as u32,
+                        "ring.interrupts",
+                        1,
+                    );
                     w.signal.notify_at(t + self.cost.interrupt_dispatch_ns);
                 }
             }

@@ -4,6 +4,7 @@
 
 use std::collections::{HashMap, HashSet, VecDeque};
 
+use des::obs::Layer;
 use des::ProcCtx;
 
 use crate::costs::SmpiCosts;
@@ -110,6 +111,11 @@ impl Adi {
         id
     }
 
+    /// Observability node label for this rank.
+    fn node(&self) -> u32 {
+        self.dev.rank() as u32
+    }
+
     /// Largest payload one frame can carry under this device.
     fn chunk_max(&self) -> usize {
         match self.dev.max_frame() {
@@ -168,6 +174,8 @@ impl Adi {
         payload: &[u8],
         synchronous: bool,
     ) -> ReqId {
+        ctx.obs()
+            .span_enter(ctx.now(), self.node(), Layer::Adi, "isend");
         ctx.advance(self.costs.request_ns);
         let req = self.fresh_req();
         if !synchronous
@@ -202,6 +210,8 @@ impl Adi {
                 },
             );
         }
+        ctx.obs()
+            .span_exit(ctx.now(), self.node(), Layer::Adi, "isend");
         req
     }
 
@@ -213,10 +223,14 @@ impl Adi {
         header: &PacketHeader,
         payload: &[u8],
     ) {
+        ctx.obs()
+            .span_enter(ctx.now(), self.node(), Layer::Channel, "packet_tx");
         ctx.advance(self.costs.header_build_ns + self.costs.pack_ns(payload.len()));
         let mut frame = header.encode(self.costs.header_bytes);
         frame.extend_from_slice(payload);
         self.dev.send_frame(ctx, dst, &frame);
+        ctx.obs()
+            .span_exit(ctx.now(), self.node(), Layer::Channel, "packet_tx");
     }
 
     // ------------------------------------------------------------------
@@ -232,11 +246,18 @@ impl Adi {
         src: Option<usize>,
         tag: Option<Tag>,
     ) -> ReqId {
+        ctx.obs()
+            .span_enter(ctx.now(), self.node(), Layer::Adi, "irecv");
         ctx.advance(self.costs.request_ns + self.costs.queue_ns);
         let req = self.fresh_req();
         if let Some(idx) = self.unexpected.iter().position(|u| {
             u.context == context && src.is_none_or(|s| s == u.src) && tag.is_none_or(|t| t == u.tag)
         }) {
+            // The receive was posted late: the message already sat in the
+            // unexpected queue — the arrival path the paper's queue-
+            // management overhead discussion is about.
+            ctx.obs()
+                .count(ctx.now(), self.node(), "adi.unexpected_hits", 1);
             let u = self.unexpected.remove(idx).unwrap();
             self.accept_matched(ctx, req, u);
         } else {
@@ -247,6 +268,8 @@ impl Adi {
                 tag,
             });
         }
+        ctx.obs()
+            .span_exit(ctx.now(), self.node(), Layer::Adi, "irecv");
         req
     }
 
@@ -287,13 +310,19 @@ impl Adi {
 
     /// Block until `req` completes; receives yield their payload.
     pub fn wait(&mut self, ctx: &mut ProcCtx, req: ReqId) -> Option<(Status, Vec<u8>)> {
+        ctx.obs()
+            .span_enter(ctx.now(), self.node(), Layer::Adi, "wait");
         loop {
             if self.completed_sends.remove(&req) {
                 ctx.advance(self.costs.request_ns);
+                ctx.obs()
+                    .span_exit(ctx.now(), self.node(), Layer::Adi, "wait");
                 return None;
             }
             if let Some(done) = self.completed_recvs.remove(&req) {
                 ctx.advance(self.costs.request_ns);
+                ctx.obs()
+                    .span_exit(ctx.now(), self.node(), Layer::Adi, "wait");
                 return Some(done);
             }
             self.progress(ctx);
@@ -361,6 +390,8 @@ impl Adi {
         tag: Tag,
         payload: &[u8],
     ) {
+        ctx.obs()
+            .span_enter(ctx.now(), self.node(), Layer::Adi, "mcast");
         ctx.advance(self.costs.header_build_ns + self.costs.pack_ns(payload.len()));
         let header = PacketHeader {
             kind: PacketKind::Eager,
@@ -374,6 +405,8 @@ impl Adi {
         frame.extend_from_slice(payload);
         let ok = self.dev.mcast_frame(ctx, targets, &frame);
         assert!(ok, "device has no native multicast");
+        ctx.obs()
+            .span_exit(ctx.now(), self.node(), Layer::Adi, "mcast");
     }
 
     /// Block until a null frame with this context and phase arrives from
@@ -426,6 +459,8 @@ impl Adi {
             frame[0], MAGIC_CHANNEL,
             "unknown frame type from rank {src}"
         );
+        ctx.obs()
+            .span_enter(ctx.now(), self.node(), Layer::Channel, "packet_rx");
         ctx.advance(self.costs.header_parse_ns);
         let header = PacketHeader::decode(&frame);
         let payload = frame[self.costs.header_bytes..].to_vec();
@@ -500,6 +535,8 @@ impl Adi {
                 }
             }
         }
+        ctx.obs()
+            .span_exit(ctx.now(), self.node(), Layer::Channel, "packet_rx");
     }
 
     /// Route an arrived message (eager payload or RTS) against the posted
@@ -528,6 +565,8 @@ impl Adi {
             let p = self.posted.remove(idx).unwrap();
             self.accept_matched(ctx, p.req, u);
         } else {
+            ctx.obs()
+                .count(ctx.now(), self.node(), "adi.unexpected_parked", 1);
             self.unexpected.push_back(u);
         }
     }

@@ -53,15 +53,17 @@ impl Mpi {
         root: usize,
         data: Option<&[u8]>,
     ) -> Vec<u8> {
+        self.span_enter(ctx, "bcast");
         self.charge_collective(ctx);
-        if comm.size() == 1 {
-            return data.expect("root must supply the broadcast data").to_vec();
-        }
-        if self.native_collectives(comm) {
+        let out = if comm.size() == 1 {
+            data.expect("root must supply the broadcast data").to_vec()
+        } else if self.native_collectives(comm) {
             self.bcast_native(ctx, comm, root, data)
         } else {
             self.bcast_binomial(ctx, comm, root, data)
-        }
+        };
+        self.span_exit(ctx, "bcast");
+        out
     }
 
     /// The paper's `MPI_Bcast`: the root determines the group and posts
@@ -166,15 +168,16 @@ impl Mpi {
 
     /// `MPI_Barrier`.
     pub fn barrier(&mut self, ctx: &mut ProcCtx, comm: &Comm) {
+        self.span_enter(ctx, "barrier");
         self.charge_collective(ctx);
-        if comm.size() == 1 {
-            return;
+        if comm.size() > 1 {
+            if self.native_collectives(comm) {
+                self.barrier_native(ctx, comm);
+            } else {
+                self.barrier_p2p(ctx, comm);
+            }
         }
-        if self.native_collectives(comm) {
-            self.barrier_native(ctx, comm);
-        } else {
-            self.barrier_p2p(ctx, comm);
-        }
+        self.span_exit(ctx, "barrier");
     }
 
     /// The paper's `MPI_Barrier`: rank 0 coordinates — it waits for a
@@ -275,8 +278,9 @@ impl Mpi {
         root: usize,
         mine: &[u8],
     ) -> Option<Vec<Vec<u8>>> {
+        self.span_enter(ctx, "gather");
         self.charge_collective(ctx);
-        if comm.rank() == root {
+        let out = if comm.rank() == root {
             let mut out: Vec<Vec<u8>> = vec![Vec::new(); comm.size()];
             out[root] = mine.to_vec();
             let reqs: Vec<_> = (0..comm.size())
@@ -308,7 +312,9 @@ impl Mpi {
             );
             self.adi.wait(ctx, req);
             None
-        }
+        };
+        self.span_exit(ctx, "gather");
+        out
     }
 
     /// `MPI_Scatter`: root supplies one block per rank; everyone returns
@@ -320,8 +326,9 @@ impl Mpi {
         root: usize,
         blocks: Option<&[Vec<u8>]>,
     ) -> Vec<u8> {
+        self.span_enter(ctx, "scatter");
         self.charge_collective(ctx);
-        if comm.rank() == root {
+        let out = if comm.rank() == root {
             let blocks = blocks.expect("root must supply scatter blocks");
             assert_eq!(blocks.len(), comm.size(), "one block per rank");
             let mut sends = Vec::new();
@@ -349,7 +356,9 @@ impl Mpi {
             );
             let (_, bytes) = self.adi.wait(ctx, req).expect("scatter receive");
             bytes
-        }
+        };
+        self.span_exit(ctx, "scatter");
+        out
     }
 
     /// `MPI_Allgather`: gather to rank 0 then broadcast the concatenation.
@@ -367,6 +376,7 @@ impl Mpi {
     /// `MPI_Alltoall` (variable block sizes): `blocks[r]` goes to rank
     /// `r`; returns the blocks received, indexed by source rank.
     pub fn alltoall(&mut self, ctx: &mut ProcCtx, comm: &Comm, blocks: &[Vec<u8>]) -> Vec<Vec<u8>> {
+        self.span_enter(ctx, "alltoall");
         self.charge_collective(ctx);
         assert_eq!(blocks.len(), comm.size(), "one block per destination");
         let me = comm.rank();
@@ -405,6 +415,7 @@ impl Mpi {
         for req in sends {
             self.adi.wait(ctx, req);
         }
+        self.span_exit(ctx, "alltoall");
         out
     }
 
@@ -421,41 +432,46 @@ impl Mpi {
         op: ReduceOp,
         data: &[f64],
     ) -> Option<Vec<f64>> {
+        self.span_enter(ctx, "reduce");
         self.charge_collective(ctx);
-        let size = comm.size();
-        let vrank = (comm.rank() + size - root) % size;
-        let mut acc = data.to_vec();
-        let mut mask = 1;
-        while mask < size {
-            if vrank & mask == 0 {
-                let peer_v = vrank | mask;
-                if peer_v < size {
+        let out = (|| {
+            let size = comm.size();
+            let vrank = (comm.rank() + size - root) % size;
+            let mut acc = data.to_vec();
+            let mut mask = 1;
+            while mask < size {
+                if vrank & mask == 0 {
+                    let peer_v = vrank | mask;
+                    if peer_v < size {
+                        let peer = (peer_v + root) % size;
+                        let req = self.adi.irecv(
+                            ctx,
+                            comm.coll_context,
+                            Some(comm.world_rank(peer)),
+                            Some(TAG_REDUCE),
+                        );
+                        let (_, bytes) = self.adi.wait(ctx, req).expect("reduce receive");
+                        op.fold(&mut acc, &decode_f64s(&bytes));
+                    }
+                } else {
+                    let peer_v = vrank & !mask;
                     let peer = (peer_v + root) % size;
-                    let req = self.adi.irecv(
+                    let req = self.adi.isend(
                         ctx,
+                        comm.world_rank(peer),
                         comm.coll_context,
-                        Some(comm.world_rank(peer)),
-                        Some(TAG_REDUCE),
+                        TAG_REDUCE,
+                        &encode_f64s(&acc),
                     );
-                    let (_, bytes) = self.adi.wait(ctx, req).expect("reduce receive");
-                    op.fold(&mut acc, &decode_f64s(&bytes));
+                    self.adi.wait(ctx, req);
+                    return None;
                 }
-            } else {
-                let peer_v = vrank & !mask;
-                let peer = (peer_v + root) % size;
-                let req = self.adi.isend(
-                    ctx,
-                    comm.world_rank(peer),
-                    comm.coll_context,
-                    TAG_REDUCE,
-                    &encode_f64s(&acc),
-                );
-                self.adi.wait(ctx, req);
-                return None;
+                mask <<= 1;
             }
-            mask <<= 1;
-        }
-        Some(acc)
+            Some(acc)
+        })();
+        self.span_exit(ctx, "reduce");
+        out
     }
 
     /// `MPI_Allreduce` = reduce to rank 0 + broadcast.
@@ -476,6 +492,7 @@ impl Mpi {
     /// `r` returns `op` folded over ranks `0..=r`. Linear pipeline (the
     /// MPICH 1.x algorithm).
     pub fn scan(&mut self, ctx: &mut ProcCtx, comm: &Comm, op: ReduceOp, data: &[f64]) -> Vec<f64> {
+        self.span_enter(ctx, "scan");
         self.charge_collective(ctx);
         let me = comm.rank();
         let mut acc = data.to_vec();
@@ -502,6 +519,7 @@ impl Mpi {
             );
             self.adi.wait(ctx, req);
         }
+        self.span_exit(ctx, "scan");
         acc
     }
 

@@ -2,6 +2,7 @@
 //! on the conventional networks.
 
 use bbp::BbpEndpoint;
+use des::obs::Layer;
 use des::ProcCtx;
 use netsim::{MyrinetApiPort, TcpSock};
 
@@ -36,19 +37,37 @@ impl Device for BbpDevice {
     }
 
     fn send_frame(&mut self, ctx: &mut ProcCtx, dst: usize, frame: &[u8]) {
+        let node = self.ep.rank() as u32;
+        ctx.obs()
+            .span_enter(ctx.now(), node, Layer::Device, "frame_send");
         self.ep
             .send(ctx, dst, frame)
             .expect("BBP send failed under the channel device");
+        ctx.obs()
+            .span_exit(ctx.now(), node, Layer::Device, "frame_send");
     }
 
     fn try_recv_frame(&mut self, ctx: &mut ProcCtx) -> Option<(usize, Vec<u8>)> {
-        self.ep.try_recv_any(ctx)
+        // No span: the progress engine polls this continuously and a
+        // span per empty poll would drown the trace. A received frame
+        // still shows up as the nested `bbp` deliver span.
+        let got = self.ep.try_recv_any(ctx);
+        if got.is_some() {
+            ctx.obs()
+                .count(ctx.now(), self.ep.rank() as u32, "device.frames_rx", 1);
+        }
+        got
     }
 
     fn mcast_frame(&mut self, ctx: &mut ProcCtx, targets: &[usize], frame: &[u8]) -> bool {
+        let node = self.ep.rank() as u32;
+        ctx.obs()
+            .span_enter(ctx.now(), node, Layer::Device, "frame_mcast");
         self.ep
             .mcast(ctx, targets, frame)
             .expect("BBP mcast failed under the channel device");
+        ctx.obs()
+            .span_exit(ctx.now(), node, Layer::Device, "frame_mcast");
         true
     }
 
@@ -93,10 +112,15 @@ impl Device for TcpDevice {
     }
 
     fn send_frame(&mut self, ctx: &mut ProcCtx, dst: usize, frame: &[u8]) {
+        let node = self.rank as u32;
+        ctx.obs()
+            .span_enter(ctx.now(), node, Layer::Device, "frame_send");
         self.socks[dst]
             .as_ref()
             .unwrap_or_else(|| panic!("no connection to rank {dst}"))
             .send(ctx, frame);
+        ctx.obs()
+            .span_exit(ctx.now(), node, Layer::Device, "frame_send");
     }
 
     fn try_recv_frame(&mut self, ctx: &mut ProcCtx) -> Option<(usize, Vec<u8>)> {
@@ -146,7 +170,12 @@ impl Device for MyrinetDevice {
     }
 
     fn send_frame(&mut self, ctx: &mut ProcCtx, dst: usize, frame: &[u8]) {
+        let node = self.port.host() as u32;
+        ctx.obs()
+            .span_enter(ctx.now(), node, Layer::Device, "frame_send");
         self.port.send(ctx, dst, frame);
+        ctx.obs()
+            .span_exit(ctx.now(), node, Layer::Device, "frame_send");
     }
 
     fn try_recv_frame(&mut self, ctx: &mut ProcCtx) -> Option<(usize, Vec<u8>)> {

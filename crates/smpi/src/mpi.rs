@@ -2,6 +2,7 @@
 
 use std::collections::HashMap;
 
+use des::obs::Layer;
 use des::ProcCtx;
 
 use crate::adi::Adi;
@@ -128,6 +129,18 @@ impl Mpi {
         ctx.advance(self.adi.costs().binding_ns);
     }
 
+    /// Open an MPI-layer span at the current instant.
+    pub(crate) fn span_enter(&self, ctx: &ProcCtx, name: &'static str) {
+        ctx.obs()
+            .span_enter(ctx.now(), self.rank() as u32, Layer::Mpi, name);
+    }
+
+    /// Close the innermost MPI-layer span of this name.
+    pub(crate) fn span_exit(&self, ctx: &ProcCtx, name: &'static str) {
+        ctx.obs()
+            .span_exit(ctx.now(), self.rank() as u32, Layer::Mpi, name);
+    }
+
     // ------------------------------------------------------------------
     // Point-to-point
     // ------------------------------------------------------------------
@@ -141,9 +154,17 @@ impl Mpi {
         tag: Tag,
         data: &[u8],
     ) -> Result<(), MpiError> {
-        let req = self.isend(ctx, comm, dst, tag, data)?;
-        self.wait_send(ctx, req);
-        Ok(())
+        self.span_enter(ctx, "send");
+        let res = self.isend(ctx, comm, dst, tag, data);
+        let out = match res {
+            Ok(req) => {
+                self.wait_send(ctx, req);
+                Ok(())
+            }
+            Err(e) => Err(e),
+        };
+        self.span_exit(ctx, "send");
+        out
     }
 
     /// Blocking receive. `src`/`tag` of `None` are the wildcards.
@@ -154,8 +175,14 @@ impl Mpi {
         src: Option<usize>,
         tag: Option<Tag>,
     ) -> Result<(Status, Vec<u8>), MpiError> {
-        let req = self.irecv(ctx, comm, src, tag)?;
-        Ok(self.wait_recv(ctx, comm, req))
+        self.span_enter(ctx, "recv");
+        let res = self.irecv(ctx, comm, src, tag);
+        let out = match res {
+            Ok(req) => Ok(self.wait_recv(ctx, comm, req)),
+            Err(e) => Err(e),
+        };
+        self.span_exit(ctx, "recv");
+        out
     }
 
     /// Non-blocking send.
@@ -168,11 +195,14 @@ impl Mpi {
         data: &[u8],
     ) -> Result<ReqId, MpiError> {
         assert!(tag <= MAX_USER_TAG, "tag {tag:#x} is reserved");
+        self.span_enter(ctx, "isend");
         self.charge_binding(ctx);
-        comm.check(dst)?;
-        Ok(self
-            .adi
-            .isend(ctx, comm.world_rank(dst), comm.context, tag, data))
+        let out = comm.check(dst).map(|()| {
+            self.adi
+                .isend(ctx, comm.world_rank(dst), comm.context, tag, data)
+        });
+        self.span_exit(ctx, "isend");
+        out
     }
 
     /// Non-blocking receive.
@@ -186,15 +216,20 @@ impl Mpi {
         if let Some(t) = tag {
             assert!(t <= MAX_USER_TAG, "tag {t:#x} is reserved");
         }
+        self.span_enter(ctx, "irecv");
         self.charge_binding(ctx);
-        let world_src = match src {
-            Some(s) => {
-                comm.check(s)?;
-                Some(comm.world_rank(s))
-            }
-            None => None,
-        };
-        Ok(self.adi.irecv(ctx, comm.context, world_src, tag))
+        let out = (|| {
+            let world_src = match src {
+                Some(s) => {
+                    comm.check(s)?;
+                    Some(comm.world_rank(s))
+                }
+                None => None,
+            };
+            Ok(self.adi.irecv(ctx, comm.context, world_src, tag))
+        })();
+        self.span_exit(ctx, "irecv");
+        out
     }
 
     /// Blocking synchronous-mode send (`MPI_Ssend`): returns only after
@@ -209,28 +244,33 @@ impl Mpi {
         data: &[u8],
     ) -> Result<(), MpiError> {
         assert!(tag <= MAX_USER_TAG, "tag {tag:#x} is reserved");
+        self.span_enter(ctx, "ssend");
         self.charge_binding(ctx);
-        comm.check(dst)?;
-        let req = self
-            .adi
-            .issend(ctx, comm.world_rank(dst), comm.context, tag, data);
-        self.wait_send(ctx, req);
-        Ok(())
+        let out = comm.check(dst).map(|()| {
+            let req = self
+                .adi
+                .issend(ctx, comm.world_rank(dst), comm.context, tag, data);
+            self.wait_send(ctx, req);
+        });
+        self.span_exit(ctx, "ssend");
+        out
     }
 
     /// Complete a send request.
     pub fn wait_send(&mut self, ctx: &mut ProcCtx, req: ReqId) {
+        self.span_enter(ctx, "wait");
         let r = self.adi.wait(ctx, req);
+        self.span_exit(ctx, "wait");
         debug_assert!(r.is_none(), "wait_send redeemed a receive request");
     }
 
     /// Complete a receive request, translating the source into the
     /// communicator's rank space.
     pub fn wait_recv(&mut self, ctx: &mut ProcCtx, comm: &Comm, req: ReqId) -> (Status, Vec<u8>) {
-        let (mut status, data) = self
-            .adi
-            .wait(ctx, req)
-            .expect("wait_recv redeemed a send request");
+        self.span_enter(ctx, "wait");
+        let waited = self.adi.wait(ctx, req);
+        self.span_exit(ctx, "wait");
+        let (mut status, data) = waited.expect("wait_recv redeemed a send request");
         status.source = comm
             .comm_rank(status.source)
             .expect("message from outside the communicator matched its context");
