@@ -7,7 +7,7 @@
 //! per-repetition latency quantiles.
 //!
 //! ```text
-//! bench-report [--quick] [--out PATH] [--trace PATH]
+//! bench-report [--quick] [--out PATH] [--trace PATH] [--wallclock] [--baseline PATH]
 //! bench-report --check PATH
 //! ```
 //!
@@ -16,31 +16,48 @@
 //!   (default `BENCH_summary.json`).
 //! - `--trace PATH`: also write a Chrome `trace_event` JSON of the
 //!   instrumented 4-node broadcast (load in Perfetto).
+//! - `--wallclock`: also run the engine self-measurement scenarios
+//!   (events/sec, simulated-ns/sec, peak queue depth) and record them in
+//!   the report's `wallclock` section.
+//! - `--baseline PATH`: read a previously committed summary, echo its
+//!   wallclock entries into this report (tagged `@baseline`), and fail
+//!   if any shared scenario is now more than
+//!   [`WALLCLOCK_REGRESSION_FACTOR`]× slower in events/sec. Implies
+//!   `--wallclock`.
 //! - `--check PATH`: validate an existing summary against the schema
 //!   and exit (runs no benchmarks).
 //!
-//! Exits non-zero if the report fails its own schema validation or the
-//! measured layering constant deviates from the paper by more than 20%.
+//! Exits non-zero if the report fails its own schema validation, the
+//! measured layering constant deviates from the paper by more than 20%,
+//! or the wall-clock baseline gate trips.
 
 use std::process::ExitCode;
 
 use bench::{
-    bbp_one_way_us, bbp_pingpong_histogram, crossover, mpi_bcast_events, mpi_one_way_us,
-    mpi_pingpong_histogram, print_table, report, report_anchor, MpiNet, Series,
+    bbp_one_way_us, bbp_pingpong_histogram, best_of, crossover, event_chain_stress,
+    mpi_bcast_events, mpi_one_way_us, mpi_pingpong_histogram, print_table, report, report_anchor,
+    ring_bcast_stress, ring_pio_writers, MpiNet, Series, WallclockRun,
 };
-use obs::report::PAPER_LAYERING_US;
+use obs::report::{Wallclock, PAPER_LAYERING_US};
 use smpi::CollectiveImpl;
 
 /// Maximum tolerated deviation of the layering constant, percent.
 const LAYERING_TOLERANCE_PCT: f64 = 20.0;
 
-const USAGE: &str = "usage: bench-report [--quick] [--out PATH] [--trace PATH] | --check PATH";
+/// The perf-smoke gate trips only when a scenario's events/sec drops to
+/// less than 1/3 of the committed baseline — informative, not flaky.
+const WALLCLOCK_REGRESSION_FACTOR: f64 = 3.0;
+
+const USAGE: &str = "usage: bench-report [--quick] [--out PATH] [--trace PATH] [--wallclock] \
+                     [--baseline PATH] | --check PATH";
 
 struct Args {
     quick: bool,
     out: String,
     trace: Option<String>,
     check: Option<String>,
+    wallclock: bool,
+    baseline: Option<String>,
     help: bool,
 }
 
@@ -50,6 +67,8 @@ fn parse_args() -> Result<Args, String> {
         out: "BENCH_summary.json".to_string(),
         trace: None,
         check: None,
+        wallclock: false,
+        baseline: None,
         help: false,
     };
     let mut it = std::env::args().skip(1);
@@ -59,11 +78,108 @@ fn parse_args() -> Result<Args, String> {
             "--out" => args.out = it.next().ok_or("--out needs a path")?,
             "--trace" => args.trace = Some(it.next().ok_or("--trace needs a path")?),
             "--check" => args.check = Some(it.next().ok_or("--check needs a path")?),
+            "--wallclock" => args.wallclock = true,
+            "--baseline" => {
+                args.baseline = Some(it.next().ok_or("--baseline needs a path")?);
+                args.wallclock = true;
+            }
             "--help" | "-h" => args.help = true,
             other => return Err(format!("unknown argument '{other}'\n{USAGE}")),
         }
     }
     Ok(args)
+}
+
+/// Parse the `wallclock` section out of a committed baseline summary.
+fn load_baseline(path: &str) -> Result<Vec<Wallclock>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    obs::report::validate_json(&text)?;
+    let doc = obs::json::parse(&text)?;
+    let mut out = Vec::new();
+    if let Some(entries) = doc.get("wallclock").and_then(obs::json::Json::as_arr) {
+        for w in entries {
+            let num = |key: &str| w.get(key).and_then(obs::json::Json::as_f64).unwrap_or(0.0);
+            let scenario = w
+                .get("scenario")
+                .and_then(obs::json::Json::as_str)
+                .unwrap_or("?")
+                .to_string();
+            // Ignore the previous report's own baseline echoes so chained
+            // comparisons always gate against fresh measurements.
+            if scenario.ends_with("@baseline") {
+                continue;
+            }
+            out.push(Wallclock {
+                scenario,
+                events: num("events") as u64,
+                sim_ns: num("sim_ns") as u64,
+                wall_ms: num("wall_ms"),
+                events_per_sec: num("events_per_sec"),
+                sim_ns_per_sec: num("sim_ns_per_sec"),
+                peak_queue_depth: num("peak_queue_depth") as u64,
+            });
+        }
+    }
+    Ok(out)
+}
+
+/// Run the engine self-measurement scenarios, record them, and apply the
+/// baseline regression gate. Returns `Err` with a message if the gate
+/// trips.
+fn run_wallclock(quick: bool, baseline: &[Wallclock]) -> Result<(), String> {
+    // Best-of-3 per scenario: wall-clock self-measurement shares the
+    // host, so the fastest repetition estimates the engine's real cost.
+    let runs: Vec<WallclockRun> = if quick {
+        vec![
+            best_of(3, || ring_bcast_stress(16, 500)),
+            best_of(3, || ring_pio_writers(16, 500)),
+            best_of(3, || event_chain_stress(16, 5_000)),
+        ]
+    } else {
+        vec![
+            best_of(3, || ring_bcast_stress(16, 2_000)),
+            best_of(3, || ring_pio_writers(16, 2_000)),
+            best_of(3, || event_chain_stress(64, 20_000)),
+        ]
+    };
+    println!("\n== engine wall-clock self-measurement ==");
+    let mut failures = Vec::new();
+    for run in &runs {
+        report::push_wallclock(run);
+        println!(
+            "  {:<28} {:>9} events  {:>7.1} ms  {:>10.0} events/s  {:>12.3e} sim-ns/s  peak depth {}",
+            run.scenario,
+            run.events,
+            run.wall.as_secs_f64() * 1e3,
+            run.events_per_sec(),
+            run.sim_ns_per_sec(),
+            run.peak_queue_depth,
+        );
+        if let Some(base) = baseline.iter().find(|b| b.scenario == run.scenario) {
+            let ratio = run.events_per_sec() / base.events_per_sec.max(1e-9);
+            println!(
+                "  {:<28} vs baseline {:.0} events/s: {ratio:.2}x",
+                "", base.events_per_sec
+            );
+            if run.events_per_sec() * WALLCLOCK_REGRESSION_FACTOR < base.events_per_sec {
+                failures.push(format!(
+                    "{}: {:.0} events/s is more than {WALLCLOCK_REGRESSION_FACTOR}x slower \
+                     than baseline {:.0} events/s",
+                    run.scenario,
+                    run.events_per_sec(),
+                    base.events_per_sec
+                ));
+            }
+        }
+    }
+    for base in baseline {
+        report::push_wallclock_baseline(base);
+    }
+    if failures.is_empty() {
+        Ok(())
+    } else {
+        Err(failures.join("; "))
+    }
 }
 
 /// Validate an existing summary file against the schema.
@@ -180,6 +296,25 @@ fn main() -> ExitCode {
         &mpi_pingpong_histogram(MpiNet::Scramnet, 0),
     );
 
+    // Engine self-measurement + regression gate against the committed
+    // baseline.
+    let mut wallclock_failure = None;
+    if args.wallclock {
+        let baseline = match &args.baseline {
+            Some(path) => match load_baseline(path) {
+                Ok(b) => b,
+                Err(e) => {
+                    eprintln!("cannot load baseline: {e}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            None => Vec::new(),
+        };
+        if let Err(e) = run_wallclock(args.quick, &baseline) {
+            wallclock_failure = Some(e);
+        }
+    }
+
     // Write and self-validate the summary.
     let rep = report::finish().expect("report sink was armed at startup");
     let json = rep.to_json();
@@ -198,6 +333,10 @@ fn main() -> ExitCode {
         eprintln!(
             "layering constant off by {dev_pct:.0}% (> {LAYERING_TOLERANCE_PCT:.0}% tolerance)"
         );
+        return ExitCode::FAILURE;
+    }
+    if let Some(e) = wallclock_failure {
+        eprintln!("wall-clock regression gate tripped: {e}");
         return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS

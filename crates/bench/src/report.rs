@@ -7,7 +7,7 @@
 
 use obs::report::{
     Anchor, BenchReport, Crossover, LayerRow, Layering, Quantiles, Series as ReportSeries, Table,
-    PAPER_LAYERING_US,
+    Wallclock, PAPER_LAYERING_US,
 };
 use parking_lot::Mutex;
 
@@ -134,6 +134,34 @@ pub fn push_quantiles(name: impl Into<String>, hist: &des::metrics::Histogram) {
             p99_us: us(hist.quantile(0.99)),
             max_us: us(hist.max()),
             mean_us: hist.mean() / 1000.0,
+        })
+    });
+}
+
+/// Record one wall-clock self-measurement run (see
+/// [`crate::WallclockRun`]). `scenario` is taken from the run, so
+/// baseline echoes can be pushed with a distinct suffix by the caller.
+pub fn push_wallclock(run: &crate::WallclockRun) {
+    with(|r| {
+        r.wallclock.push(Wallclock {
+            scenario: run.scenario.clone(),
+            events: run.events,
+            sim_ns: run.sim_ns,
+            wall_ms: run.wall.as_secs_f64() * 1e3,
+            events_per_sec: run.events_per_sec(),
+            sim_ns_per_sec: run.sim_ns_per_sec(),
+            peak_queue_depth: run.peak_queue_depth as u64,
+        })
+    });
+}
+
+/// Record a baseline entry read back from a committed baseline report,
+/// tagged `@baseline` so consumers can tell it from a fresh measurement.
+pub fn push_wallclock_baseline(entry: &Wallclock) {
+    with(|r| {
+        r.wallclock.push(Wallclock {
+            scenario: format!("{}@baseline", entry.scenario),
+            ..entry.clone()
         })
     });
 }

@@ -49,6 +49,8 @@
 //! latency breakdown with [`obs::attribute`]. Recording is off by
 //! default and costs one relaxed atomic load per instrumentation site.
 
+mod event;
+mod pq;
 mod process;
 mod sched;
 mod signal;

@@ -146,11 +146,15 @@ impl ProcCtx {
     /// True when the pending queue holds nothing due at or before `t`
     /// and `t` is inside the active run horizon.
     fn no_wakeups_before(&self, t: Time) -> bool {
-        if t > *self.sched.horizon.lock() {
+        if t > self
+            .sched
+            .horizon
+            .load(std::sync::atomic::Ordering::Relaxed)
+        {
             return false;
         }
-        match self.sched.pending.lock().peek() {
-            Some(item) => item.0.time > t,
+        match self.sched.pending.lock().peek_time() {
+            Some(first) => first > t,
             None => true,
         }
     }

@@ -48,8 +48,13 @@ impl Signal {
     /// virtual time `t`. Waiters that registered after this call are not
     /// woken (edge semantics).
     pub fn notify_at(&self, t: Time) {
-        let drained: Vec<ProcId> = std::mem::take(&mut *self.inner.waiters.lock());
-        for id in drained {
+        // Drain in place (not `mem::take`) so the waiter Vec keeps its
+        // capacity: a signal notified in the steady state never
+        // reallocates. Holding the lock across the pushes is safe —
+        // `register` is only called from process context, and only one
+        // entity executes at a time.
+        let mut waiters = self.inner.waiters.lock();
+        for id in waiters.drain(..) {
             self.inner.sched.push(t, WakeWhat::Resume(id));
         }
     }

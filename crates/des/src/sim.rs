@@ -1,6 +1,6 @@
 //! The simulation container and its run loop.
 
-use std::cmp::Reverse;
+use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
 use parking_lot::Mutex;
@@ -17,6 +17,9 @@ pub struct RunReport {
     pub end_time: Time,
     /// Total scheduler dispatches (events + process resumptions).
     pub dispatches: u64,
+    /// Largest pending-queue length observed at a dispatch point during
+    /// this run — a measure of how event-dense the workload is.
+    pub peak_queue_depth: usize,
     /// Names of processes left blocked on signals when the queue drained.
     /// Empty on a clean completion; non-empty indicates a deadlock.
     pub deadlocked: Vec<String>,
@@ -107,22 +110,21 @@ impl Simulation {
     /// Run until the queue drains or the next entity would fire after
     /// `horizon`. Entities beyond the horizon stay queued.
     pub fn run_until(&mut self, horizon: Time) -> RunReport {
-        *self.sched.horizon.lock() = horizon;
+        self.sched.horizon.store(horizon, Ordering::Relaxed);
         let mut now: Time = 0;
         let mut dispatches: u64 = 0;
+        let mut peak_queue_depth: usize = 0;
         loop {
             let item = {
                 let mut q = self.sched.pending.lock();
-                match q.peek() {
-                    Some(Reverse(item)) if item.time <= horizon => q.pop().map(|r| r.0),
-                    _ => None,
-                }
+                peak_queue_depth = peak_queue_depth.max(q.len());
+                q.pop_due(horizon)
             };
-            let Some(item) = item else { break };
-            debug_assert!(item.time >= now, "scheduler time went backwards");
-            now = now.max(item.time);
+            let Some((time, what)) = item else { break };
+            debug_assert!(time >= now, "scheduler time went backwards");
+            now = now.max(time);
             dispatches += 1;
-            match item.what {
+            match what {
                 WakeWhat::Event(f) => {
                     if self.sched.recorder.is_enabled() {
                         self.sched.record(TraceEntry {
@@ -131,7 +133,7 @@ impl Simulation {
                             detail: String::new(),
                         });
                     }
-                    f(now);
+                    f.call(now);
                 }
                 WakeWhat::Resume(id) => {
                     self.resume(id, &mut now);
@@ -149,6 +151,7 @@ impl Simulation {
         RunReport {
             end_time: now,
             dispatches,
+            peak_queue_depth,
             deadlocked,
         }
     }

@@ -1,0 +1,87 @@
+//! The dispatch hot path must be allocation-free once warm: popping an
+//! event, running its closure, and scheduling the next one may touch the
+//! queue, the slab, and the inline-closure storage, but never the heap.
+//! This pins the tentpole property directly — `Box<dyn FnOnce>` per
+//! event, or a queue that allocates per push, would fail immediately.
+//!
+//! Allocation counting uses a wrapping global allocator, so everything
+//! runs inside ONE test function — a sibling test on another harness
+//! thread would pollute the counter.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use des::{SimHandle, Simulation, Time};
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::SeqCst);
+        System.alloc(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::SeqCst);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+/// An endless self-rescheduling event: the closure captures one
+/// `SimHandle` (a single `Arc`), well inside the inline budget.
+fn chain(h: &SimHandle, t: Time) {
+    let h2 = h.clone();
+    h.schedule_at(t + 100, move |t| chain(&h2, t));
+}
+
+#[test]
+fn event_dispatch_is_alloc_free_after_warmup() {
+    let mut sim = Simulation::new();
+    let h = sim.handle();
+    for c in 0..64u64 {
+        chain(&h, c);
+    }
+
+    // Warm-up: ~128k dispatches grow the pending queue's bands, the
+    // payload slab, and the free list to their steady-state high-water
+    // marks.
+    let warm = sim.run_until(200_000);
+    assert!(
+        warm.dispatches > 100_000,
+        "warm-up ran: {}",
+        warm.dispatches
+    );
+
+    let before = ALLOCS.load(Ordering::SeqCst);
+    let report = sim.run_until(2_000_000);
+    let after = ALLOCS.load(Ordering::SeqCst);
+
+    assert!(
+        report.dispatches > 1_000_000,
+        "measured window dispatched plenty: {}",
+        report.dispatches
+    );
+    assert_eq!(
+        after - before,
+        0,
+        "event dispatch allocated after warm-up ({} dispatches)",
+        report.dispatches
+    );
+
+    // Sanity-check the counter itself so a broken hook cannot fake a pass.
+    let before = ALLOCS.load(Ordering::SeqCst);
+    std::hint::black_box(Box::new(0x5Cu64));
+    assert!(
+        ALLOCS.load(Ordering::SeqCst) > before,
+        "allocation counter is live"
+    );
+}

@@ -5,7 +5,12 @@
 use crate::json::{self, write_f64, write_string, Json};
 
 /// Version stamped into every report; bump on breaking schema changes.
-pub const SCHEMA_VERSION: u32 = 1;
+///
+/// v2 added the `wallclock` section: host-side self-measurement of the
+/// simulator's own throughput (events/sec, simulated-ns/sec, peak queue
+/// depth), recorded so every PR's engine speed is pinned against the
+/// committed baseline.
+pub const SCHEMA_VERSION: u32 = 2;
 
 /// The paper's MPI-over-BBP layering constant: MPI adds ≈37.5 µs of
 /// software overhead on top of raw BBP latency, independent of message
@@ -115,6 +120,27 @@ pub struct Quantiles {
     pub mean_us: f64,
 }
 
+/// One wall-clock self-measurement: how fast the simulator itself ran
+/// one scenario on the host, independent of virtual-time results.
+#[derive(Debug, Clone)]
+pub struct Wallclock {
+    /// Scenario id, e.g. `"ring_bcast_stress_16node"`. Baseline echoes
+    /// carry an `@baseline` suffix.
+    pub scenario: String,
+    /// Scheduler dispatches executed (events + process resumptions).
+    pub events: u64,
+    /// Virtual time covered by the run, nanoseconds.
+    pub sim_ns: u64,
+    /// Host wall-clock time for the run, milliseconds.
+    pub wall_ms: f64,
+    /// Dispatch throughput: `events / wall seconds`.
+    pub events_per_sec: f64,
+    /// Virtual-time throughput: simulated nanoseconds per wall second.
+    pub sim_ns_per_sec: f64,
+    /// Largest pending-queue depth observed during the run.
+    pub peak_queue_depth: u64,
+}
+
 /// The complete report (`BENCH_summary.json`).
 #[derive(Debug, Clone, Default)]
 pub struct BenchReport {
@@ -132,6 +158,8 @@ pub struct BenchReport {
     pub layering: Option<Layering>,
     /// Latency distributions.
     pub quantiles: Vec<Quantiles>,
+    /// Wall-clock engine self-measurements (the bench trajectory).
+    pub wallclock: Vec<Wallclock>,
 }
 
 impl BenchReport {
@@ -250,6 +278,25 @@ impl BenchReport {
             }
             o.push('}');
         }
+        o.push_str("\n  ],\n  \"wallclock\": [");
+        for (i, w) in self.wallclock.iter().enumerate() {
+            o.push_str(if i == 0 { "\n" } else { ",\n" });
+            o.push_str("    {\"scenario\": ");
+            write_string(&mut o, &w.scenario);
+            o.push_str(", \"events\": ");
+            let _ = std::fmt::Write::write_fmt(&mut o, format_args!("{}", w.events));
+            o.push_str(", \"sim_ns\": ");
+            let _ = std::fmt::Write::write_fmt(&mut o, format_args!("{}", w.sim_ns));
+            o.push_str(", \"wall_ms\": ");
+            write_f64(&mut o, w.wall_ms);
+            o.push_str(", \"events_per_sec\": ");
+            write_f64(&mut o, w.events_per_sec);
+            o.push_str(", \"sim_ns_per_sec\": ");
+            write_f64(&mut o, w.sim_ns_per_sec);
+            o.push_str(", \"peak_queue_depth\": ");
+            let _ = std::fmt::Write::write_fmt(&mut o, format_args!("{}", w.peak_queue_depth));
+            o.push('}');
+        }
         o.push_str("\n  ]\n}\n");
         o
     }
@@ -359,6 +406,20 @@ pub fn validate_json(text: &str) -> Result<(), String> {
             require_num(q, key, &ctx)?;
         }
     }
+    for (i, w) in require_arr(&doc, "wallclock")?.iter().enumerate() {
+        let ctx = format!("wallclock[{i}]");
+        require_str(w, "scenario", &ctx)?;
+        for key in [
+            "events",
+            "sim_ns",
+            "wall_ms",
+            "events_per_sec",
+            "sim_ns_per_sec",
+            "peak_queue_depth",
+        ] {
+            require_num(w, key, &ctx)?;
+        }
+    }
     Ok(())
 }
 
@@ -407,6 +468,15 @@ mod tests {
                 max_us: 45.1,
                 mean_us: 44.2,
             }],
+            wallclock: vec![Wallclock {
+                scenario: "ring_bcast_stress_16node".to_string(),
+                events: 500_000,
+                sim_ns: 2_000_000_000,
+                wall_ms: 120.0,
+                events_per_sec: 4_166_666.0,
+                sim_ns_per_sec: 1.6e10,
+                peak_queue_depth: 48,
+            }],
         }
     }
 
@@ -424,10 +494,25 @@ mod tests {
 
     #[test]
     fn wrong_schema_version_is_rejected() {
+        let text = sample().to_json().replace(
+            &format!("\"schema_version\": {SCHEMA_VERSION}"),
+            "\"schema_version\": 99",
+        );
+        assert!(validate_json(&text).unwrap_err().contains("schema_version"));
+    }
+
+    #[test]
+    fn missing_wallclock_section_is_rejected() {
+        let text = sample().to_json().replace("\"wallclock\"", "\"wallklock\"");
+        assert!(validate_json(&text).unwrap_err().contains("wallclock"));
+    }
+
+    #[test]
+    fn wallclock_entry_requires_throughput_fields() {
         let text = sample()
             .to_json()
-            .replace("\"schema_version\": 1", "\"schema_version\": 99");
-        assert!(validate_json(&text).unwrap_err().contains("schema_version"));
+            .replace("\"events_per_sec\"", "\"events_per_sek\"");
+        assert!(validate_json(&text).unwrap_err().contains("events_per_sec"));
     }
 
     #[test]

@@ -8,6 +8,7 @@ use des::obs::Layer;
 use des::{ProcCtx, Signal};
 
 use crate::ring::RingShared;
+use crate::stats::Bump;
 use crate::{Word, WordAddr};
 
 /// A host's port onto the ring. Clone freely; all clones refer to the same
@@ -63,7 +64,7 @@ impl Nic {
         ctx.obs()
             .span_enter(ctx.now(), self.gid(), Layer::Nic, "pio_write");
         ctx.advance(self.shared.cost.pio_write_ns);
-        self.shared.stats.lock().pio_writes += 1;
+        self.shared.stats.pio_writes.add(1);
         ctx.obs().count(ctx.now(), self.gid(), "nic.pio_words", 1);
         self.shared
             .inject(self.node, ctx.now(), addr, Arc::new(vec![value]));
@@ -81,13 +82,10 @@ impl Nic {
             .span_enter(ctx.now(), self.gid(), Layer::Nic, "pio_block");
         let cost = &self.shared.cost;
         ctx.advance(cost.host_write_ns(data.len()));
-        {
-            let mut stats = self.shared.stats.lock();
-            if data.len() >= cost.burst_threshold_words {
-                stats.bursts += 1;
-            } else {
-                stats.pio_writes += data.len() as u64;
-            }
+        if data.len() >= cost.burst_threshold_words {
+            self.shared.stats.bursts.add(1);
+        } else {
+            self.shared.stats.pio_writes.add(data.len() as u64);
         }
         ctx.obs()
             .count(ctx.now(), self.gid(), "nic.pio_words", data.len() as u64);
@@ -103,7 +101,7 @@ impl Nic {
         ctx.obs()
             .span_enter(ctx.now(), self.gid(), Layer::Nic, "pio_read");
         ctx.advance(self.shared.cost.pio_read_ns);
-        self.shared.stats.lock().pio_reads += 1;
+        self.shared.stats.pio_reads.add(1);
         ctx.obs().count(ctx.now(), self.gid(), "nic.pio_reads", 1);
         let w = self.shared.banks[self.node].lock().read(addr);
         ctx.obs()
@@ -120,13 +118,10 @@ impl Nic {
             .span_enter(ctx.now(), self.gid(), Layer::Nic, "pio_read");
         let cost = &self.shared.cost;
         ctx.advance(cost.host_read_ns(len));
-        {
-            let mut stats = self.shared.stats.lock();
-            if len >= cost.burst_threshold_words {
-                stats.bursts += 1;
-            } else {
-                stats.pio_reads += len as u64;
-            }
+        if len >= cost.burst_threshold_words {
+            self.shared.stats.bursts.add(1);
+        } else {
+            self.shared.stats.pio_reads.add(len as u64);
         }
         ctx.obs()
             .count(ctx.now(), self.gid(), "nic.pio_reads", len as u64);
@@ -165,7 +160,7 @@ impl Nic {
             }
             return;
         }
-        self.shared.stats.lock().bursts += 1;
+        self.shared.stats.bursts.add(1);
         ctx.obs()
             .count(ctx.now(), self.gid(), "nic.dma_words", data.len() as u64);
         let staged_at = ctx.now() + data.len() as u64 * cost.dma_word_ns;

@@ -1,6 +1,7 @@
 //! The register-insertion ring: packet propagation, replication into every
 //! bank, link occupancy, fault injection, and the single-writer checker.
 
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 use std::sync::Arc;
 
 use des::obs::{Layer, NO_NODE};
@@ -10,7 +11,7 @@ use parking_lot::Mutex;
 use crate::bank::Bank;
 use crate::cost::{CostModel, TxMode};
 use crate::nic::Nic;
-use crate::stats::RingStats;
+use crate::stats::{AtomicRingStats, Bump, RingStats};
 use crate::{Word, WordAddr};
 
 /// Construction-time options beyond node count and memory size.
@@ -58,46 +59,196 @@ struct Watch {
 /// Used by [`crate::RingHierarchy`] to forward traffic between rings.
 pub(crate) type Tap = Box<dyn Fn(usize, WordAddr, &[Word], Time) + Send>;
 
+/// Bypass state as an atomic bitset: one bit per node (the ring caps at
+/// 256 nodes, so four words cover it). Injects read a [`BypassSnapshot`]
+/// — four relaxed loads — instead of cloning a `Mutex<Vec<bool>>`.
+#[derive(Default)]
+struct BypassMask {
+    words: [AtomicU64; 4],
+}
+
+impl BypassMask {
+    fn set(&self, node: usize, bypassed: bool) {
+        let (w, bit) = (node / 64, 1u64 << (node % 64));
+        if bypassed {
+            self.words[w].fetch_or(bit, Ordering::Relaxed);
+        } else {
+            self.words[w].fetch_and(!bit, Ordering::Relaxed);
+        }
+    }
+
+    fn get(&self, node: usize) -> bool {
+        self.words[node / 64].load(Ordering::Relaxed) & (1 << (node % 64)) != 0
+    }
+
+    fn snapshot(&self) -> BypassSnapshot {
+        BypassSnapshot {
+            words: [
+                self.words[0].load(Ordering::Relaxed),
+                self.words[1].load(Ordering::Relaxed),
+                self.words[2].load(Ordering::Relaxed),
+                self.words[3].load(Ordering::Relaxed),
+            ],
+        }
+    }
+}
+
+/// A point-in-time copy of the bypass bitset, `Copy`-cheap on the stack.
+#[derive(Clone, Copy)]
+struct BypassSnapshot {
+    words: [u64; 4],
+}
+
+impl BypassSnapshot {
+    #[inline]
+    fn get(&self, node: usize) -> bool {
+        self.words[node / 64] & (1 << (node % 64)) != 0
+    }
+}
+
+/// The scheduled itinerary of one injected packet: every live hop's
+/// `(node, apply-time)` plus the payload, walked by a single
+/// self-rescheduling transit event. Plans are pooled and reused, so a
+/// warm steady state schedules an N-hop packet with zero allocations.
+pub(crate) struct HopPlan {
+    /// `(node, bank-apply time)` for each live hop, in ring order.
+    hops: Vec<(u32, Time)>,
+    /// Next hop to fire.
+    idx: usize,
+    addr: WordAddr,
+    writer: usize,
+    /// Payload; dropped (not deallocated into the pool) on completion.
+    data: Option<Arc<Vec<Word>>>,
+    /// First of the FIFO tie-break slots reserved for this chain; hop
+    /// `k` fires with slot `base_order + k` (see
+    /// `SimHandle::reserve_order`).
+    base_order: u64,
+}
+
+impl HopPlan {
+    fn empty() -> Box<Self> {
+        Box::new(HopPlan {
+            hops: Vec::new(),
+            idx: 0,
+            addr: 0,
+            writer: 0,
+            data: None,
+            base_order: 0,
+        })
+    }
+}
+
 pub(crate) struct RingShared {
     pub handle: SimHandle,
     pub cost: CostModel,
-    pub mode: Mutex<TxMode>,
+    /// Active [`TxMode`], stored as its discriminant index.
+    mode: AtomicU8,
     pub n: usize,
     pub banks: Vec<Mutex<Bank>>,
     /// Egress-link busy horizon per node (`links[i]` = link i → i+1).
+    /// Locked once per inject, only around the occupancy computation.
     links: Mutex<Vec<Time>>,
     watches: Mutex<Vec<Vec<Watch>>>,
+    /// Number of installed watches across all nodes; lets `apply_at`
+    /// skip the watch lock entirely on watch-free rings.
+    watch_count: AtomicU64,
     /// Per-node apply observers (bridge forwarding). Called as
     /// `(writer, addr, words, time)` after the bank apply.
     taps: Mutex<Vec<Option<Tap>>>,
+    /// Number of installed taps; same fast-skip as `watch_count`.
+    tap_count: AtomicU64,
     /// Global identity of each local node (identity mapping for a lone
     /// ring; distinct global ids inside a [`crate::RingHierarchy`]).
     /// Provenance and taps see global ids.
     pub node_ids: Vec<usize>,
-    bypassed: Mutex<Vec<bool>>,
-    pub stats: Mutex<RingStats>,
+    bypassed: BypassMask,
+    pub stats: AtomicRingStats,
     /// (addr, earlier_writer, later_writer) conflicts seen by the
     /// single-writer checker.
     conflicts: Mutex<Vec<(WordAddr, usize, usize)>>,
     /// Fault injection (None when `bit_error_rate` is 0).
     errors: Option<Mutex<ErrorInjector>>,
+    /// Free list of transit itineraries (see [`HopPlan`]).
+    /// The box, not just the plan, is what's recycled: the transit
+    /// closure must capture a thin pointer to stay inside the inline
+    /// budget, so un-boxing the pool would re-introduce one allocation
+    /// per packet.
+    #[allow(clippy::vec_box)]
+    plan_pool: Mutex<Vec<Box<HopPlan>>>,
+}
+
+impl RingShared {
+    fn mode(&self) -> TxMode {
+        match self.mode.load(Ordering::Relaxed) {
+            0 => TxMode::Fixed4,
+            _ => TxMode::Variable,
+        }
+    }
+
+    fn set_mode(&self, mode: TxMode) {
+        let idx = match mode {
+            TxMode::Fixed4 => 0,
+            TxMode::Variable => 1,
+        };
+        self.mode.store(idx, Ordering::Relaxed);
+    }
 }
 
 /// Seeded per-word bit-flip injector.
+///
+/// Rather than a Bernoulli draw per word, the injector samples the *gap*
+/// to the next flipped word from the matching geometric distribution and
+/// counts words down to it. The flip process over the word stream is
+/// statistically identical, still seeded and deterministic, but a clean
+/// apply costs one subtraction instead of one RNG draw per word — at
+/// realistic error rates virtually every apply is clean.
 struct ErrorInjector {
     rate: f64,
     rng: des::rng::SimRng,
+    /// Clean words remaining before the next flip.
+    countdown: u64,
 }
 
 impl ErrorInjector {
-    /// Corrupt `w` with the configured probability.
-    fn maybe_flip(&mut self, w: Word) -> (Word, bool) {
-        if self.rng.unit() < self.rate {
-            let bit = self.rng.below(32) as u32;
-            (w ^ (1 << bit), true)
+    fn new(rate: f64, seed: u64) -> Self {
+        let mut inj = ErrorInjector {
+            rate: rate.min(1.0),
+            rng: des::rng::SimRng::seeded(seed),
+            countdown: 0,
+        };
+        inj.countdown = inj.sample_gap();
+        inj
+    }
+
+    /// Geometric(rate) gap: number of clean words before the next flip.
+    fn sample_gap(&mut self) -> u64 {
+        // floor(ln(1-U) / ln(1-p)); at p == 1 the divisor is -inf and the
+        // gap collapses to 0 (every word flips), as it should.
+        let u = self.rng.unit();
+        let gap = (1.0 - u).ln() / (1.0 - self.rate).ln();
+        if gap.is_finite() {
+            gap as u64
         } else {
-            (w, false)
+            0
         }
+    }
+
+    /// Walk a span of `len` applied words, calling `flip(idx, bit)` for
+    /// each corrupted one. The fast path — no flip lands in the span —
+    /// is a single compare-and-subtract.
+    fn corrupt_span(&mut self, len: usize, mut flip: impl FnMut(usize, u32)) {
+        let len = len as u64;
+        if self.countdown >= len {
+            self.countdown -= len;
+            return;
+        }
+        let mut i = self.countdown;
+        while i < len {
+            let bit = self.rng.below(32) as u32;
+            flip(i as usize, bit);
+            i += 1 + self.sample_gap();
+        }
+        self.countdown = i - len;
     }
 }
 
@@ -128,27 +279,28 @@ impl Ring {
         let banks = (0..n)
             .map(|_| Mutex::new(Bank::new(words, config.track_provenance)))
             .collect();
+        let shared = RingShared {
+            handle: handle.clone(),
+            cost,
+            mode: AtomicU8::new(0),
+            n,
+            banks,
+            links: Mutex::new(vec![0; n]),
+            watches: Mutex::new((0..n).map(|_| Vec::new()).collect()),
+            watch_count: AtomicU64::new(0),
+            taps: Mutex::new((0..n).map(|_| None).collect()),
+            tap_count: AtomicU64::new(0),
+            node_ids: config.node_ids.unwrap_or_else(|| (0..n).collect()),
+            bypassed: BypassMask::default(),
+            stats: AtomicRingStats::default(),
+            conflicts: Mutex::new(Vec::new()),
+            errors: (config.bit_error_rate > 0.0)
+                .then(|| Mutex::new(ErrorInjector::new(config.bit_error_rate, config.error_seed))),
+            plan_pool: Mutex::new(Vec::new()),
+        };
+        shared.set_mode(config.mode);
         Ring {
-            shared: Arc::new(RingShared {
-                handle: handle.clone(),
-                cost,
-                mode: Mutex::new(config.mode),
-                n,
-                banks,
-                links: Mutex::new(vec![0; n]),
-                watches: Mutex::new((0..n).map(|_| Vec::new()).collect()),
-                taps: Mutex::new((0..n).map(|_| None).collect()),
-                node_ids: config.node_ids.unwrap_or_else(|| (0..n).collect()),
-                bypassed: Mutex::new(vec![false; n]),
-                stats: Mutex::new(RingStats::default()),
-                conflicts: Mutex::new(Vec::new()),
-                errors: (config.bit_error_rate > 0.0).then(|| {
-                    Mutex::new(ErrorInjector {
-                        rate: config.bit_error_rate,
-                        rng: des::rng::SimRng::seeded(config.error_seed),
-                    })
-                }),
-            }),
+            shared: Arc::new(shared),
         }
     }
 
@@ -174,12 +326,12 @@ impl Ring {
 
     /// Current transmission mode.
     pub fn mode(&self) -> TxMode {
-        *self.shared.mode.lock()
+        self.shared.mode()
     }
 
     /// Switch transmission mode (takes effect for subsequent injections).
     pub fn set_mode(&self, mode: TxMode) {
-        *self.shared.mode.lock() = mode;
+        self.shared.set_mode(mode);
     }
 
     /// The host-side port for `node`.
@@ -192,23 +344,25 @@ impl Ring {
     /// the ring (dual-ring redundancy). Packets skip its bank; hop latency
     /// across it drops to `bypass_hop_ns`.
     pub fn bypass_node(&self, node: usize) {
-        self.shared.bypassed.lock()[node] = true;
+        assert!(node < self.shared.n, "node {node} out of range");
+        self.shared.bypassed.set(node, true);
     }
 
     /// Re-insert a previously bypassed node. Its bank has missed all
     /// traffic in between — exactly like real hardware after a re-join.
     pub fn rejoin_node(&self, node: usize) {
-        self.shared.bypassed.lock()[node] = false;
+        assert!(node < self.shared.n, "node {node} out of range");
+        self.shared.bypassed.set(node, false);
     }
 
     /// True if `node` is currently bypassed.
     pub fn is_bypassed(&self, node: usize) -> bool {
-        self.shared.bypassed.lock()[node]
+        self.shared.bypassed.get(node)
     }
 
     /// Traffic statistics so far.
     pub fn stats(&self) -> RingStats {
-        self.shared.stats.lock().clone()
+        self.shared.stats.snapshot()
     }
 
     /// Conflicting-writer records `(addr, earlier, later)` seen so far.
@@ -225,6 +379,17 @@ impl Ring {
     /// Install the apply tap on `node` (bridge forwarding).
     pub(crate) fn set_tap(&self, node: usize, tap: crate::ring::Tap) {
         self.shared.set_tap(node, tap);
+    }
+
+    /// Inject a packet as if sourced by `node`'s NIC hardware at virtual
+    /// time `t`: the write replicates around the ring with full link
+    /// occupancy and per-hop latency, but no host process is involved
+    /// and no PIO cost is charged — exactly the staging-complete step of
+    /// a DMA transfer. Traffic generators and replay harnesses use this
+    /// to drive broadcast load from event context.
+    pub fn source_packet(&self, node: usize, t: Time, addr: WordAddr, data: Arc<Vec<Word>>) {
+        assert!(node < self.shared.n, "node {node} out of range");
+        self.shared.inject(node, t, addr, data);
     }
 
     /// Snapshot of `node`'s entire bank (test helper).
@@ -269,63 +434,85 @@ impl RingShared {
         if words == 0 {
             return;
         }
-        let mode = *self.mode.lock();
+        let mode = self.mode();
         self.apply_at(src, addr, &data, writer, t_ready);
-        {
-            let mut stats = self.stats.lock();
-            stats.injections += 1;
-            stats.words_carried += words as u64;
-        }
+        self.stats.injections.add(1);
+        self.stats.words_carried.add(words as u64);
         let ser = self.cost.serialize_ns(words, mode);
         {
             let rec = self.handle.recorder();
             rec.count(t_ready, NO_NODE, "ring.packets", 1);
             rec.count(t_ready, NO_NODE, "ring.words", words as u64);
         }
-        let bypassed = self.bypassed.lock().clone();
-        if bypassed[src] {
+        let bypassed = self.bypassed.snapshot();
+        if bypassed.get(src) {
             // A bypassed node's host cannot inject: its NIC is out of the
             // ring. The local write still happened (host sees its own
             // memory) but nothing replicates — mirrors real bypass.
             return;
         }
-        let mut links = self.links.lock();
-        let mut head = t_ready.max(links[src]);
-        links[src] = head + ser;
-        self.stats.lock().link_busy_ns += ser;
-        // Walk the ring; the packet is removed when it returns to src.
-        let mut hop_from = src;
-        let mut span_end = head + ser;
-        loop {
-            let next = (hop_from + 1) % self.n;
-            if next == src {
-                break;
+        // Compute the packet's full itinerary synchronously: link
+        // occupancy must be claimed at inject time (deferring it to hop
+        // fire time would change virtual timing under contention). The
+        // link lock covers only this computation — no scheduling, no
+        // stats, no recorder calls inside it.
+        let mut plan = self.plan_pool.lock().pop().unwrap_or_else(HopPlan::empty);
+        debug_assert!(plan.hops.is_empty() && plan.data.is_none());
+        let mut busy_ns = ser;
+        let span_end = {
+            let mut links = self.links.lock();
+            let mut head = t_ready.max(links[src]);
+            links[src] = head + ser;
+            // Walk the ring; the packet is removed when it returns to src.
+            let mut hop_from = src;
+            let mut span_end = head + ser;
+            loop {
+                let next = (hop_from + 1) % self.n;
+                if next == src {
+                    break;
+                }
+                let hop_cost = if bypassed.get(next) {
+                    self.cost.bypass_hop_ns
+                } else {
+                    self.cost.hop_ns
+                };
+                let arrive_head = head + hop_cost;
+                if !bypassed.get(next) {
+                    let tail = arrive_head + ser;
+                    plan.hops.push((next as u32, tail));
+                    // Forwarding occupies this node's egress too (every
+                    // packet traverses every link: aggregate throughput =
+                    // link rate).
+                    let depart = arrive_head.max(links[next]);
+                    links[next] = depart + ser;
+                    busy_ns += ser;
+                    span_end = tail.max(depart + ser);
+                    head = depart;
+                } else {
+                    // Bypass switch: no bank, no egress queueing.
+                    head = arrive_head;
+                }
+                hop_from = next;
             }
-            let hop_cost = if bypassed[next] {
-                self.cost.bypass_hop_ns
-            } else {
-                self.cost.hop_ns
-            };
-            let arrive_head = head + hop_cost;
-            if !bypassed[next] {
-                let tail = arrive_head + ser;
-                let shared = Arc::clone(self);
-                let data = Arc::clone(&data);
-                self.handle.schedule_at(tail, move |t| {
-                    shared.apply_at(next, addr, &data, writer, t);
-                });
-                // Forwarding occupies this node's egress too (every packet
-                // traverses every link: aggregate throughput = link rate).
-                let depart = arrive_head.max(links[next]);
-                links[next] = depart + ser;
-                self.stats.lock().link_busy_ns += ser;
-                span_end = tail.max(depart + ser);
-                head = depart;
-            } else {
-                // Bypass switch: no bank, no egress queueing.
-                head = arrive_head;
-            }
-            hop_from = next;
+            span_end
+        };
+        self.stats.link_busy_ns.add(busy_ns);
+        if plan.hops.is_empty() {
+            self.plan_pool.lock().push(plan);
+        } else {
+            // One transit event walks the whole itinerary, rescheduling
+            // itself hop to hop. Reserving the FIFO slots up front keeps
+            // the pop order identical to the old engine, which pushed
+            // every hop's event here and now.
+            plan.idx = 0;
+            plan.addr = addr;
+            plan.writer = writer;
+            plan.data = Some(data);
+            plan.base_order = self.handle.reserve_order(plan.hops.len() as u64);
+            let (first_t, first_order) = (plan.hops[0].1, plan.base_order);
+            let shared = Arc::clone(self);
+            self.handle
+                .schedule_at_ordered(first_t, first_order, move |t| shared.transit(plan, t));
         }
         // The packet's whole ring transit as one hardware-track span. The
         // exit time is computed synchronously, so the enter/exit pair is
@@ -334,6 +521,28 @@ impl RingShared {
         if rec.is_enabled() {
             rec.span_enter(t_ready, NO_NODE, Layer::Ring, "packet");
             rec.span_exit(span_end, NO_NODE, Layer::Ring, "packet");
+        }
+    }
+
+    /// Fire one hop of a packet's itinerary and reschedule for the next.
+    /// The closure re-captured each hop is two pointers (an
+    /// `Arc<RingShared>` and a `Box<HopPlan>`), well inside the
+    /// scheduler's inline-closure budget — a full transit allocates
+    /// nothing once the plan pool and queue are warm.
+    fn transit(self: Arc<Self>, mut plan: Box<HopPlan>, t: Time) {
+        let (node, _) = plan.hops[plan.idx];
+        let data: &[Word] = plan.data.as_deref().expect("transit plan carries payload");
+        self.apply_at(node as usize, plan.addr, data, plan.writer, t);
+        plan.idx += 1;
+        if plan.idx < plan.hops.len() {
+            let (next_t, order) = (plan.hops[plan.idx].1, plan.base_order + plan.idx as u64);
+            let shared = Arc::clone(&self);
+            self.handle
+                .schedule_at_ordered(next_t, order, move |t| shared.transit(plan, t));
+        } else {
+            plan.hops.clear();
+            plan.data = None;
+            self.plan_pool.lock().push(plan);
         }
     }
 
@@ -348,30 +557,24 @@ impl RingShared {
         t: Time,
     ) {
         // Fault injection corrupts only ring transit, never the writer's
-        // own bank (the host wrote that directly over the bus).
-        let corrupted;
-        let data: &[Word] = if let (true, Some(err)) = (node != writer, &self.errors) {
-            let mut inj = err.lock();
-            let mut flipped = false;
-            let mutated: Vec<Word> = data
-                .iter()
-                .map(|&w| {
-                    let (nw, f) = inj.maybe_flip(w);
-                    flipped |= f;
-                    nw
-                })
-                .collect();
-            if flipped {
-                self.stats.lock().bit_errors += 1;
+        // own bank (the host wrote that directly over the bus). The
+        // mutation buffer is allocated lazily on the first actual flip:
+        // in the overwhelmingly common no-flip apply the data passes
+        // through untouched and the injector's geometric countdown makes
+        // the whole check one compare-and-subtract.
+        let mut corrupted: Option<Vec<Word>> = None;
+        if let (true, Some(err)) = (node != writer, &self.errors) {
+            err.lock().corrupt_span(data.len(), |i, bit| {
+                corrupted.get_or_insert_with(|| data.to_vec())[i] ^= 1 << bit;
+            });
+            if corrupted.is_some() {
+                self.stats.bit_errors.add(1);
                 self.handle
                     .recorder()
                     .count(t, self.node_ids[node] as u32, "ring.bit_errors", 1);
             }
-            corrupted = mutated;
-            &corrupted
-        } else {
-            data
-        };
+        }
+        let data: &[Word] = corrupted.as_deref().unwrap_or(data);
         let conflicts = self.banks[node].lock().apply(addr, data, writer, t);
         if !conflicts.is_empty() {
             let mut log = self.conflicts.lock();
@@ -379,12 +582,12 @@ impl RingShared {
                 log.push((a, earlier, writer));
             }
         }
-        let end = addr + data.len();
-        {
+        if self.watch_count.load(Ordering::Relaxed) > 0 {
+            let end = addr + data.len();
             let watches = self.watches.lock();
             for w in &watches[node] {
                 if addr < w.end && w.start < end {
-                    self.stats.lock().interrupts += 1;
+                    self.stats.interrupts.add(1);
                     self.handle.recorder().count(
                         t,
                         self.node_ids[node] as u32,
@@ -395,22 +598,34 @@ impl RingShared {
                 }
             }
         }
-        let taps = self.taps.lock();
-        if let Some(tap) = &taps[node] {
-            tap(writer, addr, data, t);
+        if self.tap_count.load(Ordering::Relaxed) > 0 {
+            let taps = self.taps.lock();
+            if let Some(tap) = &taps[node] {
+                tap(writer, addr, data, t);
+            }
         }
     }
 
     pub(crate) fn set_tap(&self, node: usize, tap: Tap) {
-        self.taps.lock()[node] = Some(tap);
+        if self.taps.lock()[node].replace(tap).is_none() {
+            self.tap_count.add(1);
+        }
     }
 
     pub fn add_watch(&self, node: usize, start: WordAddr, end: WordAddr, signal: Signal) {
         self.watches.lock()[node].push(Watch { start, end, signal });
+        self.watch_count.add(1);
     }
 
     pub fn clear_watches(&self, node: usize) {
-        self.watches.lock()[node].clear();
+        let removed = {
+            let mut watches = self.watches.lock();
+            let n = watches[node].len();
+            watches[node].clear();
+            n
+        };
+        self.watch_count
+            .fetch_sub(removed as u64, Ordering::Relaxed);
     }
 }
 
@@ -645,6 +860,23 @@ mod tests {
     fn one_node_ring_rejected() {
         let sim = Simulation::new();
         let _ = Ring::new(&sim.handle(), 1, 64, CostModel::default());
+    }
+
+    #[test]
+    fn source_packet_replicates_without_processes() {
+        let mut sim = Simulation::new();
+        let ring = Ring::new(&sim.handle(), 4, 64, CostModel::default());
+        let r = ring.clone();
+        sim.handle().schedule_at(500, move |t| {
+            r.source_packet(1, t, 10, Arc::new(vec![0xDEAD, 0xBEEF]));
+        });
+        assert!(sim.run().is_clean());
+        for node in 0..4 {
+            let snap = ring.snapshot(node);
+            assert_eq!(snap[10], 0xDEAD, "node {node}");
+            assert_eq!(snap[11], 0xBEEF, "node {node}");
+        }
+        assert_eq!(ring.stats().injections, 1);
     }
 
     #[test]

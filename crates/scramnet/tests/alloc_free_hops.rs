@@ -1,0 +1,105 @@
+//! Ring replication must be allocation-free per hop once warm: a packet
+//! allocates its payload once at the source, and the pooled transit plan
+//! then walks every replica bank without touching the heap. The test
+//! sources the same number of packets on a 4-node and a 16-node ring —
+//! 3 versus 15 hops per packet — and requires the allocation counts to
+//! match: any per-hop allocation would scale with ring size and split
+//! the two counts by hundreds.
+//!
+//! Fault injection stays off (the default config), as on the healthy
+//! hardware the paper assumes, so the clean apply path is what's timed.
+//!
+//! Allocation counting uses a wrapping global allocator, so everything
+//! runs inside ONE test function — a sibling test on another harness
+//! thread would pollute the counter.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use des::{Simulation, Time};
+use scramnet::{CostModel, Ring};
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::SeqCst);
+        System.alloc(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::SeqCst);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+/// Total packets sourced per measured batch (spread round-robin over the
+/// ring's nodes).
+const PACKETS: usize = 48;
+
+/// Schedule `PACKETS` four-word packets, sourced from event context 2 µs
+/// apart starting at `at`, round-robin across nodes.
+fn schedule_batch(sim: &Simulation, ring: &Ring, nodes: usize, at: Time) {
+    for p in 0..PACKETS {
+        let node = p % nodes;
+        let r = ring.clone();
+        sim.handle().schedule_at(at + p as Time * 2_000, move |t| {
+            r.source_packet(node, t, 16, Arc::new(vec![p as u32; 4]));
+        });
+    }
+}
+
+/// Allocations during a warm batch of `PACKETS` packets on an
+/// `nodes`-node ring: one warm-up batch grows the plan pool, queue
+/// bands, and slab; the second, identically shaped batch is measured.
+fn measured_batch_allocs(nodes: usize) -> u64 {
+    let mut sim = Simulation::new();
+    let ring = Ring::new(&sim.handle(), nodes, 256, CostModel::default());
+    schedule_batch(&sim, &ring, nodes, 0);
+    assert!(sim.run().is_clean());
+
+    let before = ALLOCS.load(Ordering::SeqCst);
+    schedule_batch(&sim, &ring, nodes, 10_000_000);
+    assert!(sim.run().is_clean());
+    let after = ALLOCS.load(Ordering::SeqCst);
+
+    // Every packet really replicated to all other banks.
+    assert_eq!(ring.stats().injections as usize, 2 * PACKETS);
+    after - before
+}
+
+#[test]
+fn ring_hops_are_alloc_free_after_warmup() {
+    let a4 = measured_batch_allocs(4); // 48 packets × 3 hops = 144 applies
+    let a16 = measured_batch_allocs(16); // 48 packets × 15 hops = 720 applies
+
+    // Per-packet cost only: the payload `Vec` and its `Arc`, plus the
+    // scheduling of the source event itself. A single allocation per hop
+    // would push a16 at least 576 above a4.
+    assert!(
+        a16 <= a4 + 8,
+        "hop path allocates per hop: 4-node batch {a4} allocs, 16-node batch {a16}"
+    );
+    assert!(
+        a4 <= (PACKETS * 4) as u64,
+        "per-packet allocation budget blown: {a4} allocs for {PACKETS} packets"
+    );
+
+    // Sanity-check the counter itself so a broken hook cannot fake a pass.
+    let before = ALLOCS.load(Ordering::SeqCst);
+    std::hint::black_box(Box::new(0x5Cu64));
+    assert!(
+        ALLOCS.load(Ordering::SeqCst) > before,
+        "allocation counter is live"
+    );
+}
