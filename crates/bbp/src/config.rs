@@ -73,6 +73,60 @@ impl Default for SwCosts {
     }
 }
 
+/// The reliability extension: per-message CRC verification, NACK-driven
+/// repair, and bounded timeout/retry/backoff on both sides of the
+/// protocol. The paper's BBP assumes SCRAMNet's hardware error detection
+/// and never recovers from a lost or corrupted replication; enabling
+/// this layer makes every operation either deliver intact data or fail
+/// with a typed [`crate::BbpError`] within a closed-form time bound.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReliabilityConfig {
+    /// How long the sender waits for all ACKs before the first
+    /// retransmission; attempt `k` waits `ack_timeout_ns * backoff_factor^k`.
+    pub ack_timeout_ns: Time,
+    /// Retransmissions after the initial attempt before the send fails.
+    pub max_retries: u32,
+    /// Exponential backoff multiplier between attempts (≥ 1).
+    pub backoff_factor: u64,
+    /// How long a blocking receive waits before returning
+    /// [`crate::BbpError::Timeout`].
+    pub recv_timeout_ns: Time,
+    /// How many times the receiver re-reads a message that failed CRC
+    /// verification (each after NACKing the sender) before dropping it.
+    pub verify_retries: u32,
+    /// Software cost of computing or verifying one message checksum.
+    pub checksum_ns: Time,
+}
+
+impl Default for ReliabilityConfig {
+    fn default() -> Self {
+        ReliabilityConfig {
+            ack_timeout_ns: 50_000, // 50 µs: several ring transits + sw path
+            max_retries: 4,
+            backoff_factor: 2,
+            recv_timeout_ns: 2_000_000, // 2 ms: covers a full send retry budget
+            verify_retries: 8,
+            checksum_ns: 200,
+        }
+    }
+}
+
+impl ReliabilityConfig {
+    /// Closed-form bound on how long a send can wait for acknowledgement
+    /// across all attempts: `Σ_{k=0..=max_retries} ack_timeout·factor^k`.
+    /// The property tests pin `bbp_Send` latency under injected losses
+    /// against this sum (plus the per-attempt retransmission PIO cost).
+    pub fn max_send_wait_ns(&self) -> Time {
+        let mut total: Time = 0;
+        let mut t = self.ack_timeout_ns;
+        for _ in 0..=self.max_retries {
+            total = total.saturating_add(t);
+            t = t.saturating_mul(self.backoff_factor);
+        }
+        total
+    }
+}
+
 /// Full protocol configuration. [`BbpConfig::for_nodes`] gives the
 /// paper-calibrated default for a given cluster size.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -90,6 +144,10 @@ pub struct BbpConfig {
     pub recv_mode: RecvMode,
     /// Data-partition allocation discipline.
     pub gc_policy: GcPolicy,
+    /// The reliability extension (`None` = the paper's protocol exactly:
+    /// no checksums, no retries, no timeouts — and no layout or timing
+    /// changes, preserving the calibrated latencies).
+    pub reliability: Option<ReliabilityConfig>,
 }
 
 impl BbpConfig {
@@ -103,7 +161,16 @@ impl BbpConfig {
             sw: SwCosts::default(),
             recv_mode: RecvMode::Polling,
             gc_policy: GcPolicy::FifoRing,
+            reliability: None,
         }
+    }
+
+    /// [`BbpConfig::for_nodes`] with the default reliability extension
+    /// enabled.
+    pub fn reliable_for_nodes(nprocs: usize) -> Self {
+        let mut config = Self::for_nodes(nprocs);
+        config.reliability = Some(ReliabilityConfig::default());
+        config
     }
 
     /// Validate invariants (≥2 processes, 1–32 buffers, nonzero data
@@ -115,6 +182,11 @@ impl BbpConfig {
             "bufs_per_proc must be in 1..=32 (one flag bit per buffer)"
         );
         assert!(self.data_words > 0, "data partition cannot be empty");
+        if let Some(rel) = &self.reliability {
+            assert!(rel.ack_timeout_ns > 0, "ack timeout cannot be zero");
+            assert!(rel.recv_timeout_ns > 0, "recv timeout cannot be zero");
+            assert!(rel.backoff_factor >= 1, "backoff factor must be ≥ 1");
+        }
     }
 
     /// Largest payload (bytes) a single message can carry. Under
@@ -156,5 +228,37 @@ mod tests {
     fn max_payload_leaves_allocator_slack() {
         let c = BbpConfig::for_nodes(2);
         assert_eq!(c.max_payload_bytes(), (c.data_words - 1) * 4);
+    }
+
+    #[test]
+    fn reliable_defaults_validate() {
+        BbpConfig::reliable_for_nodes(4).validate();
+    }
+
+    #[test]
+    fn max_send_wait_is_the_geometric_sum() {
+        let rel = ReliabilityConfig {
+            ack_timeout_ns: 100,
+            max_retries: 3,
+            backoff_factor: 2,
+            ..Default::default()
+        };
+        // 100 + 200 + 400 + 800
+        assert_eq!(rel.max_send_wait_ns(), 1_500);
+        let flat = ReliabilityConfig {
+            ack_timeout_ns: 100,
+            max_retries: 2,
+            backoff_factor: 1,
+            ..Default::default()
+        };
+        assert_eq!(flat.max_send_wait_ns(), 300);
+    }
+
+    #[test]
+    #[should_panic(expected = "backoff factor")]
+    fn zero_backoff_factor_rejected() {
+        let mut c = BbpConfig::reliable_for_nodes(2);
+        c.reliability.as_mut().unwrap().backoff_factor = 0;
+        c.validate();
     }
 }

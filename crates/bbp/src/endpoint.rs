@@ -8,7 +8,7 @@ use des::obs::Layer;
 use des::{ProcCtx, Signal};
 use scramnet::{Nic, Word};
 
-use crate::config::{BbpConfig, GcPolicy, RecvMode};
+use crate::config::{BbpConfig, GcPolicy, RecvMode, ReliabilityConfig};
 use crate::error::BbpError;
 use crate::layout::Layout;
 
@@ -30,6 +30,23 @@ pub struct EndpointStats {
     pub gc_sweeps: u64,
     /// Times a send had to stall for buffer space or descriptor slots.
     pub send_stalls: u64,
+    /// Reliable mode: retransmissions performed by the send side.
+    pub retries: u64,
+    /// Reliable mode: sends that exhausted their retry budget.
+    pub send_failures: u64,
+    /// Reliable mode: messages that failed CRC verification on arrival
+    /// (each detection triggers a NACK and a bounded re-read).
+    pub corrupt_detected: u64,
+    /// Reliable mode: messages dropped after exhausting verification
+    /// retries without ever passing the CRC.
+    pub corrupt_dropped: u64,
+    /// Reliable mode: NACK toggles written back to senders.
+    pub nacks_sent: u64,
+    /// Reliable mode: duplicate or phantom messages rejected by the
+    /// sequence check.
+    pub dup_drops: u64,
+    /// Reliable mode: blocking receives that returned a typed error.
+    pub recv_timeouts: u64,
 }
 
 /// One message buffer slot's sender-side state.
@@ -40,6 +57,11 @@ struct SlotState {
     data_off: usize,
     /// Payload length in words.
     words: usize,
+    /// Payload length in bytes (the descriptor's length field).
+    len_bytes: usize,
+    /// The sequence number this slot's descriptor carries (needed to
+    /// rebuild the descriptor verbatim on a retransmission).
+    seq: Word,
     /// Receivers that must acknowledge before reuse.
     targets: Vec<usize>,
 }
@@ -50,6 +72,11 @@ struct PendingMsg {
     slot: usize,
     data_off: usize,
     len_bytes: usize,
+    /// This entry's key in the pending map (kept so a reliable-mode
+    /// verification failure can reinsert it for a later retry).
+    ext: u64,
+    /// Reliable mode: verification attempts consumed so far.
+    tries: u32,
 }
 
 /// The BillBoard Protocol endpoint for one process.
@@ -79,6 +106,9 @@ pub struct BbpEndpoint {
     data_head: usize,
     /// Monotonic message sequence (shared across all destinations).
     next_seq: u32,
+    /// Reliable mode: last processed value of `nack_flag(me, r)` per
+    /// receiver `r` (a toggle against this shadow is a repair request).
+    nack_shadow: Vec<Word>,
 
     // ---- receiver state ----
     /// Last processed value of `msg_flag(me, s)` per sender `s`.
@@ -90,6 +120,15 @@ pub struct BbpEndpoint {
     ext_seq_hi: Vec<u64>,
     /// Our copy of `ack_flag(s, me)` per sender `s`.
     out_ack_flags: Vec<Word>,
+    /// Reliable mode: our copy of `nack_flag(s, me)` per sender `s`.
+    out_nack_flags: Vec<Word>,
+    /// Reliable mode: the next raw sequence number we will accept from
+    /// each sender — anything (wrapping) behind it is a duplicate or a
+    /// phantom from a corrupted flag word.
+    expected_seq: Vec<Word>,
+    /// Reliable mode: the source of the most recent corrupt-exhausted
+    /// drop, so a timed-out receive can report `Corrupt` over `Timeout`.
+    last_drop_src: Option<usize>,
     /// Round-robin cursor for `recv_any` fairness.
     rr_cursor: usize,
     /// Interrupt-mode wake-ups (armed over our MESSAGE flag block).
@@ -121,10 +160,14 @@ impl BbpEndpoint {
             inflight: VecDeque::new(),
             data_head: 0,
             next_seq: 0,
+            nack_shadow: vec![0; n],
             shadow_msg: vec![0; n],
             pending: (0..n).map(|_| BTreeMap::new()).collect(),
             ext_seq_hi: vec![0; n],
             out_ack_flags: vec![0; n],
+            out_nack_flags: vec![0; n],
+            expected_seq: vec![0; n],
+            last_drop_src: None,
             rr_cursor: 0,
             recv_signal,
             ack_signal,
@@ -160,12 +203,24 @@ impl BbpEndpoint {
     /// `bbp_Send`: post `payload` for `dst`. Blocks (in virtual time) only
     /// when buffer space or descriptor slots are exhausted and garbage
     /// collection has to wait for acknowledgements.
+    ///
+    /// In reliable mode the call additionally blocks until `dst`
+    /// acknowledges, retransmitting with exponential backoff, and fails
+    /// with a typed error ([`BbpError::Timeout`], [`BbpError::PeerDown`],
+    /// [`BbpError::Corrupt`]) once the retry budget is exhausted — never
+    /// later than [`crate::ReliabilityConfig::max_send_wait_ns`] plus the
+    /// per-attempt transmission costs.
     pub fn send(&mut self, ctx: &mut ProcCtx, dst: usize, payload: &[u8]) -> Result<(), BbpError> {
         ctx.obs()
             .span_enter(ctx.now(), self.rank as u32, Layer::Bbp, "send");
-        let posted = self.post(ctx, &[dst], payload);
+        let posted = self
+            .post(ctx, &[dst], payload)
+            .and_then(|slot| self.confirm(ctx, slot, &[dst], payload));
         ctx.obs()
             .span_exit(ctx.now(), self.rank as u32, Layer::Bbp, "send");
+        if posted.is_err() {
+            self.stats.send_failures += 1;
+        }
         posted?;
         self.stats.sends += 1;
         Ok(())
@@ -185,9 +240,14 @@ impl BbpEndpoint {
         }
         ctx.obs()
             .span_enter(ctx.now(), self.rank as u32, Layer::Bbp, "mcast");
-        let posted = self.post(ctx, targets, payload);
+        let posted = self
+            .post(ctx, targets, payload)
+            .and_then(|slot| self.confirm(ctx, slot, targets, payload));
         ctx.obs()
             .span_exit(ctx.now(), self.rank as u32, Layer::Bbp, "mcast");
+        if posted.is_err() {
+            self.stats.send_failures += 1;
+        }
         posted?;
         self.stats.mcasts += 1;
         Ok(())
@@ -198,7 +258,7 @@ impl BbpEndpoint {
         ctx: &mut ProcCtx,
         targets: &[usize],
         payload: &[u8],
-    ) -> Result<(), BbpError> {
+    ) -> Result<usize, BbpError> {
         ctx.advance(self.config.sw.send_entry_ns);
         for &t in targets {
             if t >= self.n || t == self.rank {
@@ -212,22 +272,28 @@ impl BbpEndpoint {
             });
         }
         let words = payload.len().div_ceil(4);
-        let (slot, data_off) = self.allocate(ctx, words);
+        let (slot, data_off) = self.allocate(ctx, words, targets)?;
 
         // 1. Payload into our data partition.
+        let packed = pack_words(payload);
         if words > 0 {
-            let packed = pack_words(payload);
             self.nic
                 .write_block(ctx, self.layout.data_base(self.rank) + data_off, &packed);
         }
-        // 2. Descriptor: [offset, byte length, sequence].
+        // 2. Descriptor: [offset, byte length, sequence] plus, in
+        // reliable mode, a CRC over those fields and the payload. The
+        // checksum lives in our own partition — single-writer preserved.
         let seq = self.next_seq;
         self.next_seq = self.next_seq.wrapping_add(1);
-        self.nic.write_block(
-            ctx,
-            self.layout.descriptor(self.rank, slot),
-            &[data_off as Word, payload.len() as Word, seq],
-        );
+        let s = &mut self.slots[slot];
+        s.busy = true;
+        s.data_off = data_off;
+        s.words = words;
+        s.len_bytes = payload.len();
+        s.seq = seq;
+        s.targets = targets.to_vec();
+        self.inflight.push_back(slot);
+        self.write_descriptor(ctx, slot, &packed);
         // 3. One MESSAGE flag toggle per receiver (this ordering makes the
         // flag the last word to land at each receiver, so detection
         // implies the descriptor and payload already replicated).
@@ -243,38 +309,184 @@ impl BbpEndpoint {
             );
             self.ack_expect[t] ^= 1 << slot;
         }
+        Ok(slot)
+    }
 
-        let s = &mut self.slots[slot];
-        s.busy = true;
-        s.data_off = data_off;
-        s.words = words;
-        s.targets = targets.to_vec();
-        self.inflight.push_back(slot);
-        Ok(())
+    /// Write `slot`'s descriptor from its recorded state (`packed` is the
+    /// payload in word form, consumed only by the CRC).
+    fn write_descriptor(&mut self, ctx: &mut ProcCtx, slot: usize, packed: &[Word]) {
+        let s = &self.slots[slot];
+        let (off, len, seq) = (s.data_off as Word, s.len_bytes as Word, s.seq);
+        if let Some(rel) = &self.config.reliability {
+            ctx.advance(rel.checksum_ns);
+            let crc = crate::crc::descriptor_crc(off, len, seq, packed);
+            self.nic.write_block(
+                ctx,
+                self.layout.descriptor(self.rank, slot),
+                &[off, len, seq, crc],
+            );
+        } else {
+            self.nic.write_block(
+                ctx,
+                self.layout.descriptor(self.rank, slot),
+                &[off, len, seq],
+            );
+        }
+    }
+
+    /// Reliable mode: block until every target acknowledges `slot`,
+    /// retransmitting with exponential backoff; classify exhaustion as
+    /// [`BbpError::PeerDown`] (target bypassed), [`BbpError::Corrupt`]
+    /// (target kept NACKing), or [`BbpError::Timeout`]. A no-op without
+    /// the reliability extension (the paper's fire-and-forget send).
+    fn confirm(
+        &mut self,
+        ctx: &mut ProcCtx,
+        slot: usize,
+        targets: &[usize],
+        payload: &[u8],
+    ) -> Result<(), BbpError> {
+        let Some(rel) = self.config.reliability.clone() else {
+            return Ok(());
+        };
+        let bit = 1u32 << slot;
+        let mut timeout = rel.ack_timeout_ns;
+        let mut nack_seen = false;
+        for attempt in 0..=rel.max_retries {
+            let deadline = ctx.now() + timeout;
+            loop {
+                let mut all_acked = true;
+                let mut repair = false;
+                for &r in targets {
+                    let ack = self.nic.read_word(ctx, self.layout.ack_flag(self.rank, r));
+                    if ack & bit != self.ack_expect[r] & bit {
+                        all_acked = false;
+                    }
+                    let nack = self.nic.read_word(ctx, self.layout.nack_flag(self.rank, r));
+                    let diff = nack ^ self.nack_shadow[r];
+                    if diff != 0 {
+                        self.nack_shadow[r] = nack;
+                        if diff & bit != 0 {
+                            repair = true;
+                        }
+                    }
+                }
+                if all_acked {
+                    return Ok(());
+                }
+                if repair {
+                    nack_seen = true;
+                    break; // retransmit immediately
+                }
+                if ctx.now() >= deadline {
+                    break;
+                }
+                ctx.advance(self.config.sw.gc_retry_gap_ns);
+            }
+            if attempt < rel.max_retries {
+                self.retransmit(ctx, slot, targets, payload);
+                timeout = timeout.saturating_mul(rel.backoff_factor);
+            }
+        }
+        // Budget exhausted. The slot stays in flight (its receivers never
+        // acknowledged), so its buffer is not reclaimed — the price of a
+        // failed transfer.
+        for &r in targets {
+            let ack = self.nic.read_word(ctx, self.layout.ack_flag(self.rank, r));
+            if ack & bit == self.ack_expect[r] & bit {
+                continue; // this target did acknowledge
+            }
+            if !self.nic.peer_alive(r) {
+                return Err(BbpError::PeerDown { peer: r });
+            }
+            if nack_seen {
+                return Err(BbpError::Corrupt { peer: r });
+            }
+            return Err(BbpError::Timeout {
+                peer: r,
+                attempts: rel.max_retries + 1,
+            });
+        }
+        Ok(()) // the last poll raced an ACK in: delivered after all
+    }
+
+    /// Rewrite `slot`'s payload, descriptor, and MESSAGE flags at their
+    /// current *absolute* values. Receivers that already processed the
+    /// original see identical words (no phantom redelivery); receivers
+    /// that lost any part of it — dropped packet, stall window, break,
+    /// corrupted replica — get a fresh, complete copy. Absolute rewrite
+    /// rather than re-toggling is what makes retransmission idempotent
+    /// under the flag-toggle discipline.
+    fn retransmit(&mut self, ctx: &mut ProcCtx, slot: usize, targets: &[usize], payload: &[u8]) {
+        self.stats.retries += 1;
+        ctx.obs()
+            .count(ctx.now(), self.rank as u32, "bbp.retries", 1);
+        let data_off = self.slots[slot].data_off;
+        let packed = pack_words(payload);
+        if !packed.is_empty() {
+            self.nic
+                .write_block(ctx, self.layout.data_base(self.rank) + data_off, &packed);
+        }
+        self.write_descriptor(ctx, slot, &packed);
+        for &t in targets {
+            self.nic.write_word(
+                ctx,
+                self.layout.msg_flag(t, self.rank),
+                self.out_msg_flags[t],
+            );
+        }
     }
 
     /// Find a free descriptor slot and `words` contiguous data words,
     /// garbage-collecting and (if needed) stalling until space appears.
-    fn allocate(&mut self, ctx: &mut ProcCtx, words: usize) -> (usize, usize) {
+    ///
+    /// Without the reliability extension this can only stall, never fail
+    /// (the paper's behaviour). In reliable mode the stall is bounded by
+    /// [`crate::ReliabilityConfig::max_send_wait_ns`] so a dead peer
+    /// holding every buffer un-acknowledged cannot wedge the sender
+    /// forever.
+    fn allocate(
+        &mut self,
+        ctx: &mut ProcCtx,
+        words: usize,
+        targets: &[usize],
+    ) -> Result<(usize, usize), BbpError> {
+        let deadline = self
+            .config
+            .reliability
+            .as_ref()
+            .map(|rel| ctx.now().saturating_add(rel.max_send_wait_ns()));
         loop {
             ctx.advance(self.config.sw.alloc_ns);
             if let Some(found) = self.try_allocate(words) {
-                return found;
+                return Ok(found);
             }
             self.stats.send_stalls += 1;
             // Garbage-collect acknowledged buffers, then retry; if nothing
             // freed, wait for acknowledgements to arrive.
             let freed = self.gc(ctx);
             if freed == 0 {
-                match self.config.recv_mode {
-                    RecvMode::Polling => ctx.advance(self.config.sw.gc_retry_gap_ns),
-                    RecvMode::Interrupt => {
+                match (self.config.recv_mode, deadline) {
+                    (RecvMode::Polling, _) | (RecvMode::Interrupt, Some(_)) => {
+                        // Reliable interrupt mode also paces by polling: a
+                        // signal wait could outlive the deadline.
+                        ctx.advance(self.config.sw.gc_retry_gap_ns);
+                    }
+                    (RecvMode::Interrupt, None) => {
                         let sig = self
                             .ack_signal
                             .clone()
                             .expect("interrupt mode endpoints carry an ack signal");
                         ctx.wait(&sig);
                     }
+                }
+            }
+            if let Some(d) = deadline {
+                if ctx.now() >= d {
+                    return Err(BbpError::Timeout {
+                        peer: targets.first().copied().unwrap_or(self.rank),
+                        attempts: 0,
+                    });
                 }
             }
         }
@@ -427,47 +639,104 @@ impl BbpEndpoint {
 
     /// `bbp_Recv`: blocking receive of the next message from `src`
     /// (per-sender FIFO order).
-    pub fn recv(&mut self, ctx: &mut ProcCtx, src: usize) -> Vec<u8> {
+    ///
+    /// Without the reliability extension this never fails (the paper's
+    /// semantics; the `Result` is always `Ok`). In reliable mode the wait
+    /// is bounded by [`crate::ReliabilityConfig::recv_timeout_ns`] and
+    /// every delivered payload has passed CRC and sequence verification;
+    /// a message that kept failing its checksum surfaces as
+    /// [`BbpError::Corrupt`], an empty wait as [`BbpError::Timeout`].
+    pub fn recv(&mut self, ctx: &mut ProcCtx, src: usize) -> Result<Vec<u8>, BbpError> {
         assert!(src < self.n && src != self.rank, "bad source rank {src}");
         ctx.obs()
             .span_enter(ctx.now(), self.rank as u32, Layer::Bbp, "recv");
-        loop {
+        let deadline = self
+            .config
+            .reliability
+            .as_ref()
+            .map(|rel| ctx.now().saturating_add(rel.recv_timeout_ns));
+        let drops0 = self.stats.corrupt_dropped;
+        let result = loop {
             if let Some(msg) = self.pop_pending(src) {
-                let data = self.deliver(ctx, src, msg);
-                ctx.obs()
-                    .span_exit(ctx.now(), self.rank as u32, Layer::Bbp, "recv");
-                return data;
+                if let Some(data) = self.consume(ctx, src, msg) {
+                    break Ok(data);
+                }
+            } else {
+                self.poll_sender(ctx, src);
+                if self.pending[src].is_empty() {
+                    self.recv_wait(ctx, deadline.is_some());
+                }
             }
-            self.poll_sender(ctx, src);
-            if self.pending[src].is_empty() {
-                self.recv_wait(ctx);
+            if self.stats.corrupt_dropped > drops0 {
+                self.stats.recv_timeouts += 1;
+                break Err(BbpError::Corrupt { peer: src });
             }
-        }
+            if let Some(d) = deadline {
+                if ctx.now() >= d {
+                    self.stats.recv_timeouts += 1;
+                    break Err(BbpError::Timeout {
+                        peer: src,
+                        attempts: 0,
+                    });
+                }
+            }
+        };
+        ctx.obs()
+            .span_exit(ctx.now(), self.rank as u32, Layer::Bbp, "recv");
+        result
     }
 
     /// Blocking receive from any sender, round-robin fair across sources.
-    pub fn recv_any(&mut self, ctx: &mut ProcCtx) -> (usize, Vec<u8>) {
+    /// Fails only in reliable mode, under the same bounds as
+    /// [`BbpEndpoint::recv`] (a timeout reports the lowest-ranked
+    /// candidate source as the peer).
+    pub fn recv_any(&mut self, ctx: &mut ProcCtx) -> Result<(usize, Vec<u8>), BbpError> {
         ctx.obs()
             .span_enter(ctx.now(), self.rank as u32, Layer::Bbp, "recv");
-        loop {
+        let deadline = self
+            .config
+            .reliability
+            .as_ref()
+            .map(|rel| ctx.now().saturating_add(rel.recv_timeout_ns));
+        let drops0 = self.stats.corrupt_dropped;
+        let result = 'outer: loop {
+            let mut consumed_none = true;
             for off in 0..self.n {
                 let s = (self.rr_cursor + off) % self.n;
                 if s == self.rank {
                     continue;
                 }
                 if let Some(msg) = self.pop_pending(s) {
-                    self.rr_cursor = (s + 1) % self.n;
-                    let data = self.deliver(ctx, s, msg);
-                    ctx.obs()
-                        .span_exit(ctx.now(), self.rank as u32, Layer::Bbp, "recv");
-                    return (s, data);
+                    consumed_none = false;
+                    if let Some(data) = self.consume(ctx, s, msg) {
+                        self.rr_cursor = (s + 1) % self.n;
+                        break 'outer Ok((s, data));
+                    }
+                    break; // re-check error state before the next source
                 }
             }
-            self.poll_all(ctx);
-            if !self.has_pending() {
-                self.recv_wait(ctx);
+            if consumed_none {
+                self.poll_all(ctx);
+                if !self.has_pending() {
+                    self.recv_wait(ctx, deadline.is_some());
+                }
             }
-        }
+            if self.stats.corrupt_dropped > drops0 {
+                self.stats.recv_timeouts += 1;
+                let peer = self.last_drop_src.expect("a drop records its source");
+                break Err(BbpError::Corrupt { peer });
+            }
+            if let Some(d) = deadline {
+                if ctx.now() >= d {
+                    self.stats.recv_timeouts += 1;
+                    let peer = if self.rank == 0 { 1 } else { 0 };
+                    break Err(BbpError::Timeout { peer, attempts: 0 });
+                }
+            }
+        };
+        ctx.obs()
+            .span_exit(ctx.now(), self.rank as u32, Layer::Bbp, "recv");
+        result
     }
 
     /// `bbp_MsgAvail`: one poll sweep; true if any message is deliverable.
@@ -477,14 +746,16 @@ impl BbpEndpoint {
     }
 
     /// Non-blocking receive from `src`: one poll sweep, then the next
-    /// pending message if any.
+    /// pending message if any. In reliable mode a message that fails
+    /// verification is NACKed and re-queued (or dropped once its retries
+    /// are spent) and the call reports "nothing deliverable".
     pub fn try_recv(&mut self, ctx: &mut ProcCtx, src: usize) -> Option<Vec<u8>> {
         assert!(src < self.n && src != self.rank, "bad source rank {src}");
         if self.pending[src].is_empty() {
             self.poll_sender(ctx, src);
         }
         let msg = self.pop_pending(src)?;
-        Some(self.deliver(ctx, src, msg))
+        self.consume(ctx, src, msg)
     }
 
     /// Park until new traffic may have arrived. In polling mode this is
@@ -518,12 +789,16 @@ impl BbpEndpoint {
         assert!(src < self.n && src != self.rank, "bad source rank {src}");
         loop {
             if let Some(msg) = self.pop_pending(src) {
-                return Some(self.deliver(ctx, src, msg));
+                if let Some(data) = self.consume(ctx, src, msg) {
+                    return Some(data);
+                }
             }
             if ctx.now() >= deadline {
                 return None;
             }
-            self.poll_sender(ctx, src);
+            if self.pending[src].is_empty() {
+                self.poll_sender(ctx, src);
+            }
             if self.pending[src].is_empty() {
                 match self.config.recv_mode {
                     RecvMode::Polling => {}
@@ -541,8 +816,13 @@ impl BbpEndpoint {
     /// (avoiding the return-value allocation on hot paths). Returns the
     /// message length; panics if `buf` is too small — size it with
     /// [`crate::BbpConfig::max_payload_bytes`].
-    pub fn recv_into(&mut self, ctx: &mut ProcCtx, src: usize, buf: &mut [u8]) -> usize {
-        let msg = self.recv(ctx, src);
+    pub fn recv_into(
+        &mut self,
+        ctx: &mut ProcCtx,
+        src: usize,
+        buf: &mut [u8],
+    ) -> Result<usize, BbpError> {
+        let msg = self.recv(ctx, src)?;
         assert!(
             buf.len() >= msg.len(),
             "recv_into buffer of {} bytes cannot hold a {}-byte message",
@@ -550,7 +830,7 @@ impl BbpEndpoint {
             msg.len()
         );
         buf[..msg.len()].copy_from_slice(&msg);
-        msg.len()
+        Ok(msg.len())
     }
 
     /// Non-blocking receive from any source (one sweep).
@@ -564,9 +844,10 @@ impl BbpEndpoint {
                 continue;
             }
             if let Some(msg) = self.pop_pending(s) {
-                self.rr_cursor = (s + 1) % self.n;
-                let data = self.deliver(ctx, s, msg);
-                return Some((s, data));
+                if let Some(data) = self.consume(ctx, s, msg) {
+                    self.rr_cursor = (s + 1) % self.n;
+                    return Some((s, data));
+                }
             }
         }
         None
@@ -582,11 +863,16 @@ impl BbpEndpoint {
     }
 
     /// How a receive path waits when nothing is pending after a poll.
-    fn recv_wait(&mut self, ctx: &mut ProcCtx) {
+    /// `bounded` (reliable-mode deadlines) forces a poll tick even in
+    /// interrupt mode, so a deadline can fire with no traffic at all.
+    fn recv_wait(&mut self, ctx: &mut ProcCtx, bounded: bool) {
         match self.config.recv_mode {
             // Polling: the PIO reads of the sweep itself advanced time;
             // loop straight into the next sweep.
             RecvMode::Polling => {}
+            RecvMode::Interrupt if bounded => {
+                ctx.advance(self.config.sw.gc_retry_gap_ns);
+            }
             RecvMode::Interrupt => {
                 let sig = self
                     .recv_signal
@@ -617,7 +903,7 @@ impl BbpEndpoint {
             let desc = self.nic.read_block(
                 ctx,
                 self.layout.descriptor(s, slot),
-                crate::layout::DESC_WORDS,
+                self.layout.desc_words(),
             );
             let (data_off, len_bytes, seq) = (desc[0] as usize, desc[1] as usize, desc[2]);
             let ext = extend_seq(self.ext_seq_hi[s], seq);
@@ -628,6 +914,8 @@ impl BbpEndpoint {
                     slot,
                     data_off,
                     len_bytes,
+                    ext,
+                    tries: 0,
                 },
             );
         }
@@ -665,6 +953,113 @@ impl BbpEndpoint {
         ctx.obs()
             .span_exit(ctx.now(), self.rank as u32, Layer::Bbp, "deliver");
         unpack_bytes(&data, msg.len_bytes)
+    }
+
+    /// Deliver a detected message to the application. Without the
+    /// reliability extension this is unconditional ([`BbpEndpoint::deliver`],
+    /// the paper's protocol); with it, the descriptor is re-read as
+    /// authoritative, bounds- and CRC-verified, and checked against the
+    /// per-sender sequence before a single payload byte is trusted.
+    /// Returns `None` when the message was a duplicate/phantom (dropped)
+    /// or failed verification (NACKed and re-queued, or dropped once its
+    /// verification retries are spent).
+    fn consume(&mut self, ctx: &mut ProcCtx, src: usize, msg: PendingMsg) -> Option<Vec<u8>> {
+        let Some(rel) = self.config.reliability.clone() else {
+            return Some(self.deliver(ctx, src, msg));
+        };
+        // Re-read the descriptor at delivery time: the posting flag only
+        // proves *some* toggle replicated; the words we captured at poll
+        // time may predate a retransmission repair.
+        let desc = self.nic.read_block(
+            ctx,
+            self.layout.descriptor(src, msg.slot),
+            self.layout.desc_words(),
+        );
+        let (data_off, len_bytes, seq, stored_crc) =
+            (desc[0] as usize, desc[1] as usize, desc[2], desc[3]);
+        let words = len_bytes.div_ceil(4);
+        // Bounds before any data read: a corrupted length or offset must
+        // not walk off the end of the sender's data partition.
+        let in_bounds = len_bytes <= self.config.max_payload_bytes()
+            && data_off <= self.layout.data_words()
+            && data_off + words <= self.layout.data_words();
+        let mut payload = Vec::new();
+        let verified = in_bounds && {
+            if words > 0 {
+                payload = self
+                    .nic
+                    .read_block(ctx, self.layout.data_base(src) + data_off, words);
+            }
+            ctx.advance(rel.checksum_ns);
+            crate::crc::descriptor_crc(desc[0], desc[1], desc[2], &payload) == stored_crc
+        };
+        if !verified {
+            return self.reject_corrupt(ctx, src, msg, &rel);
+        }
+        // Sequence check: reliable sends block per message, so each sender
+        // has at most one transfer outstanding and we expect exactly the
+        // next sequence or later (later = an earlier send gave up).
+        // Anything (wrapping) behind is a duplicate delivery or a phantom
+        // flag toggle resurrecting a stale-but-valid descriptor.
+        let delta = seq.wrapping_sub(self.expected_seq[src]);
+        if delta >= u32::MAX / 2 {
+            self.stats.dup_drops += 1;
+            ctx.obs()
+                .count(ctx.now(), self.rank as u32, "bbp.dup_drops", 1);
+            return None;
+        }
+        self.expected_seq[src] = seq.wrapping_add(1);
+        // Delivery epilogue — as the unreliable path, but from the
+        // already-verified payload copy.
+        ctx.obs()
+            .span_enter(ctx.now(), self.rank as u32, Layer::Bbp, "deliver");
+        ctx.advance(self.config.sw.deliver_ns);
+        self.out_ack_flags[src] ^= 1 << msg.slot;
+        self.nic.write_word(
+            ctx,
+            self.layout.ack_flag(src, self.rank),
+            self.out_ack_flags[src],
+        );
+        self.stats.recvs += 1;
+        self.stats.bytes_recved += len_bytes as u64;
+        ctx.obs()
+            .span_exit(ctx.now(), self.rank as u32, Layer::Bbp, "deliver");
+        Some(unpack_bytes(&payload, len_bytes))
+    }
+
+    /// A message failed bounds or CRC verification: NACK the sender (our
+    /// own word in its partition — single-writer preserved) and requeue
+    /// the message for a paced re-read, dropping it for good once
+    /// `verify_retries` are spent.
+    fn reject_corrupt(
+        &mut self,
+        ctx: &mut ProcCtx,
+        src: usize,
+        mut msg: PendingMsg,
+        rel: &ReliabilityConfig,
+    ) -> Option<Vec<u8>> {
+        self.stats.corrupt_detected += 1;
+        ctx.obs()
+            .count(ctx.now(), self.rank as u32, "bbp.corrupt_detected", 1);
+        self.out_nack_flags[src] ^= 1 << msg.slot;
+        self.nic.write_word(
+            ctx,
+            self.layout.nack_flag(src, self.rank),
+            self.out_nack_flags[src],
+        );
+        self.stats.nacks_sent += 1;
+        msg.tries += 1;
+        if msg.tries <= rel.verify_retries {
+            // Pace the re-read so the sender's repair has time to land.
+            ctx.advance(rel.ack_timeout_ns);
+            self.pending[src].insert(msg.ext, msg);
+        } else {
+            self.stats.corrupt_dropped += 1;
+            ctx.obs()
+                .count(ctx.now(), self.rank as u32, "bbp.corrupt_dropped", 1);
+            self.last_drop_src = Some(src);
+        }
+        None
     }
 }
 

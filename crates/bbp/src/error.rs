@@ -17,6 +17,32 @@ pub enum BbpError {
     },
     /// An empty multicast target set.
     NoTargets,
+    /// Reliable mode: a message's checksum kept failing. On the receive
+    /// side, a message from `peer` exhausted its verification retries
+    /// without ever passing the CRC; on the send side, the receiver kept
+    /// NACKing every retransmission.
+    Corrupt {
+        /// The peer on the other end of the corrupted transfer.
+        peer: usize,
+    },
+    /// Reliable mode: the operation's retry/timeout budget ran out with
+    /// the peer still in the ring. For a send, `attempts` counts the
+    /// transmissions made (initial + retries); a timed-out receive
+    /// reports 0.
+    Timeout {
+        /// The peer being waited on (for `recv_any`, the lowest-ranked
+        /// candidate source).
+        peer: usize,
+        /// Transmissions attempted before giving up.
+        attempts: u32,
+    },
+    /// Reliable mode: the retry budget ran out and the peer's NIC is
+    /// switched out of the ring (bypassed) — the only liveness signal
+    /// the hardware exposes.
+    PeerDown {
+        /// The unreachable peer.
+        peer: usize,
+    },
 }
 
 impl std::fmt::Display for BbpError {
@@ -30,6 +56,18 @@ impl std::fmt::Display for BbpError {
             }
             BbpError::BadDestination { dst } => write!(f, "bad destination rank {dst}"),
             BbpError::NoTargets => write!(f, "multicast requires at least one target"),
+            BbpError::Corrupt { peer } => {
+                write!(f, "transfer with rank {peer} failed checksum verification")
+            }
+            BbpError::Timeout { peer, attempts } => {
+                write!(
+                    f,
+                    "no response from rank {peer} after {attempts} transmission(s)"
+                )
+            }
+            BbpError::PeerDown { peer } => {
+                write!(f, "rank {peer} is out of the ring (NIC bypassed)")
+            }
         }
     }
 }

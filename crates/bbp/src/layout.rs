@@ -6,8 +6,15 @@ use scramnet::WordAddr;
 
 use crate::config::BbpConfig;
 
-/// Words per buffer descriptor: `[data offset, length in bytes, sequence]`.
+/// Words per buffer descriptor in the paper's protocol:
+/// `[data offset, length in bytes, sequence]`.
 pub const DESC_WORDS: usize = 3;
+
+/// Words per buffer descriptor under the reliability extension: the
+/// paper's three plus a CRC-32 over the descriptor fields and payload.
+/// The checksum lives in the sender's own partition, preserving the
+/// single-writer discipline.
+pub const RELIABLE_DESC_WORDS: usize = 4;
 
 /// Computes word addresses for a given configuration.
 ///
@@ -19,7 +26,10 @@ pub const DESC_WORDS: usize = 3;
 /// +-----------------------------+
 /// | ACK flag words [n]          |  word r written ONLY by process r
 /// +-----------------------------+
-/// | descriptors [bufs][3]       |  written ONLY by p
+/// | NACK flag words [n]         |  word r written ONLY by process r
+/// |   (reliable mode only)      |
+/// +-----------------------------+
+/// | descriptors [bufs][3 or 4]  |  written ONLY by p
 /// +-----------------------------+
 /// | data partition [data_words] |  written ONLY by p
 /// +-----------------------------+
@@ -29,25 +39,48 @@ pub struct Layout {
     nprocs: usize,
     bufs: usize,
     data_words: usize,
+    /// 3 in the paper's protocol, 4 (with CRC) under reliability.
+    desc_words: usize,
+    /// Whether the NACK flag block exists.
+    reliable: bool,
 }
 
 impl Layout {
     /// Compute the layout for `config` (validates it first).
     pub fn new(config: &BbpConfig) -> Self {
         config.validate();
+        let reliable = config.reliability.is_some();
         Layout {
             nprocs: config.nprocs,
             bufs: config.bufs_per_proc,
             data_words: config.data_words,
+            desc_words: if reliable {
+                RELIABLE_DESC_WORDS
+            } else {
+                DESC_WORDS
+            },
+            reliable,
         }
+    }
+
+    /// Flag blocks ahead of the descriptors: MESSAGE + ACK, plus NACK in
+    /// reliable mode.
+    fn flag_blocks(&self) -> usize {
+        if self.reliable {
+            3
+        } else {
+            2
+        }
+    }
+
+    /// Words per buffer descriptor in this layout.
+    pub fn desc_words(&self) -> usize {
+        self.desc_words
     }
 
     /// Words in one process partition.
     pub fn partition_words(&self) -> usize {
-        self.nprocs // MESSAGE flags
-            + self.nprocs // ACK flags
-            + self.bufs * DESC_WORDS
-            + self.data_words
+        self.flag_blocks() * self.nprocs + self.bufs * self.desc_words + self.data_words
     }
 
     /// Total shared-memory words required.
@@ -75,15 +108,24 @@ impl Layout {
         self.partition_base(p) + self.nprocs + r
     }
 
+    /// `NACK` flag word inside `p`'s partition that receiver `r` toggles
+    /// to report a checksum failure on one of `p`'s buffers (reliable
+    /// mode only). Written only by `r`.
+    pub fn nack_flag(&self, p: usize, r: usize) -> WordAddr {
+        debug_assert!(self.reliable, "NACK flags exist only in reliable mode");
+        debug_assert!(r < self.nprocs);
+        self.partition_base(p) + 2 * self.nprocs + r
+    }
+
     /// First word of descriptor `b` in `p`'s partition. Written only by `p`.
     pub fn descriptor(&self, p: usize, b: usize) -> WordAddr {
         debug_assert!(b < self.bufs);
-        self.partition_base(p) + 2 * self.nprocs + b * DESC_WORDS
+        self.partition_base(p) + self.flag_blocks() * self.nprocs + b * self.desc_words
     }
 
     /// Base of `p`'s data partition. Written only by `p`.
     pub fn data_base(&self, p: usize) -> WordAddr {
-        self.partition_base(p) + 2 * self.nprocs + self.bufs * DESC_WORDS
+        self.partition_base(p) + self.flag_blocks() * self.nprocs + self.bufs * self.desc_words
     }
 
     /// Words in each data partition.
@@ -113,69 +155,97 @@ mod tests {
         Layout::new(&BbpConfig::for_nodes(n))
     }
 
+    fn reliable_layout(n: usize) -> Layout {
+        Layout::new(&BbpConfig::reliable_for_nodes(n))
+    }
+
     #[test]
     fn regions_within_a_partition_do_not_overlap() {
-        let l = layout(4);
-        for p in 0..4 {
-            let base = l.partition_base(p);
-            let msg_end = l.msg_flag(p, 3) + 1;
-            let ack_start = l.ack_flag(p, 0);
-            let ack_end = l.ack_flag(p, 3) + 1;
-            let desc_start = l.descriptor(p, 0);
-            let desc_end = l.descriptor(p, 15) + DESC_WORDS;
-            let data_start = l.data_base(p);
-            assert_eq!(l.msg_flag(p, 0), base);
-            assert_eq!(msg_end, ack_start);
-            assert_eq!(ack_end, desc_start);
-            assert_eq!(desc_end, data_start);
-            assert_eq!(data_start + l.data_words(), base + l.partition_words());
+        for l in [layout(4), reliable_layout(4)] {
+            for p in 0..4 {
+                let base = l.partition_base(p);
+                let msg_end = l.msg_flag(p, 3) + 1;
+                let ack_start = l.ack_flag(p, 0);
+                let ack_end = l.ack_flag(p, 3) + 1;
+                let desc_start = l.descriptor(p, 0);
+                let desc_end = l.descriptor(p, l.bufs - 1) + l.desc_words();
+                let data_start = l.data_base(p);
+                assert_eq!(l.msg_flag(p, 0), base);
+                assert_eq!(msg_end, ack_start);
+                if l.reliable {
+                    let nack_start = l.nack_flag(p, 0);
+                    let nack_end = l.nack_flag(p, 3) + 1;
+                    assert_eq!(ack_end, nack_start);
+                    assert_eq!(nack_end, desc_start);
+                } else {
+                    assert_eq!(ack_end, desc_start);
+                }
+                assert_eq!(desc_end, data_start);
+                assert_eq!(data_start + l.data_words(), base + l.partition_words());
+            }
         }
     }
 
     #[test]
+    fn reliable_descriptors_are_one_word_wider() {
+        assert_eq!(layout(4).desc_words(), DESC_WORDS);
+        assert_eq!(reliable_layout(4).desc_words(), RELIABLE_DESC_WORDS);
+        assert!(reliable_layout(4).partition_words() > layout(4).partition_words());
+    }
+
+    #[test]
     fn partitions_tile_the_memory_exactly() {
-        let l = layout(5);
-        for p in 0..4 {
-            assert_eq!(
-                l.partition_base(p) + l.partition_words(),
-                l.partition_base(p + 1)
-            );
+        for l in [layout(5), reliable_layout(5)] {
+            for p in 0..4 {
+                assert_eq!(
+                    l.partition_base(p) + l.partition_words(),
+                    l.partition_base(p + 1)
+                );
+            }
+            assert_eq!(l.partition_base(4) + l.partition_words(), l.total_words());
         }
-        assert_eq!(l.partition_base(4) + l.partition_words(), l.total_words());
     }
 
     #[test]
     fn every_word_has_exactly_one_writer() {
         // Build the full writer map for a small configuration and check
-        // that no two (writer, word) claims collide.
+        // that no two (writer, word) claims collide — in both modes (the
+        // reliability extension's CRC word and NACK flags must not break
+        // the discipline).
         let n = 4;
-        let l = layout(n);
-        let mut writer = vec![None::<usize>; l.total_words()];
-        let mut claim = |addr: usize, w: usize| {
-            assert!(
-                writer[addr].is_none(),
-                "word {addr} claimed by {} and {w}",
-                writer[addr].unwrap()
-            );
-            writer[addr] = Some(w);
-        };
-        for p in 0..n {
-            for s in 0..n {
-                claim(l.msg_flag(p, s), s);
-            }
-            for r in 0..n {
-                claim(l.ack_flag(p, r), r);
-            }
-            for b in 0..16 {
-                for w in 0..DESC_WORDS {
-                    claim(l.descriptor(p, b) + w, p);
+        for l in [layout(n), reliable_layout(n)] {
+            let mut writer = vec![None::<usize>; l.total_words()];
+            let mut claim = |addr: usize, w: usize| {
+                assert!(
+                    writer[addr].is_none(),
+                    "word {addr} claimed by {} and {w}",
+                    writer[addr].unwrap()
+                );
+                writer[addr] = Some(w);
+            };
+            for p in 0..n {
+                for s in 0..n {
+                    claim(l.msg_flag(p, s), s);
+                }
+                for r in 0..n {
+                    claim(l.ack_flag(p, r), r);
+                }
+                if l.reliable {
+                    for r in 0..n {
+                        claim(l.nack_flag(p, r), r);
+                    }
+                }
+                for b in 0..l.bufs {
+                    for w in 0..l.desc_words() {
+                        claim(l.descriptor(p, b) + w, p);
+                    }
+                }
+                for w in 0..l.data_words() {
+                    claim(l.data_base(p) + w, p);
                 }
             }
-            for w in 0..l.data_words() {
-                claim(l.data_base(p) + w, p);
-            }
+            assert!(writer.iter().all(Option::is_some), "no dead words");
         }
-        assert!(writer.iter().all(Option::is_some), "no dead words");
     }
 
     #[test]

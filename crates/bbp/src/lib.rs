@@ -48,14 +48,26 @@
 //!     a.send(ctx, 1, b"hello scramnet").unwrap();
 //! });
 //! sim.spawn("b", move |ctx| {
-//!     let msg = b.recv(ctx, 0);
+//!     let msg = b.recv(ctx, 0).unwrap();
 //!     assert_eq!(msg, b"hello scramnet");
 //! });
 //! assert!(sim.run().is_clean());
 //! ```
+//!
+//! ## The reliability extension
+//!
+//! The paper's protocol assumes SCRAMNet's hardware error detection and
+//! never recovers from a lost or corrupted replication. Setting
+//! [`BbpConfig::reliability`] (see [`ReliabilityConfig`]) layers CRC-32
+//! message verification, NACK-driven repair, per-sender sequence
+//! filtering, and bounded timeout/retry/backoff on top — every operation
+//! then either delivers intact data or fails with a typed [`BbpError`]
+//! within a closed-form time bound. `docs/RELIABILITY.md` describes the
+//! fault model and the design.
 
 mod cluster;
 mod config;
+mod crc;
 mod endpoint;
 mod error;
 mod layout;
@@ -66,7 +78,7 @@ pub use cluster::BbpCluster;
 pub fn layout_desc_words() -> usize {
     layout::DESC_WORDS
 }
-pub use config::{BbpConfig, GcPolicy, RecvMode, SwCosts};
+pub use config::{BbpConfig, GcPolicy, RecvMode, ReliabilityConfig, SwCosts};
 pub use endpoint::{BbpEndpoint, EndpointStats};
 pub use error::BbpError;
-pub use layout::Layout;
+pub use layout::{Layout, DESC_WORDS, RELIABLE_DESC_WORDS};

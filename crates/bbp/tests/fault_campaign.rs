@@ -1,0 +1,377 @@
+//! The fault campaign: a deterministic (fault kind × seed × payload
+//! size) matrix over a 4-node ring. Every cell runs one simulated
+//! sender→receiver stream under a scripted [`FaultPlan`] and checks the
+//! reliability invariant:
+//!
+//! > every message is either delivered byte-identical, in order, without
+//! > duplication — or its send/recv reports a typed [`BbpError`].
+//!
+//! The run writes a machine-readable JSON report (for the CI fault-matrix
+//! job to archive and gate on) to `$FAULT_CAMPAIGN_REPORT`, defaulting to
+//! `$CARGO_TARGET_TMPDIR/fault_campaign.json`. A violation fails the test
+//! with the exact filter environment that reproduces the single cell:
+//!
+//! ```text
+//! FAULT_KIND=drop FAULT_SEED=7 FAULT_SIZE=64 \
+//!     cargo test -p bbp --test fault_campaign -- --nocapture
+//! ```
+
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+use bbp::{BbpCluster, BbpConfig, BbpError};
+use des::{us, Simulation};
+use parking_lot::Mutex;
+use scramnet::fault::FOREVER;
+use scramnet::{CostModel, FaultPlan};
+
+/// Ranks in every campaign ring.
+const NODES: usize = 4;
+/// Sender and receiver world ranks (two hops apart so link faults can
+/// land between them).
+const SENDER: usize = 0;
+const RECEIVER: usize = 2;
+/// Messages per cell.
+const K: u32 = 8;
+
+const SEEDS: [u64; 3] = [1, 7, 42];
+const SIZES: [usize; 4] = [0, 4, 64, 1024];
+
+/// The fault kinds enumerated by the matrix. Each builds its scenario
+/// deterministically from the cell's seed, so a (kind, seed, size)
+/// triple pins the whole run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FaultKind {
+    None,
+    Corrupt,
+    Drop,
+    StallReceiver,
+    StallSender,
+    BreakLinkTemp,
+    BreakLinkPerm,
+}
+
+const KINDS: [FaultKind; 7] = [
+    FaultKind::None,
+    FaultKind::Corrupt,
+    FaultKind::Drop,
+    FaultKind::StallReceiver,
+    FaultKind::StallSender,
+    FaultKind::BreakLinkTemp,
+    FaultKind::BreakLinkPerm,
+];
+
+impl FaultKind {
+    fn name(self) -> &'static str {
+        match self {
+            FaultKind::None => "none",
+            FaultKind::Corrupt => "corrupt",
+            FaultKind::Drop => "drop",
+            FaultKind::StallReceiver => "stall_receiver",
+            FaultKind::StallSender => "stall_sender",
+            FaultKind::BreakLinkTemp => "break_link_temp",
+            FaultKind::BreakLinkPerm => "break_link_perm",
+        }
+    }
+
+    /// The scripted scenario for one cell. Onsets and magnitudes are
+    /// seed-derived so different seeds hit different protocol phases.
+    fn plan(self, seed: u64) -> FaultPlan {
+        let onset = us(5 + (seed % 11) * 17);
+        let plan = FaultPlan::new(seed);
+        match self {
+            FaultKind::None => plan,
+            FaultKind::Corrupt => plan.corrupt_word(0.005),
+            FaultKind::Drop => plan
+                .at(onset)
+                .drop_next(2 + seed % 4)
+                .at(onset.saturating_mul(3))
+                .drop_next(3),
+            FaultKind::StallReceiver => plan.at(onset).stall_node(RECEIVER, us(300)),
+            FaultKind::StallSender => plan.at(onset).stall_node(SENDER, us(300)),
+            FaultKind::BreakLinkTemp => plan.at(onset).break_link(1, us(400)),
+            FaultKind::BreakLinkPerm => plan.at(onset).break_link(1, FOREVER),
+        }
+    }
+}
+
+/// The deterministic payload for message `index` at `size` bytes: the
+/// index in the first word (when it fits) and a seeded fill after it.
+fn payload(index: u32, size: usize) -> Vec<u8> {
+    let mut p = vec![0u8; size];
+    if size >= 4 {
+        p[..4].copy_from_slice(&index.to_le_bytes());
+        for (j, b) in p[4..].iter_mut().enumerate() {
+            *b = (index as u8).wrapping_mul(31).wrapping_add(j as u8);
+        }
+    }
+    p
+}
+
+/// One cell's outcome, ready for the JSON report.
+struct CellResult {
+    kind: FaultKind,
+    seed: u64,
+    size: usize,
+    scenario: String,
+    sent_ok: Vec<u32>,
+    send_errors: Vec<(u32, String)>,
+    delivered: Vec<u32>,
+    recv_errors: Vec<String>,
+    violations: Vec<String>,
+}
+
+impl CellResult {
+    fn repro(&self) -> String {
+        format!(
+            "FAULT_KIND={} FAULT_SEED={} FAULT_SIZE={} \
+             cargo test -p bbp --test fault_campaign -- --nocapture",
+            self.kind.name(),
+            self.seed,
+            self.size
+        )
+    }
+
+    fn to_json(&self) -> String {
+        let mut s = String::new();
+        write!(
+            s,
+            r#"{{"kind":"{}","seed":{},"size":{},"scenario":"{}","sent_ok":{},"send_errors":{},"delivered":{},"recv_errors":{},"violations":[{}],"repro":"{}"}}"#,
+            self.kind.name(),
+            self.seed,
+            self.size,
+            self.scenario,
+            self.sent_ok.len(),
+            self.send_errors.len(),
+            self.delivered.len(),
+            self.recv_errors.len(),
+            self.violations
+                .iter()
+                .map(|v| format!("\"{}\"", v.replace('"', "'")))
+                .collect::<Vec<_>>()
+                .join(","),
+            self.repro()
+        )
+        .unwrap();
+        s
+    }
+}
+
+/// Run one campaign cell and evaluate the invariant.
+fn run_cell(kind: FaultKind, seed: u64, size: usize) -> CellResult {
+    let plan = kind.plan(seed);
+    let mut sim = Simulation::new();
+    let cluster = BbpCluster::with_hardware(
+        &sim.handle(),
+        BbpConfig::reliable_for_nodes(NODES),
+        CostModel::default(),
+        plan.ring_config(),
+    );
+    plan.arm(cluster.ring());
+
+    type Shared<T> = Arc<Mutex<Vec<T>>>;
+    let sends: Shared<(u32, Result<(), BbpError>)> = Arc::new(Mutex::new(Vec::new()));
+    let recvs: Shared<Result<Vec<u8>, BbpError>> = Arc::new(Mutex::new(Vec::new()));
+
+    let mut tx = cluster.endpoint(SENDER);
+    let s2 = Arc::clone(&sends);
+    sim.spawn("sender", move |ctx| {
+        for i in 0..K {
+            let res = tx.send(ctx, RECEIVER, &payload(i, size));
+            s2.lock().push((i, res));
+        }
+    });
+
+    let mut rx = cluster.endpoint(RECEIVER);
+    let r2 = Arc::clone(&recvs);
+    sim.spawn("receiver", move |ctx| {
+        for _ in 0..K {
+            r2.lock().push(rx.recv(ctx, SENDER));
+        }
+    });
+
+    // Idle processes on the bystander ranks would deadlock-flag the
+    // report; the ring replicates into their banks regardless.
+    let report = sim.run();
+
+    let mut cell = CellResult {
+        kind,
+        seed,
+        size,
+        scenario: plan.describe(),
+        sent_ok: Vec::new(),
+        send_errors: Vec::new(),
+        delivered: Vec::new(),
+        recv_errors: Vec::new(),
+        violations: Vec::new(),
+    };
+
+    if !report.is_clean() {
+        cell.violations
+            .push(format!("simulation deadlocked: {:?}", report.deadlocked));
+    }
+
+    for (i, res) in sends.lock().iter() {
+        match res {
+            Ok(()) => cell.sent_ok.push(*i),
+            Err(e) => {
+                if !matches!(
+                    e,
+                    BbpError::Corrupt { .. } | BbpError::Timeout { .. } | BbpError::PeerDown { .. }
+                ) {
+                    cell.violations
+                        .push(format!("send {i} failed with a non-fault error: {e}"));
+                }
+                cell.send_errors.push((*i, e.to_string()));
+            }
+        }
+    }
+
+    for res in recvs.lock().iter() {
+        match res {
+            Ok(bytes) => {
+                if size >= 4 && bytes.len() == size {
+                    let idx = u32::from_le_bytes(bytes[..4].try_into().unwrap());
+                    if idx >= K {
+                        cell.violations
+                            .push(format!("delivered index {idx} was never sent"));
+                    } else if *bytes != payload(idx, size) {
+                        cell.violations
+                            .push(format!("message {idx} delivered mangled"));
+                    }
+                    cell.delivered.push(idx);
+                } else if bytes.len() != size {
+                    cell.violations.push(format!(
+                        "delivered {} bytes where every sent message has {size}",
+                        bytes.len()
+                    ));
+                } else {
+                    // Size 0/too small to carry an index: intactness is
+                    // just the length check above.
+                    cell.delivered.push(cell.delivered.len() as u32);
+                }
+            }
+            Err(e) => {
+                if !matches!(
+                    e,
+                    BbpError::Corrupt { .. } | BbpError::Timeout { .. } | BbpError::PeerDown { .. }
+                ) {
+                    cell.violations
+                        .push(format!("recv failed with a non-fault error: {e}"));
+                }
+                cell.recv_errors.push(e.to_string());
+            }
+        }
+    }
+
+    if size >= 4 {
+        if !cell.delivered.windows(2).all(|w| w[0] < w[1]) {
+            cell.violations.push(format!(
+                "delivery order violated (dup or reorder): {:?}",
+                cell.delivered
+            ));
+        }
+        // A confirmed send is a delivered message (the converse does not
+        // hold: a lost ACK shows up as a sender timeout after delivery).
+        for i in &cell.sent_ok {
+            if !cell.delivered.contains(i) {
+                cell.violations
+                    .push(format!("send {i} was acknowledged but never delivered"));
+            }
+        }
+    }
+    if kind == FaultKind::None {
+        if cell.sent_ok.len() != K as usize {
+            cell.violations
+                .push("fault-free cell must confirm every send".into());
+        }
+        if cell.delivered.len() != K as usize {
+            cell.violations
+                .push("fault-free cell must deliver every message".into());
+        }
+    }
+
+    cell
+}
+
+fn report_path() -> String {
+    std::env::var("FAULT_CAMPAIGN_REPORT")
+        .unwrap_or_else(|_| format!("{}/fault_campaign.json", env!("CARGO_TARGET_TMPDIR")))
+}
+
+#[test]
+fn fault_matrix_holds_the_reliability_invariant() {
+    let kind_filter = std::env::var("FAULT_KIND").ok();
+    let seed_filter = std::env::var("FAULT_SEED").ok().map(|s| {
+        s.parse::<u64>()
+            .expect("FAULT_SEED must be an unsigned integer")
+    });
+    let size_filter = std::env::var("FAULT_SIZE").ok().map(|s| {
+        s.parse::<usize>()
+            .expect("FAULT_SIZE must be an unsigned integer")
+    });
+
+    let mut cells = Vec::new();
+    for kind in KINDS {
+        if kind_filter.as_deref().is_some_and(|f| f != kind.name()) {
+            continue;
+        }
+        for seed in SEEDS {
+            if seed_filter.is_some_and(|f| f != seed) {
+                continue;
+            }
+            for size in SIZES {
+                if size_filter.is_some_and(|f| f != size) {
+                    continue;
+                }
+                cells.push(run_cell(kind, seed, size));
+            }
+        }
+    }
+    assert!(
+        !cells.is_empty(),
+        "the FAULT_KIND/FAULT_SEED/FAULT_SIZE filters matched no cell"
+    );
+
+    let violating: Vec<&CellResult> = cells.iter().filter(|c| !c.violations.is_empty()).collect();
+    let mut json = String::from("{\"cells\":[\n");
+    json.push_str(
+        &cells
+            .iter()
+            .map(CellResult::to_json)
+            .collect::<Vec<_>>()
+            .join(",\n"),
+    );
+    write!(
+        json,
+        "\n],\"total\":{},\"violations\":{}}}\n",
+        cells.len(),
+        violating.len()
+    )
+    .unwrap();
+    let path = report_path();
+    std::fs::write(&path, &json).unwrap_or_else(|e| panic!("cannot write report {path}: {e}"));
+    println!(
+        "fault campaign: {} cells, {} violating; report at {path}",
+        cells.len(),
+        violating.len()
+    );
+
+    if !violating.is_empty() {
+        let mut msg = String::from("fault-campaign invariant violations:\n");
+        for c in violating {
+            for v in &c.violations {
+                writeln!(
+                    msg,
+                    "  [{} seed={} size={}] {v}\n    repro: {}",
+                    c.kind.name(),
+                    c.seed,
+                    c.size,
+                    c.repro()
+                )
+                .unwrap();
+            }
+        }
+        panic!("{msg}");
+    }
+}

@@ -49,7 +49,7 @@ fn bbp_one_way_us_with(len: usize, cfg: BbpConfig, mode: TxMode) -> f64 {
     });
     sim.spawn("b", move |ctx| {
         for _ in 0..WARMUP + REPS {
-            let m = b.recv(ctx, 0);
+            let m = b.recv(ctx, 0).unwrap();
             b.send(ctx, 0, &m).unwrap();
         }
     });

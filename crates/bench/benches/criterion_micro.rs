@@ -39,12 +39,12 @@ fn bbp_pingpong_sim(c: &mut Criterion) {
             sim.spawn("a", move |ctx| {
                 for _ in 0..16 {
                     a.send(ctx, 1, b"ping").unwrap();
-                    black_box(a.recv(ctx, 1));
+                    black_box(a.recv(ctx, 1).unwrap());
                 }
             });
             sim.spawn("b", move |ctx| {
                 for _ in 0..16 {
-                    let m = e.recv(ctx, 0);
+                    let m = e.recv(ctx, 0).unwrap();
                     e.send(ctx, 0, &m).unwrap();
                 }
             });

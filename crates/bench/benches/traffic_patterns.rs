@@ -120,7 +120,7 @@ fn run_pattern(pattern: Pattern, seed: u64) -> PatternStats {
                 }
                 if sent == plan.len() && got < expect {
                     // Done sending: block for the rest.
-                    let (_, m) = ep.recv_any(ctx);
+                    let (_, m) = ep.recv_any(ctx).unwrap();
                     let t_sent = Time::from_le_bytes(m[..8].try_into().unwrap());
                     latencies.lock().push(ctx.now() - t_sent);
                     got += 1;

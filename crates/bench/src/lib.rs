@@ -149,7 +149,7 @@ pub fn bbp_one_way_us(len: usize, nodes: usize) -> f64 {
     });
     sim.spawn("b", move |ctx| {
         for _ in 0..WARMUP + PING_REPS {
-            let m = b.recv(ctx, 0);
+            let m = b.recv(ctx, 0).unwrap();
             debug_assert_eq!(m.len(), echo.len());
             b.send(ctx, 0, &m).unwrap();
         }
@@ -282,7 +282,7 @@ pub fn bbp_bcast_us(len: usize, nodes: usize) -> f64 {
         let last = Arc::clone(&last);
         sim.spawn(format!("r{r}"), move |ctx| {
             let _ = ep.recv(ctx, 0);
-            let m = ep.recv(ctx, 0);
+            let m = ep.recv(ctx, 0).unwrap();
             assert_eq!(m.len(), len);
             let mut l = last.lock();
             *l = (*l).max(ctx.now());
@@ -387,7 +387,7 @@ pub fn bbp_pingpong_histogram(len: usize, nodes: usize) -> Histogram {
     });
     sim.spawn("b", move |ctx| {
         for _ in 0..WARMUP + PING_REPS {
-            let m = b.recv(ctx, 0);
+            let m = b.recv(ctx, 0).unwrap();
             b.send(ctx, 0, &m).unwrap();
         }
     });

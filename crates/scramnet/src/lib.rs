@@ -49,6 +49,7 @@
 
 mod bank;
 mod cost;
+pub mod fault;
 mod hierarchy;
 mod nic;
 mod ring;
@@ -56,6 +57,7 @@ mod stats;
 
 pub use bank::WriteRecord;
 pub use cost::{CostModel, TxMode};
+pub use fault::{FaultAt, FaultPlan};
 pub use hierarchy::{HierarchyConfig, RingHierarchy};
 pub use nic::Nic;
 pub use ring::{Ring, RingConfig};

@@ -175,6 +175,15 @@ impl Nic {
         });
     }
 
+    /// True unless `peer`'s insertion register is currently switched out
+    /// of the ring (bypass). Reliability layers use this to tell a dead
+    /// peer from a slow one when a retry budget runs out — it is the
+    /// only liveness signal the hardware exposes.
+    pub fn peer_alive(&self, peer: usize) -> bool {
+        assert!(peer < self.shared.n, "node {peer} out of range");
+        self.shared.node_in_ring(peer)
+    }
+
     /// Subscribe `signal` to replicated writes landing anywhere in
     /// `range` of this node's bank (SCRAMNet interrupt-on-write). The
     /// notification is delayed by the interrupt dispatch cost.

@@ -162,6 +162,14 @@ pub(crate) struct RingShared {
     /// Provenance and taps see global ids.
     pub node_ids: Vec<usize>,
     bypassed: BypassMask,
+    /// Severed egress links (`broken_links` bit i = link i → i+1 cut).
+    /// Packets crossing a broken link are truncated: nodes before the
+    /// break keep the write, nodes after never see it.
+    broken_links: BypassMask,
+    /// Armed drop faults: while non-zero, each injection decrements the
+    /// counter and skips replication entirely (the local bank still sees
+    /// the write — the loss happens on the wire).
+    drop_next: AtomicU64,
     pub stats: AtomicRingStats,
     /// (addr, earlier_writer, later_writer) conflicts seen by the
     /// single-writer checker.
@@ -292,6 +300,8 @@ impl Ring {
             tap_count: AtomicU64::new(0),
             node_ids: config.node_ids.unwrap_or_else(|| (0..n).collect()),
             bypassed: BypassMask::default(),
+            broken_links: BypassMask::default(),
+            drop_next: AtomicU64::new(0),
             stats: AtomicRingStats::default(),
             conflicts: Mutex::new(Vec::new()),
             errors: (config.bit_error_rate > 0.0)
@@ -358,6 +368,40 @@ impl Ring {
     /// True if `node` is currently bypassed.
     pub fn is_bypassed(&self, node: usize) -> bool {
         self.shared.bypassed.get(node)
+    }
+
+    /// Arm a drop fault: the next `n` injected packets are lost on the
+    /// wire. The source bank still sees each write (the host wrote its
+    /// own memory) but nothing replicates — a register-insertion packet
+    /// swallowed in transit. Arms accumulate.
+    pub fn arm_drop(&self, n: u64) {
+        self.shared.drop_next.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Drop faults still armed (test/report introspection).
+    pub fn drops_armed(&self) -> u64 {
+        self.shared.drop_next.load(Ordering::Relaxed)
+    }
+
+    /// Sever the egress link `link → link+1`. Packets injected while the
+    /// link is down are truncated at the break: nodes upstream of it
+    /// keep the write, nodes downstream never see it.
+    pub fn break_link(&self, link: usize) {
+        assert!(link < self.shared.n, "link {link} out of range");
+        self.shared.broken_links.set(link, true);
+    }
+
+    /// Restore a severed link. Banks downstream of the break have missed
+    /// all truncated traffic in between — exactly like a re-spliced
+    /// fiber; no replay happens in hardware.
+    pub fn heal_link(&self, link: usize) {
+        assert!(link < self.shared.n, "link {link} out of range");
+        self.shared.broken_links.set(link, false);
+    }
+
+    /// True if the egress link `link → link+1` is currently severed.
+    pub fn is_link_broken(&self, link: usize) -> bool {
+        self.shared.broken_links.get(link)
     }
 
     /// Traffic statistics so far.
@@ -451,6 +495,17 @@ impl RingShared {
             // memory) but nothing replicates — mirrors real bypass.
             return;
         }
+        let armed = self.drop_next.load(Ordering::Relaxed);
+        if armed > 0 {
+            // One event entity runs at a time, so load+store is race-free.
+            self.drop_next.store(armed - 1, Ordering::Relaxed);
+            self.stats.packets_dropped.add(1);
+            self.handle
+                .recorder()
+                .count(t_ready, NO_NODE, "ring.drops", 1);
+            return;
+        }
+        let broken = self.broken_links.snapshot();
         // Compute the packet's full itinerary synchronously: link
         // occupancy must be claimed at inject time (deferring it to hop
         // fire time would change virtual timing under contention). The
@@ -459,6 +514,7 @@ impl RingShared {
         let mut plan = self.plan_pool.lock().pop().unwrap_or_else(HopPlan::empty);
         debug_assert!(plan.hops.is_empty() && plan.data.is_none());
         let mut busy_ns = ser;
+        let mut truncated = false;
         let span_end = {
             let mut links = self.links.lock();
             let mut head = t_ready.max(links[src]);
@@ -469,6 +525,12 @@ impl RingShared {
             loop {
                 let next = (hop_from + 1) % self.n;
                 if next == src {
+                    break;
+                }
+                if broken.get(hop_from) {
+                    // The packet dies at the severed link: everything
+                    // planned so far still applies, the rest never will.
+                    truncated = true;
                     break;
                 }
                 let hop_cost = if bypassed.get(next) {
@@ -497,6 +559,12 @@ impl RingShared {
             span_end
         };
         self.stats.link_busy_ns.add(busy_ns);
+        if truncated {
+            self.stats.link_truncations.add(1);
+            self.handle
+                .recorder()
+                .count(t_ready, NO_NODE, "ring.truncations", 1);
+        }
         if plan.hops.is_empty() {
             self.plan_pool.lock().push(plan);
         } else {
@@ -604,6 +672,13 @@ impl RingShared {
                 tap(writer, addr, data, t);
             }
         }
+    }
+
+    /// True unless `node` is currently bypassed. This is the only
+    /// liveness signal the hardware exposes — a stalled host whose
+    /// insertion register is switched out looks exactly like a dead one.
+    pub(crate) fn node_in_ring(&self, node: usize) -> bool {
+        !self.bypassed.get(node)
     }
 
     pub(crate) fn set_tap(&self, node: usize, tap: Tap) {
@@ -877,6 +952,70 @@ mod tests {
             assert_eq!(snap[11], 0xBEEF, "node {node}");
         }
         assert_eq!(ring.stats().injections, 1);
+    }
+
+    #[test]
+    fn armed_drop_loses_exactly_n_packets() {
+        let mut sim = Simulation::new();
+        let ring = quiet_ring(&sim, 3);
+        ring.arm_drop(2);
+        let nic = ring.nic(0);
+        sim.spawn("w", move |ctx| {
+            nic.write_word(ctx, 0, 1); // dropped
+            nic.write_word(ctx, 1, 2); // dropped
+            nic.write_word(ctx, 2, 3); // delivered
+        });
+        sim.run();
+        let snap = ring.snapshot(1);
+        assert_eq!(&snap[0..3], &[0, 0, 3], "first two writes lost on wire");
+        // The source bank saw every write.
+        assert_eq!(&ring.snapshot(0)[0..3], &[1, 2, 3]);
+        assert_eq!(ring.stats().packets_dropped, 2);
+        assert_eq!(ring.drops_armed(), 0);
+    }
+
+    #[test]
+    fn broken_link_truncates_transit_at_the_break() {
+        // 4 nodes, writer 0, link 1→2 severed: node 1 gets the write,
+        // nodes 2 and 3 never do.
+        let mut sim = Simulation::new();
+        let ring = quiet_ring(&sim, 4);
+        ring.break_link(1);
+        let nic = ring.nic(0);
+        sim.spawn("w", move |ctx| nic.write_word(ctx, 7, 9));
+        sim.run();
+        assert_eq!(ring.snapshot(1)[7], 9, "upstream of the break");
+        assert_eq!(ring.snapshot(2)[7], 0, "downstream of the break");
+        assert_eq!(ring.snapshot(3)[7], 0, "downstream of the break");
+        assert_eq!(ring.stats().link_truncations, 1);
+    }
+
+    #[test]
+    fn healed_link_carries_traffic_again() {
+        let mut sim = Simulation::new();
+        let ring = quiet_ring(&sim, 3);
+        ring.break_link(0);
+        assert!(ring.is_link_broken(0));
+        ring.heal_link(0);
+        let nic = ring.nic(0);
+        sim.spawn("w", move |ctx| nic.write_word(ctx, 0, 5));
+        sim.run();
+        assert_eq!(ring.snapshot(2)[0], 5);
+        assert_eq!(ring.stats().link_truncations, 0);
+    }
+
+    #[test]
+    fn broken_source_link_reaches_nobody() {
+        let mut sim = Simulation::new();
+        let ring = quiet_ring(&sim, 3);
+        ring.break_link(0);
+        let nic = ring.nic(0);
+        sim.spawn("w", move |ctx| nic.write_word(ctx, 0, 5));
+        sim.run();
+        assert_eq!(ring.snapshot(1)[0], 0);
+        assert_eq!(ring.snapshot(2)[0], 0);
+        assert_eq!(ring.snapshot(0)[0], 5, "local memory still works");
+        assert_eq!(ring.stats().link_truncations, 1);
     }
 
     #[test]

@@ -22,6 +22,12 @@ pub struct RingStats {
     pub interrupts: u64,
     /// Words corrupted by the fault injector (0 on healthy hardware).
     pub bit_errors: u64,
+    /// Packets consumed by an armed drop fault: the source bank saw the
+    /// write but nothing replicated (see `Ring::arm_drop`).
+    pub packets_dropped: u64,
+    /// Packets whose ring transit was cut short by a severed link — the
+    /// nodes before the break got the write, the nodes after did not.
+    pub link_truncations: u64,
     /// Sum over links of busy time, for utilization estimates.
     pub link_busy_ns: Time,
 }
@@ -52,6 +58,8 @@ pub(crate) struct AtomicRingStats {
     pub bursts: AtomicU64,
     pub interrupts: AtomicU64,
     pub bit_errors: AtomicU64,
+    pub packets_dropped: AtomicU64,
+    pub link_truncations: AtomicU64,
     pub link_busy_ns: AtomicU64,
 }
 
@@ -67,6 +75,8 @@ impl AtomicRingStats {
             bursts: get(&self.bursts),
             interrupts: get(&self.interrupts),
             bit_errors: get(&self.bit_errors),
+            packets_dropped: get(&self.packets_dropped),
+            link_truncations: get(&self.link_truncations),
             link_busy_ns: get(&self.link_busy_ns),
         }
     }

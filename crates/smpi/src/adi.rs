@@ -8,7 +8,9 @@ use des::obs::Layer;
 use des::ProcCtx;
 
 use crate::costs::SmpiCosts;
-use crate::device::{decode_null, encode_null, Device, PacketHeader, PacketKind, MAGIC_CHANNEL};
+use crate::device::{
+    decode_null, encode_null, Device, DeviceError, PacketHeader, PacketKind, MAGIC_CHANNEL,
+};
 use crate::types::{ReqId, Status, Tag};
 
 /// A posted (pending) receive.
@@ -140,7 +142,9 @@ impl Adi {
     // ------------------------------------------------------------------
 
     /// Start a send. Eager sends complete immediately; rendezvous sends
-    /// complete once the receiver's CTS is answered with the data.
+    /// complete once the receiver's CTS is answered with the data. `Err`
+    /// means the transport gave up before the message left this node —
+    /// no request is created, so there is nothing to wait on.
     pub fn isend(
         &mut self,
         ctx: &mut ProcCtx,
@@ -148,7 +152,7 @@ impl Adi {
         context: u16,
         tag: Tag,
         payload: &[u8],
-    ) -> ReqId {
+    ) -> Result<ReqId, DeviceError> {
         self.isend_mode(ctx, dst, context, tag, payload, false)
     }
 
@@ -161,7 +165,7 @@ impl Adi {
         context: u16,
         tag: Tag,
         payload: &[u8],
-    ) -> ReqId {
+    ) -> Result<ReqId, DeviceError> {
         self.isend_mode(ctx, dst, context, tag, payload, true)
     }
 
@@ -173,12 +177,12 @@ impl Adi {
         tag: Tag,
         payload: &[u8],
         synchronous: bool,
-    ) -> ReqId {
+    ) -> Result<ReqId, DeviceError> {
         ctx.obs()
             .span_enter(ctx.now(), self.node(), Layer::Adi, "isend");
         ctx.advance(self.costs.request_ns);
         let req = self.fresh_req();
-        if !synchronous
+        let out = if !synchronous
             && payload.len() < self.costs.rendezvous_threshold
             && payload.len() <= self.chunk_max()
         {
@@ -190,8 +194,10 @@ impl Adi {
                 len: payload.len() as u32,
                 req: 0,
             };
-            self.send_packet(ctx, dst, &header, payload);
-            self.completed_sends.insert(req);
+            self.send_packet(ctx, dst, &header, payload).map(|()| {
+                self.completed_sends.insert(req);
+                req
+            })
         } else {
             let header = PacketHeader {
                 kind: PacketKind::RndzRts,
@@ -201,18 +207,20 @@ impl Adi {
                 len: payload.len() as u32,
                 req: req.0,
             };
-            self.send_packet(ctx, dst, &header, &[]);
-            self.rndz_sends.insert(
-                req.0,
-                PendingSend {
-                    dst,
-                    payload: payload.to_vec(),
-                },
-            );
-        }
+            self.send_packet(ctx, dst, &header, &[]).map(|()| {
+                self.rndz_sends.insert(
+                    req.0,
+                    PendingSend {
+                        dst,
+                        payload: payload.to_vec(),
+                    },
+                );
+                req
+            })
+        };
         ctx.obs()
             .span_exit(ctx.now(), self.node(), Layer::Adi, "isend");
-        req
+        out
     }
 
     /// Frame assembly + device hand-off, charging the channel costs.
@@ -222,15 +230,16 @@ impl Adi {
         dst: usize,
         header: &PacketHeader,
         payload: &[u8],
-    ) {
+    ) -> Result<(), DeviceError> {
         ctx.obs()
             .span_enter(ctx.now(), self.node(), Layer::Channel, "packet_tx");
         ctx.advance(self.costs.header_build_ns + self.costs.pack_ns(payload.len()));
         let mut frame = header.encode(self.costs.header_bytes);
         frame.extend_from_slice(payload);
-        self.dev.send_frame(ctx, dst, &frame);
+        let out = self.dev.send_frame(ctx, dst, &frame);
         ctx.obs()
             .span_exit(ctx.now(), self.node(), Layer::Channel, "packet_tx");
+        out
     }
 
     // ------------------------------------------------------------------
@@ -238,19 +247,21 @@ impl Adi {
     // ------------------------------------------------------------------
 
     /// Post a receive (checks the unexpected queue first, per MPI
-    /// semantics).
+    /// semantics). `Err` can only happen when the receive matches a
+    /// parked rendezvous announcement and the clear-to-send reply fails;
+    /// the message then stays undelivered and no request is created.
     pub fn irecv(
         &mut self,
         ctx: &mut ProcCtx,
         context: u16,
         src: Option<usize>,
         tag: Option<Tag>,
-    ) -> ReqId {
+    ) -> Result<ReqId, DeviceError> {
         ctx.obs()
             .span_enter(ctx.now(), self.node(), Layer::Adi, "irecv");
         ctx.advance(self.costs.request_ns + self.costs.queue_ns);
         let req = self.fresh_req();
-        if let Some(idx) = self.unexpected.iter().position(|u| {
+        let out = if let Some(idx) = self.unexpected.iter().position(|u| {
             u.context == context && src.is_none_or(|s| s == u.src) && tag.is_none_or(|t| t == u.tag)
         }) {
             // The receive was posted late: the message already sat in the
@@ -259,7 +270,7 @@ impl Adi {
             ctx.obs()
                 .count(ctx.now(), self.node(), "adi.unexpected_hits", 1);
             let u = self.unexpected.remove(idx).unwrap();
-            self.accept_matched(ctx, req, u);
+            self.accept_matched(ctx, req, u).map(|()| req)
         } else {
             self.posted.push_back(Posted {
                 req,
@@ -267,15 +278,21 @@ impl Adi {
                 src,
                 tag,
             });
-        }
+            Ok(req)
+        };
         ctx.obs()
             .span_exit(ctx.now(), self.node(), Layer::Adi, "irecv");
-        req
+        out
     }
 
     /// An unexpected entry just matched `req`: complete it (eager) or run
     /// the rendezvous CTS (long message).
-    fn accept_matched(&mut self, ctx: &mut ProcCtx, req: ReqId, u: Unexpected) {
+    fn accept_matched(
+        &mut self,
+        ctx: &mut ProcCtx,
+        req: ReqId,
+        u: Unexpected,
+    ) -> Result<(), DeviceError> {
         match u.rts_req {
             None => {
                 ctx.advance(self.costs.unpack_ns(u.payload.len()));
@@ -300,12 +317,13 @@ impl Adi {
                 // CTS reuses the sender's req in `req` field and carries
                 // ours in the payload.
                 let ours = req.0.to_le_bytes();
-                self.send_packet(ctx, u.src, &header, &ours);
+                self.send_packet(ctx, u.src, &header, &ours)?;
                 self.rndz_recvs.insert(req.0, req);
                 // Remember status pieces for completion time.
                 self.rndz_recv_meta.insert(req.0, (u.src, u.tag, u.len));
             }
         }
+        Ok(())
     }
 
     /// Block until `req` completes; receives yield their payload.
@@ -366,17 +384,23 @@ impl Adi {
     // ------------------------------------------------------------------
 
     /// Send a one-word null frame (native barrier traffic), bypassing the
-    /// whole channel packet path.
+    /// whole channel packet path. Collectives have no per-operation error
+    /// reporting (a half-failed barrier poisons the whole group), so a
+    /// transport failure here panics.
     pub fn send_null(&mut self, ctx: &mut ProcCtx, dst: usize, context: u16, phase: u8) {
-        self.dev.send_frame(ctx, dst, &encode_null(context, phase));
+        self.dev
+            .send_frame(ctx, dst, &encode_null(context, phase))
+            .expect("transport failed inside a native collective");
     }
 
     /// Multicast a null frame. Panics if the device lacks native
-    /// multicast (callers check [`Adi::has_native_mcast`]).
+    /// multicast (callers check [`Adi::has_native_mcast`]) or the
+    /// transport fails.
     pub fn mcast_null(&mut self, ctx: &mut ProcCtx, targets: &[usize], context: u16, phase: u8) {
         let ok = self
             .dev
-            .mcast_frame(ctx, targets, &encode_null(context, phase));
+            .mcast_frame(ctx, targets, &encode_null(context, phase))
+            .expect("transport failed inside a native collective");
         assert!(ok, "device has no native multicast");
     }
 
@@ -403,7 +427,10 @@ impl Adi {
         };
         let mut frame = header.encode(self.costs.header_bytes);
         frame.extend_from_slice(payload);
-        let ok = self.dev.mcast_frame(ctx, targets, &frame);
+        let ok = self
+            .dev
+            .mcast_frame(ctx, targets, &frame)
+            .expect("transport failed inside a native collective");
         assert!(ok, "device has no native multicast");
         ctx.obs()
             .span_exit(ctx.now(), self.node(), Layer::Adi, "mcast");
@@ -478,6 +505,9 @@ impl Adi {
                     .expect("CTS for unknown rendezvous send");
                 // Segment the data to the device's frame limit; per-pair
                 // FIFO keeps the chunks in order at the receiver.
+                // The data phase runs inside the progress engine, far
+                // from the application call that could report an error;
+                // a transport failure this deep is fatal.
                 let chunk = self.chunk_max().min(send.payload.len().max(1));
                 for piece in send.payload.chunks(chunk) {
                     let data_header = PacketHeader {
@@ -488,7 +518,8 @@ impl Adi {
                         len: send.payload.len() as u32,
                         req: their_req,
                     };
-                    self.send_packet(ctx, send.dst, &data_header, piece);
+                    self.send_packet(ctx, send.dst, &data_header, piece)
+                        .expect("transport failed during the rendezvous data phase");
                 }
                 if send.payload.is_empty() {
                     // Degenerate rendezvous (an application can lower the
@@ -501,7 +532,8 @@ impl Adi {
                         len: 0,
                         req: their_req,
                     };
-                    self.send_packet(ctx, send.dst, &data_header, &[]);
+                    self.send_packet(ctx, send.dst, &data_header, &[])
+                        .expect("transport failed during the rendezvous data phase");
                 }
                 self.completed_sends.insert(ReqId(header.req));
             }
@@ -563,7 +595,10 @@ impl Adi {
                 && p.tag.is_none_or(|t| t == u.tag)
         }) {
             let p = self.posted.remove(idx).unwrap();
-            self.accept_matched(ctx, p.req, u);
+            // Inside the progress engine there is no caller to hand the
+            // error to (the CTS reply is the only send on this path).
+            self.accept_matched(ctx, p.req, u)
+                .expect("transport failed sending a clear-to-send during progress");
         } else {
             ctx.obs()
                 .count(ctx.now(), self.node(), "adi.unexpected_parked", 1);
@@ -611,7 +646,7 @@ mod tests {
     fn eager_send_is_one_frame_and_completes_immediately() {
         with_ctx(|ctx| {
             let (mut a, probe) = adi(0, 2);
-            let req = a.isend(ctx, 1, 0, 5, b"hello");
+            let req = a.isend(ctx, 1, 0, 5, b"hello").unwrap();
             assert!(a.is_complete(req));
             let sent = probe.sent();
             assert_eq!(sent.len(), 1);
@@ -628,7 +663,7 @@ mod tests {
     fn posted_receive_matches_later_arrival() {
         with_ctx(|ctx| {
             let (mut a, probe) = adi(0, 2);
-            let req = a.irecv(ctx, 0, Some(1), Some(9));
+            let req = a.irecv(ctx, 0, Some(1), Some(9)).unwrap();
             assert!(!a.is_complete(req));
             let frame = eager_frame(a.costs(), 1, 0, 9, b"payload");
             probe.feed(1, frame);
@@ -648,7 +683,7 @@ mod tests {
                 eager_frame(&SmpiCosts::channel_interface(), 1, 0, 3, b"early"),
             );
             a.progress(ctx); // parks it in the unexpected queue
-            let req = a.irecv(ctx, 0, Some(1), Some(3));
+            let req = a.irecv(ctx, 0, Some(1), Some(3)).unwrap();
             assert!(a.is_complete(req), "irecv must drain the unexpected queue");
             let (_, data) = a.wait(ctx, req).unwrap();
             assert_eq!(data, b"early");
@@ -659,8 +694,8 @@ mod tests {
     fn matching_respects_posting_order_for_equal_selectors() {
         with_ctx(|ctx| {
             let (mut a, probe) = adi(0, 2);
-            let r1 = a.irecv(ctx, 0, Some(1), Some(7));
-            let r2 = a.irecv(ctx, 0, Some(1), Some(7));
+            let r1 = a.irecv(ctx, 0, Some(1), Some(7)).unwrap();
+            let r2 = a.irecv(ctx, 0, Some(1), Some(7)).unwrap();
             let costs = SmpiCosts::channel_interface();
             probe.feed(1, eager_frame(&costs, 1, 0, 7, b"first"));
             probe.feed(1, eager_frame(&costs, 1, 0, 7, b"second"));
@@ -675,7 +710,7 @@ mod tests {
     fn wildcard_receive_matches_any_source_and_tag() {
         with_ctx(|ctx| {
             let (mut a, probe) = adi(0, 3);
-            let req = a.irecv(ctx, 0, None, None);
+            let req = a.irecv(ctx, 0, None, None).unwrap();
             probe.feed(
                 2,
                 eager_frame(&SmpiCosts::channel_interface(), 2, 0, 1234, b"w"),
@@ -690,7 +725,7 @@ mod tests {
     fn context_isolation_prevents_cross_communicator_matching() {
         with_ctx(|ctx| {
             let (mut a, probe) = adi(0, 2);
-            let req = a.irecv(ctx, 5, Some(1), Some(1)); // context 5
+            let req = a.irecv(ctx, 5, Some(1), Some(1)).unwrap(); // context 5
             probe.feed(
                 1,
                 eager_frame(&SmpiCosts::channel_interface(), 1, 4, 1, b"ctx4"),
@@ -711,7 +746,7 @@ mod tests {
         with_ctx(|ctx| {
             let (mut a, probe) = adi(0, 2);
             let payload = vec![7u8; 20 * 1024]; // above the 16 KiB threshold
-            let req = a.isend(ctx, 1, 0, 2, &payload);
+            let req = a.isend(ctx, 1, 0, 2, &payload).unwrap();
             assert!(!a.is_complete(req), "rendezvous waits for CTS");
             let sent = probe.sent();
             assert_eq!(sent.len(), 1);
@@ -748,7 +783,7 @@ mod tests {
             dev.max_frame = Some(4 * 1024);
             let mut a = Adi::new(Box::new(dev), SmpiCosts::channel_interface());
             let payload = vec![3u8; 20 * 1024];
-            let req = a.isend(ctx, 1, 0, 2, &payload);
+            let req = a.isend(ctx, 1, 0, 2, &payload).unwrap();
             let rts = PacketHeader::decode(&probe.sent()[0].1);
             let cts_header = PacketHeader {
                 kind: PacketKind::RndzCts,
@@ -784,7 +819,7 @@ mod tests {
                 .expect("probe should see it");
             assert_eq!(st.len, 4);
             // Still there for the actual receive.
-            let req = a.irecv(ctx, 0, Some(1), Some(8));
+            let req = a.irecv(ctx, 0, Some(1), Some(8)).unwrap();
             let (_, data) = a.wait(ctx, req).unwrap();
             assert_eq!(data, b"look");
             assert!(a.iprobe(ctx, 0, Some(1), Some(8)).is_none());
@@ -817,6 +852,59 @@ mod tests {
                 assert_eq!(h.tag, 77);
                 assert_eq!(h.kind, PacketKind::Eager);
             }
+        });
+    }
+
+    #[test]
+    fn failed_eager_send_surfaces_the_device_error() {
+        with_ctx(|ctx| {
+            let (mut dev, probe) = ScriptedDevice::new(0, 2);
+            dev.fail_sends = Some(crate::device::DeviceError::Timeout { peer: 1 });
+            let mut a = Adi::new(Box::new(dev), SmpiCosts::channel_interface());
+            let err = a.isend(ctx, 1, 0, 5, b"doomed").unwrap_err();
+            assert_eq!(err, crate::device::DeviceError::Timeout { peer: 1 });
+            assert_eq!(probe.sent_count(), 0, "nothing left the node");
+        });
+    }
+
+    #[test]
+    fn failed_rts_leaves_no_dangling_rendezvous_state() {
+        with_ctx(|ctx| {
+            let (mut dev, _probe) = ScriptedDevice::new(0, 2);
+            dev.fail_sends = Some(crate::device::DeviceError::PeerDown { peer: 1 });
+            let mut a = Adi::new(Box::new(dev), SmpiCosts::channel_interface());
+            let err = a.isend(ctx, 1, 0, 5, &vec![0u8; 20 * 1024]).unwrap_err();
+            assert_eq!(err, crate::device::DeviceError::PeerDown { peer: 1 });
+            assert!(
+                a.rndz_sends.is_empty(),
+                "a failed RTS must not park a pending send"
+            );
+        });
+    }
+
+    #[test]
+    fn failed_cts_reply_surfaces_through_irecv() {
+        with_ctx(|ctx| {
+            let (mut dev, probe) = ScriptedDevice::new(0, 2);
+            dev.fail_sends = Some(crate::device::DeviceError::Corrupt { peer: 1 });
+            probe.feed(1, {
+                // A rendezvous announcement parked in the unexpected
+                // queue; matching it requires sending a CTS, which the
+                // device refuses.
+                let h = PacketHeader {
+                    kind: PacketKind::RndzRts,
+                    src: 1,
+                    tag: 4,
+                    context: 0,
+                    len: 20 * 1024,
+                    req: 77,
+                };
+                h.encode(SmpiCosts::channel_interface().header_bytes)
+            });
+            let mut a = Adi::new(Box::new(dev), SmpiCosts::channel_interface());
+            a.progress(ctx);
+            let err = a.irecv(ctx, 0, Some(1), Some(4)).unwrap_err();
+            assert_eq!(err, crate::device::DeviceError::Corrupt { peer: 1 });
         });
     }
 

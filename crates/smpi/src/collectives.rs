@@ -40,6 +40,34 @@ impl Mpi {
         ctx.advance(self.adi.costs().collective_entry_ns);
     }
 
+    // Collectives have no way to report a partial failure to the group
+    // (MPI_ERR_* from a collective leaves the communicator in an
+    // unspecified state), so a transport error inside one is fatal.
+    fn coll_isend(
+        &mut self,
+        ctx: &mut ProcCtx,
+        dst: usize,
+        context: u16,
+        tag: Tag,
+        payload: &[u8],
+    ) -> crate::types::ReqId {
+        self.adi
+            .isend(ctx, dst, context, tag, payload)
+            .expect("transport failed inside a collective")
+    }
+
+    fn coll_irecv(
+        &mut self,
+        ctx: &mut ProcCtx,
+        context: u16,
+        src: Option<usize>,
+        tag: Option<Tag>,
+    ) -> crate::types::ReqId {
+        self.adi
+            .irecv(ctx, context, src, tag)
+            .expect("transport failed inside a collective")
+    }
+
     // ------------------------------------------------------------------
     // Broadcast
     // ------------------------------------------------------------------
@@ -93,7 +121,7 @@ impl Mpi {
                 // TAG_BCAST message from the root arrives.
                 let reqs: Vec<_> = targets
                     .iter()
-                    .map(|&t| self.adi.isend(ctx, t, comm.coll_context, TAG_BCAST, data))
+                    .map(|&t| self.coll_isend(ctx, t, comm.coll_context, TAG_BCAST, data))
                     .collect();
                 for req in reqs {
                     self.adi.wait(ctx, req);
@@ -102,9 +130,7 @@ impl Mpi {
             data.to_vec()
         } else {
             let root_world = comm.world_rank(root);
-            let req = self
-                .adi
-                .irecv(ctx, comm.coll_context, Some(root_world), Some(TAG_BCAST));
+            let req = self.coll_irecv(ctx, comm.coll_context, Some(root_world), Some(TAG_BCAST));
             let (_, bytes) = self.adi.wait(ctx, req).expect("bcast receive");
             bytes
         }
@@ -126,7 +152,7 @@ impl Mpi {
         while mask < size {
             if vrank & mask != 0 {
                 let parent = (vrank - mask + root) % size;
-                let req = self.adi.irecv(
+                let req = self.coll_irecv(
                     ctx,
                     comm.coll_context,
                     Some(comm.world_rank(parent)),
@@ -146,7 +172,7 @@ impl Mpi {
         while mask > 0 {
             if vrank + mask < size {
                 let child = (vrank + mask + root) % size;
-                sends.push(self.adi.isend(
+                sends.push(self.coll_isend(
                     ctx,
                     comm.world_rank(child),
                     comm.coll_context,
@@ -213,7 +239,7 @@ impl Mpi {
         while mask < size {
             if vrank & mask != 0 {
                 let parent = vrank - mask;
-                self.adi.isend(
+                self.coll_isend(
                     ctx,
                     comm.world_rank(parent),
                     comm.coll_context,
@@ -224,7 +250,7 @@ impl Mpi {
             }
             let child = vrank + mask;
             if child < size {
-                let req = self.adi.irecv(
+                let req = self.coll_irecv(
                     ctx,
                     comm.coll_context,
                     Some(comm.world_rank(child)),
@@ -239,7 +265,7 @@ impl Mpi {
         while mask < size {
             if vrank & mask != 0 {
                 let parent = vrank - mask;
-                let req = self.adi.irecv(
+                let req = self.coll_irecv(
                     ctx,
                     comm.coll_context,
                     Some(comm.world_rank(parent)),
@@ -253,7 +279,7 @@ impl Mpi {
         mask >>= 1;
         while mask > 0 {
             if vrank & mask == 0 && vrank + mask < size {
-                self.adi.isend(
+                self.coll_isend(
                     ctx,
                     comm.world_rank(vrank + mask),
                     comm.coll_context,
@@ -288,7 +314,7 @@ impl Mpi {
                 .map(|r| {
                     (
                         r,
-                        self.adi.irecv(
+                        self.coll_irecv(
                             ctx,
                             comm.coll_context,
                             Some(comm.world_rank(r)),
@@ -303,7 +329,7 @@ impl Mpi {
             }
             Some(out)
         } else {
-            let req = self.adi.isend(
+            let req = self.coll_isend(
                 ctx,
                 comm.world_rank(root),
                 comm.coll_context,
@@ -334,7 +360,7 @@ impl Mpi {
             let mut sends = Vec::new();
             for (r, block) in blocks.iter().enumerate() {
                 if r != root {
-                    sends.push(self.adi.isend(
+                    sends.push(self.coll_isend(
                         ctx,
                         comm.world_rank(r),
                         comm.coll_context,
@@ -348,7 +374,7 @@ impl Mpi {
             }
             blocks[root].clone()
         } else {
-            let req = self.adi.irecv(
+            let req = self.coll_irecv(
                 ctx,
                 comm.coll_context,
                 Some(comm.world_rank(root)),
@@ -385,7 +411,7 @@ impl Mpi {
             .map(|r| {
                 (
                     r,
-                    self.adi.irecv(
+                    self.coll_irecv(
                         ctx,
                         comm.coll_context,
                         Some(comm.world_rank(r)),
@@ -397,7 +423,7 @@ impl Mpi {
         let mut sends = Vec::new();
         for (r, block) in blocks.iter().enumerate() {
             if r != me {
-                sends.push(self.adi.isend(
+                sends.push(self.coll_isend(
                     ctx,
                     comm.world_rank(r),
                     comm.coll_context,
@@ -444,7 +470,7 @@ impl Mpi {
                     let peer_v = vrank | mask;
                     if peer_v < size {
                         let peer = (peer_v + root) % size;
-                        let req = self.adi.irecv(
+                        let req = self.coll_irecv(
                             ctx,
                             comm.coll_context,
                             Some(comm.world_rank(peer)),
@@ -456,7 +482,7 @@ impl Mpi {
                 } else {
                     let peer_v = vrank & !mask;
                     let peer = (peer_v + root) % size;
-                    let req = self.adi.isend(
+                    let req = self.coll_isend(
                         ctx,
                         comm.world_rank(peer),
                         comm.coll_context,
@@ -497,7 +523,7 @@ impl Mpi {
         let me = comm.rank();
         let mut acc = data.to_vec();
         if me > 0 {
-            let req = self.adi.irecv(
+            let req = self.coll_irecv(
                 ctx,
                 comm.coll_context,
                 Some(comm.world_rank(me - 1)),
@@ -510,7 +536,7 @@ impl Mpi {
             acc = folded;
         }
         if me + 1 < comm.size() {
-            let req = self.adi.isend(
+            let req = self.coll_isend(
                 ctx,
                 comm.world_rank(me + 1),
                 comm.coll_context,
@@ -537,7 +563,7 @@ impl Mpi {
         // Receive the running prefix from the left, forward prefix+mine
         // to the right.
         let prefix = if me > 0 {
-            let req = self.adi.irecv(
+            let req = self.coll_irecv(
                 ctx,
                 comm.coll_context,
                 Some(comm.world_rank(me - 1)),
@@ -553,7 +579,7 @@ impl Mpi {
             if prefix.is_some() {
                 op.fold(&mut running, data);
             }
-            let req = self.adi.isend(
+            let req = self.coll_isend(
                 ctx,
                 comm.world_rank(me + 1),
                 comm.coll_context,

@@ -5,6 +5,56 @@ use des::ProcCtx;
 
 use crate::types::Tag;
 
+/// A transport failure the device surfaces instead of delivering. Only
+/// produced by devices with a reliability layer underneath (the BBP
+/// device over a faulted ring); plain devices always succeed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeviceError {
+    /// The frame (or its acknowledgement) was corrupted beyond the
+    /// transport's repair budget.
+    Corrupt {
+        /// World rank of the peer involved.
+        peer: usize,
+    },
+    /// The transport's retry budget expired without confirmation.
+    Timeout {
+        /// World rank of the peer involved.
+        peer: usize,
+    },
+    /// The peer has left the network (bypassed or failed node).
+    PeerDown {
+        /// World rank of the dead peer.
+        peer: usize,
+    },
+}
+
+impl DeviceError {
+    /// World rank of the peer the failure involves.
+    pub fn peer(&self) -> usize {
+        match *self {
+            DeviceError::Corrupt { peer }
+            | DeviceError::Timeout { peer }
+            | DeviceError::PeerDown { peer } => peer,
+        }
+    }
+}
+
+impl std::fmt::Display for DeviceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DeviceError::Corrupt { peer } => {
+                write!(f, "frame to/from rank {peer} corrupted beyond repair")
+            }
+            DeviceError::Timeout { peer } => {
+                write!(f, "transport timed out talking to rank {peer}")
+            }
+            DeviceError::PeerDown { peer } => write!(f, "rank {peer} is down"),
+        }
+    }
+}
+
+impl std::error::Error for DeviceError {}
+
 /// Discriminates channel packets. A frame's first byte is a magic value
 /// telling channel packets apart from the tiny raw frames the native
 /// collectives use.
@@ -126,13 +176,25 @@ pub trait Device: Send {
     fn rank(&self) -> usize;
     /// World size.
     fn nprocs(&self) -> usize;
-    /// Reliable, per-pair-FIFO frame delivery to `dst`.
-    fn send_frame(&mut self, ctx: &mut ProcCtx, dst: usize, frame: &[u8]);
+    /// Per-pair-FIFO frame delivery to `dst`. `Err` means the transport
+    /// gave up after exhausting whatever reliability budget it has; the
+    /// ADI turns that into an MPI-level error.
+    fn send_frame(
+        &mut self,
+        ctx: &mut ProcCtx,
+        dst: usize,
+        frame: &[u8],
+    ) -> Result<(), DeviceError>;
     /// One progress poll: the next arrived frame, if any, with its source.
     fn try_recv_frame(&mut self, ctx: &mut ProcCtx) -> Option<(usize, Vec<u8>)>;
-    /// Hardware multicast of one frame; returns false if unsupported
+    /// Hardware multicast of one frame; `Ok(false)` if unsupported
     /// (callers fall back to point-to-point).
-    fn mcast_frame(&mut self, ctx: &mut ProcCtx, targets: &[usize], frame: &[u8]) -> bool;
+    fn mcast_frame(
+        &mut self,
+        ctx: &mut ProcCtx,
+        targets: &[usize],
+        frame: &[u8],
+    ) -> Result<bool, DeviceError>;
     /// Whether [`Device::mcast_frame`] works (the paper's "additional
     /// functionality provided by the underlying device").
     fn has_native_mcast(&self) -> bool;
@@ -201,6 +263,19 @@ mod tests {
         assert_eq!(f.len(), 4);
         assert_eq!(decode_null(&f), Some((513, 7)));
         assert_ne!(f[0], MAGIC_CHANNEL);
+    }
+
+    #[test]
+    fn device_errors_render_and_expose_the_peer() {
+        for (e, needle) in [
+            (DeviceError::Corrupt { peer: 3 }, "corrupted"),
+            (DeviceError::Timeout { peer: 3 }, "timed out"),
+            (DeviceError::PeerDown { peer: 3 }, "down"),
+        ] {
+            assert_eq!(e.peer(), 3);
+            assert!(e.to_string().contains(needle), "{e}");
+            assert!(e.to_string().contains('3'), "{e}");
+        }
     }
 
     #[test]

@@ -1,12 +1,24 @@
 //! Concrete devices: the BillBoard Protocol on SCRAMNet and TCP sockets
 //! on the conventional networks.
 
-use bbp::BbpEndpoint;
+use bbp::{BbpEndpoint, BbpError};
 use des::obs::Layer;
 use des::ProcCtx;
 use netsim::{MyrinetApiPort, TcpSock};
 
-use crate::device::Device;
+use crate::device::{Device, DeviceError};
+
+/// Translate a BBP reliability-layer failure into the device-layer
+/// taxonomy. Anything else out of the endpoint (oversized payload, bad
+/// rank) is a configuration bug in the stack, not a fault, and panics.
+fn map_bbp_err(e: BbpError) -> DeviceError {
+    match e {
+        BbpError::Corrupt { peer } => DeviceError::Corrupt { peer },
+        BbpError::Timeout { peer, .. } => DeviceError::Timeout { peer },
+        BbpError::PeerDown { peer } => DeviceError::PeerDown { peer },
+        other => panic!("BBP configuration error under the channel device: {other}"),
+    }
+}
 
 /// The SCRAMNet channel device: frames ride the BillBoard Protocol, which
 /// already guarantees reliable per-pair-FIFO delivery and provides the
@@ -36,15 +48,22 @@ impl Device for BbpDevice {
         self.ep.nprocs()
     }
 
-    fn send_frame(&mut self, ctx: &mut ProcCtx, dst: usize, frame: &[u8]) {
+    fn send_frame(
+        &mut self,
+        ctx: &mut ProcCtx,
+        dst: usize,
+        frame: &[u8],
+    ) -> Result<(), DeviceError> {
         let node = self.ep.rank() as u32;
         ctx.obs()
             .span_enter(ctx.now(), node, Layer::Device, "frame_send");
-        self.ep
-            .send(ctx, dst, frame)
-            .expect("BBP send failed under the channel device");
+        let out = self.ep.send(ctx, dst, frame).map_err(map_bbp_err);
+        if out.is_err() {
+            ctx.obs().count(ctx.now(), node, "device.send_errors", 1);
+        }
         ctx.obs()
             .span_exit(ctx.now(), node, Layer::Device, "frame_send");
+        out
     }
 
     fn try_recv_frame(&mut self, ctx: &mut ProcCtx) -> Option<(usize, Vec<u8>)> {
@@ -59,16 +78,22 @@ impl Device for BbpDevice {
         got
     }
 
-    fn mcast_frame(&mut self, ctx: &mut ProcCtx, targets: &[usize], frame: &[u8]) -> bool {
+    fn mcast_frame(
+        &mut self,
+        ctx: &mut ProcCtx,
+        targets: &[usize],
+        frame: &[u8],
+    ) -> Result<bool, DeviceError> {
         let node = self.ep.rank() as u32;
         ctx.obs()
             .span_enter(ctx.now(), node, Layer::Device, "frame_mcast");
-        self.ep
-            .mcast(ctx, targets, frame)
-            .expect("BBP mcast failed under the channel device");
+        let out = self.ep.mcast(ctx, targets, frame).map_err(map_bbp_err);
+        if out.is_err() {
+            ctx.obs().count(ctx.now(), node, "device.send_errors", 1);
+        }
         ctx.obs()
             .span_exit(ctx.now(), node, Layer::Device, "frame_mcast");
-        true
+        out.map(|()| true)
     }
 
     fn has_native_mcast(&self) -> bool {
@@ -111,7 +136,12 @@ impl Device for TcpDevice {
         self.socks.len()
     }
 
-    fn send_frame(&mut self, ctx: &mut ProcCtx, dst: usize, frame: &[u8]) {
+    fn send_frame(
+        &mut self,
+        ctx: &mut ProcCtx,
+        dst: usize,
+        frame: &[u8],
+    ) -> Result<(), DeviceError> {
         let node = self.rank as u32;
         ctx.obs()
             .span_enter(ctx.now(), node, Layer::Device, "frame_send");
@@ -121,6 +151,7 @@ impl Device for TcpDevice {
             .send(ctx, frame);
         ctx.obs()
             .span_exit(ctx.now(), node, Layer::Device, "frame_send");
+        Ok(())
     }
 
     fn try_recv_frame(&mut self, ctx: &mut ProcCtx) -> Option<(usize, Vec<u8>)> {
@@ -137,8 +168,13 @@ impl Device for TcpDevice {
         None
     }
 
-    fn mcast_frame(&mut self, _ctx: &mut ProcCtx, _targets: &[usize], _frame: &[u8]) -> bool {
-        false // no hardware multicast on switched point-to-point fabrics
+    fn mcast_frame(
+        &mut self,
+        _ctx: &mut ProcCtx,
+        _targets: &[usize],
+        _frame: &[u8],
+    ) -> Result<bool, DeviceError> {
+        Ok(false) // no hardware multicast on switched point-to-point fabrics
     }
 
     fn has_native_mcast(&self) -> bool {
@@ -169,21 +205,32 @@ impl Device for MyrinetDevice {
         self.nprocs
     }
 
-    fn send_frame(&mut self, ctx: &mut ProcCtx, dst: usize, frame: &[u8]) {
+    fn send_frame(
+        &mut self,
+        ctx: &mut ProcCtx,
+        dst: usize,
+        frame: &[u8],
+    ) -> Result<(), DeviceError> {
         let node = self.port.host() as u32;
         ctx.obs()
             .span_enter(ctx.now(), node, Layer::Device, "frame_send");
         self.port.send(ctx, dst, frame);
         ctx.obs()
             .span_exit(ctx.now(), node, Layer::Device, "frame_send");
+        Ok(())
     }
 
     fn try_recv_frame(&mut self, ctx: &mut ProcCtx) -> Option<(usize, Vec<u8>)> {
         self.port.try_recv(ctx)
     }
 
-    fn mcast_frame(&mut self, _ctx: &mut ProcCtx, _targets: &[usize], _frame: &[u8]) -> bool {
-        false // wormhole switches have no replication hardware
+    fn mcast_frame(
+        &mut self,
+        _ctx: &mut ProcCtx,
+        _targets: &[usize],
+        _frame: &[u8],
+    ) -> Result<bool, DeviceError> {
+        Ok(false) // wormhole switches have no replication hardware
     }
 
     fn has_native_mcast(&self) -> bool {

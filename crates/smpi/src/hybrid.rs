@@ -25,7 +25,7 @@ use std::collections::BTreeMap;
 
 use des::ProcCtx;
 
-use crate::device::Device;
+use crate::device::{Device, DeviceError};
 
 /// First byte of a sequenced point-to-point hybrid frame.
 const HYB_SEQ: u8 = 0x48;
@@ -124,14 +124,19 @@ impl Device for HybridDevice {
         self.fast.nprocs()
     }
 
-    fn send_frame(&mut self, ctx: &mut ProcCtx, dst: usize, frame: &[u8]) {
+    fn send_frame(
+        &mut self,
+        ctx: &mut ProcCtx,
+        dst: usize,
+        frame: &[u8],
+    ) -> Result<(), DeviceError> {
         let seq = self.tx_seq[dst];
         self.tx_seq[dst] = seq.wrapping_add(1);
         let wrapped = Self::wrap(HYB_SEQ, seq, frame);
         if frame.len() < self.threshold {
-            self.fast.send_frame(ctx, dst, &wrapped);
+            self.fast.send_frame(ctx, dst, &wrapped)
         } else {
-            self.bulk.send_frame(ctx, dst, &wrapped);
+            self.bulk.send_frame(ctx, dst, &wrapped)
         }
     }
 
@@ -149,7 +154,12 @@ impl Device for HybridDevice {
         self.ready.pop_front()
     }
 
-    fn mcast_frame(&mut self, ctx: &mut ProcCtx, targets: &[usize], frame: &[u8]) -> bool {
+    fn mcast_frame(
+        &mut self,
+        ctx: &mut ProcCtx,
+        targets: &[usize],
+        frame: &[u8],
+    ) -> Result<bool, DeviceError> {
         // Multicast is a fast-path exclusive; unsequenced (the fast
         // path's own FIFO orders successive multicasts per source).
         let wrapped = Self::wrap(HYB_RAW, 0, frame);
@@ -184,9 +194,9 @@ mod tests {
         with_ctx(|ctx| {
             let (fast, bulk) = pair();
             let mut hy = HybridDevice::new(fast, bulk, 100);
-            hy.send_frame(ctx, 1, &[0u8; 50]);
-            hy.send_frame(ctx, 1, &[0u8; 200]);
-            hy.send_frame(ctx, 1, &[0u8; 99]);
+            hy.send_frame(ctx, 1, &[0u8; 50]).unwrap();
+            hy.send_frame(ctx, 1, &[0u8; 200]).unwrap();
+            hy.send_frame(ctx, 1, &[0u8; 99]).unwrap();
             // Inspect routing by downcasting is awkward; re-wrap: count
             // via the sequencing invariant instead — sizes are disjoint.
             // (Routing itself is asserted in the world-level test.)

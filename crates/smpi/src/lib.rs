@@ -64,7 +64,7 @@ mod world;
 pub use adi::Adi;
 pub use collectives::CollectiveImpl;
 pub use costs::SmpiCosts;
-pub use device::{Device, PacketHeader, PacketKind};
+pub use device::{Device, DeviceError, PacketHeader, PacketKind};
 pub use devices::{BbpDevice, MyrinetDevice, TcpDevice};
 pub use hybrid::HybridDevice;
 pub use mpi::{Comm, Mpi};

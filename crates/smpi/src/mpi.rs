@@ -197,9 +197,10 @@ impl Mpi {
         assert!(tag <= MAX_USER_TAG, "tag {tag:#x} is reserved");
         self.span_enter(ctx, "isend");
         self.charge_binding(ctx);
-        let out = comm.check(dst).map(|()| {
+        let out = comm.check(dst).and_then(|()| {
             self.adi
                 .isend(ctx, comm.world_rank(dst), comm.context, tag, data)
+                .map_err(MpiError::from)
         });
         self.span_exit(ctx, "isend");
         out
@@ -226,7 +227,9 @@ impl Mpi {
                 }
                 None => None,
             };
-            Ok(self.adi.irecv(ctx, comm.context, world_src, tag))
+            self.adi
+                .irecv(ctx, comm.context, world_src, tag)
+                .map_err(MpiError::from)
         })();
         self.span_exit(ctx, "irecv");
         out
@@ -246,11 +249,12 @@ impl Mpi {
         assert!(tag <= MAX_USER_TAG, "tag {tag:#x} is reserved");
         self.span_enter(ctx, "ssend");
         self.charge_binding(ctx);
-        let out = comm.check(dst).map(|()| {
+        let out = comm.check(dst).and_then(|()| {
             let req = self
                 .adi
-                .issend(ctx, comm.world_rank(dst), comm.context, tag, data);
+                .issend(ctx, comm.world_rank(dst), comm.context, tag, data)?;
             self.wait_send(ctx, req);
+            Ok(())
         });
         self.span_exit(ctx, "ssend");
         out

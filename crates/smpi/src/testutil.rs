@@ -8,7 +8,7 @@ use std::sync::Arc;
 use des::ProcCtx;
 use parking_lot::Mutex;
 
-use crate::device::Device;
+use crate::device::{Device, DeviceError};
 
 #[derive(Default)]
 pub(crate) struct ScriptState {
@@ -50,6 +50,9 @@ pub(crate) struct ScriptedDevice {
     pub max_frame: Option<usize>,
     /// Whether multicast reports success.
     pub mcast_ok: bool,
+    /// When set, every send/mcast fails with this error (nothing is
+    /// recorded as sent).
+    pub fail_sends: Option<DeviceError>,
 }
 
 impl ScriptedDevice {
@@ -65,6 +68,7 @@ impl ScriptedDevice {
                 state,
                 max_frame: None,
                 mcast_ok: true,
+                fail_sends: None,
             },
             probe,
         )
@@ -80,23 +84,40 @@ impl Device for ScriptedDevice {
         self.n
     }
 
-    fn send_frame(&mut self, _ctx: &mut ProcCtx, dst: usize, frame: &[u8]) {
+    fn send_frame(
+        &mut self,
+        _ctx: &mut ProcCtx,
+        dst: usize,
+        frame: &[u8],
+    ) -> Result<(), DeviceError> {
+        if let Some(e) = self.fail_sends {
+            return Err(e);
+        }
         self.state.lock().sent.push((dst, frame.to_vec()));
+        Ok(())
     }
 
     fn try_recv_frame(&mut self, _ctx: &mut ProcCtx) -> Option<(usize, Vec<u8>)> {
         self.state.lock().incoming.pop_front()
     }
 
-    fn mcast_frame(&mut self, _ctx: &mut ProcCtx, targets: &[usize], frame: &[u8]) -> bool {
+    fn mcast_frame(
+        &mut self,
+        _ctx: &mut ProcCtx,
+        targets: &[usize],
+        frame: &[u8],
+    ) -> Result<bool, DeviceError> {
         if !self.mcast_ok {
-            return false;
+            return Ok(false);
+        }
+        if let Some(e) = self.fail_sends {
+            return Err(e);
         }
         let mut s = self.state.lock();
         for &t in targets {
             s.sent.push((t, frame.to_vec()));
         }
-        true
+        Ok(true)
     }
 
     fn has_native_mcast(&self) -> bool {

@@ -1,5 +1,7 @@
 //! Core MPI-facing types: ranks, tags, statuses, requests, errors.
 
+use crate::device::DeviceError;
+
 /// Message tag. `ANY_TAG` in a receive matches any tag.
 pub type Tag = u32;
 
@@ -64,6 +66,10 @@ pub enum MpiError {
     },
     /// An unknown request id passed to `wait`.
     BadRequest(ReqId),
+    /// The transport gave up on the operation (the MPI-2 `MPI_ERR_*`
+    /// class an error-handler would see): the device's reliability
+    /// layer exhausted its budget.
+    Transport(DeviceError),
 }
 
 impl std::fmt::Display for MpiError {
@@ -76,11 +82,18 @@ impl std::fmt::Display for MpiError {
                 )
             }
             MpiError::BadRequest(id) => write!(f, "unknown request {id:?}"),
+            MpiError::Transport(e) => write!(f, "transport error: {e}"),
         }
     }
 }
 
 impl std::error::Error for MpiError {}
+
+impl From<DeviceError> for MpiError {
+    fn from(e: DeviceError) -> Self {
+        MpiError::Transport(e)
+    }
+}
 
 #[cfg(test)]
 mod tests {
@@ -112,5 +125,9 @@ mod tests {
             .to_string()
             .contains('9'));
         assert!(MpiError::BadRequest(ReqId(3)).to_string().contains('3'));
+        let t = MpiError::from(DeviceError::PeerDown { peer: 2 });
+        assert_eq!(t, MpiError::Transport(DeviceError::PeerDown { peer: 2 }));
+        assert!(t.to_string().contains("transport"));
+        assert!(t.to_string().contains('2'));
     }
 }

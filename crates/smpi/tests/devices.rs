@@ -34,7 +34,7 @@ fn tcp_device_preserves_per_pair_fifo() {
     for (mut dev, label) in [(d1, 1u8), (d2, 2u8)] {
         sim.spawn(format!("tx{label}"), move |ctx| {
             for i in 0..15u8 {
-                dev.send_frame(ctx, 0, &[label, i]);
+                dev.send_frame(ctx, 0, &[label, i]).unwrap();
             }
         });
     }
@@ -67,7 +67,7 @@ fn tcp_device_round_robin_serves_all_peers() {
     for (mut dev, label) in [(d1, 1u8), (d2, 2u8)] {
         sim.spawn(format!("tx{label}"), move |ctx| {
             for i in 0..8u8 {
-                dev.send_frame(ctx, 0, &[label, i]);
+                dev.send_frame(ctx, 0, &[label, i]).unwrap();
             }
         });
     }
@@ -106,7 +106,9 @@ fn myrinet_device_carries_frames() {
     assert_eq!(tx.rank(), 0);
     assert_eq!(rx.nprocs(), 2);
     assert!(!rx.has_native_mcast());
-    sim.spawn("tx", move |ctx| tx.send_frame(ctx, 1, b"over myrinet"));
+    sim.spawn("tx", move |ctx| {
+        tx.send_frame(ctx, 1, b"over myrinet").unwrap()
+    });
     sim.spawn("rx", move |ctx| loop {
         if let Some((src, frame)) = rx.try_recv_frame(ctx) {
             assert_eq!(src, 0);
@@ -159,7 +161,7 @@ fn hybrid_device_mixed_sizes_stay_ordered_at_device_level() {
             let len = if i % 2 == 0 { 8 } else { 1024 };
             let mut frame = vec![i; len];
             frame[0] = i;
-            tx.send_frame(ctx, 1, &frame);
+            tx.send_frame(ctx, 1, &frame).unwrap();
         }
     });
     let seen: Arc<Mutex<Vec<u8>>> = Arc::new(Mutex::new(Vec::new()));
@@ -203,8 +205,8 @@ fn small_frames_overtake_on_the_wire_but_deliver_in_order() {
     let times: Arc<Mutex<Vec<(u8, Time)>>> = Arc::new(Mutex::new(Vec::new()));
     let times2 = Arc::clone(&times);
     sim.spawn("tx", move |ctx| {
-        tx.send_frame(ctx, 1, &vec![1u8; 8 * 1024]); // bulk
-        tx.send_frame(ctx, 1, &[2u8; 8]); // tiny, right behind
+        tx.send_frame(ctx, 1, &vec![1u8; 8 * 1024]).unwrap(); // bulk
+        tx.send_frame(ctx, 1, &[2u8; 8]).unwrap(); // tiny, right behind
     });
     sim.spawn("rx", move |ctx| {
         let mut got = 0;

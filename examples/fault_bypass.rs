@@ -35,7 +35,7 @@ fn main() {
         let mut latencies_healthy = Vec::new();
         let mut latencies_bypassed = Vec::new();
         for seq in 0..60u32 {
-            let m = rx.recv(ctx, 0);
+            let m = rx.recv(ctx, 0).unwrap();
             assert_eq!(u32::from_le_bytes(m.try_into().unwrap()), seq);
             let sent_at = ms(seq as u64); // sender paces on millisecond marks
             let latency = ctx.now().saturating_sub(sent_at);

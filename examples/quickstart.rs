@@ -67,14 +67,14 @@ fn billboard_protocol() {
         let times = Arc::clone(&recv_times);
         sim.spawn(format!("node{r}"), move |ctx| {
             if r == 1 {
-                let m = ep.recv(ctx, 0);
+                let m = ep.recv(ctx, 0).unwrap();
                 println!(
                     "  node 1 got '{}' at {}",
                     String::from_utf8_lossy(&m),
                     ctx.now().pretty()
                 );
             }
-            let m = ep.recv(ctx, 0);
+            let m = ep.recv(ctx, 0).unwrap();
             assert_eq!(m, b"multicast hello");
             times.lock().push((r, ctx.now()));
         });

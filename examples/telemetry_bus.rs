@@ -66,7 +66,7 @@ fn main() {
             let mut latencies = Vec::with_capacity(FRAMES as usize);
             let mut misses = 0;
             for seq in 0..FRAMES {
-                let f = ep.recv(ctx, 0);
+                let f = ep.recv(ctx, 0).unwrap();
                 let got_seq = u32::from_le_bytes(f[0..4].try_into().unwrap());
                 assert_eq!(got_seq, seq, "frames must arrive in order, no loss");
                 let published = us(seq as u64 * PERIOD_US);

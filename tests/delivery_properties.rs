@@ -93,7 +93,7 @@ fn check_plan(nprocs: usize, bufs: usize, data_words: usize, msgs: Vec<Msg>) {
             for phase in 0..nprocs {
                 if phase == rank {
                     for _ in 0..expect_count {
-                        let (src, m) = ep.recv_any(ctx);
+                        let (src, m) = ep.recv_any(ctx).unwrap();
                         received.lock()[rank].push((src, m));
                     }
                 } else {
@@ -191,7 +191,7 @@ proptest! {
             let expect = expect_per_rank[r].clone();
             sim.spawn(format!("r{r}"), move |ctx| {
                 for want in &expect {
-                    let got = ep.recv(ctx, 0);
+                    let got = ep.recv(ctx, 0).unwrap();
                     assert_eq!(&got, want, "rank {r} out-of-order or corrupt multicast");
                 }
             });

@@ -29,7 +29,7 @@ fn survivors_keep_full_delivery_during_bypass() {
     let mut rx = cluster.endpoint(3);
     sim.spawn("rx", move |ctx| {
         for seq in 0..100u32 {
-            let m = rx.recv(ctx, 0);
+            let m = rx.recv(ctx, 0).unwrap();
             assert_eq!(
                 u32::from_le_bytes(m.try_into().unwrap()),
                 seq,
@@ -76,12 +76,12 @@ fn rejoined_node_exchanges_fresh_traffic() {
     sim.spawn("a", move |ctx| {
         ctx.wait_until(ms(2)); // after the rejoin
         a.send(ctx, 1, b"welcome back").unwrap();
-        let m = a.recv(ctx, 1);
+        let m = a.recv(ctx, 1).unwrap();
         assert_eq!(m, b"thanks");
     });
     let mut b = cluster.endpoint(1);
     sim.spawn("b", move |ctx| {
-        let m = b.recv(ctx, 0);
+        let m = b.recv(ctx, 0).unwrap();
         assert_eq!(m, b"welcome back");
         b.send(ctx, 0, b"thanks").unwrap();
     });

@@ -44,12 +44,12 @@ fn bbp_ping_pong_across_leaf_rings() {
     sim.spawn("near", move |ctx| {
         let t0 = ctx.now();
         near.send(ctx, 5, b"across the bridge").unwrap();
-        let back = near.recv(ctx, 5);
+        let back = near.recv(ctx, 5).unwrap();
         assert_eq!(back, b"and back");
         *rtt2.lock() = ctx.now() - t0;
     });
     sim.spawn("far", move |ctx| {
-        let m = far.recv(ctx, 0);
+        let m = far.recv(ctx, 0).unwrap();
         assert_eq!(m, b"across the bridge");
         far.send(ctx, 0, b"and back").unwrap();
     });
@@ -86,7 +86,7 @@ fn bbp_multicast_spans_the_hierarchy() {
     });
     for (name, mut ep) in [("r1", r1), ("r3", r3), ("r5", r5)] {
         sim.spawn(name, move |ctx| {
-            assert_eq!(ep.recv(ctx, 0), b"hierarchy-wide");
+            assert_eq!(ep.recv(ctx, 0).unwrap(), b"hierarchy-wide");
         });
     }
     let report = sim.run();

@@ -24,7 +24,7 @@ fn broadcast_on_a_64_node_ring() {
     for r in 1..64 {
         let mut ep = cluster.endpoint(r);
         sim.spawn(format!("r{r}"), move |ctx| {
-            assert_eq!(ep.recv(ctx, 0), b"ring-wide");
+            assert_eq!(ep.recv(ctx, 0).unwrap(), b"ring-wide");
         });
     }
     let report = sim.run();
@@ -72,7 +72,7 @@ fn measured_mb_s(mode: TxMode) -> f64 {
     sim.spawn("rx", move |ctx| {
         let mut got = 0usize;
         while got < total_bytes {
-            got += rx.recv(ctx, 0).len();
+            got += rx.recv(ctx, 0).unwrap().len();
         }
         *done2.lock() = ctx.now();
     });
