@@ -127,6 +127,36 @@ impl ReliabilityConfig {
     }
 }
 
+/// The membership-and-failure-detection extension: each endpoint
+/// publishes a monotonic heartbeat in a single-writer word of its own
+/// partition, a timeout detector grades stale peers Alive → Suspected →
+/// Dead, and the lowest-ranked live node proposes epoch-stamped
+/// [`crate::MembershipView`]s that every survivor adopts and republishes
+/// through its own view words. `None` (the default) keeps the paper's
+/// layout and timing bit-for-bit — no heartbeat words exist and
+/// [`crate::BbpEndpoint::membership_tick`] is a no-op.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MembershipConfig {
+    /// Cadence of heartbeat-word publishes.
+    pub heartbeat_period_ns: Time,
+    /// Staleness after which a peer is Suspected (no failure action yet;
+    /// observable through `obs` for detection-latency studies).
+    pub suspect_after_ns: Time,
+    /// Staleness after which a peer is declared Dead: the coordinator
+    /// engages its bypass and proposes an epoch bump excluding it.
+    pub dead_after_ns: Time,
+}
+
+impl Default for MembershipConfig {
+    fn default() -> Self {
+        MembershipConfig {
+            heartbeat_period_ns: 20_000, // 20 µs: a handful of ring transits
+            suspect_after_ns: 200_000,   // 10 missed heartbeats
+            dead_after_ns: 600_000,      // 30 missed heartbeats
+        }
+    }
+}
+
 /// Full protocol configuration. [`BbpConfig::for_nodes`] gives the
 /// paper-calibrated default for a given cluster size.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -148,6 +178,9 @@ pub struct BbpConfig {
     /// no checksums, no retries, no timeouts — and no layout or timing
     /// changes, preserving the calibrated latencies).
     pub reliability: Option<ReliabilityConfig>,
+    /// The membership extension (`None` = no heartbeat region in the
+    /// layout, no detector — the paper's billboard bit-for-bit).
+    pub membership: Option<MembershipConfig>,
 }
 
 impl BbpConfig {
@@ -162,6 +195,7 @@ impl BbpConfig {
             recv_mode: RecvMode::Polling,
             gc_policy: GcPolicy::FifoRing,
             reliability: None,
+            membership: None,
         }
     }
 
@@ -170,6 +204,15 @@ impl BbpConfig {
     pub fn reliable_for_nodes(nprocs: usize) -> Self {
         let mut config = Self::for_nodes(nprocs);
         config.reliability = Some(ReliabilityConfig::default());
+        config
+    }
+
+    /// [`BbpConfig::reliable_for_nodes`] with the default membership
+    /// extension on top: typed failures need reliability's liveness
+    /// checks, and detection needs heartbeats.
+    pub fn membership_for_nodes(nprocs: usize) -> Self {
+        let mut config = Self::reliable_for_nodes(nprocs);
+        config.membership = Some(MembershipConfig::default());
         config
     }
 
@@ -186,6 +229,22 @@ impl BbpConfig {
             assert!(rel.ack_timeout_ns > 0, "ack timeout cannot be zero");
             assert!(rel.recv_timeout_ns > 0, "recv timeout cannot be zero");
             assert!(rel.backoff_factor >= 1, "backoff factor must be ≥ 1");
+        }
+        if let Some(m) = &self.membership {
+            assert!(
+                self.reliability.is_some(),
+                "membership requires the reliability extension (typed failures \
+                 and the sequence/ACK machinery degraded mode depends on)"
+            );
+            assert!(
+                self.nprocs <= 32,
+                "membership packs alive_mask into one 32-bit view word"
+            );
+            assert!(m.heartbeat_period_ns > 0, "heartbeat period cannot be zero");
+            assert!(
+                m.heartbeat_period_ns < m.suspect_after_ns && m.suspect_after_ns < m.dead_after_ns,
+                "membership thresholds must satisfy period < suspect < dead"
+            );
         }
     }
 
@@ -259,6 +318,27 @@ mod tests {
     fn zero_backoff_factor_rejected() {
         let mut c = BbpConfig::reliable_for_nodes(2);
         c.reliability.as_mut().unwrap().backoff_factor = 0;
+        c.validate();
+    }
+
+    #[test]
+    fn membership_defaults_validate() {
+        let c = BbpConfig::membership_for_nodes(4);
+        assert!(c.reliability.is_some(), "membership builds on reliability");
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "alive_mask")]
+    fn membership_beyond_32_nodes_rejected() {
+        BbpConfig::membership_for_nodes(33).validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "period < suspect < dead")]
+    fn inverted_membership_thresholds_rejected() {
+        let mut c = BbpConfig::membership_for_nodes(4);
+        c.membership.as_mut().unwrap().suspect_after_ns = 1_000_000;
         c.validate();
     }
 }

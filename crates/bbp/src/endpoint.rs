@@ -8,9 +8,10 @@ use des::obs::Layer;
 use des::{ProcCtx, Signal};
 use scramnet::{Nic, Word};
 
-use crate::config::{BbpConfig, GcPolicy, RecvMode, ReliabilityConfig};
+use crate::config::{BbpConfig, GcPolicy, MembershipConfig, RecvMode, ReliabilityConfig};
 use crate::error::BbpError;
 use crate::layout::Layout;
+use crate::membership::{MembershipState, MembershipView, PeerHealth};
 
 /// Running counters for one endpoint (diagnostics and the ablation
 /// benches).
@@ -45,8 +46,26 @@ pub struct EndpointStats {
     /// Reliable mode: duplicate or phantom messages rejected by the
     /// sequence check.
     pub dup_drops: u64,
+    /// Reliable mode: the subset of `dup_drops` that were *not* the
+    /// immediate predecessor of the expected sequence — i.e. phantom
+    /// flag toggles resurrecting a stale descriptor rather than benign
+    /// duplicate deliveries.
+    pub phantom_rejects: u64,
     /// Reliable mode: blocking receives that returned a typed error.
     pub recv_timeouts: u64,
+    /// Reliable mode: buffers of retry-exhausted sends whose data space
+    /// was eagerly rolled back, once their quarantined descriptor slot
+    /// was also resolved and freed (see `docs/RELIABILITY.md`).
+    pub failed_slot_reclaims: u64,
+    /// Membership: heartbeat words published.
+    pub heartbeats: u64,
+    /// Membership: peers graded Suspected.
+    pub suspicions: u64,
+    /// Membership: peers graded Dead.
+    pub deaths: u64,
+    /// Membership: views this endpoint proposed or adopted (epoch
+    /// transitions observed locally).
+    pub epoch_bumps: u64,
 }
 
 /// One message buffer slot's sender-side state.
@@ -64,6 +83,12 @@ struct SlotState {
     seq: Word,
     /// Receivers that must acknowledge before reuse.
     targets: Vec<usize>,
+    /// The send exhausted its retries and its data space was rolled
+    /// back, but a late ACK toggle from a still-alive target could yet
+    /// land: the descriptor slot stays quarantined (busy, out of the
+    /// in-flight queue) until every unacknowledged target's expectation
+    /// is resolved by GC.
+    tainted: bool,
 }
 
 /// A message detected by a poll but not yet delivered to the application.
@@ -135,6 +160,8 @@ pub struct BbpEndpoint {
     recv_signal: Option<Signal>,
     /// Interrupt-mode wake-ups for ACKs (armed over our ACK flag block).
     ack_signal: Option<Signal>,
+    /// Membership engine state (`Some` iff `config.membership` is).
+    membership: Option<MembershipState>,
 
     stats: EndpointStats,
 }
@@ -171,6 +198,7 @@ impl BbpEndpoint {
             rr_cursor: 0,
             recv_signal,
             ack_signal,
+            membership: config.membership.as_ref().map(|_| MembershipState::new(n)),
             stats: EndpointStats::default(),
             config,
         }
@@ -263,6 +291,13 @@ impl BbpEndpoint {
         for &t in targets {
             if t >= self.n || t == self.rank {
                 return Err(BbpError::BadDestination { dst: t });
+            }
+            // With membership on, a peer our view already declared dead
+            // fails fast instead of burning the retry budget.
+            if let Some(st) = &self.membership {
+                if st.tracks[t].health == PeerHealth::Dead {
+                    return Err(BbpError::PeerDown { peer: t });
+                }
             }
         }
         if payload.len() > self.config.max_payload_bytes() {
@@ -388,26 +423,52 @@ impl BbpEndpoint {
                 timeout = timeout.saturating_mul(rel.backoff_factor);
             }
         }
-        // Budget exhausted. The slot stays in flight (its receivers never
-        // acknowledged), so its buffer is not reclaimed — the price of a
-        // failed transfer.
+        // Budget exhausted. Classify the failure, then eagerly roll the
+        // slot's data space back out of the allocator — a dead peer must
+        // not strand the partition behind an un-acknowledged buffer.
+        let mut failure = None;
         for &r in targets {
             let ack = self.nic.read_word(ctx, self.layout.ack_flag(self.rank, r));
             if ack & bit == self.ack_expect[r] & bit {
                 continue; // this target did acknowledge
             }
-            if !self.nic.peer_alive(r) {
-                return Err(BbpError::PeerDown { peer: r });
-            }
-            if nack_seen {
-                return Err(BbpError::Corrupt { peer: r });
-            }
-            return Err(BbpError::Timeout {
-                peer: r,
-                attempts: rel.max_retries + 1,
+            failure = Some(if !self.nic.peer_alive(r) {
+                BbpError::PeerDown { peer: r }
+            } else if nack_seen {
+                BbpError::Corrupt { peer: r }
+            } else {
+                BbpError::Timeout {
+                    peer: r,
+                    attempts: rel.max_retries + 1,
+                }
             });
+            break;
         }
-        Ok(()) // the last poll raced an ACK in: delivered after all
+        match failure {
+            None => Ok(()), // the last poll raced an ACK in: delivered after all
+            Some(err) => {
+                self.reclaim_failed(slot);
+                Err(err)
+            }
+        }
+    }
+
+    /// A send exhausted its retry budget: recover its resources. Reliable
+    /// sends serialize, so the failed slot is always the *newest*
+    /// allocation — popping it off the back of the in-flight queue and
+    /// (under [`GcPolicy::FifoRing`]) rolling the allocator head back to
+    /// its offset returns the data space immediately. The descriptor slot
+    /// itself stays quarantined (`tainted`, still busy) until GC resolves
+    /// every unacknowledged target: a late ACK toggle from a
+    /// slow-but-alive receiver must not be misread against a reused slot
+    /// bit.
+    fn reclaim_failed(&mut self, slot: usize) {
+        let popped = self.inflight.pop_back();
+        debug_assert_eq!(popped, Some(slot), "failed send is the newest allocation");
+        if self.config.gc_policy == GcPolicy::FifoRing {
+            self.data_head = self.slots[slot].data_off;
+        }
+        self.slots[slot].tainted = true;
     }
 
     /// Rewrite `slot`'s payload, descriptor, and MESSAGE flags at their
@@ -619,6 +680,40 @@ impl BbpEndpoint {
                     }
                 }
                 self.inflight = kept;
+            }
+        }
+        // Resolve quarantined slots from retry-exhausted sends: each
+        // unacknowledged target either delivered its late ACK (the toggle
+        // now matches) or is out of the ring and can never deliver it —
+        // in which case our expectation is resynced to the bank's current
+        // value (a bypassed source produces no further toggles). A fully
+        // resolved slot returns to the free pool; its data space was
+        // already rolled back by `reclaim_failed`.
+        for slot in 0..self.slots.len() {
+            if !self.slots[slot].tainted {
+                continue;
+            }
+            let bit = 1u32 << slot;
+            let mut resolved = true;
+            let targets = self.slots[slot].targets.clone();
+            for r in targets {
+                let word = self.nic.read_word(ctx, self.layout.ack_flag(self.rank, r));
+                if word & bit == self.ack_expect[r] & bit {
+                    continue; // late ACK landed (or this target had acked)
+                }
+                if !self.nic.peer_alive(r) {
+                    self.ack_expect[r] = (self.ack_expect[r] & !bit) | (word & bit);
+                    continue;
+                }
+                resolved = false;
+            }
+            if resolved {
+                self.slots[slot].tainted = false;
+                self.slots[slot].busy = false;
+                self.stats.failed_slot_reclaims += 1;
+                ctx.obs()
+                    .count(ctx.now(), self.rank as u32, "bbp.failed_slot_reclaims", 1);
+                freed += 1;
             }
         }
         ctx.obs()
@@ -1006,6 +1101,15 @@ impl BbpEndpoint {
             self.stats.dup_drops += 1;
             ctx.obs()
                 .count(ctx.now(), self.rank as u32, "bbp.dup_drops", 1);
+            // Anything other than the immediate predecessor (a benign
+            // duplicate redelivery of the message we just consumed) is a
+            // phantom: a corrupted or stale flag toggle resurrected an
+            // old-but-valid descriptor.
+            if delta != u32::MAX {
+                self.stats.phantom_rejects += 1;
+                ctx.obs()
+                    .count(ctx.now(), self.rank as u32, "bbp.phantom_rejects", 1);
+            }
             return None;
         }
         self.expected_seq[src] = seq.wrapping_add(1);
@@ -1060,6 +1164,387 @@ impl BbpEndpoint {
             self.last_drop_src = Some(src);
         }
         None
+    }
+
+    // ------------------------------------------------------------------
+    // Membership and failure detection
+    // ------------------------------------------------------------------
+
+    /// The membership view this endpoint currently holds, or `None` when
+    /// the membership extension is off.
+    pub fn membership_view(&self) -> Option<MembershipView> {
+        self.membership.as_ref().map(|st| st.view)
+    }
+
+    /// This endpoint's local grade for `peer` (`None` when the
+    /// membership extension is off).
+    pub fn peer_health(&self, peer: usize) -> Option<PeerHealth> {
+        assert!(peer < self.n, "rank {peer} out of range");
+        self.membership.as_ref().map(|st| st.tracks[peer].health)
+    }
+
+    /// One step of the membership engine: publish our heartbeat on
+    /// cadence, grade every peer's staleness, propose a new view if we
+    /// are the coordinator and our grading disagrees with the view we
+    /// hold, and adopt any strictly newer view that still contains us.
+    ///
+    /// Call this from the application's progress loop (the `smpi` device
+    /// folds it into its receive path). With the extension off this is a
+    /// **complete no-op** — it touches neither virtual time nor the
+    /// trace, preserving the paper-mode golden traces bit-for-bit.
+    pub fn membership_tick(&mut self, ctx: &mut ProcCtx) {
+        let Some(mut st) = self.membership.take() else {
+            return;
+        };
+        let cfg = self
+            .config
+            .membership
+            .clone()
+            .expect("membership state implies membership config");
+        self.tick_inner(ctx, &mut st, &cfg);
+        self.membership = Some(st);
+    }
+
+    fn tick_inner(&mut self, ctx: &mut ProcCtx, st: &mut MembershipState, cfg: &MembershipConfig) {
+        // 1. Publish our heartbeat on cadence. The first publish also
+        //    announces incarnation 1 (one block write keeps both words in
+        //    a single packet train).
+        if ctx.now() >= st.next_hb_at {
+            st.hb_counter = st.hb_counter.wrapping_add(1);
+            if st.incarnation == 0 {
+                st.incarnation = 1;
+                self.nic.write_block(
+                    ctx,
+                    self.layout.hb_word(self.rank),
+                    &[st.hb_counter, st.incarnation],
+                );
+            } else {
+                self.nic
+                    .write_word(ctx, self.layout.hb_word(self.rank), st.hb_counter);
+            }
+            st.next_hb_at = ctx.now() + cfg.heartbeat_period_ns;
+            self.stats.heartbeats += 1;
+            ctx.obs()
+                .count(ctx.now(), self.rank as u32, "bbp.heartbeats", 1);
+        }
+        // 2. Scan every peer's member block (one PIO block read each) and
+        //    grade its heartbeat staleness against our local bank.
+        let mut peer_views: Vec<Option<(Word, Word)>> = vec![None; self.n];
+        for (r, view) in peer_views.iter_mut().enumerate() {
+            if r == self.rank {
+                continue;
+            }
+            let blk =
+                self.nic
+                    .read_block(ctx, self.layout.member_base(r), crate::layout::MEMBER_WORDS);
+            let (hb, inc) = (blk[0], blk[1]);
+            *view = Some((blk[2], blk[3]));
+            let t = &mut st.tracks[r];
+            if hb != t.hb || inc != t.incarnation {
+                if t.health == PeerHealth::Dead {
+                    // A dead peer announcing a fresh incarnation is
+                    // rejoining: grade it Alive so the coordinator's next
+                    // proposal readmits it. A bare heartbeat change while
+                    // Dead (a reboot that skipped the rejoin protocol) is
+                    // ignored.
+                    if inc != t.incarnation {
+                        t.health = PeerHealth::Alive;
+                    }
+                } else {
+                    t.health = PeerHealth::Alive; // Suspected → Alive recovery
+                }
+                t.hb = hb;
+                t.incarnation = inc;
+                t.last_change = ctx.now();
+            } else {
+                let stale = ctx.now().saturating_sub(t.last_change);
+                if t.health == PeerHealth::Alive && stale >= cfg.suspect_after_ns {
+                    t.health = PeerHealth::Suspected;
+                    self.stats.suspicions += 1;
+                    ctx.obs()
+                        .count(ctx.now(), self.rank as u32, "bbp.suspicions", 1);
+                    ctx.obs()
+                        .count(ctx.now(), self.rank as u32, "bbp.suspect_latency_ns", stale);
+                }
+                if t.health == PeerHealth::Suspected && stale >= cfg.dead_after_ns {
+                    t.health = PeerHealth::Dead;
+                    self.stats.deaths += 1;
+                    ctx.obs()
+                        .count(ctx.now(), self.rank as u32, "bbp.deaths", 1);
+                    ctx.obs()
+                        .count(ctx.now(), self.rank as u32, "bbp.death_latency_ns", stale);
+                }
+            }
+        }
+        // 3. Coordinator duty: the lowest rank we do not grade Dead. If
+        //    that is us and our grading disagrees with the view we hold,
+        //    propose the next epoch.
+        let coordinator = (0..self.n)
+            .find(|&r| r == self.rank || st.tracks[r].health != PeerHealth::Dead)
+            .expect("we never grade ourselves dead");
+        if coordinator == self.rank {
+            let mut desired: Word = 0;
+            for r in 0..self.n {
+                if r == self.rank || st.tracks[r].health != PeerHealth::Dead {
+                    desired |= 1 << r;
+                }
+            }
+            if desired != st.view.alive_mask {
+                let epoch = st.view.epoch + 1;
+                self.apply_view(
+                    ctx,
+                    st,
+                    MembershipView {
+                        epoch,
+                        alive_mask: desired,
+                    },
+                );
+            }
+        }
+        // 4. Adoption: a strictly newer view from a peer we do not grade
+        //    Dead, still containing us, supersedes ours (highest epoch
+        //    wins — epochs only increase, so everyone converges).
+        let mut best: Option<MembershipView> = None;
+        for (r, view) in peer_views.iter().enumerate() {
+            let Some((epoch, mask)) = *view else {
+                continue;
+            };
+            if st.tracks[r].health == PeerHealth::Dead {
+                continue;
+            }
+            if epoch > st.view.epoch
+                && mask & (1 << self.rank) != 0
+                && best.is_none_or(|b| epoch > b.epoch)
+            {
+                best = Some(MembershipView {
+                    epoch,
+                    alive_mask: mask,
+                });
+            }
+        }
+        if let Some(v) = best {
+            self.apply_view(ctx, st, v);
+        }
+    }
+
+    /// Install `view` (an epoch strictly past the one we hold): reset
+    /// pairwise protocol state toward newly admitted members *before*
+    /// publishing the epoch through our own view words — per-source FIFO
+    /// replication then guarantees every peer that sees our echo also
+    /// sees our zeroed flag words — then grade newly removed members
+    /// Dead and engage their ring bypass, detection's effect on the
+    /// hardware (the ring heals around the dead node's hop).
+    fn apply_view(&mut self, ctx: &mut ProcCtx, st: &mut MembershipState, view: MembershipView) {
+        debug_assert!(view.epoch > st.view.epoch);
+        let admitted = view.alive_mask & !st.view.alive_mask;
+        let removed = st.view.alive_mask & !view.alive_mask;
+        for r in 0..self.n {
+            if r != self.rank && admitted & (1 << r) != 0 {
+                self.reset_pairwise(ctx, r);
+                st.tracks[r].health = PeerHealth::Alive;
+                st.tracks[r].last_change = ctx.now();
+            }
+        }
+        st.view = view;
+        self.nic.write_block(
+            ctx,
+            self.layout.view_epoch_word(self.rank),
+            &[view.epoch, view.alive_mask],
+        );
+        for r in 0..self.n {
+            if r != self.rank && removed & (1 << r) != 0 {
+                st.tracks[r].health = PeerHealth::Dead;
+                self.nic.engage_bypass(r);
+            }
+        }
+        self.stats.epoch_bumps += 1;
+        ctx.obs()
+            .count(ctx.now(), self.rank as u32, "bbp.epoch_bumps", 1);
+    }
+
+    /// Zero every word we own in `peer`'s flag blocks and every local
+    /// shadow of `peer`'s toggles, restarting the pairwise channel from
+    /// the all-zero state a rejoining peer re-initialized on its side.
+    /// In-flight sends that were waiting on this peer resolve through
+    /// the zeroed expectations on the next GC sweep.
+    fn reset_pairwise(&mut self, ctx: &mut ProcCtx, peer: usize) {
+        self.out_msg_flags[peer] = 0;
+        self.nic
+            .write_word(ctx, self.layout.msg_flag(peer, self.rank), 0);
+        self.out_ack_flags[peer] = 0;
+        self.nic
+            .write_word(ctx, self.layout.ack_flag(peer, self.rank), 0);
+        if self.config.reliability.is_some() {
+            self.out_nack_flags[peer] = 0;
+            self.nic
+                .write_word(ctx, self.layout.nack_flag(peer, self.rank), 0);
+            self.nack_shadow[peer] = 0;
+            self.expected_seq[peer] = 0;
+        }
+        self.ack_expect[peer] = 0;
+        self.shadow_msg[peer] = 0;
+        self.ext_seq_hi[peer] = 0;
+        self.pending[peer].clear();
+    }
+
+    /// Rejoin the cluster after this node was declared dead.
+    ///
+    /// Call on a **fresh endpoint** for the same rank — the crashed
+    /// process's protocol state is gone, and endpoint construction does no
+    /// PIO, so the replacement can be minted before the node even fails.
+    /// The sequence leans entirely on SCRAMNet's per-source FIFO
+    /// replication:
+    ///
+    /// 1. reinsert our NIC into the ring (undoing the bypass the
+    ///    detector engaged),
+    /// 2. zero every word we own in every peer's flag blocks — survivors
+    ///    see these *before* anything we write later,
+    /// 3. publish a fresh member block: heartbeat 1, an incarnation past
+    ///    whatever our bank last saw (the rejoin announcement), view
+    ///    epoch/mask 0 (we hold no view until readmitted),
+    /// 4. keep heartbeating while waiting for every member of a view
+    ///    that contains us to publish the same `{epoch, alive_mask}`,
+    ///    then adopt and republish it.
+    ///
+    /// Returns the adopted view, or [`BbpError::Timeout`] if no
+    /// readmission converged within `wait_ns`.
+    pub fn rejoin(
+        &mut self,
+        ctx: &mut ProcCtx,
+        wait_ns: des::Time,
+    ) -> Result<MembershipView, BbpError> {
+        let cfg = self
+            .config
+            .membership
+            .clone()
+            .expect("rejoin requires the membership extension");
+        let mut st = self
+            .membership
+            .take()
+            .expect("membership config implies membership state");
+        let result = self.rejoin_inner(ctx, &mut st, &cfg, wait_ns);
+        self.membership = Some(st);
+        result
+    }
+
+    fn rejoin_inner(
+        &mut self,
+        ctx: &mut ProcCtx,
+        st: &mut MembershipState,
+        cfg: &MembershipConfig,
+        wait_ns: des::Time,
+    ) -> Result<MembershipView, BbpError> {
+        self.nic.reinsert_self();
+        // Re-initialize our side of every pairwise channel, and all local
+        // protocol state with it (a fresh endpoint is zeroed already;
+        // zeroing the *bank* words is what matters to the survivors).
+        for r in 0..self.n {
+            if r != self.rank {
+                self.reset_pairwise(ctx, r);
+            }
+        }
+        self.slots
+            .iter_mut()
+            .for_each(|s| *s = SlotState::default());
+        self.inflight.clear();
+        self.data_head = 0;
+        self.next_seq = 0;
+        // Announce the rejoin: a new incarnation, written after the
+        // zeroed flag words so per-source FIFO shows every survivor a
+        // clean channel before the announcement that makes it look.
+        let prev_inc = self
+            .nic
+            .read_word(ctx, self.layout.incarnation_word(self.rank));
+        st.hb_counter = 1;
+        st.incarnation = prev_inc.wrapping_add(1).max(1);
+        st.view = MembershipView {
+            epoch: 0,
+            alive_mask: 0,
+        };
+        self.nic.write_block(
+            ctx,
+            self.layout.member_base(self.rank),
+            &[st.hb_counter, st.incarnation, 0, 0],
+        );
+        st.next_hb_at = ctx.now() + cfg.heartbeat_period_ns;
+        self.stats.heartbeats += 1;
+        ctx.obs()
+            .count(ctx.now(), self.rank as u32, "bbp.heartbeats", 1);
+        // Wait for readmission: a view containing us, echoed identically
+        // by every *other* member it names (their echoes FIFO-follow
+        // their pairwise resets toward us, so traffic can start the
+        // moment we adopt).
+        let deadline = ctx.now().saturating_add(wait_ns);
+        loop {
+            let mut candidate: Option<MembershipView> = None;
+            for r in 0..self.n {
+                if r == self.rank {
+                    continue;
+                }
+                let vw = self.nic.read_block(ctx, self.layout.view_epoch_word(r), 2);
+                let (epoch, mask) = (vw[0], vw[1]);
+                if mask & (1 << self.rank) != 0
+                    && epoch > 0
+                    && candidate.is_none_or(|c| epoch > c.epoch)
+                {
+                    candidate = Some(MembershipView {
+                        epoch,
+                        alive_mask: mask,
+                    });
+                }
+            }
+            if let Some(v) = candidate {
+                let mut echoed_by_all = true;
+                for r in 0..self.n {
+                    if r == self.rank || v.alive_mask & (1 << r) == 0 {
+                        continue;
+                    }
+                    let vw = self.nic.read_block(ctx, self.layout.view_epoch_word(r), 2);
+                    if vw[0] != v.epoch || vw[1] != v.alive_mask {
+                        echoed_by_all = false;
+                        break;
+                    }
+                }
+                if echoed_by_all {
+                    st.view = v;
+                    self.nic.write_block(
+                        ctx,
+                        self.layout.view_epoch_word(self.rank),
+                        &[v.epoch, v.alive_mask],
+                    );
+                    for r in 0..self.n {
+                        if r == self.rank {
+                            continue;
+                        }
+                        st.tracks[r].health = if v.is_alive(r) {
+                            PeerHealth::Alive
+                        } else {
+                            PeerHealth::Dead
+                        };
+                        st.tracks[r].last_change = ctx.now();
+                    }
+                    self.stats.epoch_bumps += 1;
+                    ctx.obs()
+                        .count(ctx.now(), self.rank as u32, "bbp.epoch_bumps", 1);
+                    return Ok(v);
+                }
+            }
+            if ctx.now() >= deadline {
+                let peer = (0..self.n).find(|&r| r != self.rank).unwrap_or(0);
+                return Err(BbpError::Timeout { peer, attempts: 0 });
+            }
+            // Keep heartbeating so the survivors' detectors see us.
+            if ctx.now() >= st.next_hb_at {
+                st.hb_counter = st.hb_counter.wrapping_add(1);
+                self.nic
+                    .write_word(ctx, self.layout.hb_word(self.rank), st.hb_counter);
+                st.next_hb_at = ctx.now() + cfg.heartbeat_period_ns;
+                self.stats.heartbeats += 1;
+                ctx.obs()
+                    .count(ctx.now(), self.rank as u32, "bbp.heartbeats", 1);
+            }
+            ctx.advance(cfg.heartbeat_period_ns / 2 + 1);
+        }
     }
 }
 

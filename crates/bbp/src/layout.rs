@@ -16,6 +16,12 @@ pub const DESC_WORDS: usize = 3;
 /// single-writer discipline.
 pub const RELIABLE_DESC_WORDS: usize = 4;
 
+/// Words in the per-partition membership block (membership mode only):
+/// `[heartbeat, incarnation, view_epoch, view_mask]`, all written only
+/// by the partition's owner — heartbeats and view adoption ride the same
+/// single-writer discipline as the flags.
+pub const MEMBER_WORDS: usize = 4;
+
 /// Computes word addresses for a given configuration.
 ///
 /// Partition `p` (one per process) is laid out as:
@@ -28,6 +34,9 @@ pub const RELIABLE_DESC_WORDS: usize = 4;
 /// +-----------------------------+
 /// | NACK flag words [n]         |  word r written ONLY by process r
 /// |   (reliable mode only)      |
+/// +-----------------------------+
+/// | membership block [4]        |  heartbeat/incarnation/view_epoch/
+/// |   (membership mode only)    |  view_mask, written ONLY by p
 /// +-----------------------------+
 /// | descriptors [bufs][3 or 4]  |  written ONLY by p
 /// +-----------------------------+
@@ -43,6 +52,8 @@ pub struct Layout {
     desc_words: usize,
     /// Whether the NACK flag block exists.
     reliable: bool,
+    /// Whether the membership block exists.
+    membership: bool,
 }
 
 impl Layout {
@@ -60,6 +71,7 @@ impl Layout {
                 DESC_WORDS
             },
             reliable,
+            membership: config.membership.is_some(),
         }
     }
 
@@ -73,6 +85,16 @@ impl Layout {
         }
     }
 
+    /// Words the membership block occupies (0 when membership is off —
+    /// the paper's layout byte-for-byte).
+    fn member_words(&self) -> usize {
+        if self.membership {
+            MEMBER_WORDS
+        } else {
+            0
+        }
+    }
+
     /// Words per buffer descriptor in this layout.
     pub fn desc_words(&self) -> usize {
         self.desc_words
@@ -80,7 +102,10 @@ impl Layout {
 
     /// Words in one process partition.
     pub fn partition_words(&self) -> usize {
-        self.flag_blocks() * self.nprocs + self.bufs * self.desc_words + self.data_words
+        self.flag_blocks() * self.nprocs
+            + self.member_words()
+            + self.bufs * self.desc_words
+            + self.data_words
     }
 
     /// Total shared-memory words required.
@@ -117,15 +142,51 @@ impl Layout {
         self.partition_base(p) + 2 * self.nprocs + r
     }
 
+    /// Base of `p`'s membership block (membership mode only). The block
+    /// is `[heartbeat, incarnation, view_epoch, view_mask]`, written only
+    /// by `p`.
+    pub fn member_base(&self, p: usize) -> WordAddr {
+        debug_assert!(self.membership, "membership block exists only when enabled");
+        self.partition_base(p) + self.flag_blocks() * self.nprocs
+    }
+
+    /// `p`'s heartbeat word: a monotonic counter only `p` advances.
+    pub fn hb_word(&self, p: usize) -> WordAddr {
+        self.member_base(p)
+    }
+
+    /// `p`'s incarnation word: bumped once per (re)join, so survivors can
+    /// tell a rebooted host from a stale heartbeat resuming.
+    pub fn incarnation_word(&self, p: usize) -> WordAddr {
+        self.member_base(p) + 1
+    }
+
+    /// `p`'s published view epoch (its single-writer "ack" of the
+    /// coordinator's proposal).
+    pub fn view_epoch_word(&self, p: usize) -> WordAddr {
+        self.member_base(p) + 2
+    }
+
+    /// `p`'s published alive mask, paired with [`Layout::view_epoch_word`].
+    pub fn view_mask_word(&self, p: usize) -> WordAddr {
+        self.member_base(p) + 3
+    }
+
     /// First word of descriptor `b` in `p`'s partition. Written only by `p`.
     pub fn descriptor(&self, p: usize, b: usize) -> WordAddr {
         debug_assert!(b < self.bufs);
-        self.partition_base(p) + self.flag_blocks() * self.nprocs + b * self.desc_words
+        self.partition_base(p)
+            + self.flag_blocks() * self.nprocs
+            + self.member_words()
+            + b * self.desc_words
     }
 
     /// Base of `p`'s data partition. Written only by `p`.
     pub fn data_base(&self, p: usize) -> WordAddr {
-        self.partition_base(p) + self.flag_blocks() * self.nprocs + self.bufs * self.desc_words
+        self.partition_base(p)
+            + self.flag_blocks() * self.nprocs
+            + self.member_words()
+            + self.bufs * self.desc_words
     }
 
     /// Words in each data partition.
@@ -159,9 +220,13 @@ mod tests {
         Layout::new(&BbpConfig::reliable_for_nodes(n))
     }
 
+    fn membership_layout(n: usize) -> Layout {
+        Layout::new(&BbpConfig::membership_for_nodes(n))
+    }
+
     #[test]
     fn regions_within_a_partition_do_not_overlap() {
-        for l in [layout(4), reliable_layout(4)] {
+        for l in [layout(4), reliable_layout(4), membership_layout(4)] {
             for p in 0..4 {
                 let base = l.partition_base(p);
                 let msg_end = l.msg_flag(p, 3) + 1;
@@ -172,18 +237,42 @@ mod tests {
                 let data_start = l.data_base(p);
                 assert_eq!(l.msg_flag(p, 0), base);
                 assert_eq!(msg_end, ack_start);
-                if l.reliable {
+                let after_flags = if l.reliable {
                     let nack_start = l.nack_flag(p, 0);
                     let nack_end = l.nack_flag(p, 3) + 1;
                     assert_eq!(ack_end, nack_start);
-                    assert_eq!(nack_end, desc_start);
+                    nack_end
                 } else {
-                    assert_eq!(ack_end, desc_start);
+                    ack_end
+                };
+                if l.membership {
+                    assert_eq!(l.member_base(p), after_flags);
+                    assert_eq!(l.view_mask_word(p) + 1, desc_start);
+                } else {
+                    assert_eq!(after_flags, desc_start);
                 }
                 assert_eq!(desc_end, data_start);
                 assert_eq!(data_start + l.data_words(), base + l.partition_words());
             }
         }
+    }
+
+    #[test]
+    fn membership_off_layout_is_byte_identical_to_reliable() {
+        // `membership: None` must keep every address the calibrated runs
+        // and golden traces depend on.
+        let plain = reliable_layout(4);
+        let mut cfg = BbpConfig::reliable_for_nodes(4);
+        cfg.membership = None;
+        let off = Layout::new(&cfg);
+        assert_eq!(off.partition_words(), plain.partition_words());
+        for p in 0..4 {
+            assert_eq!(off.descriptor(p, 0), plain.descriptor(p, 0));
+            assert_eq!(off.data_base(p), plain.data_base(p));
+        }
+        // And turning it on only inserts the 4-word block.
+        let on = membership_layout(4);
+        assert_eq!(on.partition_words(), plain.partition_words() + MEMBER_WORDS);
     }
 
     #[test]
@@ -195,7 +284,7 @@ mod tests {
 
     #[test]
     fn partitions_tile_the_memory_exactly() {
-        for l in [layout(5), reliable_layout(5)] {
+        for l in [layout(5), reliable_layout(5), membership_layout(5)] {
             for p in 0..4 {
                 assert_eq!(
                     l.partition_base(p) + l.partition_words(),
@@ -213,7 +302,7 @@ mod tests {
         // reliability extension's CRC word and NACK flags must not break
         // the discipline).
         let n = 4;
-        for l in [layout(n), reliable_layout(n)] {
+        for l in [layout(n), reliable_layout(n), membership_layout(n)] {
             let mut writer = vec![None::<usize>; l.total_words()];
             let mut claim = |addr: usize, w: usize| {
                 assert!(
@@ -233,6 +322,11 @@ mod tests {
                 if l.reliable {
                     for r in 0..n {
                         claim(l.nack_flag(p, r), r);
+                    }
+                }
+                if l.membership {
+                    for w in 0..MEMBER_WORDS {
+                        claim(l.member_base(p) + w, p);
                     }
                 }
                 for b in 0..l.bufs {

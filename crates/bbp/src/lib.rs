@@ -71,6 +71,7 @@ mod crc;
 mod endpoint;
 mod error;
 mod layout;
+mod membership;
 
 pub use cluster::BbpCluster;
 
@@ -78,7 +79,8 @@ pub use cluster::BbpCluster;
 pub fn layout_desc_words() -> usize {
     layout::DESC_WORDS
 }
-pub use config::{BbpConfig, GcPolicy, RecvMode, ReliabilityConfig, SwCosts};
+pub use config::{BbpConfig, GcPolicy, MembershipConfig, RecvMode, ReliabilityConfig, SwCosts};
 pub use endpoint::{BbpEndpoint, EndpointStats};
 pub use error::BbpError;
-pub use layout::{Layout, DESC_WORDS, RELIABLE_DESC_WORDS};
+pub use layout::{Layout, DESC_WORDS, MEMBER_WORDS, RELIABLE_DESC_WORDS};
+pub use membership::{MembershipView, PeerHealth};

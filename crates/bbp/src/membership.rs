@@ -1,0 +1,151 @@
+//! Membership and failure detection on the billboard.
+//!
+//! Each endpoint owns a four-word *member block* in its control partition
+//! ([`crate::MEMBER_WORDS`]): a monotonic heartbeat counter, an
+//! incarnation number, and an epoch-stamped membership view (epoch +
+//! alive mask). All four are single-writer words, so the detector needs
+//! no coordination beyond SCRAMNet's replication itself:
+//!
+//! * every node publishes its heartbeat on a configurable cadence
+//!   ([`crate::MembershipConfig::heartbeat_period_ns`]),
+//! * every node grades every peer Alive → Suspected → Dead from the
+//!   staleness of that peer's heartbeat word in its *local* bank,
+//! * the lowest-ranked node that is not locally Dead acts as
+//!   coordinator: when its graded liveness disagrees with the current
+//!   view it bumps the epoch and publishes `{epoch, alive_mask}` through
+//!   its own view words,
+//! * everyone else adopts any strictly newer view that still contains
+//!   them, republishing it through their own view words — acknowledgement
+//!   by single-writer echo.
+//!
+//! Epochs only ever increase and every node adopts the highest epoch it
+//! sees, so survivors converge on identical `{epoch, alive_mask}` pairs
+//! even across coordinator failure (the next-lowest survivor proposes
+//! the following epoch). The types here are the data model; the engine
+//! lives in [`crate::BbpEndpoint::membership_tick`] and
+//! [`crate::BbpEndpoint::rejoin`].
+
+use des::Time;
+use scramnet::Word;
+
+/// An epoch-stamped membership view: which ranks the cluster currently
+/// believes are alive. Two nodes holding the same `epoch` hold the same
+/// `alive_mask` (views are only ever published whole, epochs only ever
+/// increase, and adopters echo the pair verbatim).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MembershipView {
+    /// Strictly increasing view number; bumped by the coordinator on
+    /// every membership change.
+    pub epoch: Word,
+    /// Bit `r` set ⇔ rank `r` is a member of this view.
+    pub alive_mask: Word,
+}
+
+impl MembershipView {
+    /// Is `rank` a member of this view?
+    pub fn is_alive(&self, rank: usize) -> bool {
+        rank < 32 && self.alive_mask & (1 << rank) != 0
+    }
+
+    /// Number of members in this view.
+    pub fn live_count(&self) -> usize {
+        self.alive_mask.count_ones() as usize
+    }
+
+    /// The member ranks, ascending.
+    pub fn live_ranks(&self) -> Vec<usize> {
+        (0..32).filter(|&r| self.is_alive(r)).collect()
+    }
+}
+
+/// The detector's local grade for one peer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PeerHealth {
+    /// Heartbeat fresh (or the peer has not been stale long enough).
+    #[default]
+    Alive,
+    /// Heartbeat stale past `suspect_after_ns`: no action taken yet,
+    /// but the suspicion (and its latency) is observable through `obs`.
+    Suspected,
+    /// Heartbeat stale past `dead_after_ns`: the coordinator engages the
+    /// peer's ring bypass and proposes an epoch excluding it.
+    Dead,
+}
+
+/// Per-peer detector shadow state.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct PeerTrack {
+    /// Last heartbeat value seen in our bank.
+    pub hb: Word,
+    /// Last incarnation value seen (a change while Dead is a rejoin).
+    pub incarnation: Word,
+    /// Virtual time the heartbeat or incarnation last changed.
+    pub last_change: Time,
+    /// Current local grade.
+    pub health: PeerHealth,
+}
+
+/// The per-endpoint membership engine state.
+#[derive(Debug, Clone)]
+pub(crate) struct MembershipState {
+    /// Our own monotonic heartbeat counter (next publish writes +1).
+    pub hb_counter: Word,
+    /// Our incarnation: 0 until the first heartbeat publish, then ≥ 1;
+    /// a rejoin bumps it past whatever the bank last saw.
+    pub incarnation: Word,
+    /// Virtual time of the next due heartbeat publish.
+    pub next_hb_at: Time,
+    /// The view we currently hold (and have republished).
+    pub view: MembershipView,
+    /// Detector state per peer (our own slot is unused).
+    pub tracks: Vec<PeerTrack>,
+}
+
+impl MembershipState {
+    /// Initial state for a cluster of `n`: epoch 0, everyone a member,
+    /// everyone graded Alive as of t = 0.
+    pub fn new(n: usize) -> Self {
+        debug_assert!(n <= 32);
+        let alive_mask = if n == 32 { u32::MAX } else { (1u32 << n) - 1 };
+        MembershipState {
+            hb_counter: 0,
+            incarnation: 0,
+            next_hb_at: 0,
+            view: MembershipView {
+                epoch: 0,
+                alive_mask,
+            },
+            tracks: vec![PeerTrack::default(); n],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn view_membership_queries() {
+        let v = MembershipView {
+            epoch: 3,
+            alive_mask: 0b1011,
+        };
+        assert!(v.is_alive(0));
+        assert!(v.is_alive(1));
+        assert!(!v.is_alive(2));
+        assert!(v.is_alive(3));
+        assert!(!v.is_alive(31));
+        assert_eq!(v.live_count(), 3);
+        assert_eq!(v.live_ranks(), vec![0, 1, 3]);
+    }
+
+    #[test]
+    fn initial_state_has_everyone_alive_at_epoch_zero() {
+        let st = MembershipState::new(4);
+        assert_eq!(st.view.epoch, 0);
+        assert_eq!(st.view.alive_mask, 0b1111);
+        assert_eq!(st.incarnation, 0, "incarnation published on first tick");
+        assert!(st.tracks.iter().all(|t| t.health == PeerHealth::Alive));
+        assert_eq!(MembershipState::new(32).view.alive_mask, u32::MAX);
+    }
+}

@@ -1,0 +1,492 @@
+//! The chaos soak: a deterministic (scenario × seed) campaign over a
+//! 4-node membership-enabled ring, driving kill, stall, kill+rejoin and
+//! double-kill schedules through the [`FaultPlan`] DSL while a survivor
+//! traffic stream runs underneath. Every cell checks the membership
+//! contract:
+//!
+//! > survivors' traffic is delivered in order, byte-identical; every
+//! > epoch transition is observed identically on every continuously
+//! > live node; the cluster converges to the expected
+//! > `{epoch, alive_mask}`; a rejoined node exchanges verified traffic
+//! > in the new epoch.
+//!
+//! The run writes a JSON report with per-cell outcomes and
+//! detection-latency percentiles to `$CHAOS_SOAK_REPORT` (defaulting to
+//! `$CARGO_TARGET_TMPDIR/chaos_soak.json`). A violation fails the test
+//! with the exact filter environment reproducing the single cell:
+//!
+//! ```text
+//! CHAOS_KIND=double_kill CHAOS_SEED=7 \
+//!     cargo test -p bbp --test chaos_soak -- --nocapture
+//! ```
+
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+use bbp::{BbpCluster, BbpConfig, MembershipView};
+use des::{ms, us, Simulation, Time};
+use parking_lot::Mutex;
+use scramnet::fault::FOREVER;
+use scramnet::{CostModel, FaultPlan};
+
+const NODES: usize = 4;
+const SEEDS: [u64; 3] = [1, 7, 42];
+/// Stream messages per cell.
+const MSGS: u32 = 40;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ChaosKind {
+    /// Rank 3 crashes (host dead, NIC still inserted) and never returns.
+    Kill,
+    /// Rank 3's NIC stalls for 300 µs — long enough to be Suspected,
+    /// short of the dead threshold: no epoch change anywhere.
+    Stall,
+    /// Rank 3 crashes, reboots, and drives the full rejoin protocol.
+    KillRejoin,
+    /// Ranks 0 and 3 crash 50 µs apart — rank 0 is the coordinator, so
+    /// rank 1 must take over proposing.
+    DoubleKill,
+}
+
+const KINDS: [ChaosKind; 4] = [
+    ChaosKind::Kill,
+    ChaosKind::Stall,
+    ChaosKind::KillRejoin,
+    ChaosKind::DoubleKill,
+];
+
+impl ChaosKind {
+    fn name(self) -> &'static str {
+        match self {
+            ChaosKind::Kill => "kill",
+            ChaosKind::Stall => "stall",
+            ChaosKind::KillRejoin => "kill_rejoin",
+            ChaosKind::DoubleKill => "double_kill",
+        }
+    }
+
+    /// Ranks whose host stops executing, with their crash times.
+    fn victims(self, onset: Time) -> Vec<(usize, Time)> {
+        match self {
+            ChaosKind::Kill | ChaosKind::KillRejoin => vec![(3, onset)],
+            ChaosKind::Stall => vec![],
+            ChaosKind::DoubleKill => vec![(0, onset), (3, onset + us(50))],
+        }
+    }
+
+    /// The survivor stream's (sender, receiver) ranks.
+    fn stream(self) -> (usize, usize) {
+        match self {
+            ChaosKind::DoubleKill => (1, 2),
+            _ => (0, 1),
+        }
+    }
+
+    fn expected_mask(self) -> u32 {
+        match self {
+            ChaosKind::Kill => 0b0111,
+            ChaosKind::Stall | ChaosKind::KillRejoin => 0b1111,
+            ChaosKind::DoubleKill => 0b0110,
+        }
+    }
+
+    fn plan(self, seed: u64, onset: Time, reboot_after: Time) -> FaultPlan {
+        let plan = FaultPlan::new(seed);
+        match self {
+            ChaosKind::Kill => plan.at(onset).kill_node(3, FOREVER),
+            ChaosKind::Stall => plan.at(onset).stall_node(3, us(300)),
+            ChaosKind::KillRejoin => plan.at(onset).kill_node(3, reboot_after),
+            ChaosKind::DoubleKill => plan
+                .at(onset)
+                .kill_node(0, FOREVER)
+                .at(onset + us(50))
+                .kill_node(3, FOREVER),
+        }
+    }
+}
+
+/// Deterministic stream payload: index word + seeded fill.
+fn payload(index: u32, seed: u64) -> Vec<u8> {
+    let mut p = vec![0u8; 32];
+    p[..4].copy_from_slice(&index.to_le_bytes());
+    for (j, b) in p[4..].iter_mut().enumerate() {
+        *b = (index as u8)
+            .wrapping_mul(37)
+            .wrapping_add(seed as u8)
+            .wrapping_add(j as u8);
+    }
+    p
+}
+
+struct CellOutcome {
+    kind: ChaosKind,
+    seed: u64,
+    scenario: String,
+    /// Per-rank final `{epoch, alive_mask}` (None for dead ranks).
+    final_views: Vec<Option<MembershipView>>,
+    /// Convergence latency: last continuous survivor's first epoch
+    /// transition minus the first kill onset (kill kinds only).
+    detect_ns: Option<u64>,
+    sent_ok: u32,
+    delivered: u32,
+    violations: Vec<String>,
+}
+
+impl CellOutcome {
+    fn repro(&self) -> String {
+        format!(
+            "CHAOS_KIND={} CHAOS_SEED={} cargo test -p bbp --test chaos_soak -- --nocapture",
+            self.kind.name(),
+            self.seed
+        )
+    }
+
+    fn to_json(&self) -> String {
+        let views = self
+            .final_views
+            .iter()
+            .map(|v| match v {
+                Some(v) => format!(r#"{{"epoch":{},"mask":{}}}"#, v.epoch, v.alive_mask),
+                None => "null".into(),
+            })
+            .collect::<Vec<_>>()
+            .join(",");
+        format!(
+            r#"{{"kind":"{}","seed":{},"scenario":"{}","final_views":[{}],"detect_ns":{},"sent_ok":{},"delivered":{},"violations":[{}],"repro":"{}"}}"#,
+            self.kind.name(),
+            self.seed,
+            self.scenario,
+            views,
+            self.detect_ns.map_or("null".into(), |d| d.to_string()),
+            self.sent_ok,
+            self.delivered,
+            self.violations
+                .iter()
+                .map(|v| format!("\"{}\"", v.replace('"', "'")))
+                .collect::<Vec<_>>()
+                .join(","),
+            self.repro()
+        )
+    }
+}
+
+type History = Vec<(Time, MembershipView)>;
+
+/// Record a view transition (idempotent per distinct view).
+fn record(histories: &Mutex<Vec<History>>, rank: usize, now: Time, v: MembershipView) {
+    let mut h = histories.lock();
+    if h[rank].last().map(|(_, last)| *last) != Some(v) {
+        h[rank].push((now, v));
+    }
+}
+
+fn run_cell(kind: ChaosKind, seed: u64) -> CellOutcome {
+    let onset = us(100 + (seed % 7) * 30);
+    let reboot_after = us(1_300);
+    let end = ms(4);
+    let (snd, rcv) = kind.stream();
+    let victims = kind.victims(onset);
+
+    let plan = kind.plan(seed, onset, reboot_after);
+    let mut sim = Simulation::new();
+    let cluster = BbpCluster::with_hardware(
+        &sim.handle(),
+        BbpConfig::membership_for_nodes(NODES),
+        CostModel::default(),
+        plan.ring_config(),
+    );
+    plan.arm(cluster.ring());
+
+    let histories: Arc<Mutex<Vec<History>>> = Arc::new(Mutex::new(vec![Vec::new(); NODES]));
+    let finals: Arc<Mutex<Vec<Option<MembershipView>>>> = Arc::new(Mutex::new(vec![None; NODES]));
+    let violations: Arc<Mutex<Vec<String>>> = Arc::new(Mutex::new(Vec::new()));
+    let sent_ok = Arc::new(Mutex::new(0u32));
+    let delivered = Arc::new(Mutex::new(0u32));
+    let rejoin_traffic_ok = Arc::new(Mutex::new(kind != ChaosKind::KillRejoin));
+
+    for rank in 0..NODES {
+        let mut ep = cluster.endpoint(rank);
+        let histories = Arc::clone(&histories);
+        let finals = Arc::clone(&finals);
+        let violations = Arc::clone(&violations);
+        let sent_ok = Arc::clone(&sent_ok);
+        let delivered = Arc::clone(&delivered);
+        let crash_at = victims.iter().find(|(v, _)| *v == rank).map(|(_, t)| *t);
+        sim.spawn(format!("n{rank}"), move |ctx| {
+            let mut next_send = us(20);
+            let mut msg_i = 0u32;
+            let mut greeted = false;
+            loop {
+                if let Some(t) = crash_at {
+                    if ctx.now() >= t {
+                        return; // the host is dead; nothing more executes
+                    }
+                }
+                if ctx.now() >= end {
+                    break;
+                }
+                ep.membership_tick(ctx);
+                record(&histories, rank, ctx.now(), ep.membership_view().unwrap());
+                if rank == snd && msg_i < MSGS && ctx.now() >= next_send {
+                    match ep.send(ctx, rcv, &payload(msg_i, seed)) {
+                        Ok(()) => *sent_ok.lock() += 1,
+                        Err(e) => violations
+                            .lock()
+                            .push(format!("survivor send {msg_i} failed: {e}")),
+                    }
+                    msg_i += 1;
+                    next_send += us(50);
+                }
+                if rank == rcv {
+                    if let Some(bytes) = ep.try_recv(ctx, snd) {
+                        let d = *delivered.lock();
+                        if bytes != payload(d, seed) {
+                            violations
+                                .lock()
+                                .push(format!("stream delivery {d} mangled or out of order"));
+                        }
+                        *delivered.lock() += 1;
+                    }
+                }
+                // The rejoined node greets rank 2; rank 2 answers. Both
+                // sides prove post-rejoin traffic flows in the new epoch.
+                if kind == ChaosKind::KillRejoin && rank == 2 && !greeted {
+                    if let Some(bytes) = ep.try_recv(ctx, 3) {
+                        if bytes == b"fresh incarnation" {
+                            greeted = true;
+                            if let Err(e) = ep.send(ctx, 3, b"good as new") {
+                                violations
+                                    .lock()
+                                    .push(format!("reply to rejoiner failed: {e}"));
+                            }
+                        } else {
+                            violations.lock().push("rejoin greeting mangled".into());
+                        }
+                    }
+                }
+                ctx.advance(us(10));
+            }
+            finals.lock()[rank] = ep.membership_view();
+        });
+    }
+
+    // The replacement incarnation for a kill+rejoin cell: a fresh
+    // endpoint for rank 3, booting shortly after the scheduled reboot.
+    if kind == ChaosKind::KillRejoin {
+        let mut reborn = cluster.endpoint(3);
+        let histories = Arc::clone(&histories);
+        let finals = Arc::clone(&finals);
+        let violations = Arc::clone(&violations);
+        let rejoin_traffic_ok = Arc::clone(&rejoin_traffic_ok);
+        sim.spawn("n3-reborn", move |ctx| {
+            ctx.wait_until(onset + reboot_after + us(20));
+            match reborn.rejoin(ctx, ms(2)) {
+                Ok(view) => record(&histories, 3, ctx.now(), view),
+                Err(e) => {
+                    violations.lock().push(format!("rejoin failed: {e}"));
+                    return;
+                }
+            }
+            let sent = reborn.send(ctx, 2, b"fresh incarnation");
+            let reply = reborn.recv(ctx, 2);
+            if sent.is_ok() && reply.as_ref().is_ok_and(|r| r == b"good as new") {
+                *rejoin_traffic_ok.lock() = true;
+            } else {
+                violations.lock().push(format!(
+                    "rejoiner traffic failed: send {sent:?}, reply {reply:?}"
+                ));
+            }
+            while ctx.now() < end {
+                reborn.membership_tick(ctx);
+                record(&histories, 3, ctx.now(), reborn.membership_view().unwrap());
+                ctx.advance(us(10));
+            }
+            finals.lock()[3] = reborn.membership_view();
+        });
+    }
+
+    let report = sim.run();
+
+    let mut cell = CellOutcome {
+        kind,
+        seed,
+        scenario: plan.describe(),
+        final_views: finals.lock().clone(),
+        detect_ns: None,
+        sent_ok: *sent_ok.lock(),
+        delivered: *delivered.lock(),
+        violations: violations.lock().clone(),
+    };
+    if !report.is_clean() {
+        cell.violations
+            .push(format!("simulation deadlocked: {:?}", report.deadlocked));
+    }
+
+    // Stream invariant: every send confirmed and delivered in order,
+    // byte-identical (mangling/reorder was flagged at receipt).
+    if cell.sent_ok != MSGS {
+        cell.violations.push(format!(
+            "only {}/{MSGS} survivor sends confirmed",
+            cell.sent_ok
+        ));
+    }
+    if cell.delivered != MSGS {
+        cell.violations.push(format!(
+            "only {}/{MSGS} stream messages delivered",
+            cell.delivered
+        ));
+    }
+    if !*rejoin_traffic_ok.lock() {
+        cell.violations
+            .push("rejoined node exchanged no verified traffic".into());
+    }
+
+    // Membership invariant: every continuously-live node observed the
+    // exact same sequence of views, and everyone still holding a view at
+    // the end converged on the expected one.
+    let continuous: Vec<usize> = (0..NODES)
+        .filter(|r| !victims.iter().any(|(v, _)| v == r))
+        .collect();
+    let h = histories.lock();
+    let reference: Vec<MembershipView> = h[continuous[0]].iter().map(|(_, v)| *v).collect();
+    for &r in &continuous[1..] {
+        let got: Vec<MembershipView> = h[r].iter().map(|(_, v)| *v).collect();
+        if got != reference {
+            cell.violations.push(format!(
+                "rank {r} observed views {got:?} but rank {} observed {reference:?}",
+                continuous[0]
+            ));
+        }
+    }
+    let expect_mask = kind.expected_mask();
+    let finals = cell.final_views.clone();
+    let mut final_epoch = None;
+    for (r, f) in finals.iter().enumerate() {
+        let Some(v) = *f else { continue };
+        if v.alive_mask != expect_mask {
+            cell.violations.push(format!(
+                "rank {r} ended on alive_mask {:#06b}, expected {expect_mask:#06b}",
+                v.alive_mask
+            ));
+        }
+        if let Some(e) = final_epoch {
+            if v.epoch != e {
+                cell.violations
+                    .push(format!("rank {r} ended on epoch {} != {e}", v.epoch));
+            }
+        } else {
+            final_epoch = Some(v.epoch);
+        }
+    }
+    match kind {
+        ChaosKind::Stall => {
+            if final_epoch != Some(0) {
+                cell.violations
+                    .push("a stall must not bump the epoch".into());
+            }
+        }
+        _ => {
+            if final_epoch == Some(0) {
+                cell.violations.push("no epoch transition happened".into());
+            }
+        }
+    }
+
+    // Detection latency: the last continuous survivor's first epoch
+    // transition, measured from the first kill.
+    if kind != ChaosKind::Stall {
+        cell.detect_ns = continuous
+            .iter()
+            .filter_map(|&r| h[r].iter().find(|(_, v)| v.epoch > 0).map(|(t, _)| *t))
+            .max()
+            .map(|t| t.saturating_sub(onset));
+    }
+    cell
+}
+
+fn percentile(sorted: &[u64], p: usize) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    sorted[(sorted.len() - 1) * p / 100]
+}
+
+fn report_path() -> String {
+    std::env::var("CHAOS_SOAK_REPORT")
+        .unwrap_or_else(|_| format!("{}/chaos_soak.json", env!("CARGO_TARGET_TMPDIR")))
+}
+
+#[test]
+fn chaos_soak_converges_and_preserves_survivor_traffic() {
+    let kind_filter = std::env::var("CHAOS_KIND").ok();
+    let seed_filter = std::env::var("CHAOS_SEED").ok().map(|s| {
+        s.parse::<u64>()
+            .expect("CHAOS_SEED must be an unsigned integer")
+    });
+
+    let mut cells = Vec::new();
+    for kind in KINDS {
+        if kind_filter.as_deref().is_some_and(|f| f != kind.name()) {
+            continue;
+        }
+        for seed in SEEDS {
+            if seed_filter.is_some_and(|f| f != seed) {
+                continue;
+            }
+            cells.push(run_cell(kind, seed));
+        }
+    }
+    assert!(
+        !cells.is_empty(),
+        "the CHAOS_KIND/CHAOS_SEED filters matched no cell"
+    );
+
+    let mut detects: Vec<u64> = cells.iter().filter_map(|c| c.detect_ns).collect();
+    detects.sort_unstable();
+    let violating: Vec<&CellOutcome> = cells.iter().filter(|c| !c.violations.is_empty()).collect();
+
+    let mut json = String::from("{\"cells\":[\n");
+    json.push_str(
+        &cells
+            .iter()
+            .map(CellOutcome::to_json)
+            .collect::<Vec<_>>()
+            .join(",\n"),
+    );
+    write!(
+        json,
+        "\n],\"detection_latency_ns\":{{\"p50\":{},\"p90\":{},\"max\":{}}},\"total\":{},\"violations\":{}}}\n",
+        percentile(&detects, 50),
+        percentile(&detects, 90),
+        percentile(&detects, 100),
+        cells.len(),
+        violating.len()
+    )
+    .unwrap();
+    let path = report_path();
+    std::fs::write(&path, &json).unwrap_or_else(|e| panic!("cannot write report {path}: {e}"));
+    println!(
+        "chaos soak: {} cells, {} violating; detection p50 {} µs, p90 {} µs; report at {path}",
+        cells.len(),
+        violating.len(),
+        percentile(&detects, 50) / 1_000,
+        percentile(&detects, 90) / 1_000,
+    );
+
+    if !violating.is_empty() {
+        let mut msg = String::from("chaos-soak contract violations:\n");
+        for c in violating {
+            for v in &c.violations {
+                writeln!(
+                    msg,
+                    "  [{} seed={}] {v}\n    repro: {}",
+                    c.kind.name(),
+                    c.seed,
+                    c.repro()
+                )
+                .unwrap();
+            }
+        }
+        panic!("{msg}");
+    }
+}

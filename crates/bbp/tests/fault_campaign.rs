@@ -118,6 +118,10 @@ struct CellResult {
     send_errors: Vec<(u32, String)>,
     delivered: Vec<u32>,
     recv_errors: Vec<String>,
+    /// Receiver-side phantom flag toggles rejected by the sequence layer
+    /// (exercised deliberately in the corrupt cells — see the poke in
+    /// `run_cell`).
+    phantom_rejects: u64,
     violations: Vec<String>,
 }
 
@@ -136,7 +140,7 @@ impl CellResult {
         let mut s = String::new();
         write!(
             s,
-            r#"{{"kind":"{}","seed":{},"size":{},"scenario":"{}","sent_ok":{},"send_errors":{},"delivered":{},"recv_errors":{},"violations":[{}],"repro":"{}"}}"#,
+            r#"{{"kind":"{}","seed":{},"size":{},"scenario":"{}","sent_ok":{},"send_errors":{},"delivered":{},"recv_errors":{},"phantom_rejects":{},"violations":[{}],"repro":"{}"}}"#,
             self.kind.name(),
             self.seed,
             self.size,
@@ -145,6 +149,7 @@ impl CellResult {
             self.send_errors.len(),
             self.delivered.len(),
             self.recv_errors.len(),
+            self.phantom_rejects,
             self.violations
                 .iter()
                 .map(|v| format!("\"{}\"", v.replace('"', "'")))
@@ -182,12 +187,43 @@ fn run_cell(kind: FaultKind, seed: u64, size: usize) -> CellResult {
         }
     });
 
+    // In the corrupt cells, poke the receiver's MESSAGE flag word from
+    // the sender's ring identity at fixed times: a single-bit toggle of
+    // slot 0's flag resurrects its stale — but CRC-clean — descriptor.
+    // The sequence layer must reject the phantom, and the receiver's
+    // `phantom_rejects` counter must see it (asserted campaign-wide
+    // below). The flag word, not the descriptor, is poked: in-flight
+    // descriptor corruption is the corrupt fault's own job.
+    let poke = kind == FaultKind::Corrupt;
+    if poke {
+        let addr = bbp::Layout::new(cluster.config()).msg_flag(RECEIVER, SENDER);
+        for t in [us(700), us(1_000), us(1_300)] {
+            let ring = cluster.ring().clone();
+            sim.handle().schedule_at(t, move |_| {
+                let cur = ring.snapshot(RECEIVER)[addr];
+                ring.source_packet(SENDER, t, addr, Arc::new(vec![cur ^ 1]));
+            });
+        }
+    }
+
     let mut rx = cluster.endpoint(RECEIVER);
     let r2 = Arc::clone(&recvs);
+    let rx_stats: Arc<Mutex<bbp::EndpointStats>> = Arc::new(Mutex::new(Default::default()));
+    let st2 = Arc::clone(&rx_stats);
     sim.spawn("receiver", move |ctx| {
         for _ in 0..K {
             r2.lock().push(rx.recv(ctx, SENDER));
         }
+        // Poked cells: keep polling past the pokes so the phantom
+        // toggles are actually observed (and any repaired stragglers
+        // still land in the delivery record).
+        while poke && ctx.now() < us(1_600) {
+            if let Some(bytes) = rx.try_recv(ctx, SENDER) {
+                r2.lock().push(Ok(bytes));
+            }
+            ctx.advance(us(5));
+        }
+        *st2.lock() = rx.stats().clone();
     });
 
     // Idle processes on the bystander ranks would deadlock-flag the
@@ -203,6 +239,7 @@ fn run_cell(kind: FaultKind, seed: u64, size: usize) -> CellResult {
         send_errors: Vec::new(),
         delivered: Vec::new(),
         recv_errors: Vec::new(),
+        phantom_rejects: rx_stats.lock().phantom_rejects,
         violations: Vec::new(),
     };
 
@@ -356,6 +393,21 @@ fn fault_matrix_holds_the_reliability_invariant() {
         cells.len(),
         violating.len()
     );
+
+    // The deliberate flag pokes in the corrupt cells must exercise the
+    // phantom-rejection path (only meaningful over the full matrix — a
+    // filtered single cell may legitimately see none).
+    if kind_filter.is_none() && seed_filter.is_none() && size_filter.is_none() {
+        let phantoms: u64 = cells
+            .iter()
+            .filter(|c| c.kind == FaultKind::Corrupt)
+            .map(|c| c.phantom_rejects)
+            .sum();
+        assert!(
+            phantoms > 0,
+            "corrupt cells never hit the phantom-reject path — the poke is broken"
+        );
+    }
 
     if !violating.is_empty() {
         let mut msg = String::from("fault-campaign invariant violations:\n");

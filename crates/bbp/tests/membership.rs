@@ -1,0 +1,269 @@
+//! Integration tests of the membership-and-failure-detection extension:
+//! heartbeat-driven detection, deterministic view agreement, the
+//! detection → bypass effect chain, and the full rejoin protocol.
+//! The multi-seed kill/stall/rejoin campaign lives in `chaos_soak.rs`;
+//! these are the focused single-scenario checks.
+
+use std::sync::Arc;
+
+use bbp::{BbpCluster, BbpConfig, MembershipView, PeerHealth};
+use des::{ms, us, Simulation};
+use parking_lot::Mutex;
+
+const NODES: usize = 4;
+
+/// Run a survivor's progress loop: membership ticks every `step` until
+/// `end`, recording every view transition it observes.
+fn survivor_loop(
+    ep: &mut bbp::BbpEndpoint,
+    ctx: &mut des::ProcCtx,
+    end: des::Time,
+    step: des::Time,
+    history: &Mutex<Vec<Vec<MembershipView>>>,
+) {
+    let rank = ep.rank();
+    loop {
+        ep.membership_tick(ctx);
+        let v = ep.membership_view().expect("membership is on");
+        {
+            let mut h = history.lock();
+            if h[rank].last() != Some(&v) {
+                h[rank].push(v);
+            }
+        }
+        if ctx.now() >= end {
+            break;
+        }
+        ctx.advance(step);
+    }
+}
+
+#[test]
+fn silenced_node_is_detected_and_survivors_converge() {
+    let mut sim = Simulation::new();
+    let config = BbpConfig::membership_for_nodes(NODES);
+    let c = BbpCluster::new(&sim.handle(), config);
+    let ring = c.ring().clone();
+    let kill_at = us(100);
+    {
+        let r = ring.clone();
+        sim.handle()
+            .schedule_at(kill_at, move |_| r.silence_node(3));
+    }
+    let history = Arc::new(Mutex::new(vec![Vec::new(); NODES]));
+    // The victim ticks until the crash, then stops executing.
+    let mut victim = c.endpoint(3);
+    sim.spawn("n3", move |ctx| {
+        while ctx.now() < kill_at {
+            victim.membership_tick(ctx);
+            ctx.advance(us(10));
+        }
+    });
+    let end = ms(2);
+    let final_views = Arc::new(Mutex::new(vec![None; NODES]));
+    for rank in 0..3 {
+        let mut ep = c.endpoint(rank);
+        let history = Arc::clone(&history);
+        let finals = Arc::clone(&final_views);
+        sim.spawn(format!("n{rank}"), move |ctx| {
+            survivor_loop(&mut ep, ctx, end, us(10), &history);
+            finals.lock()[rank] = Some((ep.membership_view().unwrap(), ep.peer_health(3).unwrap()));
+        });
+    }
+    let report = sim.run();
+    assert!(report.is_clean(), "deadlocked: {:?}", report.deadlocked);
+    let finals = final_views.lock();
+    for rank in 0..3 {
+        let (view, health) = finals[rank].expect("survivor finished");
+        assert_eq!(
+            view,
+            MembershipView {
+                epoch: 1,
+                alive_mask: 0b0111
+            },
+            "survivor {rank} converged on the post-kill view"
+        );
+        assert_eq!(health, PeerHealth::Dead);
+    }
+    // Every survivor observed the same transition sequence...
+    let h = history.lock();
+    assert_eq!(h[0], h[1]);
+    assert_eq!(h[1], h[2]);
+    assert_eq!(h[0].len(), 2, "epoch 0 then epoch 1, nothing else");
+    // ...and detection's hardware effect: the dead node's hop is bypassed
+    // (the ring healed), which no one asked for directly — it is an
+    // effect of the failure detector declaring it dead.
+    assert!(ring.is_bypassed(3));
+}
+
+#[test]
+fn frozen_heartbeats_suspect_but_do_not_kill() {
+    // A node that stops publishing for a window between suspect_after and
+    // dead_after is Suspected by everyone (observable, no action) and
+    // recovers to Alive once its heartbeats resume: no epoch bump, no
+    // bypass, anywhere — including from the frozen node's own view.
+    let mut sim = Simulation::new();
+    let config = BbpConfig::membership_for_nodes(NODES);
+    let c = BbpCluster::new(&sim.handle(), config);
+    let ring = c.ring().clone();
+    let end = ms(2);
+    let suspicions = Arc::new(Mutex::new(0u64));
+    // Rank 3 freezes (stops ticking) during [100 µs, 400 µs): a 300 µs
+    // silence, past suspect_after (200 µs) but short of dead_after (600 µs).
+    let mut frozen = c.endpoint(3);
+    sim.spawn("n3", move |ctx| {
+        loop {
+            if ctx.now() >= end {
+                break;
+            }
+            if ctx.now() >= us(100) && ctx.now() < us(400) {
+                ctx.advance(us(10));
+                continue;
+            }
+            frozen.membership_tick(ctx);
+            ctx.advance(us(10));
+        }
+        assert_eq!(frozen.membership_view().unwrap().epoch, 0);
+    });
+    for rank in 0..3 {
+        let mut ep = c.endpoint(rank);
+        let suspicions = Arc::clone(&suspicions);
+        sim.spawn(format!("n{rank}"), move |ctx| {
+            while ctx.now() < end {
+                ep.membership_tick(ctx);
+                ctx.advance(us(10));
+            }
+            *suspicions.lock() += ep.stats().suspicions;
+            assert_eq!(ep.stats().deaths, 0, "rank {rank} must not declare death");
+            assert_eq!(ep.stats().epoch_bumps, 0);
+            assert_eq!(
+                ep.membership_view().unwrap(),
+                MembershipView {
+                    epoch: 0,
+                    alive_mask: 0b1111
+                }
+            );
+            assert_eq!(ep.peer_health(3).unwrap(), PeerHealth::Alive, "recovered");
+        });
+    }
+    let report = sim.run();
+    assert!(report.is_clean(), "deadlocked: {:?}", report.deadlocked);
+    assert!(
+        *suspicions.lock() >= 3,
+        "every survivor suspected the frozen node"
+    );
+    assert!(!ring.is_bypassed(3), "suspicion takes no hardware action");
+}
+
+#[test]
+fn killed_node_rejoins_in_a_new_epoch_and_exchanges_traffic() {
+    let mut sim = Simulation::new();
+    let config = BbpConfig::membership_for_nodes(NODES);
+    let c = BbpCluster::new(&sim.handle(), config);
+    let ring = c.ring().clone();
+    let kill_at = us(100);
+    let reboot_at = us(1_500);
+    {
+        let r = ring.clone();
+        sim.handle()
+            .schedule_at(kill_at, move |_| r.silence_node(3));
+    }
+    {
+        let r = ring.clone();
+        sim.handle()
+            .schedule_at(reboot_at, move |_| r.unsilence_node(3));
+    }
+    let end = ms(4);
+    // The crashed incarnation.
+    let mut victim = c.endpoint(3);
+    sim.spawn("n3", move |ctx| {
+        while ctx.now() < kill_at {
+            victim.membership_tick(ctx);
+            ctx.advance(us(10));
+        }
+    });
+    // The replacement incarnation: a fresh endpoint for the same rank
+    // (minted ahead of time — BbpEndpoint::new does no PIO), booting
+    // after the reboot and driving the rejoin protocol.
+    let mut reborn = c.endpoint(3);
+    let rejoin_view = Arc::new(Mutex::new(None));
+    let rv = Arc::clone(&rejoin_view);
+    sim.spawn("n3-reborn", move |ctx| {
+        ctx.wait_until(reboot_at + us(10));
+        let view = reborn.rejoin(ctx, ms(2)).expect("readmission converges");
+        *rv.lock() = Some(view);
+        // Verified traffic in the new epoch, both directions.
+        reborn.send(ctx, 0, b"back from the dead").unwrap();
+        assert_eq!(reborn.recv(ctx, 0).unwrap(), b"welcome back");
+        // Keep heartbeating, or the detector will (correctly) kill this
+        // incarnation too.
+        while ctx.now() < end {
+            reborn.membership_tick(ctx);
+            ctx.advance(us(10));
+        }
+        assert_eq!(reborn.membership_view().unwrap().epoch, 2);
+    });
+    // Rank 0 (the coordinator) runs the progress loop, answers the
+    // rejoiner's message, and keeps ticking to the end.
+    let mut ep0 = c.endpoint(0);
+    sim.spawn("n0", move |ctx| {
+        let mut greeted = false;
+        while ctx.now() < end {
+            ep0.membership_tick(ctx);
+            if let Some(msg) = ep0.try_recv(ctx, 3) {
+                assert_eq!(msg, b"back from the dead");
+                assert!(!greeted, "delivered exactly once");
+                greeted = true;
+                ep0.send(ctx, 3, b"welcome back").unwrap();
+            }
+            ctx.advance(us(10));
+        }
+        assert!(greeted, "the rejoiner's message arrived");
+        assert_eq!(
+            ep0.membership_view().unwrap(),
+            MembershipView {
+                epoch: 2,
+                alive_mask: 0b1111
+            },
+            "kill bumped to epoch 1, readmission to epoch 2"
+        );
+    });
+    for rank in 1..3 {
+        let mut ep = c.endpoint(rank);
+        sim.spawn(format!("n{rank}"), move |ctx| {
+            while ctx.now() < end {
+                ep.membership_tick(ctx);
+                ctx.advance(us(10));
+            }
+            assert_eq!(
+                ep.membership_view().unwrap(),
+                MembershipView {
+                    epoch: 2,
+                    alive_mask: 0b1111
+                }
+            );
+            assert_eq!(ep.peer_health(3).unwrap(), PeerHealth::Alive);
+        });
+    }
+    let report = sim.run();
+    assert!(report.is_clean(), "deadlocked: {:?}", report.deadlocked);
+    let view = rejoin_view.lock().expect("rejoin completed");
+    assert_eq!(view.alive_mask, 0b1111);
+    assert_eq!(view.epoch, 2);
+    assert!(!ring.is_bypassed(3), "rejoin reinserted the node's hop");
+}
+
+#[test]
+fn membership_off_touches_neither_time_nor_state() {
+    let mut sim = Simulation::new();
+    let c = BbpCluster::new(&sim.handle(), BbpConfig::reliable_for_nodes(2));
+    let mut a = c.endpoint(0);
+    sim.spawn("a", move |ctx| {
+        let t0 = ctx.now();
+        a.membership_tick(ctx);
+        assert_eq!(ctx.now(), t0, "tick must be a complete no-op");
+        assert_eq!(a.membership_view(), None);
+        assert_eq!(a.peer_health(1), None);
+    });
+    assert!(sim.run().is_clean());
+}

@@ -89,6 +89,52 @@ fn send_to_a_bypassed_node_reports_peer_down() {
 }
 
 #[test]
+fn failed_sends_no_longer_strand_the_partition() {
+    // A dead peer used to pin every retry-exhausted buffer forever (the
+    // documented limitation in docs/RELIABILITY.md): the slot stayed in
+    // flight and the FIFO ring could never advance past it. Now the data
+    // space is rolled back as soon as the send fails, and the quarantined
+    // descriptor slot is resolved by GC once the peer is seen bypassed.
+    let mut sim = Simulation::new();
+    let mut cfg = BbpConfig::for_nodes(3);
+    cfg.reliability = Some(ReliabilityConfig {
+        // Generous enough for a 240-byte round trip to a live peer, short
+        // enough that two exhausted budgets stay under a millisecond.
+        ack_timeout_ns: 100_000,
+        max_retries: 1,
+        ..Default::default()
+    });
+    cfg.bufs_per_proc = 2;
+    cfg.data_words = 64;
+    let c = BbpCluster::new(&sim.handle(), cfg);
+    let ring = c.ring();
+    let mut a = c.endpoint(0);
+    ring.bypass_node(1);
+    sim.spawn("a", move |ctx| {
+        // 60 of 64 data words per failed send: without the rollback the
+        // second send could not even allocate, and the send to the live
+        // peer would be wedged behind both.
+        let payload = [0x5Au8; 240];
+        for _ in 0..2 {
+            let err = a.send(ctx, 1, &payload).unwrap_err();
+            assert_eq!(err, BbpError::PeerDown { peer: 1 });
+        }
+        // Both descriptor slots are quarantined; this allocation forces a
+        // GC sweep, which resolves them against the bypassed peer and
+        // recovers the space.
+        a.send(ctx, 2, &payload).unwrap();
+        assert_eq!(a.stats().failed_slot_reclaims, 2);
+        assert_eq!(a.stats().sends, 1);
+    });
+    let mut b = c.endpoint(2);
+    sim.spawn("b", move |ctx| {
+        assert_eq!(b.recv(ctx, 0).unwrap(), [0x5Au8; 240]);
+    });
+    let report = sim.run();
+    assert!(report.is_clean(), "deadlocked: {:?}", report.deadlocked);
+}
+
+#[test]
 fn recv_times_out_when_nothing_arrives() {
     let mut sim = Simulation::new();
     let c = reliable_cluster(&sim, 2, ReliabilityConfig::default());

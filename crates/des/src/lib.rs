@@ -56,7 +56,6 @@ mod sched;
 mod signal;
 mod sim;
 mod time;
-mod trace;
 
 pub mod metrics;
 pub mod queue;
@@ -67,7 +66,10 @@ pub use sched::SimHandle;
 pub use signal::Signal;
 pub use sim::{RunReport, Simulation};
 pub use time::{ms, ns, secs, us, Time, TimeExt};
-pub use trace::{TraceEntry, TraceKind};
+// The scheduler trace types live in `obs` (they are one event kind in
+// the cross-layer observability log); re-export them so determinism
+// tooling can keep writing `des::{TraceEntry, TraceKind}`.
+pub use obs::{TraceEntry, TraceKind};
 
 // Re-export the observability crate so downstream layers can instrument
 // (`des::obs::Layer`, …) without declaring their own dependency.

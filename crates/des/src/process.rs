@@ -10,7 +10,7 @@ use parking_lot::{Condvar, Mutex};
 use crate::sched::{SchedShared, SimHandle, WakeWhat};
 use crate::signal::Signal;
 use crate::time::Time;
-use crate::trace::{TraceEntry, TraceKind};
+use obs::{TraceEntry, TraceKind};
 
 /// Identifies a process within one [`crate::Simulation`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]

@@ -18,7 +18,7 @@ use crate::pq::FourAryHeap;
 use crate::process::ProcId;
 use crate::signal::Signal;
 use crate::time::Time;
-use crate::trace::{TraceEntry, TraceKind};
+use obs::{TraceEntry, TraceKind};
 
 /// What a queue entry wakes up.
 pub(crate) enum WakeWhat {

@@ -8,7 +8,7 @@ use parking_lot::Mutex;
 use crate::process::{spawn_process, ProcCtx, ProcEntry, ProcId, Slot, YieldReason};
 use crate::sched::{SchedShared, SimHandle, WakeWhat};
 use crate::time::Time;
-use crate::trace::{TraceEntry, TraceKind};
+use obs::{TraceEntry, TraceKind};
 
 /// Outcome of [`Simulation::run`].
 #[derive(Debug, Clone)]

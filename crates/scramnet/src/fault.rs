@@ -43,6 +43,12 @@ enum Action {
     /// Sever egress link `link → link+1` for `dur`; in-flight packets
     /// are truncated at the break.
     BreakLink { link: usize, dur: Time },
+    /// Crash a node's host for `dur`: its NIC stays inserted (full hop
+    /// latency, bank keeps receiving) but it injects nothing and looks
+    /// alive to the hardware — the silent failure only a heartbeat
+    /// detector can expose. After `dur` the host reboots (un-silenced);
+    /// protocol-level rejoin is up to the layers above.
+    KillNode { node: usize, dur: Time },
 }
 
 impl Action {
@@ -61,6 +67,12 @@ impl Action {
             }
             Action::BreakLink { link, dur } => {
                 write!(out, "break_link({link},{dur})").unwrap();
+            }
+            Action::KillNode { node, dur } if dur == FOREVER => {
+                write!(out, "kill_node({node},forever)").unwrap();
+            }
+            Action::KillNode { node, dur } => {
+                write!(out, "kill_node({node},{dur})").unwrap();
             }
         }
     }
@@ -167,6 +179,14 @@ impl FaultPlan {
                         handle.schedule_at(t.saturating_add(dur), move |_| r.heal_link(link));
                     }
                 }
+                Action::KillNode { node, dur } => {
+                    let r = ring.clone();
+                    handle.schedule_at(t, move |_| r.silence_node(node));
+                    if dur != FOREVER {
+                        let r = ring.clone();
+                        handle.schedule_at(t.saturating_add(dur), move |_| r.unsilence_node(node));
+                    }
+                }
             }
         }
     }
@@ -207,6 +227,12 @@ impl FaultAt {
     /// healed).
     pub fn break_link(self, link: usize, dur: Time) -> FaultPlan {
         self.push(Action::BreakLink { link, dur })
+    }
+
+    /// Crash `node`'s host for `dur` ([`FOREVER`] = never reboots). The
+    /// NIC stays inserted — only a failure detector can tell.
+    pub fn kill_node(self, node: usize, dur: Time) -> FaultPlan {
+        self.push(Action::KillNode { node, dur })
     }
 }
 
@@ -264,6 +290,34 @@ mod tests {
         assert_eq!(snap[0], 0, "stalled bank missed the write");
         assert_eq!(snap[1], 8, "rejoined bank sees traffic again");
         assert!(!ring.is_bypassed(1));
+    }
+
+    #[test]
+    fn kill_window_silences_then_reboots() {
+        let plan = FaultPlan::new(4).at(us(5)).kill_node(0, us(10));
+        let mut sim = Simulation::new();
+        let ring = Ring::with_config(
+            &sim.handle(),
+            3,
+            64,
+            CostModel::default(),
+            plan.ring_config(),
+        );
+        plan.arm(&ring);
+        let nic = ring.nic(0);
+        sim.spawn("w", move |ctx| {
+            ctx.wait_until(us(8)); // inside the kill window
+            nic.write_word(ctx, 0, 7);
+            assert!(nic.peer_alive(0), "silence is invisible to hardware");
+            ctx.wait_until(us(30)); // after the reboot
+            nic.write_word(ctx, 1, 8);
+        });
+        sim.run();
+        let snap = ring.snapshot(1);
+        assert_eq!(snap[0], 0, "killed host's write never replicated");
+        assert_eq!(snap[1], 8, "rebooted host injects again");
+        assert!(!ring.is_silenced(0));
+        assert_eq!(ring.stats().silenced_drops, 1);
     }
 
     #[test]

@@ -184,6 +184,24 @@ impl Nic {
         self.shared.node_in_ring(peer)
     }
 
+    /// Switch `peer`'s insertion register out of the ring from this host
+    /// — the failure detector's declare-dead action. From here on the
+    /// ring heals past `peer` (hop latency drops to `bypass_hop_ns`) and
+    /// [`Nic::peer_alive`] reports it down. Idempotent; a rejoining peer
+    /// undoes it with [`Nic::reinsert_self`].
+    pub fn engage_bypass(&self, peer: usize) {
+        assert!(peer < self.shared.n, "node {peer} out of range");
+        self.shared.set_bypassed(peer, true);
+    }
+
+    /// Re-insert this host's own NIC into the ring — the first step of a
+    /// rejoin after the survivors bypassed it. The bank missed all
+    /// traffic while switched out; higher layers must re-initialize
+    /// their protocol state before trusting it.
+    pub fn reinsert_self(&self) {
+        self.shared.set_bypassed(self.node, false);
+    }
+
     /// Subscribe `signal` to replicated writes landing anywhere in
     /// `range` of this node's bank (SCRAMNet interrupt-on-write). The
     /// notification is delayed by the interrupt dispatch cost.

@@ -162,6 +162,12 @@ pub(crate) struct RingShared {
     /// Provenance and taps see global ids.
     pub node_ids: Vec<usize>,
     bypassed: BypassMask,
+    /// Silenced hosts: the node's NIC is still inserted in the ring (full
+    /// hop latency, its bank keeps receiving replicated traffic) but the
+    /// host injects nothing — a crashed workstation behind a live SCRAMNet
+    /// card. Unlike bypass, silence is invisible to the hardware liveness
+    /// signal; only a failure detector reading heartbeats can tell.
+    silenced: BypassMask,
     /// Severed egress links (`broken_links` bit i = link i → i+1 cut).
     /// Packets crossing a broken link are truncated: nodes before the
     /// break keep the write, nodes after never see it.
@@ -300,6 +306,7 @@ impl Ring {
             tap_count: AtomicU64::new(0),
             node_ids: config.node_ids.unwrap_or_else(|| (0..n).collect()),
             bypassed: BypassMask::default(),
+            silenced: BypassMask::default(),
             broken_links: BypassMask::default(),
             drop_next: AtomicU64::new(0),
             stats: AtomicRingStats::default(),
@@ -368,6 +375,30 @@ impl Ring {
     /// True if `node` is currently bypassed.
     pub fn is_bypassed(&self, node: usize) -> bool {
         self.shared.bypassed.get(node)
+    }
+
+    /// Silence `node`'s host: its NIC stays inserted (packets still pay
+    /// the full `hop_ns` across it and its bank keeps receiving) but
+    /// every injection it sources is discarded — a crashed workstation
+    /// behind a live card. The hardware liveness signal
+    /// ([`crate::Nic::peer_alive`]) keeps reporting the node as present;
+    /// only a heartbeat-based failure detector can notice, which is the
+    /// point: detection, not the fault, is what engages the bypass.
+    pub fn silence_node(&self, node: usize) {
+        assert!(node < self.shared.n, "node {node} out of range");
+        self.shared.silenced.set(node, true);
+    }
+
+    /// Un-silence a host (the workstation rebooted). Its bank kept
+    /// receiving while silent, but anything it "wrote" meanwhile is gone.
+    pub fn unsilence_node(&self, node: usize) {
+        assert!(node < self.shared.n, "node {node} out of range");
+        self.shared.silenced.set(node, false);
+    }
+
+    /// True if `node`'s host is currently silenced.
+    pub fn is_silenced(&self, node: usize) -> bool {
+        self.shared.silenced.get(node)
     }
 
     /// Arm a drop fault: the next `n` injected packets are lost on the
@@ -493,6 +524,17 @@ impl RingShared {
             // A bypassed node's host cannot inject: its NIC is out of the
             // ring. The local write still happened (host sees its own
             // memory) but nothing replicates — mirrors real bypass.
+            return;
+        }
+        if self.silenced.get(src) {
+            // A silenced (crashed) host injects nothing, but its NIC is
+            // still inserted: the ring pays full hop latency across it
+            // and its bank keeps receiving. The local apply above models
+            // the host's last store reaching its own card.
+            self.stats.silenced_drops.add(1);
+            self.handle
+                .recorder()
+                .count(t_ready, NO_NODE, "ring.silenced_drops", 1);
             return;
         }
         let armed = self.drop_next.load(Ordering::Relaxed);
@@ -677,8 +719,17 @@ impl RingShared {
     /// True unless `node` is currently bypassed. This is the only
     /// liveness signal the hardware exposes — a stalled host whose
     /// insertion register is switched out looks exactly like a dead one.
+    /// A *silenced* host (crashed behind a live NIC) still reads as in
+    /// the ring here; only heartbeat detection can expose it.
     pub(crate) fn node_in_ring(&self, node: usize) -> bool {
         !self.bypassed.get(node)
+    }
+
+    /// Flip `node`'s insertion register from host software — the failure
+    /// detector engaging (or a rejoining host releasing) the bypass.
+    pub(crate) fn set_bypassed(&self, node: usize, on: bool) {
+        assert!(node < self.n, "node {node} out of range");
+        self.bypassed.set(node, on);
     }
 
     pub(crate) fn set_tap(&self, node: usize, tap: Tap) {
@@ -849,6 +900,61 @@ mod tests {
         sim.run();
         assert_eq!(ring.snapshot(1)[1], 0);
         assert_eq!(ring.snapshot(2)[1], 0);
+    }
+
+    #[test]
+    fn silenced_source_keeps_receiving_but_cannot_replicate() {
+        let mut sim = Simulation::new();
+        let ring = quiet_ring(&sim, 3);
+        ring.silence_node(1);
+        let a = ring.nic(0);
+        let b = ring.nic(1);
+        sim.spawn("a", move |ctx| a.write_word(ctx, 0, 7));
+        sim.spawn("b", move |ctx| {
+            ctx.advance(10);
+            b.write_word(ctx, 1, 9);
+            assert_eq!(b.read_word(ctx, 1), 9, "local memory still works");
+            // The hardware liveness signal cannot see a silent crash.
+            assert!(b.peer_alive(0));
+        });
+        sim.run();
+        // Node 1's bank received 0's write; 1's own write went nowhere.
+        assert_eq!(ring.snapshot(1)[0], 7);
+        assert_eq!(ring.snapshot(0)[1], 0);
+        assert_eq!(ring.snapshot(2)[1], 0);
+        assert_eq!(ring.stats().silenced_drops, 1);
+        assert!(ring.is_silenced(1));
+        ring.unsilence_node(1);
+        assert!(!ring.is_silenced(1));
+    }
+
+    #[test]
+    fn silenced_node_still_costs_full_hop_latency() {
+        // Unlike bypass, silence does not heal the ring: the dead host's
+        // NIC is still inserted, so transit across it pays `hop_ns`.
+        let time_to_node3 = |silence: bool, bypass: bool| {
+            let mut sim = Simulation::new();
+            let cfg = RingConfig {
+                track_provenance: true,
+                ..Default::default()
+            };
+            let ring = Ring::with_config(&sim.handle(), 4, 64, CostModel::default(), cfg);
+            if silence {
+                ring.silence_node(2);
+            }
+            if bypass {
+                ring.bypass_node(2);
+            }
+            let nic = ring.nic(0);
+            sim.spawn("w", move |ctx| nic.write_word(ctx, 3, 1));
+            sim.run();
+            ring.provenance(3, 3).unwrap().applied_at
+        };
+        let healthy = time_to_node3(false, false);
+        let silenced = time_to_node3(true, false);
+        let bypassed = time_to_node3(false, true);
+        assert_eq!(silenced, healthy, "silence must not change transit time");
+        assert!(bypassed < healthy, "bypass heals the hop latency");
     }
 
     #[test]

@@ -25,6 +25,9 @@ pub struct RingStats {
     /// Packets consumed by an armed drop fault: the source bank saw the
     /// write but nothing replicated (see `Ring::arm_drop`).
     pub packets_dropped: u64,
+    /// Injections discarded because the source host is silenced — a
+    /// crashed workstation behind a live NIC (see `Ring::silence_node`).
+    pub silenced_drops: u64,
     /// Packets whose ring transit was cut short by a severed link — the
     /// nodes before the break got the write, the nodes after did not.
     pub link_truncations: u64,
@@ -59,6 +62,7 @@ pub(crate) struct AtomicRingStats {
     pub interrupts: AtomicU64,
     pub bit_errors: AtomicU64,
     pub packets_dropped: AtomicU64,
+    pub silenced_drops: AtomicU64,
     pub link_truncations: AtomicU64,
     pub link_busy_ns: AtomicU64,
 }
@@ -76,6 +80,7 @@ impl AtomicRingStats {
             interrupts: get(&self.interrupts),
             bit_errors: get(&self.bit_errors),
             packets_dropped: get(&self.packets_dropped),
+            silenced_drops: get(&self.silenced_drops),
             link_truncations: get(&self.link_truncations),
             link_busy_ns: get(&self.link_busy_ns),
         }

@@ -13,6 +13,13 @@ use crate::device::{
 };
 use crate::types::{ReqId, Status, Tag};
 
+/// Null-frame phase reserved for communicator-revocation notices
+/// (degraded mode). Revocations travel on the communicator's
+/// point-to-point context, where no barrier traffic ever runs, so the
+/// phase byte alone discriminates them; the barrier phase counter skips
+/// this value anyway for defense in depth.
+pub(crate) const REVOKE_PHASE: u8 = 0xFF;
+
 /// A posted (pending) receive.
 struct Posted {
     req: ReqId,
@@ -105,6 +112,12 @@ impl Adi {
     /// Whether the device offers hardware multicast.
     pub fn has_native_mcast(&self) -> bool {
         self.dev.has_native_mcast()
+    }
+
+    /// The device's failure-detector view, `(epoch, alive_mask)`.
+    /// `None` on transports without a membership layer.
+    pub fn membership(&self) -> Option<(u32, u32)> {
+        self.dev.membership()
     }
 
     fn fresh_req(&mut self) -> ReqId {
@@ -414,6 +427,20 @@ impl Adi {
         tag: Tag,
         payload: &[u8],
     ) {
+        self.try_mcast_eager(ctx, targets, context, tag, payload)
+            .expect("transport failed inside a native collective");
+    }
+
+    /// Fallible [`Adi::mcast_eager`] for the degraded-mode collectives,
+    /// which have a typed error path to hand transport failures to.
+    pub(crate) fn try_mcast_eager(
+        &mut self,
+        ctx: &mut ProcCtx,
+        targets: &[usize],
+        context: u16,
+        tag: Tag,
+        payload: &[u8],
+    ) -> Result<(), DeviceError> {
         ctx.obs()
             .span_enter(ctx.now(), self.node(), Layer::Adi, "mcast");
         ctx.advance(self.costs.header_build_ns + self.costs.pack_ns(payload.len()));
@@ -427,13 +454,86 @@ impl Adi {
         };
         let mut frame = header.encode(self.costs.header_bytes);
         frame.extend_from_slice(payload);
-        let ok = self
-            .dev
-            .mcast_frame(ctx, targets, &frame)
-            .expect("transport failed inside a native collective");
-        assert!(ok, "device has no native multicast");
+        let out = self.dev.mcast_frame(ctx, targets, &frame).map(|ok| {
+            assert!(ok, "device has no native multicast");
+        });
         ctx.obs()
             .span_exit(ctx.now(), self.node(), Layer::Adi, "mcast");
+        out
+    }
+
+    /// Failure-tolerant null send for degraded-mode control traffic
+    /// (revocation notices): a peer dying mid-notice is exactly the
+    /// situation the notice is about, so transport errors are ignored.
+    pub(crate) fn send_null_lossy(
+        &mut self,
+        ctx: &mut ProcCtx,
+        dst: usize,
+        context: u16,
+        phase: u8,
+    ) {
+        let _ = self.dev.send_frame(ctx, dst, &encode_null(context, phase));
+    }
+
+    /// Fallible null send for degraded-mode collectives, which — unlike
+    /// the plain ones — have a typed error path to hand failures to.
+    pub(crate) fn try_send_null(
+        &mut self,
+        ctx: &mut ProcCtx,
+        dst: usize,
+        context: u16,
+        phase: u8,
+    ) -> Result<(), DeviceError> {
+        self.dev.send_frame(ctx, dst, &encode_null(context, phase))
+    }
+
+    /// Fallible null multicast for degraded-mode collectives.
+    pub(crate) fn try_mcast_null(
+        &mut self,
+        ctx: &mut ProcCtx,
+        targets: &[usize],
+        context: u16,
+        phase: u8,
+    ) -> Result<(), DeviceError> {
+        let ok = self
+            .dev
+            .mcast_frame(ctx, targets, &encode_null(context, phase))?;
+        assert!(ok, "device has no native multicast");
+        Ok(())
+    }
+
+    /// Non-blocking [`Adi::wait_null`]: one progress poll, then dequeue
+    /// a matching null frame if one is waiting.
+    pub(crate) fn poll_null(
+        &mut self,
+        ctx: &mut ProcCtx,
+        src: Option<usize>,
+        context: u16,
+        phase: u8,
+    ) -> Option<usize> {
+        self.progress(ctx);
+        let idx = self
+            .nulls
+            .iter()
+            .position(|&(s, c, p)| c == context && p == phase && src.is_none_or(|w| w == s))?;
+        let (s, _, _) = self.nulls.remove(idx).unwrap();
+        Some(s)
+    }
+
+    /// Remove every queued revocation notice and return the contexts
+    /// they revoke (drained into [`crate::Mpi`]'s revoked set at each
+    /// operation entry).
+    pub(crate) fn drain_revocations(&mut self) -> Vec<u16> {
+        let mut out = Vec::new();
+        self.nulls.retain(|&(_, c, p)| {
+            if p == REVOKE_PHASE {
+                out.push(c);
+                false
+            } else {
+                true
+            }
+        });
+        out
     }
 
     /// Block until a null frame with this context and phase arrives from

@@ -36,6 +36,17 @@ impl Mpi {
         comm.coll == CollectiveImpl::Native && self.adi.has_native_mcast()
     }
 
+    /// Advance the barrier phase counter for a collective context,
+    /// skipping the phase byte reserved for revocation notices.
+    pub(crate) fn next_barrier_phase(&mut self, cctx: u16) -> u8 {
+        let p = self.barrier_phase.entry(cctx).or_insert(0);
+        *p = p.wrapping_add(1);
+        if *p == crate::adi::REVOKE_PHASE {
+            *p = 0;
+        }
+        *p
+    }
+
     fn charge_collective(&self, ctx: &mut ProcCtx) {
         ctx.advance(self.adi.costs().collective_entry_ns);
     }
@@ -211,11 +222,7 @@ impl Mpi {
     /// with a single `bbp_Mcast` null.
     fn barrier_native(&mut self, ctx: &mut ProcCtx, comm: &Comm) {
         let cctx = comm.coll_context;
-        let phase = {
-            let p = self.barrier_phase.entry(cctx).or_insert(0);
-            *p = p.wrapping_add(1);
-            *p
-        };
+        let phase = self.next_barrier_phase(cctx);
         let root_world = comm.world_rank(0);
         if comm.rank() == 0 {
             for _ in 1..comm.size() {
@@ -288,6 +295,158 @@ impl Mpi {
                 );
             }
             mask >>= 1;
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Degraded-mode (failure-aware) collectives
+    // ------------------------------------------------------------------
+
+    /// `MPI_Barrier` with ULFM error reporting: on a world with a
+    /// failure detector it completes within the membership epoch it
+    /// entered, or fails typed ([`crate::MpiError::PeerFailed`] /
+    /// [`crate::MpiError::Revoked`]) for this caller. Individual
+    /// callers may observe different outcomes — some complete, some
+    /// raise — exactly as ULFM allows; after any caller fails, the
+    /// communicator's collective context is poisoned and the group
+    /// must [`Mpi::shrink`] before running another collective. On
+    /// detector-less worlds this is exactly [`Mpi::barrier`].
+    pub fn try_barrier(&mut self, ctx: &mut ProcCtx, comm: &Comm) -> Result<(), crate::MpiError> {
+        let everyone: Vec<usize> = (0..comm.size()).collect();
+        let Some((entry_epoch, _)) = self.degraded_entry(comm, &everyone)? else {
+            self.barrier(ctx, comm);
+            return Ok(());
+        };
+        self.span_enter(ctx, "barrier");
+        self.charge_collective(ctx);
+        let out = if comm.size() > 1 {
+            self.try_barrier_native(ctx, comm, entry_epoch)
+        } else {
+            Ok(())
+        };
+        self.span_exit(ctx, "barrier");
+        out
+    }
+
+    /// The coordinator barrier with cancellable waits: every blocking
+    /// point polls instead, and aborts the moment the detector's epoch
+    /// leaves `entry_epoch`. (Detection keeps progressing inside the
+    /// poll loops because the device's progress path drives the
+    /// membership engine.)
+    fn try_barrier_native(
+        &mut self,
+        ctx: &mut ProcCtx,
+        comm: &Comm,
+        entry_epoch: u32,
+    ) -> Result<(), crate::MpiError> {
+        let cctx = comm.coll_context;
+        let phase = self.next_barrier_phase(cctx);
+        let root_world = comm.world_rank(0);
+        if comm.rank() == 0 {
+            let mut gathered = 0;
+            while gathered < comm.size() - 1 {
+                if self.adi.poll_null(ctx, None, cctx, phase).is_some() {
+                    gathered += 1;
+                } else {
+                    self.abort_if_epoch_moved(comm, entry_epoch)?;
+                }
+            }
+            let targets: Vec<usize> = (1..comm.size()).map(|r| comm.world_rank(r)).collect();
+            self.adi
+                .try_mcast_null(ctx, &targets, cctx, phase)
+                .map_err(|e| self.transport_to_mpi(comm, e))
+        } else {
+            self.adi
+                .try_send_null(ctx, root_world, cctx, phase)
+                .map_err(|e| self.transport_to_mpi(comm, e))?;
+            while self
+                .adi
+                .poll_null(ctx, Some(root_world), cctx, phase)
+                .is_none()
+            {
+                self.abort_if_epoch_moved(comm, entry_epoch)?;
+            }
+            Ok(())
+        }
+    }
+
+    /// `MPI_Bcast` with ULFM error reporting (same contract as
+    /// [`Mpi::try_barrier`]). The root passes `Some(data)` and gets its
+    /// own bytes back on success; receivers pass `None`.
+    pub fn try_bcast(
+        &mut self,
+        ctx: &mut ProcCtx,
+        comm: &Comm,
+        root: usize,
+        data: Option<&[u8]>,
+    ) -> Result<Vec<u8>, crate::MpiError> {
+        let everyone: Vec<usize> = (0..comm.size()).collect();
+        let Some((entry_epoch, _)) = self.degraded_entry(comm, &everyone)? else {
+            return Ok(self.bcast(ctx, comm, root, data));
+        };
+        self.span_enter(ctx, "bcast");
+        self.charge_collective(ctx);
+        let out = self.try_bcast_native(ctx, comm, root, data, entry_epoch);
+        self.span_exit(ctx, "bcast");
+        out
+    }
+
+    fn try_bcast_native(
+        &mut self,
+        ctx: &mut ProcCtx,
+        comm: &Comm,
+        root: usize,
+        data: Option<&[u8]>,
+        entry_epoch: u32,
+    ) -> Result<Vec<u8>, crate::MpiError> {
+        if comm.size() == 1 {
+            return Ok(data.expect("root must supply the broadcast data").to_vec());
+        }
+        if comm.rank() == root {
+            let data = data.expect("root must supply the broadcast data");
+            let targets: Vec<usize> = (0..comm.size())
+                .filter(|&r| r != root)
+                .map(|r| comm.world_rank(r))
+                .collect();
+            if self.adi.eager_mcast_fits(data.len()) {
+                self.adi
+                    .try_mcast_eager(ctx, &targets, comm.coll_context, TAG_BCAST, data)
+                    .map_err(|e| self.transport_to_mpi(comm, e))?;
+            } else {
+                let mut reqs = Vec::with_capacity(targets.len());
+                for &t in &targets {
+                    reqs.push(
+                        self.adi
+                            .isend(ctx, t, comm.coll_context, TAG_BCAST, data)
+                            .map_err(|e| self.transport_to_mpi(comm, e))?,
+                    );
+                }
+                // Rendezvous-sized sends block on the receiver's CTS;
+                // poll them cancellably so a receiver dying mid-bcast
+                // fails this rank typed instead of wedging it.
+                for req in reqs {
+                    while !self.adi.is_complete(req) {
+                        self.abort_if_epoch_moved(comm, entry_epoch)?;
+                        self.adi.progress(ctx);
+                    }
+                    self.adi.wait(ctx, req);
+                }
+            }
+            Ok(data.to_vec())
+        } else {
+            let root_world = comm.world_rank(root);
+            let req = self
+                .adi
+                .irecv(ctx, comm.coll_context, Some(root_world), Some(TAG_BCAST))
+                .map_err(|e| self.transport_to_mpi(comm, e))?;
+            loop {
+                if self.adi.is_complete(req) {
+                    let (_, bytes) = self.adi.wait(ctx, req).expect("bcast receive");
+                    return Ok(bytes);
+                }
+                self.abort_if_epoch_moved(comm, entry_epoch)?;
+                self.adi.progress(ctx);
+            }
         }
     }
 

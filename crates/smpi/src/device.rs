@@ -210,6 +210,14 @@ pub trait Device: Send {
     fn idle_wait(&mut self, _ctx: &mut ProcCtx) -> bool {
         false
     }
+    /// The transport's failure-detector view, as `(epoch, alive_mask)`
+    /// — bit `r` of the mask is set while world rank `r` is believed
+    /// alive. `None` (the default) means the device has no membership
+    /// layer: every peer is presumed alive forever and the degraded-mode
+    /// checks are vacuous.
+    fn membership(&self) -> Option<(u32, u32)> {
+        None
+    }
 }
 
 #[cfg(test)]

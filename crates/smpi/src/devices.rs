@@ -67,6 +67,11 @@ impl Device for BbpDevice {
     }
 
     fn try_recv_frame(&mut self, ctx: &mut ProcCtx) -> Option<(usize, Vec<u8>)> {
+        // The progress engine is the device's only periodic entry point,
+        // so it doubles as the membership driver: heartbeat publication
+        // and failure detection advance once per poll (a complete no-op
+        // when the endpoint has no membership extension).
+        self.ep.membership_tick(ctx);
         // No span: the progress engine polls this continuously and a
         // span per empty poll would drown the trace. A received frame
         // still shows up as the nested `bbp` deliver span.
@@ -106,6 +111,10 @@ impl Device for BbpDevice {
 
     fn idle_wait(&mut self, ctx: &mut ProcCtx) -> bool {
         self.ep.wait_for_traffic(ctx)
+    }
+
+    fn membership(&self) -> Option<(u32, u32)> {
+        self.ep.membership_view().map(|v| (v.epoch, v.alive_mask))
     }
 }
 

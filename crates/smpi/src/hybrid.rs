@@ -174,6 +174,12 @@ impl Device for HybridDevice {
         // Large frames ride the bulk path; account for the wrapper.
         self.bulk.max_frame().map(|m| m - WRAP)
     }
+
+    fn membership(&self) -> Option<(u32, u32)> {
+        // Only the fast path (SCRAMNet) carries a failure detector; a
+        // node dead on the billboard is dead, whatever Myrinet thinks.
+        self.fast.membership()
+    }
 }
 
 #[cfg(test)]

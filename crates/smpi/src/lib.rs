@@ -52,6 +52,7 @@
 mod adi;
 mod collectives;
 mod costs;
+mod degraded;
 mod device;
 mod devices;
 mod hybrid;

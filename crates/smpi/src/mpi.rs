@@ -1,6 +1,6 @@
 //! The MPI bindings: communicators and point-to-point operations.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 use des::obs::Layer;
 use des::ProcCtx;
@@ -85,6 +85,9 @@ pub struct Mpi {
     pub(crate) next_context: u16,
     /// Per-collective-context barrier phase counters.
     pub(crate) barrier_phase: HashMap<u16, u8>,
+    /// Contexts of revoked communicators (degraded mode): populated by
+    /// a local [`Mpi::revoke`] or by a peer's revocation notice.
+    pub(crate) revoked: HashSet<u16>,
 }
 
 impl Mpi {
@@ -96,6 +99,7 @@ impl Mpi {
             default_coll,
             next_context: 2, // 0/1 belong to the world communicator
             barrier_phase: HashMap::new(),
+            revoked: HashSet::new(),
         }
     }
 
@@ -197,11 +201,14 @@ impl Mpi {
         assert!(tag <= MAX_USER_TAG, "tag {tag:#x} is reserved");
         self.span_enter(ctx, "isend");
         self.charge_binding(ctx);
-        let out = comm.check(dst).and_then(|()| {
-            self.adi
-                .isend(ctx, comm.world_rank(dst), comm.context, tag, data)
-                .map_err(MpiError::from)
-        });
+        let out = comm
+            .check(dst)
+            .and_then(|()| self.degraded_entry(comm, &[dst]).map(|_| ()))
+            .and_then(|()| {
+                self.adi
+                    .isend(ctx, comm.world_rank(dst), comm.context, tag, data)
+                    .map_err(|e| self.transport_to_mpi(comm, e))
+            });
         self.span_exit(ctx, "isend");
         out
     }
@@ -223,13 +230,20 @@ impl Mpi {
             let world_src = match src {
                 Some(s) => {
                     comm.check(s)?;
+                    // A receive from a dead rank can never complete
+                    // (ULFM raises PROC_FAILED on it); wildcard
+                    // receives stay valid — a live sender may match.
+                    self.degraded_entry(comm, &[s])?;
                     Some(comm.world_rank(s))
                 }
-                None => None,
+                None => {
+                    self.degraded_entry(comm, &[])?;
+                    None
+                }
             };
             self.adi
                 .irecv(ctx, comm.context, world_src, tag)
-                .map_err(MpiError::from)
+                .map_err(|e| self.transport_to_mpi(comm, e))
         })();
         self.span_exit(ctx, "irecv");
         out
@@ -249,13 +263,17 @@ impl Mpi {
         assert!(tag <= MAX_USER_TAG, "tag {tag:#x} is reserved");
         self.span_enter(ctx, "ssend");
         self.charge_binding(ctx);
-        let out = comm.check(dst).and_then(|()| {
-            let req = self
-                .adi
-                .issend(ctx, comm.world_rank(dst), comm.context, tag, data)?;
-            self.wait_send(ctx, req);
-            Ok(())
-        });
+        let out = comm
+            .check(dst)
+            .and_then(|()| self.degraded_entry(comm, &[dst]).map(|_| ()))
+            .and_then(|()| {
+                let req = self
+                    .adi
+                    .issend(ctx, comm.world_rank(dst), comm.context, tag, data)
+                    .map_err(|e| self.transport_to_mpi(comm, e))?;
+                self.wait_send(ctx, req);
+                Ok(())
+            });
         self.span_exit(ctx, "ssend");
         out
     }
@@ -331,9 +349,13 @@ impl Mpi {
         let world_src = match src {
             Some(s) => {
                 comm.check(s)?;
+                self.degraded_entry(comm, &[s])?;
                 Some(comm.world_rank(s))
             }
-            None => None,
+            None => {
+                self.degraded_entry(comm, &[])?;
+                None
+            }
         };
         Ok(self
             .adi
@@ -389,6 +411,10 @@ impl Mpi {
         // order (the MPI requirement that makes this sound).
         let base = self.next_context;
         self.next_context += 2;
+        assert!(
+            self.next_context < crate::degraded::SHRINK_CONTEXT_BASE,
+            "sequential context ids collided with the shrink-derived range"
+        );
         self.barrier(ctx, comm);
         Comm {
             context: base,

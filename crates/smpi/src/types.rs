@@ -70,6 +70,24 @@ pub enum MpiError {
     /// class an error-handler would see): the device's reliability
     /// layer exhausted its budget.
     Transport(DeviceError),
+    /// ULFM's `MPI_ERR_PROC_FAILED`: the transport's failure detector
+    /// declared the peer dead, so the operation can never complete in
+    /// the current membership epoch. Only produced on worlds with a
+    /// membership layer ([`crate::MpiWorld::scramnet_membership`]).
+    PeerFailed {
+        /// Communicator-relative rank of the failed process.
+        rank: usize,
+        /// The membership epoch in which the failure was observed.
+        epoch: u32,
+    },
+    /// ULFM's `MPI_ERR_REVOKED`: some member called
+    /// [`crate::Mpi::revoke`] on this communicator to interrupt the
+    /// group after a failure. [`crate::Mpi::shrink`] continues on the
+    /// survivors.
+    Revoked {
+        /// The membership epoch at which the revocation was observed.
+        epoch: u32,
+    },
 }
 
 impl std::fmt::Display for MpiError {
@@ -83,6 +101,12 @@ impl std::fmt::Display for MpiError {
             }
             MpiError::BadRequest(id) => write!(f, "unknown request {id:?}"),
             MpiError::Transport(e) => write!(f, "transport error: {e}"),
+            MpiError::PeerFailed { rank, epoch } => {
+                write!(f, "rank {rank} failed (membership epoch {epoch})")
+            }
+            MpiError::Revoked { epoch } => {
+                write!(f, "communicator revoked (membership epoch {epoch})")
+            }
         }
     }
 }

@@ -47,6 +47,22 @@ impl MpiWorld {
         )
     }
 
+    /// [`MpiWorld::scramnet`] with the BBP's membership-and-failure-
+    /// detection extension enabled: point-to-point operations to dead
+    /// ranks and the `try_*` collectives report typed ULFM-style
+    /// failures ([`crate::MpiError::PeerFailed`] /
+    /// [`crate::MpiError::Revoked`]), and [`crate::Mpi::shrink`]
+    /// rebuilds a survivor communicator after a failure.
+    pub fn scramnet_membership(handle: &SimHandle, nprocs: usize) -> Self {
+        Self::scramnet_with(
+            handle,
+            BbpConfig::membership_for_nodes(nprocs),
+            CostModel::default(),
+            SmpiCosts::channel_interface(),
+            CollectiveImpl::Native,
+        )
+    }
+
     /// Fully parameterized SCRAMNet world (ablations).
     pub fn scramnet_with(
         handle: &SimHandle,

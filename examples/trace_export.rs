@@ -14,7 +14,7 @@ use scramnet_cluster::smpi::MpiWorld;
 
 const RANKS: usize = 4;
 const PAYLOAD: usize = 256;
-const OUT: &str = "mpi_bcast_trace.json";
+const OUT: &str = "target/mpi_bcast_trace.json";
 
 fn main() {
     let mut sim = Simulation::new();
@@ -78,6 +78,10 @@ fn main() {
     }
 
     let trace = obs::chrome_trace_json(&events);
+    // Trace outputs are build artifacts: they go under target/, never
+    // into the repo root (which exists even when running from a clean
+    // checkout, since cargo creates it to build the example).
+    std::fs::create_dir_all("target").expect("create output dir");
     std::fs::write(OUT, trace).expect("write trace");
     println!("\nChrome trace written to {OUT} — load it in https://ui.perfetto.dev");
 }
