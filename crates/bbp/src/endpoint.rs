@@ -3,15 +3,16 @@
 //! buffers.
 
 use std::collections::{BTreeMap, VecDeque};
+use std::sync::Arc;
 
-use des::obs::Layer;
+use des::obs::{Layer, Stage};
 use des::{ProcCtx, Signal};
 use scramnet::{Nic, Word};
 
 use crate::config::{BbpConfig, GcPolicy, MembershipConfig, RecvMode, ReliabilityConfig};
 use crate::error::BbpError;
 use crate::layout::Layout;
-use crate::membership::{MembershipState, MembershipView, PeerHealth};
+use crate::membership::{DetectionHists, MembershipState, MembershipView, PeerHealth};
 
 /// Running counters for one endpoint (diagnostics and the ablation
 /// benches).
@@ -89,6 +90,9 @@ struct SlotState {
     /// in-flight queue) until every unacknowledged target's expectation
     /// is resolved by GC.
     tainted: bool,
+    /// The trace id the message carried when posted (0 = untraced), so
+    /// a retransmission can re-tag its ring packets with the same id.
+    trace: u64,
 }
 
 /// A message detected by a poll but not yet delivered to the application.
@@ -102,6 +106,10 @@ struct PendingMsg {
     ext: u64,
     /// Reliable mode: verification attempts consumed so far.
     tries: u32,
+    /// The sender's trace id for this message (0 when tracing was off
+    /// at match time), resolved once at poll time so delivery can stamp
+    /// its lifecycle checkpoint without another correlation lookup.
+    trace: u64,
 }
 
 /// The BillBoard Protocol endpoint for one process.
@@ -239,6 +247,7 @@ impl BbpEndpoint {
     /// later than [`crate::ReliabilityConfig::max_send_wait_ns`] plus the
     /// per-attempt transmission costs.
     pub fn send(&mut self, ctx: &mut ProcCtx, dst: usize, payload: &[u8]) -> Result<(), BbpError> {
+        let owned = self.trace_enter(ctx, payload.len());
         ctx.obs()
             .span_enter(ctx.now(), self.rank as u32, Layer::Bbp, "send");
         let posted = self
@@ -246,6 +255,7 @@ impl BbpEndpoint {
             .and_then(|slot| self.confirm(ctx, slot, &[dst], payload));
         ctx.obs()
             .span_exit(ctx.now(), self.rank as u32, Layer::Bbp, "send");
+        self.trace_exit(ctx, owned, &posted);
         if posted.is_err() {
             self.stats.send_failures += 1;
         }
@@ -266,6 +276,7 @@ impl BbpEndpoint {
         if targets.is_empty() {
             return Err(BbpError::NoTargets);
         }
+        let owned = self.trace_enter(ctx, payload.len());
         ctx.obs()
             .span_enter(ctx.now(), self.rank as u32, Layer::Bbp, "mcast");
         let posted = self
@@ -273,12 +284,52 @@ impl BbpEndpoint {
             .and_then(|slot| self.confirm(ctx, slot, targets, payload));
         ctx.obs()
             .span_exit(ctx.now(), self.rank as u32, Layer::Bbp, "mcast");
+        self.trace_exit(ctx, owned, &posted);
         if posted.is_err() {
             self.stats.send_failures += 1;
         }
         posted?;
         self.stats.mcasts += 1;
         Ok(())
+    }
+
+    /// Send-entry half of the trace-id protocol: when no upper layer
+    /// (the MPI binding) already published a trace id for this rank,
+    /// this call is the message's entry into the stack — mint an id,
+    /// publish it for the layers below, and record the `send_enter`
+    /// checkpoint. Returns whether this call owns (and must clear) the
+    /// published id.
+    fn trace_enter(&self, ctx: &mut ProcCtx, payload_len: usize) -> bool {
+        let rec = ctx.obs();
+        if rec.current_trace(self.rank as u32) != 0 {
+            return false;
+        }
+        let id = rec.mint_trace_id(self.rank as u32);
+        rec.set_current_trace(self.rank as u32, id);
+        rec.lifecycle(
+            ctx.now(),
+            self.rank as u32,
+            id,
+            Stage::SendEnter,
+            payload_len as u64,
+        );
+        true
+    }
+
+    /// Send-exit half: clear the published id if we minted it, and on a
+    /// typed error record the `error` checkpoint and snapshot the flight
+    /// ring for the postmortem.
+    fn trace_exit(&self, ctx: &mut ProcCtx, owned: bool, result: &Result<(), BbpError>) {
+        let rec = ctx.obs();
+        let id = rec.current_trace(self.rank as u32);
+        if owned {
+            rec.set_current_trace(self.rank as u32, 0);
+        }
+        if result.is_err() {
+            rec.lifecycle(ctx.now(), self.rank as u32, id, Stage::Error, 0);
+            rec.flight()
+                .dump_to_dir(&format!("bbp_send_error_n{}", self.rank));
+        }
     }
 
     fn post(
@@ -320,6 +371,7 @@ impl BbpEndpoint {
         // checksum lives in our own partition — single-writer preserved.
         let seq = self.next_seq;
         self.next_seq = self.next_seq.wrapping_add(1);
+        let trace = ctx.obs().current_trace(self.rank as u32);
         let s = &mut self.slots[slot];
         s.busy = true;
         s.data_off = data_off;
@@ -327,8 +379,19 @@ impl BbpEndpoint {
         s.len_bytes = payload.len();
         s.seq = seq;
         s.targets = targets.to_vec();
+        s.trace = trace;
         self.inflight.push_back(slot);
         self.write_descriptor(ctx, slot, &packed);
+        ctx.obs().lifecycle(
+            ctx.now(),
+            self.rank as u32,
+            trace,
+            Stage::DescriptorWrite,
+            seq as u64,
+        );
+        // The receive side matches descriptors by (src, seq); register
+        // the pair so its poll can recover the sender's trace id.
+        ctx.obs().register_msg(self.rank as u32, seq, trace);
         // 3. One MESSAGE flag toggle per receiver (this ordering makes the
         // flag the last word to land at each receiver, so detection
         // implies the descriptor and payload already replicated).
@@ -343,6 +406,8 @@ impl BbpEndpoint {
                 self.out_msg_flags[t],
             );
             self.ack_expect[t] ^= 1 << slot;
+            ctx.obs()
+                .lifecycle(ctx.now(), self.rank as u32, trace, Stage::FlagSet, t as u64);
         }
         Ok(slot)
     }
@@ -482,6 +547,18 @@ impl BbpEndpoint {
         self.stats.retries += 1;
         ctx.obs()
             .count(ctx.now(), self.rank as u32, "bbp.retries", 1);
+        // Re-publish the slot's original trace id for the duration of
+        // the rewrite, so its repair packets join the same flow chain.
+        let trace = self.slots[slot].trace;
+        let prev = ctx.obs().current_trace(self.rank as u32);
+        ctx.obs().set_current_trace(self.rank as u32, trace);
+        ctx.obs().lifecycle(
+            ctx.now(),
+            self.rank as u32,
+            trace,
+            Stage::Retry,
+            slot as u64,
+        );
         let data_off = self.slots[slot].data_off;
         let packed = pack_words(payload);
         if !packed.is_empty() {
@@ -496,6 +573,7 @@ impl BbpEndpoint {
                 self.out_msg_flags[t],
             );
         }
+        ctx.obs().set_current_trace(self.rank as u32, prev);
     }
 
     /// Find a free descriptor slot and `words` contiguous data words,
@@ -778,6 +856,9 @@ impl BbpEndpoint {
         };
         ctx.obs()
             .span_exit(ctx.now(), self.rank as u32, Layer::Bbp, "recv");
+        if result.is_err() {
+            self.recv_error_postmortem(ctx);
+        }
         result
     }
 
@@ -831,7 +912,21 @@ impl BbpEndpoint {
         };
         ctx.obs()
             .span_exit(ctx.now(), self.rank as u32, Layer::Bbp, "recv");
+        if result.is_err() {
+            self.recv_error_postmortem(ctx);
+        }
         result
+    }
+
+    /// A blocking receive is surfacing a typed error: record the
+    /// `error` checkpoint and snapshot the flight ring so the events
+    /// leading up to the timeout/corruption survive for the postmortem.
+    fn recv_error_postmortem(&self, ctx: &ProcCtx) {
+        ctx.obs()
+            .lifecycle(ctx.now(), self.rank as u32, 0, Stage::Error, 0);
+        ctx.obs()
+            .flight()
+            .dump_to_dir(&format!("bbp_recv_error_n{}", self.rank));
     }
 
     /// `bbp_MsgAvail`: one poll sweep; true if any message is deliverable.
@@ -1003,6 +1098,14 @@ impl BbpEndpoint {
             let (data_off, len_bytes, seq) = (desc[0] as usize, desc[1] as usize, desc[2]);
             let ext = extend_seq(self.ext_seq_hi[s], seq);
             self.ext_seq_hi[s] = self.ext_seq_hi[s].max(ext);
+            let trace = ctx.obs().lookup_msg(s as u32, seq);
+            ctx.obs().lifecycle(
+                ctx.now(),
+                self.rank as u32,
+                trace,
+                Stage::RecvMatch,
+                seq as u64,
+            );
             self.pending[s].insert(
                 ext,
                 PendingMsg {
@@ -1011,6 +1114,7 @@ impl BbpEndpoint {
                     len_bytes,
                     ext,
                     tries: 0,
+                    trace,
                 },
             );
         }
@@ -1045,6 +1149,14 @@ impl BbpEndpoint {
         );
         self.stats.recvs += 1;
         self.stats.bytes_recved += msg.len_bytes as u64;
+        ctx.obs().lifecycle(
+            ctx.now(),
+            self.rank as u32,
+            msg.trace,
+            Stage::Deliver,
+            msg.len_bytes as u64,
+        );
+        ctx.obs().set_current_rx(self.rank as u32, msg.trace);
         ctx.obs()
             .span_exit(ctx.now(), self.rank as u32, Layer::Bbp, "deliver");
         unpack_bytes(&data, msg.len_bytes)
@@ -1126,6 +1238,14 @@ impl BbpEndpoint {
         );
         self.stats.recvs += 1;
         self.stats.bytes_recved += len_bytes as u64;
+        ctx.obs().lifecycle(
+            ctx.now(),
+            self.rank as u32,
+            msg.trace,
+            Stage::Deliver,
+            len_bytes as u64,
+        );
+        ctx.obs().set_current_rx(self.rank as u32, msg.trace);
         ctx.obs()
             .span_exit(ctx.now(), self.rank as u32, Layer::Bbp, "deliver");
         Some(unpack_bytes(&payload, len_bytes))
@@ -1153,6 +1273,13 @@ impl BbpEndpoint {
         );
         self.stats.nacks_sent += 1;
         msg.tries += 1;
+        ctx.obs().lifecycle(
+            ctx.now(),
+            self.rank as u32,
+            msg.trace,
+            Stage::NackRepair,
+            msg.tries as u64,
+        );
         if msg.tries <= rel.verify_retries {
             // Pace the re-read so the sender's repair has time to land.
             ctx.advance(rel.ack_timeout_ns);
@@ -1181,6 +1308,14 @@ impl BbpEndpoint {
     pub fn peer_health(&self, peer: usize) -> Option<PeerHealth> {
         assert!(peer < self.n, "rank {peer} out of range");
         self.membership.as_ref().map(|st| st.tracks[peer].health)
+    }
+
+    /// The always-on detection-latency histograms (`None` when the
+    /// membership extension is off). The returned handle is shared:
+    /// clone it out before moving the endpoint into its simulated
+    /// process and it keeps reading the live distributions.
+    pub fn detection_latency(&self) -> Option<Arc<DetectionHists>> {
+        self.membership.as_ref().map(|st| Arc::clone(&st.hists))
     }
 
     /// One step of the membership engine: publish our heartbeat on
@@ -1263,16 +1398,14 @@ impl BbpEndpoint {
                     self.stats.suspicions += 1;
                     ctx.obs()
                         .count(ctx.now(), self.rank as u32, "bbp.suspicions", 1);
-                    ctx.obs()
-                        .count(ctx.now(), self.rank as u32, "bbp.suspect_latency_ns", stale);
+                    st.hists.suspect_ns.record(stale);
                 }
                 if t.health == PeerHealth::Suspected && stale >= cfg.dead_after_ns {
                     t.health = PeerHealth::Dead;
                     self.stats.deaths += 1;
                     ctx.obs()
                         .count(ctx.now(), self.rank as u32, "bbp.deaths", 1);
-                    ctx.obs()
-                        .count(ctx.now(), self.rank as u32, "bbp.death_latency_ns", stale);
+                    st.hists.death_ns.record(stale);
                 }
             }
         }

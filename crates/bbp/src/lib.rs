@@ -83,4 +83,4 @@ pub use config::{BbpConfig, GcPolicy, MembershipConfig, RecvMode, ReliabilityCon
 pub use endpoint::{BbpEndpoint, EndpointStats};
 pub use error::BbpError;
 pub use layout::{Layout, DESC_WORDS, MEMBER_WORDS, RELIABLE_DESC_WORDS};
-pub use membership::{MembershipView, PeerHealth};
+pub use membership::{DetectionHists, MembershipView, PeerHealth};

@@ -25,6 +25,9 @@
 //! lives in [`crate::BbpEndpoint::membership_tick`] and
 //! [`crate::BbpEndpoint::rejoin`].
 
+use std::sync::Arc;
+
+use des::obs::LogHistogram;
 use des::Time;
 use scramnet::Word;
 
@@ -85,6 +88,21 @@ pub(crate) struct PeerTrack {
     pub health: PeerHealth,
 }
 
+/// Always-on failure-detection latency distributions: how stale a
+/// peer's heartbeat was when it crossed each grading threshold.
+/// Log-bucket histograms rather than the scalar sums they replaced —
+/// a sum reports an average and hides exactly the tail a detector's
+/// operators care about. Shared via `Arc` so a harness can keep reading
+/// after the endpoint moves into its simulated process
+/// ([`crate::BbpEndpoint::detection_latency`]).
+#[derive(Debug, Default)]
+pub struct DetectionHists {
+    /// Staleness (ns) observed at each Alive → Suspected transition.
+    pub suspect_ns: LogHistogram,
+    /// Staleness (ns) observed at each Suspected → Dead transition.
+    pub death_ns: LogHistogram,
+}
+
 /// The per-endpoint membership engine state.
 #[derive(Debug, Clone)]
 pub(crate) struct MembershipState {
@@ -99,6 +117,9 @@ pub(crate) struct MembershipState {
     pub view: MembershipView,
     /// Detector state per peer (our own slot is unused).
     pub tracks: Vec<PeerTrack>,
+    /// Detection-latency distributions (always on, shared with the
+    /// harness via [`crate::BbpEndpoint::detection_latency`]).
+    pub hists: Arc<DetectionHists>,
 }
 
 impl MembershipState {
@@ -116,6 +137,7 @@ impl MembershipState {
                 alive_mask,
             },
             tracks: vec![PeerTrack::default(); n],
+            hists: Arc::new(DetectionHists::default()),
         }
     }
 }

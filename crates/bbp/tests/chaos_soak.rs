@@ -10,10 +10,14 @@
 //! > `{epoch, alive_mask}`; a rejoined node exchanges verified traffic
 //! > in the new epoch.
 //!
-//! The run writes a JSON report with per-cell outcomes and
-//! detection-latency percentiles to `$CHAOS_SOAK_REPORT` (defaulting to
-//! `$CARGO_TARGET_TMPDIR/chaos_soak.json`). A violation fails the test
-//! with the exact filter environment reproducing the single cell:
+//! The run writes a JSON report with per-cell outcomes,
+//! detection-latency percentiles, and campaign-wide suspicion/death
+//! staleness histograms (aggregated from every endpoint's
+//! [`bbp::DetectionHists`]) to `$CHAOS_SOAK_REPORT` (defaulting to
+//! `$CARGO_TARGET_TMPDIR/chaos_soak.json`). A violating cell dumps its
+//! flight-recorder ring to `$FLIGHT_DUMP_DIR` for postmortem, and the
+//! test fails with the exact filter environment reproducing the single
+//! cell:
 //!
 //! ```text
 //! CHAOS_KIND=double_kill CHAOS_SEED=7 \
@@ -24,6 +28,7 @@ use std::fmt::Write as _;
 use std::sync::Arc;
 
 use bbp::{BbpCluster, BbpConfig, MembershipView};
+use des::obs::{FlightGuard, LogHistogram};
 use des::{ms, us, Simulation, Time};
 use parking_lot::Mutex;
 use scramnet::fault::FOREVER;
@@ -180,7 +185,12 @@ fn record(histories: &Mutex<Vec<History>>, rank: usize, now: Time, v: Membership
     }
 }
 
-fn run_cell(kind: ChaosKind, seed: u64) -> CellOutcome {
+fn run_cell(
+    kind: ChaosKind,
+    seed: u64,
+    suspect: &LogHistogram,
+    death: &LogHistogram,
+) -> CellOutcome {
     let onset = us(100 + (seed % 7) * 30);
     let reboot_after = us(1_300);
     let end = ms(4);
@@ -189,6 +199,10 @@ fn run_cell(kind: ChaosKind, seed: u64) -> CellOutcome {
 
     let plan = kind.plan(seed, onset, reboot_after);
     let mut sim = Simulation::new();
+    let flight = FlightGuard::new(
+        format!("chaos_{}_seed{}", kind.name(), seed),
+        sim.recorder_arc(),
+    );
     let cluster = BbpCluster::with_hardware(
         &sim.handle(),
         BbpConfig::membership_for_nodes(NODES),
@@ -196,6 +210,9 @@ fn run_cell(kind: ChaosKind, seed: u64) -> CellOutcome {
         plan.ring_config(),
     );
     plan.arm(cluster.ring());
+    // Each endpoint owns its detection histograms; keep a handle to
+    // every one so the campaign can aggregate after the cell ends.
+    let mut det_hists = Vec::new();
 
     let histories: Arc<Mutex<Vec<History>>> = Arc::new(Mutex::new(vec![Vec::new(); NODES]));
     let finals: Arc<Mutex<Vec<Option<MembershipView>>>> = Arc::new(Mutex::new(vec![None; NODES]));
@@ -206,6 +223,7 @@ fn run_cell(kind: ChaosKind, seed: u64) -> CellOutcome {
 
     for rank in 0..NODES {
         let mut ep = cluster.endpoint(rank);
+        det_hists.extend(ep.detection_latency());
         let histories = Arc::clone(&histories);
         let finals = Arc::clone(&finals);
         let violations = Arc::clone(&violations);
@@ -274,6 +292,7 @@ fn run_cell(kind: ChaosKind, seed: u64) -> CellOutcome {
     // endpoint for rank 3, booting shortly after the scheduled reboot.
     if kind == ChaosKind::KillRejoin {
         let mut reborn = cluster.endpoint(3);
+        det_hists.extend(reborn.detection_latency());
         let histories = Arc::clone(&histories);
         let finals = Arc::clone(&finals);
         let violations = Arc::clone(&violations);
@@ -401,6 +420,21 @@ fn run_cell(kind: ChaosKind, seed: u64) -> CellOutcome {
             .max()
             .map(|t| t.saturating_sub(onset));
     }
+
+    // Fold every endpoint's staleness histograms into the campaign-wide
+    // distributions, and keep a postmortem of any violating cell.
+    for d in &det_hists {
+        suspect.merge(&d.suspect_ns);
+        death.merge(&d.death_ns);
+    }
+    if !cell.violations.is_empty() {
+        if let Some(path) = flight.dump_now() {
+            eprintln!(
+                "violating cell's flight recorder dumped to {}",
+                path.display()
+            );
+        }
+    }
     cell
 }
 
@@ -424,6 +458,8 @@ fn chaos_soak_converges_and_preserves_survivor_traffic() {
             .expect("CHAOS_SEED must be an unsigned integer")
     });
 
+    let suspect = LogHistogram::new();
+    let death = LogHistogram::new();
     let mut cells = Vec::new();
     for kind in KINDS {
         if kind_filter.as_deref().is_some_and(|f| f != kind.name()) {
@@ -433,7 +469,7 @@ fn chaos_soak_converges_and_preserves_survivor_traffic() {
             if seed_filter.is_some_and(|f| f != seed) {
                 continue;
             }
-            cells.push(run_cell(kind, seed));
+            cells.push(run_cell(kind, seed, &suspect, &death));
         }
     }
     assert!(
@@ -455,10 +491,20 @@ fn chaos_soak_converges_and_preserves_survivor_traffic() {
     );
     write!(
         json,
-        "\n],\"detection_latency_ns\":{{\"p50\":{},\"p90\":{},\"max\":{}}},\"total\":{},\"violations\":{}}}\n",
+        "\n],\"detection_latency_ns\":{{\"p50\":{},\"p90\":{},\"p99\":{},\"max\":{}}},\
+         \"suspect_latency_ns\":{{\"count\":{},\"p50\":{},\"p99\":{}}},\
+         \"death_latency_ns\":{{\"count\":{},\"p50\":{},\"p99\":{}}},\
+         \"total\":{},\"violations\":{}}}\n",
         percentile(&detects, 50),
         percentile(&detects, 90),
+        percentile(&detects, 99),
         percentile(&detects, 100),
+        suspect.count(),
+        suspect.p50(),
+        suspect.p99(),
+        death.count(),
+        death.p50(),
+        death.p99(),
         cells.len(),
         violating.len()
     )
@@ -466,11 +512,16 @@ fn chaos_soak_converges_and_preserves_survivor_traffic() {
     let path = report_path();
     std::fs::write(&path, &json).unwrap_or_else(|e| panic!("cannot write report {path}: {e}"));
     println!(
-        "chaos soak: {} cells, {} violating; detection p50 {} µs, p90 {} µs; report at {path}",
+        "chaos soak: {} cells, {} violating; detection p50 {} µs, p99 {} µs; \
+         suspicion staleness p50 {} µs (n={}), death staleness p50 {} µs (n={}); report at {path}",
         cells.len(),
         violating.len(),
         percentile(&detects, 50) / 1_000,
-        percentile(&detects, 90) / 1_000,
+        percentile(&detects, 99) / 1_000,
+        suspect.p50() / 1_000,
+        suspect.count(),
+        death.p50() / 1_000,
+        death.count(),
     );
 
     if !violating.is_empty() {

@@ -166,6 +166,10 @@ impl CellResult {
 fn run_cell(kind: FaultKind, seed: u64, size: usize) -> CellResult {
     let plan = kind.plan(seed);
     let mut sim = Simulation::new();
+    let flight = des::obs::FlightGuard::new(
+        format!("fault_{}_seed{}_size{}", kind.name(), seed, size),
+        sim.recorder_arc(),
+    );
     let cluster = BbpCluster::with_hardware(
         &sim.handle(),
         BbpConfig::reliable_for_nodes(NODES),
@@ -325,6 +329,17 @@ fn run_cell(kind: FaultKind, seed: u64, size: usize) -> CellResult {
         if cell.delivered.len() != K as usize {
             cell.violations
                 .push("fault-free cell must deliver every message".into());
+        }
+    }
+
+    // A violating cell's recent lifecycle ring is the postmortem the
+    // repro line starts from; dump it before the recorder goes away.
+    if !cell.violations.is_empty() {
+        if let Some(path) = flight.dump_now() {
+            eprintln!(
+                "violating cell's flight recorder dumped to {}",
+                path.display()
+            );
         }
     }
 

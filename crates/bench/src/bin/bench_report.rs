@@ -7,7 +7,7 @@
 //! per-repetition latency quantiles.
 //!
 //! ```text
-//! bench-report [--quick] [--out PATH] [--trace PATH] [--wallclock] [--baseline PATH]
+//! bench-report [--quick] [--out PATH] [--trace PATH] [--messages] [--wallclock] [--baseline PATH]
 //! bench-report --check PATH
 //! ```
 //!
@@ -16,6 +16,10 @@
 //!   (default `BENCH_summary.json`).
 //! - `--trace PATH`: also write a Chrome `trace_event` JSON of the
 //!   instrumented 4-node broadcast (load in Perfetto).
+//! - `--messages`: reconstruct the per-message lifecycle waterfalls of
+//!   the instrumented broadcast (send-enter → descriptor → ring →
+//!   flag → match → deliver), print them, and record them in the
+//!   report's `messages` section.
 //! - `--wallclock`: also run the engine self-measurement scenarios
 //!   (events/sec, simulated-ns/sec, peak queue depth) and record them in
 //!   the report's `wallclock` section.
@@ -35,8 +39,9 @@ use std::process::ExitCode;
 
 use bench::{
     bbp_one_way_us, bbp_pingpong_histogram, best_of, crossover, event_chain_stress,
-    mpi_bcast_events, mpi_one_way_us, mpi_pingpong_histogram, print_table, report, report_anchor,
-    ring_bcast_stress, ring_pio_writers, MpiNet, Series, WallclockRun,
+    mpi_bcast_events, mpi_layering_log_histogram, mpi_one_way_us, mpi_pingpong_histogram,
+    print_table, report, report_anchor, ring_bcast_stress, ring_pio_writers, MpiNet, Series,
+    WallclockRun,
 };
 use obs::report::{Wallclock, PAPER_LAYERING_US};
 use smpi::CollectiveImpl;
@@ -48,14 +53,15 @@ const LAYERING_TOLERANCE_PCT: f64 = 20.0;
 /// less than 1/3 of the committed baseline — informative, not flaky.
 const WALLCLOCK_REGRESSION_FACTOR: f64 = 3.0;
 
-const USAGE: &str = "usage: bench-report [--quick] [--out PATH] [--trace PATH] [--wallclock] \
-                     [--baseline PATH] | --check PATH";
+const USAGE: &str = "usage: bench-report [--quick] [--out PATH] [--trace PATH] [--messages] \
+                     [--wallclock] [--baseline PATH] | --check PATH";
 
 struct Args {
     quick: bool,
     out: String,
     trace: Option<String>,
     check: Option<String>,
+    messages: bool,
     wallclock: bool,
     baseline: Option<String>,
     help: bool,
@@ -67,6 +73,7 @@ fn parse_args() -> Result<Args, String> {
         out: "BENCH_summary.json".to_string(),
         trace: None,
         check: None,
+        messages: false,
         wallclock: false,
         baseline: None,
         help: false,
@@ -78,6 +85,7 @@ fn parse_args() -> Result<Args, String> {
             "--out" => args.out = it.next().ok_or("--out needs a path")?,
             "--trace" => args.trace = Some(it.next().ok_or("--trace needs a path")?),
             "--check" => args.check = Some(it.next().ok_or("--check needs a path")?),
+            "--messages" => args.messages = true,
             "--wallclock" => args.wallclock = true,
             "--baseline" => {
                 args.baseline = Some(it.next().ok_or("--baseline needs a path")?);
@@ -179,6 +187,37 @@ fn run_wallclock(quick: bool, baseline: &[Wallclock]) -> Result<(), String> {
         Ok(())
     } else {
         Err(failures.join("; "))
+    }
+}
+
+/// Reconstruct the instrumented broadcast's per-message lifecycle
+/// waterfalls, print each checkpoint relative to the message's
+/// send-enter, and record them into the armed report.
+fn print_waterfalls(events: &[obs::Event], bcast_len: usize) {
+    let waterfalls = obs::message_waterfalls(events);
+    println!("\n== per-message waterfalls: MPI_Bcast {bcast_len} B on 4 nodes ==");
+    if waterfalls.is_empty() {
+        println!("  (no traced messages in the event stream)");
+        return;
+    }
+    for w in &waterfalls {
+        report::push_message(w);
+        println!(
+            "  message {:#012x} from node {}: {:.1} µs, {} checkpoints",
+            w.id,
+            w.src,
+            w.total_ns() as f64 / 1000.0,
+            w.steps.len()
+        );
+        let base = w.steps.first().map_or(0, |s| s.time);
+        for s in &w.steps {
+            println!(
+                "    {:>8.2} µs  node {}  {}",
+                s.time.saturating_sub(base) as f64 / 1000.0,
+                s.node,
+                s.stage.name()
+            );
+        }
     }
 }
 
@@ -288,6 +327,9 @@ fn main() -> ExitCode {
         }
         println!("Chrome trace written to {path}");
     }
+    if args.messages {
+        print_waterfalls(&events, bcast_len);
+    }
 
     // Per-repetition latency distributions.
     report::push_quantiles("bbp_pingpong_0B", &bbp_pingpong_histogram(0, 4));
@@ -295,6 +337,7 @@ fn main() -> ExitCode {
         "mpi_pingpong_0B",
         &mpi_pingpong_histogram(MpiNet::Scramnet, 0),
     );
+    report::push_quantiles_log("mpi_layering_0B", &mpi_layering_log_histogram(0));
 
     // Engine self-measurement + regression gate against the committed
     // baseline.

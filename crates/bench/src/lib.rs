@@ -363,17 +363,17 @@ pub fn mpi_barrier_us(net: MpiNet, nodes: usize, coll: CollectiveImpl) -> f64 {
 // Instrumented runs (obs-backed)
 // ----------------------------------------------------------------------
 
-/// Per-repetition one-way BBP latencies at `len` bytes: a histogram of
-/// nanosecond samples, one per timed round trip.
-pub fn bbp_pingpong_histogram(len: usize, nodes: usize) -> Histogram {
+/// Per-repetition one-way BBP latencies at `len` bytes: one nanosecond
+/// sample per timed round trip, in repetition order.
+pub fn bbp_pingpong_samples(len: usize, nodes: usize) -> Vec<Time> {
     let mut sim = Simulation::new();
     let mut cfg = BbpConfig::for_nodes(nodes);
     cfg.data_words = 16 * 1024;
     let cluster = BbpCluster::new(&sim.handle(), cfg);
     let mut a = cluster.endpoint(0);
     let mut b = cluster.endpoint(1);
-    let hist = Arc::new(Mutex::new(Histogram::new()));
-    let h2 = Arc::clone(&hist);
+    let samples = Arc::new(Mutex::new(Vec::new()));
+    let s2 = Arc::clone(&samples);
     let payload = vec![0xA5u8; len];
     sim.spawn("a", move |ctx| {
         for i in 0..WARMUP + PING_REPS {
@@ -381,7 +381,7 @@ pub fn bbp_pingpong_histogram(len: usize, nodes: usize) -> Histogram {
             a.send(ctx, 1, &payload).unwrap();
             let _ = a.recv(ctx, 1);
             if i >= WARMUP {
-                h2.lock().record((ctx.now() - t0) / 2);
+                s2.lock().push((ctx.now() - t0) / 2);
             }
         }
     });
@@ -392,18 +392,27 @@ pub fn bbp_pingpong_histogram(len: usize, nodes: usize) -> Histogram {
         }
     });
     assert!(sim.run().is_clean());
-    Arc::try_unwrap(hist)
+    Arc::try_unwrap(samples)
         .expect("sole owner after run")
         .into_inner()
 }
 
-/// Per-repetition one-way MPI latencies at `len` bytes (histogram of
-/// nanosecond samples, one per timed round trip).
-pub fn mpi_pingpong_histogram(net: MpiNet, len: usize) -> Histogram {
+/// [`bbp_pingpong_samples`] folded into a histogram.
+pub fn bbp_pingpong_histogram(len: usize, nodes: usize) -> Histogram {
+    let mut hist = Histogram::new();
+    for s in bbp_pingpong_samples(len, nodes) {
+        hist.record(s);
+    }
+    hist
+}
+
+/// Per-repetition one-way MPI latencies at `len` bytes: one nanosecond
+/// sample per timed round trip, in repetition order.
+pub fn mpi_pingpong_samples(net: MpiNet, len: usize) -> Vec<Time> {
     let mut sim = Simulation::new();
     let world = net.world(&sim, 4, CollectiveImpl::Native);
-    let hist = Arc::new(Mutex::new(Histogram::new()));
-    let h2 = Arc::clone(&hist);
+    let samples = Arc::new(Mutex::new(Vec::new()));
+    let s2 = Arc::clone(&samples);
     let payload = vec![0xA5u8; len];
     let mut p0 = world.proc(0);
     let mut p1 = world.proc(1);
@@ -414,7 +423,7 @@ pub fn mpi_pingpong_histogram(net: MpiNet, len: usize) -> Histogram {
             p0.send(ctx, &comm, 1, 1, &payload).unwrap();
             let _ = p0.recv(ctx, &comm, Some(1), Some(2)).unwrap();
             if i >= WARMUP {
-                h2.lock().record((ctx.now() - t0) / 2);
+                s2.lock().push((ctx.now() - t0) / 2);
             }
         }
     });
@@ -431,9 +440,32 @@ pub fn mpi_pingpong_histogram(net: MpiNet, len: usize) -> Histogram {
         "mpi ping-pong deadlocked: {:?}",
         report.deadlocked
     );
-    Arc::try_unwrap(hist)
+    Arc::try_unwrap(samples)
         .expect("sole owner after run")
         .into_inner()
+}
+
+/// [`mpi_pingpong_samples`] folded into a histogram.
+pub fn mpi_pingpong_histogram(net: MpiNet, len: usize) -> Histogram {
+    let mut hist = Histogram::new();
+    for s in mpi_pingpong_samples(net, len) {
+        hist.record(s);
+    }
+    hist
+}
+
+/// The distribution behind the scalar layering constant: per-repetition
+/// MPI one-way latency minus the matching BBP one-way repetition,
+/// nanoseconds, as a log-bucket histogram ready for
+/// [`report::push_quantiles_log`].
+pub fn mpi_layering_log_histogram(len: usize) -> obs::LogHistogram {
+    let bbp = bbp_pingpong_samples(len, 4);
+    let mpi = mpi_pingpong_samples(MpiNet::Scramnet, len);
+    let hist = obs::LogHistogram::new();
+    for (m, b) in mpi.iter().zip(&bbp) {
+        hist.record(m.saturating_sub(*b));
+    }
+    hist
 }
 
 /// The MPI_Bcast of [`mpi_bcast_us`] with the obs recorder armed for the

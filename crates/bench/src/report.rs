@@ -132,8 +132,50 @@ pub fn push_quantiles(name: impl Into<String>, hist: &des::metrics::Histogram) {
             p50_us: us(hist.quantile(0.5)),
             p90_us: us(hist.quantile(0.9)),
             p99_us: us(hist.quantile(0.99)),
+            p999_us: us(hist.quantile(0.999)),
             max_us: us(hist.max()),
             mean_us: hist.mean() / 1000.0,
+        })
+    });
+}
+
+/// Record the quantile summary of an [`obs::LogHistogram`] (log-bucket
+/// resolution: every statistic is a bucket midpoint).
+pub fn push_quantiles_log(name: impl Into<String>, hist: &obs::LogHistogram) {
+    let us = |ns: u64| ns as f64 / 1000.0;
+    with(|r| {
+        r.quantiles.push(Quantiles {
+            name: name.into(),
+            n: hist.count(),
+            min_us: us(hist.min()),
+            p50_us: us(hist.p50()),
+            p90_us: us(hist.quantile(0.9)),
+            p99_us: us(hist.p99()),
+            p999_us: us(hist.p999()),
+            max_us: us(hist.max()),
+            mean_us: hist.mean() / 1000.0,
+        })
+    });
+}
+
+/// Record one reconstructed message waterfall (times become µs relative
+/// to the message's first checkpoint).
+pub fn push_message(w: &obs::MessageWaterfall) {
+    let base = w.steps.first().map_or(0, |s| s.time);
+    with(|r| {
+        r.messages.push(obs::report::MessageRow {
+            id: w.id,
+            src: w.src,
+            total_us: w.total_ns() as f64 / 1000.0,
+            stages: w
+                .steps
+                .iter()
+                .map(|s| obs::report::MessageStage {
+                    stage: s.stage.name().to_string(),
+                    at_us: s.time.saturating_sub(base) as f64 / 1000.0,
+                    node: s.node,
+                })
+                .collect(),
         })
     });
 }
@@ -213,6 +255,29 @@ mod tests {
             h.record(ns);
         }
         push_quantiles("d", &h);
+        let lh = obs::LogHistogram::new();
+        for ns in [900, 1100, 500_000] {
+            lh.record(ns);
+        }
+        push_quantiles_log("detect", &lh);
+        push_message(&obs::MessageWaterfall {
+            id: (1 << 40) | 5,
+            src: 0,
+            steps: vec![
+                obs::WaterfallStep {
+                    time: 1_000,
+                    node: 0,
+                    stage: obs::Stage::SendEnter,
+                    arg: 0,
+                },
+                obs::WaterfallStep {
+                    time: 9_400,
+                    node: 1,
+                    stage: obs::Stage::Deliver,
+                    arg: 0,
+                },
+            ],
+        });
         let r = finish().expect("armed");
         // Sibling tests may run concurrently and append to the armed
         // sink, so match our records by identity rather than position.
@@ -226,6 +291,14 @@ mod tests {
             .iter()
             .any(|c| c.incumbent == "a" && c.challenger == "b" && c.at_bytes == Some(64)));
         assert!(r.quantiles.iter().any(|q| q.name == "d" && q.n == 3));
+        assert!(r
+            .quantiles
+            .iter()
+            .any(|q| q.name == "detect" && q.p999_us >= q.p50_us));
+        assert!(r
+            .messages
+            .iter()
+            .any(|m| m.src == 0 && m.stages.len() == 2 && (m.total_us - 8.4).abs() < 1e-9));
         obs::report::validate_json(&r.to_json()).unwrap();
     }
 }

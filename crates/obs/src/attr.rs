@@ -4,6 +4,7 @@
 //! layering breakdown (the ≈37.5 µs MPI-over-BBP constant).
 
 use crate::event::{Event, Layer};
+use crate::lifecycle::Stage;
 use crate::Time;
 
 /// Per-layer self-time totals over one event stream.
@@ -102,11 +103,88 @@ pub fn attribute(events: &[Event]) -> LayerBreakdown {
                     None => out.covered_ns += extent,
                 }
             }
-            Event::Count { .. } | Event::Sched(_) => {}
+            Event::Count { .. } | Event::Lifecycle { .. } | Event::Sched(_) => {}
         }
     }
     for (_, stack) in &stacks {
         out.unbalanced += stack.len() as u64;
+    }
+    out
+}
+
+/// One recorded step of a message's journey.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WaterfallStep {
+    /// Virtual time of the checkpoint, ns.
+    pub time: Time,
+    /// Node the checkpoint happened on.
+    pub node: u32,
+    /// Which checkpoint.
+    pub stage: Stage,
+    /// Stage argument (hop node, target rank, attempt, …).
+    pub arg: u64,
+}
+
+/// One message's reconstructed latency waterfall: every lifecycle
+/// checkpoint recorded against its trace id, in time order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MessageWaterfall {
+    /// The trace id.
+    pub id: u64,
+    /// Origin node, decoded from the id's high bits.
+    pub src: u32,
+    /// Checkpoints in recording (= time) order.
+    pub steps: Vec<WaterfallStep>,
+}
+
+impl MessageWaterfall {
+    /// Total span from the first to the last checkpoint, ns.
+    pub fn total_ns(&self) -> u64 {
+        match (self.steps.first(), self.steps.last()) {
+            (Some(a), Some(b)) => b.time.saturating_sub(a.time),
+            _ => 0,
+        }
+    }
+
+    /// Time of the first checkpoint with `stage`, if recorded.
+    pub fn stage_time(&self, stage: Stage) -> Option<Time> {
+        self.steps.iter().find(|s| s.stage == stage).map(|s| s.time)
+    }
+}
+
+/// Group the stream's [`Event::Lifecycle`] entries into per-message
+/// waterfalls, ordered by each message's first checkpoint. Untraced
+/// events (id 0) are skipped — they have no journey to reconstruct.
+pub fn message_waterfalls(events: &[Event]) -> Vec<MessageWaterfall> {
+    let mut out: Vec<MessageWaterfall> = Vec::new();
+    for ev in events {
+        let Event::Lifecycle {
+            time,
+            node,
+            id,
+            stage,
+            arg,
+        } = *ev
+        else {
+            continue;
+        };
+        if id == 0 {
+            continue;
+        }
+        let step = WaterfallStep {
+            time,
+            node,
+            stage,
+            arg,
+        };
+        match out.iter_mut().find(|w| w.id == id) {
+            Some(w) => w.steps.push(step),
+            None => out.push(MessageWaterfall {
+                id,
+                src: (id >> 40).saturating_sub(1) as u32,
+                steps: vec![step],
+            }),
+        }
     }
     out
 }
@@ -189,6 +267,40 @@ mod tests {
         ];
         let b = attribute(&events);
         assert_eq!(b.unbalanced, 3); // bad exit + open nic + open mpi
+    }
+
+    fn life(time: Time, node: u32, id: u64, stage: Stage, arg: u64) -> Event {
+        Event::Lifecycle {
+            time,
+            node,
+            id,
+            stage,
+            arg,
+        }
+    }
+
+    #[test]
+    fn waterfalls_group_by_trace_id() {
+        let a = (1u64 << 40) | 1; // minted on node 0
+        let b = (2u64 << 40) | 2; // minted on node 1
+        let events = [
+            life(0, 0, a, Stage::SendEnter, 0),
+            life(5, 0, b, Stage::SendEnter, 0),
+            life(10, 0, a, Stage::RingInject, 0),
+            life(20, 1, a, Stage::RecvMatch, 0),
+            life(30, 1, a, Stage::Deliver, 0),
+            life(40, 0, 0, Stage::RingHop, 0), // untraced: dropped
+        ];
+        let w = message_waterfalls(&events);
+        assert_eq!(w.len(), 2);
+        assert_eq!(w[0].id, a);
+        assert_eq!(w[0].src, 0);
+        assert_eq!(w[0].steps.len(), 4);
+        assert_eq!(w[0].total_ns(), 30);
+        assert_eq!(w[0].stage_time(Stage::RecvMatch), Some(20));
+        assert_eq!(w[0].stage_time(Stage::Retry), None);
+        assert_eq!(w[1].id, b);
+        assert_eq!(w[1].src, 1);
     }
 
     #[test]

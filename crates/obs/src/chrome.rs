@@ -43,11 +43,15 @@ pub fn chrome_trace_json(events: &[Event]) -> String {
     // sorted for deterministic output.
     let mut tracks: Vec<(i64, usize)> = Vec::new();
     for e in events {
-        if let Event::SpanEnter { node, layer, .. } | Event::SpanExit { node, layer, .. } = e {
-            let key = (pid_of(*node), layer.index());
-            if !tracks.contains(&key) {
-                tracks.push(key);
+        let key = match e {
+            Event::SpanEnter { node, layer, .. } | Event::SpanExit { node, layer, .. } => {
+                (pid_of(*node), layer.index())
             }
+            Event::Lifecycle { node, stage, .. } => (pid_of(*node), stage.layer().index()),
+            _ => continue,
+        };
+        if !tracks.contains(&key) {
+            tracks.push(key);
         }
     }
     tracks.sort_unstable();
@@ -140,6 +144,42 @@ pub fn chrome_trace_json(events: &[Event]) -> String {
                     pid_of(*node)
                 );
             }
+            Event::Lifecycle {
+                time,
+                node,
+                id,
+                stage,
+                arg,
+            } => {
+                // One flow chain per message: the send entry starts it
+                // (`s`), delivery finishes it (`f`, binding to the
+                // enclosing slice), every checkpoint between is a step
+                // (`t`). Untraced events (id 0) have no chain to join.
+                if *id == 0 {
+                    continue;
+                }
+                let ph = match stage {
+                    crate::lifecycle::Stage::SendEnter => "s",
+                    crate::lifecycle::Stage::Deliver => "f",
+                    _ => "t",
+                };
+                push_sep(&mut out, &mut first);
+                out.push_str("{\"name\":\"message\",\"cat\":\"lifecycle\",\"ph\":\"");
+                out.push_str(ph);
+                out.push('"');
+                if ph == "f" {
+                    out.push_str(",\"bp\":\"e\"");
+                }
+                let _ = write!(out, ",\"id\":{id},\"ts\":");
+                write_ts(&mut out, *time);
+                let _ = write!(
+                    out,
+                    ",\"pid\":{},\"tid\":{},\"args\":{{\"stage\":\"{}\",\"arg\":{arg}}}}}",
+                    pid_of(*node),
+                    stage.layer().index(),
+                    stage.name()
+                );
+            }
             Event::Sched(entry) if entry.kind == TraceKind::Mark => {
                 push_sep(&mut out, &mut first);
                 out.push_str("{\"name\":");
@@ -218,6 +258,57 @@ mod tests {
         );
         // ts is µs with fixed 3-decimal rendering.
         assert_eq!(items[2].get("ts").unwrap().as_f64(), Some(1.5));
+    }
+
+    #[test]
+    fn lifecycle_events_become_flow_phases() {
+        use crate::lifecycle::Stage;
+        let id = (1u64 << 40) | 3;
+        let life = |time, node, stage, arg| Event::Lifecycle {
+            time,
+            node,
+            id,
+            stage,
+            arg,
+        };
+        let events = [
+            life(1_000, 0, Stage::SendEnter, 0),
+            life(2_000, 0, Stage::RingInject, 0),
+            life(3_000, 1, Stage::RingHop, 1),
+            life(4_000, 1, Stage::RecvMatch, 0),
+            life(5_000, 1, Stage::Deliver, 0),
+            Event::Lifecycle {
+                time: 6_000,
+                node: 0,
+                id: 0,
+                stage: Stage::RingHop,
+                arg: 0,
+            },
+        ];
+        let text = chrome_trace_json(&events);
+        let doc = json::parse(&text).expect("flow export must be valid JSON");
+        let items = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        let phases: Vec<&str> = items
+            .iter()
+            .filter(|e| e.get("cat").and_then(json::Json::as_str) == Some("lifecycle"))
+            .map(|e| e.get("ph").unwrap().as_str().unwrap())
+            .collect();
+        // Untraced id-0 event omitted; s starts, t steps, f finishes.
+        assert_eq!(phases, vec!["s", "t", "t", "t", "f"]);
+        let fin = items
+            .iter()
+            .find(|e| e.get("ph").and_then(json::Json::as_str) == Some("f"))
+            .unwrap();
+        assert_eq!(fin.get("bp").unwrap().as_str(), Some("e"));
+        assert_eq!(fin.get("id").unwrap().as_f64(), Some(id as f64));
+        assert_eq!(
+            fin.get("args").unwrap().get("stage").unwrap().as_str(),
+            Some("deliver")
+        );
+        // Lifecycle-only streams still name their tracks.
+        assert!(items
+            .iter()
+            .any(|e| e.get("ph").and_then(json::Json::as_str) == Some("M")));
     }
 
     #[test]

@@ -116,6 +116,22 @@ pub enum Event {
         /// Increment.
         delta: u64,
     },
+    /// A message-lifecycle checkpoint recorded against a trace id (see
+    /// [`crate::lifecycle::Stage`]). The Chrome exporter renders these
+    /// as flow events (`s`/`t`/`f`) so one message's journey draws as a
+    /// connected arrow chain across nodes.
+    Lifecycle {
+        /// Virtual time, ns.
+        time: Time,
+        /// Node (rank) the checkpoint happened on, or [`NO_NODE`].
+        node: u32,
+        /// The message's trace id (0 = untraced).
+        id: u64,
+        /// Which checkpoint.
+        stage: crate::lifecycle::Stage,
+        /// Stage argument (hop node, target rank, attempt, …).
+        arg: u64,
+    },
     /// A legacy scheduler trace entry (see [`TraceEntry`]).
     Sched(TraceEntry),
 }
@@ -126,7 +142,8 @@ impl Event {
         match self {
             Event::SpanEnter { time, .. }
             | Event::SpanExit { time, .. }
-            | Event::Count { time, .. } => *time,
+            | Event::Count { time, .. }
+            | Event::Lifecycle { time, .. } => *time,
             Event::Sched(e) => e.time,
         }
     }
@@ -219,6 +236,13 @@ mod tests {
                 node: 0,
                 name: "x",
                 delta: 1,
+            },
+            Event::Lifecycle {
+                time: 5,
+                node: 0,
+                id: 1,
+                stage: crate::lifecycle::Stage::SendEnter,
+                arg: 0,
             },
         ] {
             assert_eq!(e.time(), 5);

@@ -19,9 +19,22 @@
 //!   `des::trace` module) preserve the byte-identical determinism traces
 //!   the integration tests compare.
 //!
+//! - **Lifecycle checkpoints** ([`lifecycle::Stage`]) trace a single
+//!   message's journey — send entry, descriptor write, ring injection,
+//!   per-hop transit, flag toggle, receive match, delivery, retry repair
+//!   — against a compact trace id minted at the send entry point.
+//!   [`message_waterfalls`] reconstructs the per-message latency
+//!   waterfall; the Chrome exporter renders it as `s`/`t`/`f` flow
+//!   events.
+//!
 //! The recorder is **zero-overhead when disabled**: every recording call
 //! is one relaxed atomic load, no locks and no allocations (verified by
-//! `tests/obs_zero_cost.rs`).
+//! `tests/obs_zero_cost.rs`). Two always-on facilities are budgeted just
+//! as tightly: [`hist::LogHistogram`] records a latency sample with one
+//! relaxed `fetch_add`, and the [`flight::FlightRecorder`] keeps a
+//! bounded ring of recent lifecycle events (relaxed stores into
+//! preallocated slots) that is dumped as a JSON postmortem when a typed
+//! error surfaces, a chaos kill fires, or a gated test fails.
 //!
 //! Exporters: [`chrome_trace_json`] writes Chrome `trace_event` JSON
 //! loadable in Perfetto / `about://tracing`; [`report::BenchReport`]
@@ -37,12 +50,18 @@ mod chrome;
 mod event;
 mod recorder;
 
+pub mod flight;
+pub mod hist;
 pub mod json;
+pub mod lifecycle;
 pub mod report;
 
-pub use attr::{attribute, LayerBreakdown};
+pub use attr::{attribute, message_waterfalls, LayerBreakdown, MessageWaterfall, WaterfallStep};
 pub use chrome::chrome_trace_json;
 pub use event::{Event, Layer, TraceEntry, TraceKind, NO_NODE};
+pub use flight::{FlightGuard, FlightRecorder};
+pub use hist::LogHistogram;
+pub use lifecycle::Stage;
 pub use recorder::Recorder;
 
 /// Virtual time in integer nanoseconds (identical to `des::Time`).

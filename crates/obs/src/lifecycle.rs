@@ -1,0 +1,144 @@
+//! The message-lifecycle taxonomy: the named checkpoints a single
+//! message passes on its way from an MPI (or bare-BBP) send call to
+//! delivery at the receiver, recorded against a compact trace id so the
+//! whole journey — PIO posting, ring transit hop by hop, flag-word
+//! toggle, receive match, retry repair — can be reconstructed as a
+//! per-message waterfall.
+//!
+//! Trace ids are minted by [`crate::Recorder::mint_trace_id`] at the
+//! send entry point and carried *alongside* the protocol (in the
+//! recorder's per-node current-trace slots), never inside it: no shared
+//! word, descriptor field, or packet byte changes, so golden
+//! determinism traces and the calibrated latencies are untouched.
+
+use crate::event::Layer;
+
+/// A checkpoint in one message's life. The discriminants are stable
+/// (they are packed into flight-recorder words) and the order is the
+/// nominal happens-before order on a clean send.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum Stage {
+    /// The application entered the send path (MPI binding or bare BBP).
+    SendEnter = 0,
+    /// The BBP descriptor `[off, len, seq]` was written to the billboard.
+    DescriptorWrite = 1,
+    /// The message's first word was injected onto the ring (end of the
+    /// sender's PIO phase).
+    RingInject = 2,
+    /// The packet passed through one ring node (arg = node id).
+    RingHop = 3,
+    /// The sender toggled the receiver's MESSAGE flag word (arg =
+    /// target rank).
+    FlagSet = 4,
+    /// The receiver's poll matched the flag toggle and read the
+    /// descriptor.
+    RecvMatch = 5,
+    /// The ADI parked the message in the unexpected queue (no posted
+    /// receive matched).
+    UnexpectedPark = 6,
+    /// A late-posted receive drained the message from the unexpected
+    /// queue (arg = residency time in ns when known).
+    UnexpectedHit = 7,
+    /// The payload was handed to the application.
+    Deliver = 8,
+    /// The sender retransmitted the message (arg = attempt number).
+    Retry = 9,
+    /// The receiver NACKed a corrupt transfer, requesting repair.
+    NackRepair = 10,
+    /// A typed error surfaced for this message (arg = peer rank).
+    Error = 11,
+}
+
+impl Stage {
+    /// Every stage, in nominal lifecycle order.
+    pub const ALL: [Stage; 12] = [
+        Stage::SendEnter,
+        Stage::DescriptorWrite,
+        Stage::RingInject,
+        Stage::RingHop,
+        Stage::FlagSet,
+        Stage::RecvMatch,
+        Stage::UnexpectedPark,
+        Stage::UnexpectedHit,
+        Stage::Deliver,
+        Stage::Retry,
+        Stage::NackRepair,
+        Stage::Error,
+    ];
+
+    /// Stable lowercase name (the Chrome flow-event step label and the
+    /// flight-dump / waterfall key).
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::SendEnter => "send_enter",
+            Stage::DescriptorWrite => "descriptor_write",
+            Stage::RingInject => "ring_inject",
+            Stage::RingHop => "ring_hop",
+            Stage::FlagSet => "flag_set",
+            Stage::RecvMatch => "recv_match",
+            Stage::UnexpectedPark => "unexpected_park",
+            Stage::UnexpectedHit => "unexpected_hit",
+            Stage::Deliver => "deliver",
+            Stage::Retry => "retry",
+            Stage::NackRepair => "nack_repair",
+            Stage::Error => "error",
+        }
+    }
+
+    /// The stack layer that produces this stage (the Chrome flow event's
+    /// track).
+    pub fn layer(self) -> Layer {
+        match self {
+            Stage::SendEnter => Layer::Mpi,
+            Stage::UnexpectedPark | Stage::UnexpectedHit => Layer::Adi,
+            Stage::DescriptorWrite
+            | Stage::FlagSet
+            | Stage::RecvMatch
+            | Stage::Deliver
+            | Stage::Retry
+            | Stage::NackRepair
+            | Stage::Error => Layer::Bbp,
+            Stage::RingInject | Stage::RingHop => Layer::Ring,
+        }
+    }
+
+    /// Decode a packed discriminant (flight-recorder words), saturating
+    /// unknown values to [`Stage::Error`].
+    pub fn from_u8(v: u8) -> Stage {
+        *Stage::ALL.get(v as usize).unwrap_or(&Stage::Error)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn discriminants_round_trip() {
+        for (i, s) in Stage::ALL.iter().enumerate() {
+            assert_eq!(*s as u8, i as u8);
+            assert_eq!(Stage::from_u8(i as u8), *s);
+        }
+        assert_eq!(Stage::from_u8(200), Stage::Error);
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<&str> = Stage::ALL.iter().map(|s| s.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), Stage::ALL.len());
+    }
+
+    #[test]
+    fn every_stage_maps_to_a_layer() {
+        for s in Stage::ALL {
+            // The mapping is total and lands on an instrumented layer.
+            assert!(matches!(
+                s.layer(),
+                Layer::Mpi | Layer::Adi | Layer::Bbp | Layer::Ring
+            ));
+        }
+    }
+}

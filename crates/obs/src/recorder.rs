@@ -1,11 +1,16 @@
 //! The shared recorder: a single append-only event log behind an atomic
 //! enable gate.
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Mutex, PoisonError};
 
 use crate::event::{Event, Layer, TraceEntry};
+use crate::flight::FlightRecorder;
+use crate::lifecycle::Stage;
 use crate::Time;
+
+/// Per-node current-trace slots (indexed `node % CURRENT_SLOTS`).
+const CURRENT_SLOTS: usize = 64;
 
 /// Records [`Event`]s from every layer of one simulation.
 ///
@@ -16,10 +21,26 @@ use crate::Time;
 /// recording call** — no locks, no allocations, no branches beyond the
 /// gate. Span names are `&'static str` so even the enabled path never
 /// allocates per event (the event vector amortizes its growth).
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Recorder {
     enabled: AtomicBool,
     events: Mutex<Vec<Event>>,
+    /// Monotonic trace-id mint (see [`Recorder::mint_trace_id`]).
+    mint: AtomicU64,
+    /// The trace id currently being worked on per node: the side channel
+    /// that carries a message's identity *alongside* the protocol into
+    /// layers whose signatures know nothing about tracing.
+    current_tx: [AtomicU64; CURRENT_SLOTS],
+    /// Receive-side twin of `current_tx`: the trace id of the message a
+    /// node's transport most recently delivered, so layers above the
+    /// delivery (the ADI's unexpected queue) can tag their events.
+    current_rx: [AtomicU64; CURRENT_SLOTS],
+    /// Enabled-only `(src, seq) → trace id` correlation, so the receive
+    /// side can resolve a descriptor it just matched back to the id the
+    /// sender minted. Cleared on [`Recorder::enable`].
+    msg_ids: Mutex<Vec<((u32, u32), u64)>>,
+    /// The always-on postmortem ring (see [`crate::flight`]).
+    flight: FlightRecorder,
 }
 
 impl Recorder {
@@ -28,6 +49,11 @@ impl Recorder {
         Recorder {
             enabled: AtomicBool::new(false),
             events: Mutex::new(Vec::new()),
+            mint: AtomicU64::new(0),
+            current_tx: std::array::from_fn(|_| AtomicU64::new(0)),
+            current_rx: std::array::from_fn(|_| AtomicU64::new(0)),
+            msg_ids: Mutex::new(Vec::new()),
+            flight: FlightRecorder::new(),
         }
     }
 
@@ -38,9 +64,14 @@ impl Recorder {
         self.enabled.load(Ordering::Relaxed)
     }
 
-    /// Clear the log and start recording.
+    /// Clear the log (and the trace-id correlation map) and start
+    /// recording.
     pub fn enable(&self) {
         self.lock().clear();
+        self.msg_ids
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clear();
         self.enabled.store(true, Ordering::Relaxed);
     }
 
@@ -106,6 +137,124 @@ impl Recorder {
         self.lock().push(Event::Sched(entry));
     }
 
+    // ------------------------------------------------------------------
+    // Message-lifecycle tracing
+    // ------------------------------------------------------------------
+
+    /// Mint a fresh trace id for a message entering the stack at `node`.
+    ///
+    /// Ids are `(node + 1) << 40 | counter`, so they are globally unique
+    /// within a run, never 0, and carry their origin for free. Minting
+    /// is **always on** (one relaxed `fetch_add`): the simulator's
+    /// deterministic execution makes the sequence reproducible, so ids
+    /// recorded by the always-on flight ring match ids in an enabled
+    /// trace of the same run.
+    #[inline]
+    pub fn mint_trace_id(&self, node: u32) -> u64 {
+        ((node as u64 + 1) << 40) | (self.mint.fetch_add(1, Ordering::Relaxed) & 0xFF_FFFF_FFFF)
+    }
+
+    /// Publish `id` as the trace currently being worked on by `node`
+    /// (0 clears it). One relaxed store.
+    #[inline(always)]
+    pub fn set_current_trace(&self, node: u32, id: u64) {
+        self.current_tx[node as usize % CURRENT_SLOTS].store(id, Ordering::Relaxed);
+    }
+
+    /// The trace id `node` is currently working on (0 = none). One
+    /// relaxed load — cheap enough for the ring's injection path.
+    #[inline(always)]
+    pub fn current_trace(&self, node: u32) -> u64 {
+        self.current_tx[node as usize % CURRENT_SLOTS].load(Ordering::Relaxed)
+    }
+
+    /// Publish `id` as the trace of the message `node`'s transport most
+    /// recently delivered. One relaxed store.
+    #[inline(always)]
+    pub fn set_current_rx(&self, node: u32, id: u64) {
+        self.current_rx[node as usize % CURRENT_SLOTS].store(id, Ordering::Relaxed);
+    }
+
+    /// The trace id of the message most recently delivered at `node`
+    /// (0 = none). One relaxed load.
+    #[inline(always)]
+    pub fn current_rx(&self, node: u32) -> u64 {
+        self.current_rx[node as usize % CURRENT_SLOTS].load(Ordering::Relaxed)
+    }
+
+    /// Record a lifecycle checkpoint. **Always** lands in the flight
+    /// ring (relaxed-atomic, allocation-free); additionally appended to
+    /// the event log when recording is enabled.
+    #[inline]
+    pub fn lifecycle(&self, time: Time, node: u32, id: u64, stage: Stage, arg: u64) {
+        self.flight.push(time, node, id, stage, arg);
+        if !self.is_enabled() {
+            return;
+        }
+        self.lock().push(Event::Lifecycle {
+            time,
+            node,
+            id,
+            stage,
+            arg,
+        });
+    }
+
+    /// Record a lifecycle checkpoint from a hot path: a complete no-op
+    /// (one relaxed load) unless recording is enabled. Used for
+    /// high-frequency stages (per-hop ring transit) whose always-on
+    /// cost would crowd everything else out of the flight ring.
+    #[inline]
+    pub fn lifecycle_hot(&self, time: Time, node: u32, id: u64, stage: Stage, arg: u64) {
+        if !self.is_enabled() {
+            return;
+        }
+        self.flight.push(time, node, id, stage, arg);
+        self.lock().push(Event::Lifecycle {
+            time,
+            node,
+            id,
+            stage,
+            arg,
+        });
+    }
+
+    /// Remember that the message `(src, seq)` carries trace id `id`, so
+    /// the receive side can recover the id from the descriptor it
+    /// matched. Enabled-only (the flight ring needs no correlation —
+    /// it records ids directly).
+    #[inline]
+    pub fn register_msg(&self, src: u32, seq: u32, id: u64) {
+        if !self.is_enabled() {
+            return;
+        }
+        let mut map = self.msg_ids.lock().unwrap_or_else(PoisonError::into_inner);
+        match map.iter_mut().find(|(k, _)| *k == (src, seq)) {
+            Some(slot) => slot.1 = id,
+            None => map.push(((src, seq), id)),
+        }
+    }
+
+    /// The trace id registered for `(src, seq)`, or 0.
+    #[inline]
+    pub fn lookup_msg(&self, src: u32, seq: u32) -> u64 {
+        if !self.is_enabled() {
+            return 0;
+        }
+        self.msg_ids
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .iter()
+            .rev()
+            .find(|(k, _)| *k == (src, seq))
+            .map_or(0, |(_, id)| *id)
+    }
+
+    /// The always-on postmortem flight ring.
+    pub fn flight(&self) -> &FlightRecorder {
+        &self.flight
+    }
+
     /// Number of events currently in the log.
     pub fn len(&self) -> usize {
         self.lock().len()
@@ -159,6 +308,12 @@ impl Recorder {
     }
 }
 
+impl Default for Recorder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -203,6 +358,68 @@ mod tests {
         assert_eq!(trace[0].kind, TraceKind::Resume);
         assert!(!r.is_enabled());
         assert!(r.is_empty());
+    }
+
+    #[test]
+    fn trace_ids_are_unique_and_nonzero() {
+        let r = Recorder::new();
+        let a = r.mint_trace_id(0);
+        let b = r.mint_trace_id(0);
+        let c = r.mint_trace_id(3);
+        assert_ne!(a, 0);
+        assert_ne!(a, b);
+        assert_ne!(b, c);
+        // The origin node is recoverable from the high bits.
+        assert_eq!(c >> 40, 4);
+    }
+
+    #[test]
+    fn current_trace_round_trips_per_node() {
+        let r = Recorder::new();
+        r.set_current_trace(0, 11);
+        r.set_current_trace(2, 22);
+        assert_eq!(r.current_trace(0), 11);
+        assert_eq!(r.current_trace(2), 22);
+        assert_eq!(r.current_trace(1), 0);
+        r.set_current_trace(0, 0);
+        assert_eq!(r.current_trace(0), 0);
+    }
+
+    #[test]
+    fn lifecycle_feeds_flight_ring_even_when_disabled() {
+        let r = Recorder::new();
+        r.lifecycle(5, 0, 9, Stage::SendEnter, 0);
+        assert!(r.is_empty(), "disabled log must stay empty");
+        assert_eq!(r.flight().recorded(), 1);
+        r.enable();
+        r.lifecycle(6, 0, 9, Stage::Deliver, 0);
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.flight().recorded(), 2);
+    }
+
+    #[test]
+    fn lifecycle_hot_is_a_noop_when_disabled() {
+        let r = Recorder::new();
+        r.lifecycle_hot(5, 0, 9, Stage::RingHop, 1);
+        assert!(r.is_empty());
+        assert_eq!(r.flight().recorded(), 0);
+        r.enable();
+        r.lifecycle_hot(6, 0, 9, Stage::RingHop, 2);
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.flight().recorded(), 1);
+    }
+
+    #[test]
+    fn msg_correlation_is_enabled_only_and_cleared_on_enable() {
+        let r = Recorder::new();
+        r.register_msg(0, 7, 99);
+        assert_eq!(r.lookup_msg(0, 7), 0, "disabled: nothing registered");
+        r.enable();
+        r.register_msg(0, 7, 99);
+        assert_eq!(r.lookup_msg(0, 7), 99);
+        assert_eq!(r.lookup_msg(1, 7), 0);
+        r.enable();
+        assert_eq!(r.lookup_msg(0, 7), 0, "enable() clears the map");
     }
 
     #[test]

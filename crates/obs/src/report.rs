@@ -10,7 +10,16 @@ use crate::json::{self, write_f64, write_string, Json};
 /// simulator's own throughput (events/sec, simulated-ns/sec, peak queue
 /// depth), recorded so every PR's engine speed is pinned against the
 /// committed baseline.
-pub const SCHEMA_VERSION: u32 = 2;
+///
+/// v3 added tail percentiles (`p999_us` in every quantile row) and the
+/// `messages` section: per-message lifecycle waterfalls reconstructed
+/// from trace-id flow events. The validator still accepts v2 documents
+/// ([`validate_json`] dispatches on the version), so committed v2
+/// baselines keep validating.
+pub const SCHEMA_VERSION: u32 = 3;
+
+/// Oldest schema version [`validate_json`] still accepts.
+pub const MIN_SCHEMA_VERSION: u32 = 2;
 
 /// The paper's MPI-over-BBP layering constant: MPI adds ≈37.5 µs of
 /// software overhead on top of raw BBP latency, independent of message
@@ -114,10 +123,36 @@ pub struct Quantiles {
     pub p90_us: f64,
     /// 99th percentile, µs.
     pub p99_us: f64,
+    /// 99.9th percentile, µs.
+    pub p999_us: f64,
     /// Maximum, µs.
     pub max_us: f64,
     /// Mean, µs.
     pub mean_us: f64,
+}
+
+/// One checkpoint of a [`MessageRow`] waterfall.
+#[derive(Debug, Clone)]
+pub struct MessageStage {
+    /// Stage name (see `lifecycle::Stage::name`).
+    pub stage: String,
+    /// Time of the checkpoint relative to the message's first, µs.
+    pub at_us: f64,
+    /// Node the checkpoint happened on.
+    pub node: u32,
+}
+
+/// One message's reconstructed lifecycle waterfall.
+#[derive(Debug, Clone)]
+pub struct MessageRow {
+    /// The trace id.
+    pub id: u64,
+    /// Origin node.
+    pub src: u32,
+    /// First-to-last checkpoint span, µs.
+    pub total_us: f64,
+    /// Checkpoints in time order.
+    pub stages: Vec<MessageStage>,
 }
 
 /// One wall-clock self-measurement: how fast the simulator itself ran
@@ -158,6 +193,9 @@ pub struct BenchReport {
     pub layering: Option<Layering>,
     /// Latency distributions.
     pub quantiles: Vec<Quantiles>,
+    /// Per-message lifecycle waterfalls (empty unless the run traced
+    /// messages).
+    pub messages: Vec<MessageRow>,
     /// Wall-clock engine self-measurements (the bench trajectory).
     pub wallclock: Vec<Wallclock>,
 }
@@ -268,6 +306,7 @@ impl BenchReport {
                 ("p50_us", q.p50_us),
                 ("p90_us", q.p90_us),
                 ("p99_us", q.p99_us),
+                ("p999_us", q.p999_us),
                 ("max_us", q.max_us),
                 ("mean_us", q.mean_us),
             ] {
@@ -277,6 +316,28 @@ impl BenchReport {
                 write_f64(&mut o, v);
             }
             o.push('}');
+        }
+        o.push_str("\n  ],\n  \"messages\": [");
+        for (i, m) in self.messages.iter().enumerate() {
+            o.push_str(if i == 0 { "\n" } else { ",\n" });
+            let _ = std::fmt::Write::write_fmt(
+                &mut o,
+                format_args!("    {{\"id\": {}, \"src\": {}, \"total_us\": ", m.id, m.src),
+            );
+            write_f64(&mut o, m.total_us);
+            o.push_str(", \"stages\": [");
+            for (j, s) in m.stages.iter().enumerate() {
+                if j > 0 {
+                    o.push_str(", ");
+                }
+                o.push_str("{\"stage\": ");
+                write_string(&mut o, &s.stage);
+                o.push_str(", \"at_us\": ");
+                write_f64(&mut o, s.at_us);
+                let _ =
+                    std::fmt::Write::write_fmt(&mut o, format_args!(", \"node\": {}}}", s.node));
+            }
+            o.push_str("]}");
         }
         o.push_str("\n  ],\n  \"wallclock\": [");
         for (i, w) in self.wallclock.iter().enumerate() {
@@ -326,19 +387,23 @@ fn require_str<'a>(obj: &'a Json, key: &str, ctx: &str) -> Result<&'a str, Strin
         .ok_or_else(|| format!("{ctx}: '{key}' must be a string"))
 }
 
-/// Validate a `BENCH_summary.json` document against schema version
-/// [`SCHEMA_VERSION`]. Returns the first problem found.
+/// Validate a `BENCH_summary.json` document. Version-dispatching: the
+/// checks applied are those of the document's own `schema_version`, so
+/// committed v2 baselines keep validating after a schema bump; versions
+/// outside [`MIN_SCHEMA_VERSION`]`..=`[`SCHEMA_VERSION`] are rejected.
+/// Returns the first problem found.
 pub fn validate_json(text: &str) -> Result<(), String> {
     let doc = json::parse(text)?;
     if !doc.is_obj() {
         return Err("report must be a JSON object".to_string());
     }
     let version = require_num(&doc, "schema_version", "root")?;
-    if version != SCHEMA_VERSION as f64 {
+    if version < MIN_SCHEMA_VERSION as f64 || version > SCHEMA_VERSION as f64 {
         return Err(format!(
-            "schema_version {version} != supported {SCHEMA_VERSION}"
+            "schema_version {version} outside supported {MIN_SCHEMA_VERSION}..={SCHEMA_VERSION}"
         ));
     }
+    let v3 = version >= 3.0;
     require_str(&doc, "generated_by", "root")?;
 
     for (i, a) in require_arr(&doc, "anchors")?.iter().enumerate() {
@@ -405,6 +470,29 @@ pub fn validate_json(text: &str) -> Result<(), String> {
         ] {
             require_num(q, key, &ctx)?;
         }
+        if v3 {
+            require_num(q, "p999_us", &ctx)?;
+        }
+    }
+    if v3 {
+        for (i, m) in require_arr(&doc, "messages")?.iter().enumerate() {
+            let ctx = format!("messages[{i}]");
+            require_num(m, "id", &ctx)?;
+            require_num(m, "src", &ctx)?;
+            require_num(m, "total_us", &ctx)?;
+            for (j, s) in require(m, "stages")
+                .map_err(|e| format!("{ctx}: {e}"))?
+                .as_arr()
+                .ok_or_else(|| format!("{ctx}: 'stages' must be an array"))?
+                .iter()
+                .enumerate()
+            {
+                let sctx = format!("{ctx}.stages[{j}]");
+                require_str(s, "stage", &sctx)?;
+                require_num(s, "at_us", &sctx)?;
+                require_num(s, "node", &sctx)?;
+            }
+        }
     }
     for (i, w) in require_arr(&doc, "wallclock")?.iter().enumerate() {
         let ctx = format!("wallclock[{i}]");
@@ -465,8 +553,26 @@ mod tests {
                 p50_us: 44.0,
                 p90_us: 45.0,
                 p99_us: 45.0,
+                p999_us: 45.05,
                 max_us: 45.1,
                 mean_us: 44.2,
+            }],
+            messages: vec![MessageRow {
+                id: (1 << 40) | 7,
+                src: 0,
+                total_us: 8.4,
+                stages: vec![
+                    MessageStage {
+                        stage: "send_enter".to_string(),
+                        at_us: 0.0,
+                        node: 0,
+                    },
+                    MessageStage {
+                        stage: "deliver".to_string(),
+                        at_us: 8.4,
+                        node: 1,
+                    },
+                ],
             }],
             wallclock: vec![Wallclock {
                 scenario: "ring_bcast_stress_16node".to_string(),
@@ -499,6 +605,44 @@ mod tests {
             "\"schema_version\": 99",
         );
         assert!(validate_json(&text).unwrap_err().contains("schema_version"));
+        let old = sample().to_json().replace(
+            &format!("\"schema_version\": {SCHEMA_VERSION}"),
+            "\"schema_version\": 1",
+        );
+        assert!(validate_json(&old).unwrap_err().contains("schema_version"));
+    }
+
+    #[test]
+    fn v2_documents_still_validate() {
+        // A committed v2 baseline has no p999_us and no messages
+        // section; the validator must dispatch to the v2 rules.
+        let mut r = sample();
+        r.messages.clear();
+        let text = r
+            .to_json()
+            .replace(
+                &format!("\"schema_version\": {SCHEMA_VERSION}"),
+                "\"schema_version\": 2",
+            )
+            .replace(", \"p999_us\": 45.05", "")
+            .replace("\"messages\": [\n  ],\n  ", "");
+        assert!(!text.contains("p999_us"));
+        assert!(!text.contains("messages"));
+        validate_json(&text).unwrap();
+    }
+
+    #[test]
+    fn v3_requires_tail_percentiles_and_messages() {
+        let no_tail = sample().to_json().replace("\"p999_us\"", "\"p999_uz\"");
+        assert!(validate_json(&no_tail).unwrap_err().contains("p999_us"));
+        let no_msgs = sample().to_json().replace("\"messages\"", "\"mezzages\"");
+        assert!(validate_json(&no_msgs).unwrap_err().contains("messages"));
+    }
+
+    #[test]
+    fn message_stages_are_checked() {
+        let text = sample().to_json().replace("\"at_us\"", "\"at_uz\"");
+        assert!(validate_json(&text).unwrap_err().contains("at_us"));
     }
 
     #[test]

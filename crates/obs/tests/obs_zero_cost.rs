@@ -9,7 +9,7 @@
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use obs::{Layer, Recorder};
+use obs::{Layer, Recorder, Stage};
 
 struct CountingAlloc;
 
@@ -55,6 +55,40 @@ fn disabled_recorder_never_allocates() {
     assert!(
         rec.is_empty(),
         "disabled recording calls must record nothing"
+    );
+
+    // Message-lifecycle instrumentation: minting ids, publishing them on
+    // the per-node side-channels, and recording checkpoints must all stay
+    // allocation-free while disabled. `lifecycle` always feeds the
+    // preallocated flight ring; `lifecycle_hot` (the per-hop variant)
+    // must be a complete no-op.
+    let hot_before = rec.flight().recorded();
+    let before = ALLOCS.load(Ordering::SeqCst);
+    for t in 0..10_000u64 {
+        let id = rec.mint_trace_id(3);
+        rec.set_current_trace(3, id);
+        assert_eq!(rec.current_trace(3), id);
+        rec.set_current_rx(5, id);
+        assert_eq!(rec.current_rx(5), id);
+        rec.lifecycle(t, 3, id, Stage::SendEnter, 64);
+        rec.lifecycle_hot(t, 3, id, Stage::RingHop, 1);
+    }
+    let after = ALLOCS.load(Ordering::SeqCst);
+
+    assert_eq!(
+        after - before,
+        0,
+        "disabled lifecycle instrumentation must not allocate"
+    );
+    assert!(
+        rec.is_empty(),
+        "disabled lifecycle calls must append no log events"
+    );
+    assert_eq!(
+        rec.flight().recorded() - hot_before,
+        10_000,
+        "the always-on flight ring keeps `lifecycle` checkpoints, and \
+         `lifecycle_hot` records nothing while disabled"
     );
 
     // Sanity-check the counter itself: the enabled path does allocate

@@ -181,7 +181,16 @@ impl FaultPlan {
                 }
                 Action::KillNode { node, dur } => {
                     let r = ring.clone();
-                    handle.schedule_at(t, move |_| r.silence_node(node));
+                    let h = handle.clone();
+                    handle.schedule_at(t, move |t| {
+                        // A kill is exactly the moment a postmortem is
+                        // worth keeping: snapshot the recent lifecycle
+                        // ring before the detector reacts to the silence.
+                        let rec = h.recorder();
+                        rec.lifecycle(t, node as u32, 0, des::obs::Stage::Error, node as u64);
+                        rec.flight().dump_to_dir(&format!("kill_node{node}_t{t}"));
+                        r.silence_node(node);
+                    });
                     if dur != FOREVER {
                         let r = ring.clone();
                         handle.schedule_at(t.saturating_add(dur), move |_| r.unsilence_node(node));

@@ -4,7 +4,7 @@
 use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 use std::sync::Arc;
 
-use des::obs::{Layer, NO_NODE};
+use des::obs::{Layer, Stage, NO_NODE};
 use des::{Signal, SimHandle, Time};
 use parking_lot::Mutex;
 
@@ -123,6 +123,10 @@ pub(crate) struct HopPlan {
     /// `k` fires with slot `base_order + k` (see
     /// `SimHandle::reserve_order`).
     base_order: u64,
+    /// Message trace id riding this packet (0 = untraced; only ever
+    /// nonzero while full tracing is enabled). Carried in the plan, not
+    /// the payload: no protocol word changes.
+    trace: u64,
 }
 
 impl HopPlan {
@@ -134,6 +138,7 @@ impl HopPlan {
             writer: 0,
             data: None,
             base_order: 0,
+            trace: 0,
         })
     }
 }
@@ -607,6 +612,17 @@ impl RingShared {
                 .recorder()
                 .count(t_ready, NO_NODE, "ring.truncations", 1);
         }
+        // The current trace id of the writing node tags the packet —
+        // read only when tracing is enabled, so the disabled path stays
+        // one relaxed load.
+        let trace = {
+            let rec = self.handle.recorder();
+            if rec.is_enabled() {
+                rec.current_trace(writer as u32)
+            } else {
+                0
+            }
+        };
         if plan.hops.is_empty() {
             self.plan_pool.lock().push(plan);
         } else {
@@ -619,6 +635,7 @@ impl RingShared {
             plan.writer = writer;
             plan.data = Some(data);
             plan.base_order = self.handle.reserve_order(plan.hops.len() as u64);
+            plan.trace = trace;
             let (first_t, first_order) = (plan.hops[0].1, plan.base_order);
             let shared = Arc::clone(self);
             self.handle
@@ -629,6 +646,15 @@ impl RingShared {
         // adjacent in the log even though the applies are still scheduled.
         let rec = self.handle.recorder();
         if rec.is_enabled() {
+            if trace != 0 {
+                rec.lifecycle_hot(
+                    t_ready,
+                    writer as u32,
+                    trace,
+                    Stage::RingInject,
+                    words as u64,
+                );
+            }
             rec.span_enter(t_ready, NO_NODE, Layer::Ring, "packet");
             rec.span_exit(span_end, NO_NODE, Layer::Ring, "packet");
         }
@@ -643,6 +669,15 @@ impl RingShared {
         let (node, _) = plan.hops[plan.idx];
         let data: &[Word] = plan.data.as_deref().expect("transit plan carries payload");
         self.apply_at(node as usize, plan.addr, data, plan.writer, t);
+        if plan.trace != 0 {
+            self.handle.recorder().lifecycle_hot(
+                t,
+                self.node_ids[node as usize] as u32,
+                plan.trace,
+                Stage::RingHop,
+                node as u64,
+            );
+        }
         plan.idx += 1;
         if plan.idx < plan.hops.len() {
             let (next_t, order) = (plan.hops[plan.idx].1, plan.base_order + plan.idx as u64);
@@ -652,6 +687,7 @@ impl RingShared {
         } else {
             plan.hops.clear();
             plan.data = None;
+            plan.trace = 0;
             self.plan_pool.lock().push(plan);
         }
     }

@@ -4,8 +4,8 @@
 
 use std::collections::{HashMap, HashSet, VecDeque};
 
-use des::obs::Layer;
-use des::ProcCtx;
+use des::obs::{Layer, Stage};
+use des::{ProcCtx, Time};
 
 use crate::costs::SmpiCosts;
 use crate::device::{
@@ -39,6 +39,13 @@ struct Unexpected {
     len: usize,
     /// Sender's rendezvous request, if this is an RTS.
     rts_req: Option<u64>,
+    /// Trace id of the delivered message this entry came from (0 when
+    /// untraced), captured from the transport's receive side-channel at
+    /// dispatch time.
+    trace: u64,
+    /// Virtual time this entry was parked, so a late match can report
+    /// its unexpected-queue residency.
+    parked_at: Time,
 }
 
 /// A rendezvous send parked until its CTS arrives.
@@ -283,6 +290,13 @@ impl Adi {
             ctx.obs()
                 .count(ctx.now(), self.node(), "adi.unexpected_hits", 1);
             let u = self.unexpected.remove(idx).unwrap();
+            ctx.obs().lifecycle(
+                ctx.now(),
+                self.node(),
+                u.trace,
+                Stage::UnexpectedHit,
+                ctx.now().saturating_sub(u.parked_at),
+            );
             self.accept_matched(ctx, req, u).map(|()| req)
         } else {
             self.posted.push_back(Posted {
@@ -688,6 +702,8 @@ impl Adi {
             len: header.len as usize,
             payload,
             rts_req,
+            trace: ctx.obs().current_rx(self.node()),
+            parked_at: ctx.now(),
         };
         if let Some(idx) = self.posted.iter().position(|p| {
             p.context == u.context
@@ -702,6 +718,13 @@ impl Adi {
         } else {
             ctx.obs()
                 .count(ctx.now(), self.node(), "adi.unexpected_parked", 1);
+            ctx.obs().lifecycle(
+                ctx.now(),
+                self.node(),
+                u.trace,
+                Stage::UnexpectedPark,
+                u.src as u64,
+            );
             self.unexpected.push_back(u);
         }
     }

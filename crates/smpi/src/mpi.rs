@@ -2,7 +2,7 @@
 
 use std::collections::{HashMap, HashSet};
 
-use des::obs::Layer;
+use des::obs::{Layer, Stage};
 use des::ProcCtx;
 
 use crate::adi::Adi;
@@ -145,6 +145,36 @@ impl Mpi {
             .span_exit(ctx.now(), self.rank() as u32, Layer::Mpi, name);
     }
 
+    /// A message is entering the stack here: mint its trace id, publish
+    /// it for every layer below (the BBP descriptor, the ring's packet
+    /// plans), and record the `send_enter` checkpoint.
+    pub(crate) fn trace_send_enter(&self, ctx: &ProcCtx, payload_len: usize) -> u64 {
+        let rec = ctx.obs();
+        let id = rec.mint_trace_id(self.rank() as u32);
+        rec.set_current_trace(self.rank() as u32, id);
+        rec.lifecycle(
+            ctx.now(),
+            self.rank() as u32,
+            id,
+            Stage::SendEnter,
+            payload_len as u64,
+        );
+        id
+    }
+
+    /// Close the send entry: clear the published id, and on a typed
+    /// error record the `error` checkpoint and snapshot the flight ring
+    /// for the postmortem.
+    pub(crate) fn trace_send_exit<T>(&self, ctx: &ProcCtx, id: u64, result: &Result<T, MpiError>) {
+        let rec = ctx.obs();
+        rec.set_current_trace(self.rank() as u32, 0);
+        if result.is_err() {
+            rec.lifecycle(ctx.now(), self.rank() as u32, id, Stage::Error, 0);
+            rec.flight()
+                .dump_to_dir(&format!("mpi_send_error_n{}", self.rank()));
+        }
+    }
+
     // ------------------------------------------------------------------
     // Point-to-point
     // ------------------------------------------------------------------
@@ -199,6 +229,7 @@ impl Mpi {
         data: &[u8],
     ) -> Result<ReqId, MpiError> {
         assert!(tag <= MAX_USER_TAG, "tag {tag:#x} is reserved");
+        let trace = self.trace_send_enter(ctx, data.len());
         self.span_enter(ctx, "isend");
         self.charge_binding(ctx);
         let out = comm
@@ -210,6 +241,7 @@ impl Mpi {
                     .map_err(|e| self.transport_to_mpi(comm, e))
             });
         self.span_exit(ctx, "isend");
+        self.trace_send_exit(ctx, trace, &out);
         out
     }
 
@@ -261,6 +293,7 @@ impl Mpi {
         data: &[u8],
     ) -> Result<(), MpiError> {
         assert!(tag <= MAX_USER_TAG, "tag {tag:#x} is reserved");
+        let trace = self.trace_send_enter(ctx, data.len());
         self.span_enter(ctx, "ssend");
         self.charge_binding(ctx);
         let out = comm
@@ -275,6 +308,7 @@ impl Mpi {
                 Ok(())
             });
         self.span_exit(ctx, "ssend");
+        self.trace_send_exit(ctx, trace, &out);
         out
     }
 
