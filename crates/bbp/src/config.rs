@@ -157,6 +157,35 @@ impl Default for MembershipConfig {
     }
 }
 
+/// The credit-based flow-control extension: each sender holds a fixed
+/// grant of send credits per peer, debits one credit per posted message
+/// per target, and earns credits back on the very side channel the
+/// protocol already has — the per-(receiver, sender) `ACK` flag word.
+/// A consumed `ACK` toggle *is* the credit return, so no shared word,
+/// descriptor field, or packet changes and the layout stays bit-for-bit
+/// the paper's. `None` (the default) disables the ledger entirely.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CreditConfig {
+    /// Send credits granted per peer (messages in flight toward one
+    /// receiver before the sender must wait for ACK-carried returns).
+    pub per_peer: u32,
+    /// Out-of-credit behaviour: `true` fails fast with
+    /// [`crate::BbpError::NoCredit`]; `false` blocks in the GC loop
+    /// until a credit comes back (bounded by the reliability deadline
+    /// when that extension is on, unbounded otherwise — exactly like a
+    /// full data partition in the paper's protocol).
+    pub fail_fast: bool,
+}
+
+impl Default for CreditConfig {
+    fn default() -> Self {
+        CreditConfig {
+            per_peer: 8,
+            fail_fast: false,
+        }
+    }
+}
+
 /// Full protocol configuration. [`BbpConfig::for_nodes`] gives the
 /// paper-calibrated default for a given cluster size.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -181,6 +210,10 @@ pub struct BbpConfig {
     /// The membership extension (`None` = no heartbeat region in the
     /// layout, no detector — the paper's billboard bit-for-bit).
     pub membership: Option<MembershipConfig>,
+    /// The credit-based flow-control extension (`None` = no ledger, no
+    /// behaviour change; credits are sender-local bookkeeping over the
+    /// existing ACK side channel, so the layout never changes either way).
+    pub credit: Option<CreditConfig>,
 }
 
 impl BbpConfig {
@@ -196,6 +229,7 @@ impl BbpConfig {
             gc_policy: GcPolicy::FifoRing,
             reliability: None,
             membership: None,
+            credit: None,
         }
     }
 
@@ -213,6 +247,13 @@ impl BbpConfig {
     pub fn membership_for_nodes(nprocs: usize) -> Self {
         let mut config = Self::reliable_for_nodes(nprocs);
         config.membership = Some(MembershipConfig::default());
+        config
+    }
+
+    /// [`BbpConfig::for_nodes`] with the default credit ledger enabled.
+    pub fn credited_for_nodes(nprocs: usize) -> Self {
+        let mut config = Self::for_nodes(nprocs);
+        config.credit = Some(CreditConfig::default());
         config
     }
 
@@ -245,6 +286,9 @@ impl BbpConfig {
                 m.heartbeat_period_ns < m.suspect_after_ns && m.suspect_after_ns < m.dead_after_ns,
                 "membership thresholds must satisfy period < suspect < dead"
             );
+        }
+        if let Some(cr) = &self.credit {
+            assert!(cr.per_peer >= 1, "credit grant must be at least one");
         }
     }
 
@@ -318,6 +362,21 @@ mod tests {
     fn zero_backoff_factor_rejected() {
         let mut c = BbpConfig::reliable_for_nodes(2);
         c.reliability.as_mut().unwrap().backoff_factor = 0;
+        c.validate();
+    }
+
+    #[test]
+    fn credited_defaults_validate() {
+        let c = BbpConfig::credited_for_nodes(4);
+        assert!(c.credit.is_some());
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "credit grant")]
+    fn zero_credit_grant_rejected() {
+        let mut c = BbpConfig::credited_for_nodes(2);
+        c.credit.as_mut().unwrap().per_peer = 0;
         c.validate();
     }
 

@@ -67,6 +67,19 @@ pub struct EndpointStats {
     /// Membership: views this endpoint proposed or adopted (epoch
     /// transitions observed locally).
     pub epoch_bumps: u64,
+    /// Credit flow control: times a send stalled waiting for a credit to
+    /// return on the ACK side channel.
+    pub credit_stalls: u64,
+    /// Credit flow control (fail-fast): sends rejected with
+    /// [`crate::BbpError::NoCredit`].
+    pub no_credit_failures: u64,
+    /// Credit flow control: credits eagerly returned when a
+    /// retry-exhausted send slot was reclaimed — a dead peer must not
+    /// strand a channel's grant (see `docs/RPC.md`).
+    pub credits_reclaimed: u64,
+    /// Doorbell coalescing: MESSAGE flag-word writes saved by batching
+    /// deferred posts behind one doorbell per receiver.
+    pub flag_writes_coalesced: u64,
 }
 
 /// One message buffer slot's sender-side state.
@@ -142,6 +155,20 @@ pub struct BbpEndpoint {
     /// Reliable mode: last processed value of `nack_flag(me, r)` per
     /// receiver `r` (a toggle against this shadow is a repair request).
     nack_shadow: Vec<Word>,
+    /// Credit ledger: send credits available per peer. Non-empty iff the
+    /// credit extension is on; every entry starts at the configured
+    /// grant, is debited per posted message per target, and is refunded
+    /// when the slot's ACK-carried return is consumed by GC (or eagerly
+    /// by `reclaim_failed`).
+    credit_avail: Vec<u32>,
+    /// Deferred posts per receiver: MESSAGE flag toggles accumulated in
+    /// `out_msg_flags` but not yet written to the bank. Flushed by
+    /// `ring_doorbell` or by any immediate post to the same receiver.
+    deferred_msgs: Vec<u32>,
+    /// Reusable word buffer for payload packing: the post and
+    /// retransmit paths must not allocate (the RPC reply path's
+    /// zero-alloc guarantee rests on it).
+    pack_scratch: Vec<Word>,
 
     // ---- receiver state ----
     /// Last processed value of `msg_flag(me, s)` per sender `s`.
@@ -192,10 +219,16 @@ impl BbpEndpoint {
             out_msg_flags: vec![0; n],
             ack_expect: vec![0; n],
             slots: vec![SlotState::default(); config.bufs_per_proc],
-            inflight: VecDeque::new(),
+            inflight: VecDeque::with_capacity(config.bufs_per_proc),
             data_head: 0,
             next_seq: 0,
             nack_shadow: vec![0; n],
+            credit_avail: match &config.credit {
+                Some(cr) => vec![cr.per_peer; n],
+                None => Vec::new(),
+            },
+            deferred_msgs: vec![0; n],
+            pack_scratch: Vec::new(),
             shadow_msg: vec![0; n],
             pending: (0..n).map(|_| BTreeMap::new()).collect(),
             ext_seq_hi: vec![0; n],
@@ -338,6 +371,16 @@ impl BbpEndpoint {
         targets: &[usize],
         payload: &[u8],
     ) -> Result<usize, BbpError> {
+        self.post_inner(ctx, targets, payload, true)
+    }
+
+    fn post_inner(
+        &mut self,
+        ctx: &mut ProcCtx,
+        targets: &[usize],
+        payload: &[u8],
+        ring_now: bool,
+    ) -> Result<usize, BbpError> {
         ctx.advance(self.config.sw.send_entry_ns);
         for &t in targets {
             if t >= self.n || t == self.rank {
@@ -358,10 +401,20 @@ impl BbpEndpoint {
             });
         }
         let words = payload.len().div_ceil(4);
-        let (slot, data_off) = self.allocate(ctx, words, targets)?;
+        self.acquire_credits(ctx, targets)?;
+        let (slot, data_off) = match self.allocate(ctx, words, targets) {
+            Ok(found) => found,
+            Err(e) => {
+                // Nothing was posted: the debited credits go straight back.
+                self.refund_credits(targets);
+                return Err(e);
+            }
+        };
 
-        // 1. Payload into our data partition.
-        let packed = pack_words(payload);
+        // 1. Payload into our data partition (via the reusable scratch:
+        //    the post path must stay allocation-free after warm-up).
+        let mut packed = std::mem::take(&mut self.pack_scratch);
+        pack_words_into(payload, &mut packed);
         if words > 0 {
             self.nic
                 .write_block(ctx, self.layout.data_base(self.rank) + data_off, &packed);
@@ -378,10 +431,12 @@ impl BbpEndpoint {
         s.words = words;
         s.len_bytes = payload.len();
         s.seq = seq;
-        s.targets = targets.to_vec();
+        s.targets.clear();
+        s.targets.extend_from_slice(targets);
         s.trace = trace;
         self.inflight.push_back(slot);
         self.write_descriptor(ctx, slot, &packed);
+        self.pack_scratch = packed;
         ctx.obs().lifecycle(
             ctx.now(),
             self.rank as u32,
@@ -400,16 +455,201 @@ impl BbpEndpoint {
                 ctx.advance(self.config.sw.mcast_target_ns);
             }
             self.out_msg_flags[t] ^= 1 << slot;
-            self.nic.write_word(
-                ctx,
-                self.layout.msg_flag(t, self.rank),
-                self.out_msg_flags[t],
-            );
+            if ring_now {
+                // An immediate write publishes every accumulated toggle
+                // for this receiver, so it flushes any deferred posts too.
+                self.nic.write_word(
+                    ctx,
+                    self.layout.msg_flag(t, self.rank),
+                    self.out_msg_flags[t],
+                );
+                self.deferred_msgs[t] = 0;
+            } else {
+                self.deferred_msgs[t] += 1;
+            }
             self.ack_expect[t] ^= 1 << slot;
             ctx.obs()
                 .lifecycle(ctx.now(), self.rank as u32, trace, Stage::FlagSet, t as u64);
         }
         Ok(slot)
+    }
+
+    /// Post `payload` for `dst` with the doorbell deferred: the payload
+    /// and descriptor replicate now, but the MESSAGE flag toggle only
+    /// accumulates in our local copy until [`BbpEndpoint::ring_doorbell`]
+    /// (or any immediate post to the same receiver) writes the flag
+    /// word. Repeated deferred posts to one receiver thus cost a single
+    /// flag-word write — the batched-send coalescing the RPC reply path
+    /// uses.
+    ///
+    /// Fire-and-forget only: panics with the reliability extension on
+    /// (per-send confirmation needs the flag written immediately). A
+    /// deferred post the caller never flushes is invisible to the
+    /// receiver and can never be acknowledged — always ring the doorbell
+    /// before blocking on buffer space or credits.
+    pub fn post_deferred(
+        &mut self,
+        ctx: &mut ProcCtx,
+        dst: usize,
+        payload: &[u8],
+    ) -> Result<(), BbpError> {
+        assert!(
+            self.config.reliability.is_none(),
+            "deferred posting is incompatible with the reliability extension"
+        );
+        let owned = self.trace_enter(ctx, payload.len());
+        ctx.obs()
+            .span_enter(ctx.now(), self.rank as u32, Layer::Bbp, "send");
+        let posted = self.post_inner(ctx, &[dst], payload, false).map(|_| ());
+        ctx.obs()
+            .span_exit(ctx.now(), self.rank as u32, Layer::Bbp, "send");
+        self.trace_exit(ctx, owned, &posted);
+        if posted.is_err() {
+            self.stats.send_failures += 1;
+        }
+        posted?;
+        self.stats.sends += 1;
+        Ok(())
+    }
+
+    /// Write `dst`'s accumulated MESSAGE flag toggles in one doorbell.
+    /// Returns how many deferred posts the write covered (0 = nothing
+    /// pending, no PIO issued).
+    pub fn ring_doorbell(&mut self, ctx: &mut ProcCtx, dst: usize) -> usize {
+        let covered = self.deferred_msgs[dst] as usize;
+        if covered == 0 {
+            return 0;
+        }
+        self.deferred_msgs[dst] = 0;
+        self.nic.write_word(
+            ctx,
+            self.layout.msg_flag(dst, self.rank),
+            self.out_msg_flags[dst],
+        );
+        ctx.obs()
+            .count(ctx.now(), self.rank as u32, "bbp.doorbells", 1);
+        if covered > 1 {
+            let saved = (covered - 1) as u64;
+            self.stats.flag_writes_coalesced += saved;
+            ctx.obs().count(
+                ctx.now(),
+                self.rank as u32,
+                "bbp.flag_writes_coalesced",
+                saved,
+            );
+        }
+        covered
+    }
+
+    /// Ring every receiver's doorbell that has deferred posts pending.
+    /// Returns the total number of posts flushed.
+    pub fn ring_all_doorbells(&mut self, ctx: &mut ProcCtx) -> usize {
+        let mut total = 0;
+        for dst in 0..self.n {
+            total += self.ring_doorbell(ctx, dst);
+        }
+        total
+    }
+
+    /// Debit one send credit per target, blocking in the GC loop (or
+    /// failing fast with [`BbpError::NoCredit`]) while any target's
+    /// grant is exhausted. Credits return on the side channel the
+    /// protocol already has — the ACK flag words: a GC sweep that frees
+    /// an acknowledged slot refunds its targets. No-op when the credit
+    /// extension is off.
+    fn acquire_credits(&mut self, ctx: &mut ProcCtx, targets: &[usize]) -> Result<(), BbpError> {
+        let Some(cr) = self.config.credit else {
+            return Ok(());
+        };
+        let deadline = self
+            .config
+            .reliability
+            .as_ref()
+            .map(|rel| ctx.now().saturating_add(rel.max_send_wait_ns()));
+        loop {
+            if targets.iter().all(|&t| self.credit_avail[t] > 0) {
+                for &t in targets {
+                    self.credit_avail[t] -= 1;
+                }
+                return Ok(());
+            }
+            let starved = targets
+                .iter()
+                .copied()
+                .find(|&t| self.credit_avail[t] == 0)
+                .expect("some target is out of credit");
+            if cr.fail_fast {
+                // Fail fast forgoes *waiting*, not the free work of
+                // collecting already-acknowledged slots: one sweep may
+                // refund the starved peer right now. Only give up once a
+                // sweep frees nothing.
+                if self.gc(ctx) > 0 {
+                    continue;
+                }
+                self.stats.no_credit_failures += 1;
+                ctx.obs()
+                    .count(ctx.now(), self.rank as u32, "bbp.no_credit", 1);
+                return Err(BbpError::NoCredit { peer: starved });
+            }
+            self.stats.credit_stalls += 1;
+            ctx.obs()
+                .count(ctx.now(), self.rank as u32, "bbp.credit_stalls", 1);
+            if self.gc(ctx) == 0 {
+                match (self.config.recv_mode, deadline) {
+                    (RecvMode::Polling, _) | (RecvMode::Interrupt, Some(_)) => {
+                        ctx.advance(self.config.sw.gc_retry_gap_ns);
+                    }
+                    (RecvMode::Interrupt, None) => {
+                        let sig = self
+                            .ack_signal
+                            .clone()
+                            .expect("interrupt mode endpoints carry an ack signal");
+                        ctx.wait(&sig);
+                    }
+                }
+            }
+            if let Some(d) = deadline {
+                if ctx.now() >= d {
+                    return Err(BbpError::Timeout {
+                        peer: starved,
+                        attempts: 0,
+                    });
+                }
+            }
+        }
+    }
+
+    /// Refund one credit per target (nothing was posted, or the slot
+    /// terminated). No-op when the credit extension is off.
+    fn refund_credits(&mut self, targets: &[usize]) {
+        if self.credit_avail.is_empty() {
+            return;
+        }
+        for &t in targets {
+            self.credit_avail[t] += 1;
+        }
+    }
+
+    /// Refund the credits a freed slot's targets were holding.
+    fn return_slot_credits(&mut self, slot: usize) {
+        if self.credit_avail.is_empty() {
+            return;
+        }
+        for i in 0..self.slots[slot].targets.len() {
+            let t = self.slots[slot].targets[i];
+            self.credit_avail[t] += 1;
+        }
+    }
+
+    /// Send credits currently available toward `peer`, or `None` when
+    /// the credit extension is off.
+    pub fn send_credits(&self, peer: usize) -> Option<u32> {
+        assert!(peer < self.n, "rank {peer} out of range");
+        if self.credit_avail.is_empty() {
+            None
+        } else {
+            Some(self.credit_avail[peer])
+        }
     }
 
     /// Write `slot`'s descriptor from its recorded state (`packed` is the
@@ -534,6 +774,16 @@ impl BbpEndpoint {
             self.data_head = self.slots[slot].data_off;
         }
         self.slots[slot].tainted = true;
+        // Credit flow control: return the slot's credits *now*, not when
+        // the quarantined slot eventually resolves — a dead peer that
+        // will never ACK must not strand the channel's grant. The
+        // tainted-resolution sweep in `gc` frees the slot without
+        // touching the ledger (the slot left the in-flight queue here),
+        // so the credits cannot be returned twice.
+        if !self.credit_avail.is_empty() {
+            self.stats.credits_reclaimed += self.slots[slot].targets.len() as u64;
+            self.return_slot_credits(slot);
+        }
     }
 
     /// Rewrite `slot`'s payload, descriptor, and MESSAGE flags at their
@@ -560,12 +810,14 @@ impl BbpEndpoint {
             slot as u64,
         );
         let data_off = self.slots[slot].data_off;
-        let packed = pack_words(payload);
+        let mut packed = std::mem::take(&mut self.pack_scratch);
+        pack_words_into(payload, &mut packed);
         if !packed.is_empty() {
             self.nic
                 .write_block(ctx, self.layout.data_base(self.rank) + data_off, &packed);
         }
         self.write_descriptor(ctx, slot, &packed);
+        self.pack_scratch = packed;
         for &t in targets {
             self.nic.write_word(
                 ctx,
@@ -736,6 +988,7 @@ impl BbpEndpoint {
                     }
                     self.inflight.pop_front();
                     self.slots[slot].busy = false;
+                    self.return_slot_credits(slot);
                     freed += 1;
                 }
             }
@@ -752,6 +1005,7 @@ impl BbpEndpoint {
                         slot,
                     ) {
                         self.slots[slot].busy = false;
+                        self.return_slot_credits(slot);
                         freed += 1;
                     } else {
                         kept.push_back(slot);
@@ -1021,6 +1275,26 @@ impl BbpEndpoint {
         );
         buf[..msg.len()].copy_from_slice(&msg);
         Ok(msg.len())
+    }
+
+    /// Non-blocking receive from any source into a caller-provided
+    /// buffer. Returns the source rank and message length; panics if
+    /// `buf` is too small — size it with
+    /// [`crate::BbpConfig::max_payload_bytes`].
+    pub fn try_recv_any_into(
+        &mut self,
+        ctx: &mut ProcCtx,
+        buf: &mut [u8],
+    ) -> Option<(usize, usize)> {
+        let (src, msg) = self.try_recv_any(ctx)?;
+        assert!(
+            buf.len() >= msg.len(),
+            "try_recv_any_into buffer of {} bytes cannot hold a {}-byte message",
+            buf.len(),
+            msg.len()
+        );
+        buf[..msg.len()].copy_from_slice(&msg);
+        Some((src, msg.len()))
     }
 
     /// Non-blocking receive from any source (one sweep).
@@ -1582,6 +1856,10 @@ impl BbpEndpoint {
         self.inflight.clear();
         self.data_head = 0;
         self.next_seq = 0;
+        if let Some(cr) = &self.config.credit {
+            self.credit_avail.fill(cr.per_peer);
+        }
+        self.deferred_msgs.fill(0);
         // Announce the rejoin: a new incarnation, written after the
         // zeroed flag words so per-source FIFO shows every survivor a
         // clean channel before the announcement that makes it look.
@@ -1682,15 +1960,22 @@ impl BbpEndpoint {
 }
 
 /// Pack bytes into little-endian words, zero-padding the tail.
+#[cfg(test)]
 fn pack_words(bytes: &[u8]) -> Vec<Word> {
-    bytes
-        .chunks(4)
-        .map(|c| {
-            let mut w = [0u8; 4];
-            w[..c.len()].copy_from_slice(c);
-            Word::from_le_bytes(w)
-        })
-        .collect()
+    let mut out = Vec::new();
+    pack_words_into(bytes, &mut out);
+    out
+}
+
+/// [`pack_words`] into a reused buffer (no allocation once the buffer's
+/// capacity has warmed up to the payload size).
+fn pack_words_into(bytes: &[u8], out: &mut Vec<Word>) {
+    out.clear();
+    out.extend(bytes.chunks(4).map(|c| {
+        let mut w = [0u8; 4];
+        w[..c.len()].copy_from_slice(c);
+        Word::from_le_bytes(w)
+    }));
 }
 
 /// Inverse of [`pack_words`], truncating to `len` bytes.

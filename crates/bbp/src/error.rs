@@ -43,6 +43,13 @@ pub enum BbpError {
         /// The unreachable peer.
         peer: usize,
     },
+    /// Credit flow control (fail-fast mode): the sender's credit grant
+    /// toward `peer` is exhausted — every granted message is still
+    /// unacknowledged, so posting another would overrun the receiver.
+    NoCredit {
+        /// The peer whose grant is exhausted.
+        peer: usize,
+    },
 }
 
 impl std::fmt::Display for BbpError {
@@ -68,6 +75,9 @@ impl std::fmt::Display for BbpError {
             BbpError::PeerDown { peer } => {
                 write!(f, "rank {peer} is out of the ring (NIC bypassed)")
             }
+            BbpError::NoCredit { peer } => {
+                write!(f, "send credit grant toward rank {peer} is exhausted")
+            }
         }
     }
 }
@@ -87,5 +97,6 @@ mod tests {
             .to_string()
             .contains('9'));
         assert!(BbpError::NoTargets.to_string().contains("target"));
+        assert!(BbpError::NoCredit { peer: 3 }.to_string().contains('3'));
     }
 }

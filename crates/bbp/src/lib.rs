@@ -64,6 +64,16 @@
 //! then either delivers intact data or fails with a typed [`BbpError`]
 //! within a closed-form time bound. `docs/RELIABILITY.md` describes the
 //! fault model and the design.
+//!
+//! ## The credit extension
+//!
+//! Setting [`BbpConfig::credit`] (see [`CreditConfig`]) adds sender-side
+//! credit-based flow control: a fixed grant of send credits per peer,
+//! debited per posted message and returned on the side channel the
+//! protocol already has — the per-(receiver, sender) `ACK` flag word. No
+//! shared word or packet changes; out-of-credit senders block in the GC
+//! loop or fail fast with [`BbpError::NoCredit`]. The `rpc` crate builds
+//! its request/reply backpressure on this ledger (`docs/RPC.md`).
 
 mod cluster;
 mod config;
@@ -79,7 +89,9 @@ pub use cluster::BbpCluster;
 pub fn layout_desc_words() -> usize {
     layout::DESC_WORDS
 }
-pub use config::{BbpConfig, GcPolicy, MembershipConfig, RecvMode, ReliabilityConfig, SwCosts};
+pub use config::{
+    BbpConfig, CreditConfig, GcPolicy, MembershipConfig, RecvMode, ReliabilityConfig, SwCosts,
+};
 pub use endpoint::{BbpEndpoint, EndpointStats};
 pub use error::BbpError;
 pub use layout::{Layout, DESC_WORDS, MEMBER_WORDS, RELIABLE_DESC_WORDS};

@@ -1,0 +1,224 @@
+//! `rpc-load` — the open-loop RPC load generator report.
+//!
+//! Drives one `rpc::MessageQueue` server with thousands of simulated
+//! client channels (seed-deterministic Poisson or bursty arrivals),
+//! sweeps offered load across a multiplier ladder, and writes a
+//! schema-validated summary carrying p50/p99/p999 service latency,
+//! queue-residency quantiles, and the saturation throughput.
+//!
+//! ```text
+//! rpc-load [--quick] [--seed N] [--bursty] [--out PATH]
+//! rpc-load --check PATH
+//! ```
+//!
+//! - `--quick`: the small CI cell (fewer channels, shorter window).
+//! - `--seed N`: RNG seed for every stream (default 1999). Same seed,
+//!   same config → byte-identical measurements.
+//! - `--bursty`: bursty arrivals (bursts of 16) instead of Poisson.
+//! - `--out PATH`: where to write the JSON summary
+//!   (default `RPC_LOAD_summary.json`).
+//! - `--check PATH`: validate an existing summary against the schema
+//!   and exit (runs no benchmarks).
+//!
+//! Exits non-zero if the generated report fails schema validation, if
+//! any cell deadlocks, or if queue residency ever exceeds the server's
+//! buffer pool.
+
+use std::process::ExitCode;
+
+use bench::rpc_load::{
+    run_rpc_load, saturation_sweep, saturation_throughput_hz, Arrival, RpcLoadConfig,
+};
+use bench::{print_table_with_unit, report, Series};
+
+const USAGE: &str = "usage: rpc-load [--quick] [--seed N] [--bursty] [--out PATH] | --check PATH";
+
+/// Offered-load multipliers for the saturation sweep.
+const LADDER: &[f64] = &[0.25, 0.5, 1.0, 2.0, 4.0];
+
+struct Args {
+    quick: bool,
+    seed: u64,
+    bursty: bool,
+    out: String,
+    check: Option<String>,
+    help: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        quick: false,
+        seed: 1999,
+        bursty: false,
+        out: "RPC_LOAD_summary.json".to_string(),
+        check: None,
+        help: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => args.quick = true,
+            "--seed" => {
+                args.seed = it
+                    .next()
+                    .ok_or("--seed needs a number")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?;
+            }
+            "--bursty" => args.bursty = true,
+            "--out" => args.out = it.next().ok_or("--out needs a path")?,
+            "--check" => args.check = Some(it.next().ok_or("--check needs a path")?),
+            "--help" | "-h" => args.help = true,
+            other => return Err(format!("unknown argument '{other}'\n{USAGE}")),
+        }
+    }
+    Ok(args)
+}
+
+/// Validate an existing summary file against the schema.
+fn check(path: &str) -> ExitCode {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match obs::report::validate_json(&text) {
+        Ok(()) => {
+            println!("{path}: valid (schema v{})", obs::report::SCHEMA_VERSION);
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("{path}: schema violation: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if args.help {
+        println!("{USAGE}");
+        return ExitCode::SUCCESS;
+    }
+    if let Some(path) = &args.check {
+        return check(path);
+    }
+    report::begin(if args.quick {
+        "rpc-load --quick"
+    } else {
+        "rpc-load"
+    });
+
+    let mut base = if args.quick {
+        RpcLoadConfig::quick(args.seed)
+    } else {
+        RpcLoadConfig::full(args.seed)
+    };
+    if args.bursty {
+        base.arrival = Arrival::Bursty {
+            rate_hz: base.arrival_rate_hz(),
+            burst: 16,
+        };
+    }
+    let clients = base.client_nodes * base.channels_per_node as usize;
+    println!(
+        "== rpc-load: {clients} simulated clients on {} nodes, seed {} ==",
+        base.client_nodes, args.seed
+    );
+
+    // The nominal cell in detail.
+    let nominal = run_rpc_load(&base);
+    if nominal.max_residency > base.pool {
+        eprintln!(
+            "queue residency {} exceeded the {}-buffer pool",
+            nominal.max_residency, base.pool
+        );
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "  nominal: {} sent, {} completed, {} shed ({:.1}%), {:.0} req/s",
+        nominal.sent,
+        nominal.completed,
+        nominal.shed + nominal.transport_shed,
+        nominal.shed_fraction() * 100.0,
+        nominal.throughput_hz()
+    );
+    println!(
+        "  service latency: p50 {:.1} µs  p99 {:.1} µs  p999 {:.1} µs",
+        nominal.service.quantile(0.50) as f64 / 1e3,
+        nominal.service.quantile(0.99) as f64 / 1e3,
+        nominal.service.quantile(0.999) as f64 / 1e3,
+    );
+    println!(
+        "  queue residency: p50 {:.1} µs  p99 {:.1} µs  max {} bufs",
+        nominal.residency.quantile(0.50) as f64 / 1e3,
+        nominal.residency.quantile(0.99) as f64 / 1e3,
+        nominal.max_residency,
+    );
+    println!(
+        "  server: {} high / {} normal dispatches, {} credit stalls, {} flag writes coalesced",
+        nominal.high_dispatched,
+        nominal.normal_dispatched,
+        nominal.credit_stalls,
+        nominal.flag_writes_coalesced,
+    );
+    report::push_quantiles_log("rpc_service_latency", &nominal.service);
+    report::push_quantiles_log("rpc_queue_residency", &nominal.residency);
+
+    // The saturation sweep: offered load × {0.25 … 4}.
+    let sweep = saturation_sweep(&base, LADDER);
+    let mut thr = Series {
+        label: "completed throughput".to_string(),
+        points: Vec::new(),
+    };
+    let mut shed = Series {
+        label: "shed fraction x1000".to_string(),
+        points: Vec::new(),
+    };
+    for (m, r) in &sweep {
+        // The x axis is the offered multiplier in percent so it stays an
+        // integer for the table machinery.
+        let x = (m * 100.0) as usize;
+        thr.points.push((x, r.throughput_hz()));
+        shed.points.push((x, r.shed_fraction() * 1000.0));
+        if r.max_residency > base.pool {
+            eprintln!(
+                "sweep x{m}: queue residency {} exceeded the {}-buffer pool",
+                r.max_residency, base.pool
+            );
+            return ExitCode::FAILURE;
+        }
+    }
+    print_table_with_unit(
+        "rpc saturation sweep (x = offered %, seed-deterministic)",
+        &[thr, shed],
+        "req/s",
+    );
+    let sat = saturation_throughput_hz(&sweep);
+    println!(
+        "saturation throughput: {sat:.0} req/s (offered {:.0} req/s at x4)",
+        base.offered_rate_hz() * 4.0
+    );
+
+    // Write and self-validate the summary.
+    let rep = report::finish().expect("report sink was armed at startup");
+    let json = rep.to_json();
+    if let Err(e) = obs::report::validate_json(&json) {
+        eprintln!("generated report fails schema validation: {e}");
+        return ExitCode::FAILURE;
+    }
+    if let Err(e) = std::fs::write(&args.out, &json) {
+        eprintln!("failed to write {}: {e}", args.out);
+        return ExitCode::FAILURE;
+    }
+    println!("\nReport written to {}", args.out);
+    ExitCode::SUCCESS
+}

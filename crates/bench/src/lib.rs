@@ -16,6 +16,7 @@ use parking_lot::Mutex;
 use smpi::{CollectiveImpl, MpiWorld, SmpiCosts};
 
 pub mod report;
+pub mod rpc_load;
 
 /// The API-level transports of Figure 2.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

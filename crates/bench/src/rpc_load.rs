@@ -1,0 +1,521 @@
+//! The open-loop RPC load generator: thousands of simulated client
+//! channels drive one server endpoint through `rpc::MessageQueue`, with
+//! seed-deterministic Poisson or bursty arrivals and configurable
+//! service times. Open-loop means arrivals do not wait for completions:
+//! when a channel's credit grant is exhausted the arrival is **shed**
+//! (counted, not queued), which is what lets the harness push the server
+//! past saturation without the generator itself backing off.
+//!
+//! Reported per run: p50/p99/p999 service latency (request post →
+//! matched reply), queue-residency quantiles, completed throughput, and
+//! shed counts; [`saturation_sweep`] scales the offered rate across a
+//! multiplier ladder and reports the saturation throughput (the highest
+//! completed rate any cell achieves).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use bbp::{BbpCluster, BbpConfig, CreditConfig};
+use des::{Simulation, Time};
+use obs::LogHistogram;
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rpc::{MessageQueue, Priority, RpcClient, RpcConfig};
+
+/// Arrival process per client channel.
+#[derive(Debug, Clone, Copy)]
+pub enum Arrival {
+    /// Memoryless arrivals at `rate_hz` per channel (exponential
+    /// inter-arrival times).
+    Poisson {
+        /// Mean arrivals per second per channel.
+        rate_hz: f64,
+    },
+    /// `burst` back-to-back arrivals at the start of each period; the
+    /// period is sized so the long-run rate is `rate_hz`.
+    Bursty {
+        /// Mean arrivals per second per channel.
+        rate_hz: f64,
+        /// Arrivals per burst.
+        burst: u32,
+    },
+}
+
+impl Arrival {
+    fn rate_hz(&self) -> f64 {
+        match *self {
+            Arrival::Poisson { rate_hz } | Arrival::Bursty { rate_hz, .. } => rate_hz,
+        }
+    }
+
+    fn scaled(self, mult: f64) -> Arrival {
+        match self {
+            Arrival::Poisson { rate_hz } => Arrival::Poisson {
+                rate_hz: rate_hz * mult,
+            },
+            Arrival::Bursty { rate_hz, burst } => Arrival::Bursty {
+                rate_hz: rate_hz * mult,
+                burst,
+            },
+        }
+    }
+}
+
+/// Server-side service-time distribution (virtual time spent per
+/// request before the in-place reply).
+#[derive(Debug, Clone, Copy)]
+pub enum ServiceTime {
+    /// Deterministic service.
+    Fixed {
+        /// Service time, nanoseconds.
+        ns: u64,
+    },
+    /// Exponentially distributed service.
+    Exp {
+        /// Mean service time, nanoseconds.
+        mean_ns: u64,
+    },
+}
+
+impl ServiceTime {
+    fn sample(&self, rng: &mut StdRng) -> u64 {
+        match *self {
+            ServiceTime::Fixed { ns } => ns,
+            ServiceTime::Exp { mean_ns } => {
+                let u: f64 = rng.gen();
+                (-(1.0 - u).ln() * mean_ns as f64) as u64
+            }
+        }
+    }
+}
+
+/// One load-generation cell.
+#[derive(Debug, Clone)]
+pub struct RpcLoadConfig {
+    /// Seed for every random stream in the cell (arrivals, priorities,
+    /// service times). Same seed + same config → identical run.
+    pub seed: u64,
+    /// Client nodes on the ring (the server adds one more).
+    pub client_nodes: usize,
+    /// Simulated clients (= independent channels) per client node.
+    pub channels_per_node: u32,
+    /// Credit grant per channel: outstanding requests beyond this shed.
+    pub credits_per_channel: u32,
+    /// Arrival process per channel.
+    pub arrival: Arrival,
+    /// Service-time distribution at the server.
+    pub service: ServiceTime,
+    /// Request/reply body size, bytes.
+    pub body_bytes: usize,
+    /// Percentage of requests posted high-priority (0–100).
+    pub high_share_pct: u32,
+    /// Length of the arrival window, nanoseconds; after it closes,
+    /// clients only drain.
+    pub duration_ns: Time,
+    /// Server buffer pool (bounds queue residency).
+    pub pool: usize,
+    /// Server anti-starvation bound (see `rpc::RpcConfig`).
+    pub max_high_streak: u32,
+}
+
+impl RpcLoadConfig {
+    /// The CI smoke cell: small but past saturation, seed-deterministic.
+    pub fn quick(seed: u64) -> Self {
+        RpcLoadConfig {
+            seed,
+            client_nodes: 4,
+            channels_per_node: 64,
+            credits_per_channel: 4,
+            // 256 channels x 150/s = 38k req/s offered at x1 against a
+            // ~50k req/s service ceiling: the sweep's x0.25 cell is
+            // comfortably underloaded and x4 is deep overload.
+            arrival: Arrival::Poisson { rate_hz: 150.0 },
+            service: ServiceTime::Exp { mean_ns: 20_000 },
+            body_bytes: 64,
+            high_share_pct: 20,
+            duration_ns: des::ms(20),
+            pool: 32,
+            max_high_streak: 8,
+        }
+    }
+
+    /// The full cell: thousands of simulated clients.
+    pub fn full(seed: u64) -> Self {
+        RpcLoadConfig {
+            seed,
+            client_nodes: 8,
+            channels_per_node: 256, // 2048 simulated clients
+            credits_per_channel: 4,
+            // 2048 channels x 20/s = 41k req/s offered at x1, same knee
+            // placement as the quick cell but with 8x the client count.
+            arrival: Arrival::Poisson { rate_hz: 20.0 },
+            service: ServiceTime::Exp { mean_ns: 20_000 },
+            body_bytes: 64,
+            high_share_pct: 20,
+            duration_ns: des::ms(100),
+            pool: 64,
+            max_high_streak: 8,
+        }
+    }
+
+    /// Total offered request rate across every channel, per second.
+    pub fn offered_rate_hz(&self) -> f64 {
+        self.arrival.rate_hz() * self.client_nodes as f64 * self.channels_per_node as f64
+    }
+
+    /// The per-channel arrival rate of the configured process.
+    pub fn arrival_rate_hz(&self) -> f64 {
+        self.arrival.rate_hz()
+    }
+}
+
+/// Everything one cell produces.
+#[derive(Debug)]
+pub struct RpcLoadResult {
+    /// Requests accepted by the transport.
+    pub sent: u64,
+    /// Requests that completed with a matched reply.
+    pub completed: u64,
+    /// Arrivals shed at the channel-credit gate (open-loop overload
+    /// signal).
+    pub shed: u64,
+    /// Sends shed by the transport's fail-fast credit gate.
+    pub transport_shed: u64,
+    /// Service latency (post → matched reply), nanoseconds.
+    pub service: LogHistogram,
+    /// Server queue residency (arrival → dispatch), nanoseconds.
+    pub residency: LogHistogram,
+    /// High-water mark of server buffers simultaneously in use.
+    pub max_residency: usize,
+    /// Server dispatches by class.
+    pub high_dispatched: u64,
+    /// Server dispatches by class.
+    pub normal_dispatched: u64,
+    /// Sender-side credit stalls observed at the server endpoint.
+    pub credit_stalls: u64,
+    /// Flag writes saved by reply doorbell coalescing.
+    pub flag_writes_coalesced: u64,
+    /// Virtual time the cell covered, nanoseconds.
+    pub elapsed_ns: Time,
+}
+
+impl RpcLoadResult {
+    /// Completed requests per second of virtual time.
+    pub fn throughput_hz(&self) -> f64 {
+        self.completed as f64 / (self.elapsed_ns as f64 / 1e9).max(1e-12)
+    }
+
+    /// Fraction of offered arrivals shed, 0–1.
+    pub fn shed_fraction(&self) -> f64 {
+        let offered = self.sent + self.shed + self.transport_shed;
+        if offered == 0 {
+            0.0
+        } else {
+            (self.shed + self.transport_shed) as f64 / offered as f64
+        }
+    }
+}
+
+/// Per-channel arrival state.
+struct ChannelArrivals {
+    next_at: Time,
+    burst_left: u32,
+}
+
+fn next_gap(arrival: Arrival, rng: &mut StdRng, st: &mut ChannelArrivals) -> Time {
+    match arrival {
+        Arrival::Poisson { rate_hz } => {
+            let u: f64 = rng.gen();
+            ((-(1.0 - u).ln() / rate_hz) * 1e9) as Time
+        }
+        Arrival::Bursty { rate_hz, burst } => {
+            if st.burst_left > 1 {
+                st.burst_left -= 1;
+                0
+            } else {
+                st.burst_left = burst.max(1);
+                ((burst.max(1) as f64 / rate_hz) * 1e9) as Time
+            }
+        }
+    }
+}
+
+/// Run one cell to completion (arrival window + drain) and collect the
+/// merged results. Deterministic for a fixed config.
+pub fn run_rpc_load(cfg: &RpcLoadConfig) -> RpcLoadResult {
+    let nodes = cfg.client_nodes + 1;
+    let server_rank = 0usize;
+
+    let mut bbp = BbpConfig::for_nodes(nodes);
+    bbp.bufs_per_proc = 32;
+    // Room for every slot's frame on each billboard partition.
+    let frame_words = (rpc::HEADER_BYTES + cfg.body_bytes).div_ceil(4) + 8;
+    bbp.data_words = (bbp.bufs_per_proc * frame_words)
+        .next_power_of_two()
+        .max(4096);
+    // Fail-fast transport credits keep the open loop honest: a client
+    // whose endpoint is saturated sheds instead of blocking in the
+    // transport's slot-reclamation wait.
+    bbp.credit = Some(CreditConfig {
+        per_peer: bbp.bufs_per_proc as u32,
+        fail_fast: true,
+    });
+
+    let mut sim = Simulation::new();
+    // Black box for the whole cell: dumps automatically if anything
+    // panics (e.g. the deadlock assert below), and once explicitly at
+    // the end so CI always has an artifact to upload.
+    let flight = obs::FlightGuard::new(format!("rpc_load_seed{}", cfg.seed), sim.recorder_arc());
+    let cluster = BbpCluster::new(&sim.handle(), bbp);
+
+    let service = LogHistogram::new();
+    let service_out = Arc::new(service);
+    let stats_out: Arc<Mutex<(u64, u64, u64, u64)>> = Arc::new(Mutex::new((0, 0, 0, 0)));
+    let server_out: Arc<Mutex<Option<RpcLoadResult>>> = Arc::new(Mutex::new(None));
+    let clients_done = Arc::new(AtomicUsize::new(0));
+
+    let end = cfg.duration_ns;
+
+    for node in 1..=cfg.client_nodes {
+        let ep = cluster.endpoint(node);
+        let cfg = cfg.clone();
+        let service_out = Arc::clone(&service_out);
+        let stats_out = Arc::clone(&stats_out);
+        let clients_done = Arc::clone(&clients_done);
+        sim.spawn(format!("client{node}"), move |ctx| {
+            let mut rng = StdRng::seed_from_u64(cfg.seed ^ (node as u64).wrapping_mul(0x9E37_79B9));
+            let mut cl = RpcClient::new(
+                ep,
+                server_rank,
+                cfg.channels_per_node,
+                cfg.credits_per_channel,
+                cfg.body_bytes,
+            );
+            let body = vec![0xC3u8; cfg.body_bytes];
+            // Independent arrival clocks per channel, deterministically
+            // seeded and de-phased.
+            let mut arrivals: Vec<ChannelArrivals> = (0..cfg.channels_per_node)
+                .map(|_| {
+                    let mut st = ChannelArrivals {
+                        next_at: 0,
+                        burst_left: 0,
+                    };
+                    st.next_at = next_gap(cfg.arrival, &mut rng, &mut st);
+                    st
+                })
+                .collect();
+            loop {
+                // Next arrival over every channel this node hosts.
+                let (ch, at) = arrivals
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, s)| s.next_at)
+                    .map(|(i, s)| (i as u32, s.next_at))
+                    .expect("at least one channel");
+                if at >= end {
+                    break;
+                }
+                if at > ctx.now() {
+                    ctx.wait_until(at);
+                }
+                cl.poll_replies(ctx);
+                let class = if rng.gen_range(0u32..100) < cfg.high_share_pct {
+                    Priority::High
+                } else {
+                    Priority::Normal
+                };
+                // Open loop: shed outcomes are counted inside the client;
+                // the arrival clock advances regardless.
+                let _ = cl.try_request(ctx, ch, class, &body);
+                let st = &mut arrivals[ch as usize];
+                st.next_at = at + next_gap(cfg.arrival, &mut rng, st);
+            }
+            // Drain: everything accepted must complete (bounded by the
+            // credit grants, so this converges fast).
+            let deadline = end + des::ms(50);
+            while cl.total_outstanding() > 0 && ctx.now() < deadline {
+                ctx.advance(des::us(20));
+                cl.poll_replies(ctx);
+            }
+            service_out.merge(&cl.service_hist());
+            let st = cl.stats();
+            let mut s = stats_out.lock();
+            s.0 += st.sent;
+            s.1 += st.completed;
+            s.2 += st.shed;
+            s.3 += st.transport_shed;
+            clients_done.fetch_add(1, Ordering::SeqCst);
+        });
+    }
+
+    let server_ep = cluster.endpoint(server_rank);
+    let cfgs = cfg.clone();
+    let server_slot = Arc::clone(&server_out);
+    let clients_done_s = Arc::clone(&clients_done);
+    let n_clients = cfg.client_nodes;
+    sim.spawn("server", move |ctx| {
+        let mut rng = StdRng::seed_from_u64(cfgs.seed ^ 0x5EC7_0A11);
+        let mut mq = MessageQueue::new(
+            server_ep,
+            RpcConfig {
+                pool: cfgs.pool,
+                body_capacity: cfgs.body_bytes,
+                max_high_streak: cfgs.max_high_streak,
+            },
+        );
+        loop {
+            mq.poll(ctx);
+            while let Some(mut buf) = mq.dispatch(ctx) {
+                ctx.advance(cfgs.service.sample(&mut rng));
+                // The reply is the request body echoed in place — zero
+                // copies, zero allocations.
+                let n = buf.body().len();
+                buf.set_body_len(n);
+                mq.reply_later(buf);
+                mq.poll(ctx);
+            }
+            mq.flush(ctx).expect("reply flush failed");
+            if clients_done_s.load(Ordering::SeqCst) == n_clients
+                && mq.queued() == 0
+                && mq.in_flight() == 0
+            {
+                break;
+            }
+            ctx.advance(des::us(2));
+        }
+        let st = mq.stats();
+        let ep_stats = mq.endpoint().stats().clone();
+        *server_slot.lock() = Some(RpcLoadResult {
+            sent: 0,
+            completed: 0,
+            shed: 0,
+            transport_shed: 0,
+            service: LogHistogram::new(),
+            residency: {
+                let h = LogHistogram::new();
+                h.merge(&mq.residency_hist());
+                h
+            },
+            max_residency: st.max_residency,
+            high_dispatched: st.high_dispatched,
+            normal_dispatched: st.normal_dispatched,
+            credit_stalls: ep_stats.credit_stalls,
+            flag_writes_coalesced: ep_stats.flag_writes_coalesced,
+            elapsed_ns: ctx.now(),
+        });
+    });
+
+    let report = sim.run();
+    assert!(
+        report.is_clean(),
+        "rpc load cell deadlocked: {:?}",
+        report.deadlocked
+    );
+    flight.dump_now();
+
+    let mut out = server_out
+        .lock()
+        .take()
+        .expect("server recorded its result");
+    let (sent, completed, shed, transport_shed) = *stats_out.lock();
+    out.sent = sent;
+    out.completed = completed;
+    out.shed = shed;
+    out.transport_shed = transport_shed;
+    out.service.merge(&service_out);
+    // Throughput over the arrival window, not the drain tail.
+    out.elapsed_ns = cfg.duration_ns;
+    out
+}
+
+/// Sweep offered load across `multipliers` × the base rate. Returns each
+/// cell's result with its multiplier; the **saturation throughput** is
+/// the maximum completed rate across the ladder.
+pub fn saturation_sweep(base: &RpcLoadConfig, multipliers: &[f64]) -> Vec<(f64, RpcLoadResult)> {
+    multipliers
+        .iter()
+        .map(|&m| {
+            let mut cfg = base.clone();
+            cfg.arrival = cfg.arrival.scaled(m);
+            (m, run_rpc_load(&cfg))
+        })
+        .collect()
+}
+
+/// The highest completed rate any cell of a sweep achieved, per second.
+pub fn saturation_throughput_hz(sweep: &[(f64, RpcLoadResult)]) -> f64 {
+    sweep
+        .iter()
+        .map(|(_, r)| r.throughput_hz())
+        .fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bursty_gap_emits_bursts() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut st = ChannelArrivals {
+            next_at: 0,
+            burst_left: 0,
+        };
+        let a = Arrival::Bursty {
+            rate_hz: 1_000.0,
+            burst: 4,
+        };
+        // First call starts a period; the following burst-1 calls are
+        // back-to-back.
+        let g0 = next_gap(a, &mut rng, &mut st);
+        assert_eq!(g0, 4_000_000, "period = burst / rate");
+        assert_eq!(next_gap(a, &mut rng, &mut st), 0);
+        assert_eq!(next_gap(a, &mut rng, &mut st), 0);
+        assert_eq!(next_gap(a, &mut rng, &mut st), 0);
+        assert_eq!(next_gap(a, &mut rng, &mut st), 4_000_000);
+    }
+
+    #[test]
+    fn poisson_gaps_have_the_right_mean() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut st = ChannelArrivals {
+            next_at: 0,
+            burst_left: 0,
+        };
+        let a = Arrival::Poisson { rate_hz: 10_000.0 };
+        let n = 4_000;
+        let total: u64 = (0..n).map(|_| next_gap(a, &mut rng, &mut st)).sum();
+        let mean = total as f64 / n as f64;
+        // Expected 100 µs; a 4k-sample mean lands within a few percent.
+        assert!(
+            (mean - 100_000.0).abs() < 10_000.0,
+            "poisson mean {mean:.0} ns"
+        );
+    }
+
+    #[test]
+    fn exp_service_has_the_right_mean() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let s = ServiceTime::Exp { mean_ns: 50_000 };
+        let n = 4_000;
+        let total: u64 = (0..n).map(|_| s.sample(&mut rng)).sum();
+        let mean = total as f64 / n as f64;
+        assert!((mean - 50_000.0).abs() < 5_000.0, "exp mean {mean:.0} ns");
+    }
+
+    #[test]
+    fn same_seed_same_cell() {
+        let cfg = RpcLoadConfig {
+            duration_ns: des::ms(2),
+            ..RpcLoadConfig::quick(42)
+        };
+        let a = run_rpc_load(&cfg);
+        let b = run_rpc_load(&cfg);
+        assert_eq!(a.sent, b.sent);
+        assert_eq!(a.completed, b.completed);
+        assert_eq!(a.shed, b.shed);
+        assert_eq!(a.service.quantile(0.99), b.service.quantile(0.99));
+        assert_eq!(a.max_residency, b.max_residency);
+    }
+}

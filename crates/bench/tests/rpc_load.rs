@@ -1,0 +1,90 @@
+//! Integration test of the open-loop RPC load generator at overload:
+//! with offered load far past the server's service capacity, the cell
+//! must still complete (no deadlock), keep queue residency bounded by
+//! the server's buffer pool, shed the excess through the credit gates,
+//! and produce a schema-valid report.
+
+use bench::rpc_load::{run_rpc_load, Arrival, RpcLoadConfig, ServiceTime};
+use bench::{report, Series};
+
+/// Deep overload: ~8x the service ceiling. `run_rpc_load` itself
+/// asserts the simulation finished clean, so reaching the assertions
+/// below already proves no deadlock.
+fn overload_cfg(seed: u64) -> RpcLoadConfig {
+    RpcLoadConfig {
+        seed,
+        client_nodes: 4,
+        channels_per_node: 64,
+        credits_per_channel: 4,
+        arrival: Arrival::Poisson { rate_hz: 1_600.0 }, // ~410k req/s offered
+        service: ServiceTime::Exp { mean_ns: 20_000 },  // ~50k req/s ceiling
+        body_bytes: 64,
+        high_share_pct: 20,
+        duration_ns: des::ms(20),
+        pool: 32,
+        max_high_streak: 8,
+    }
+}
+
+#[test]
+fn overload_is_bounded_and_deadlock_free() {
+    let cfg = overload_cfg(7);
+    let r = run_rpc_load(&cfg);
+
+    // Work flowed end to end despite the overload.
+    assert!(r.completed > 0, "nothing completed");
+    assert_eq!(r.completed, r.sent, "accepted requests leaked");
+
+    // The open loop shed the unsustainable excess instead of queueing
+    // it: most of the offered load must have hit a credit gate.
+    assert!(
+        r.shed + r.transport_shed > r.completed,
+        "overload was absorbed, not shed"
+    );
+
+    // Queue residency stays bounded by the preallocated pool — the
+    // server never grows memory under overload.
+    assert!(
+        r.max_residency <= cfg.pool,
+        "residency {} exceeded the {}-buffer pool",
+        r.max_residency,
+        cfg.pool
+    );
+
+    // Both priority classes made progress.
+    assert!(r.high_dispatched > 0, "high class starved");
+    assert!(r.normal_dispatched > 0, "normal class starved");
+
+    // The latency histogram actually covers the completions.
+    assert!(r.service.quantile(0.999) >= r.service.quantile(0.50));
+    assert!(r.service.quantile(0.50) > 0, "latency histogram is empty");
+}
+
+#[test]
+fn overload_cell_is_seed_deterministic() {
+    let a = run_rpc_load(&overload_cfg(11));
+    let b = run_rpc_load(&overload_cfg(11));
+    assert_eq!(a.sent, b.sent);
+    assert_eq!(a.completed, b.completed);
+    assert_eq!(a.shed, b.shed);
+    assert_eq!(a.transport_shed, b.transport_shed);
+    assert_eq!(a.max_residency, b.max_residency);
+    assert_eq!(a.service.quantile(0.999), b.service.quantile(0.999));
+}
+
+#[test]
+fn overload_report_passes_schema_validation() {
+    report::begin("rpc_load integration test");
+    let r = run_rpc_load(&overload_cfg(3));
+    report::push_quantiles_log("rpc_service_latency", &r.service);
+    report::push_quantiles_log("rpc_queue_residency", &r.residency);
+    let thr = Series {
+        label: "completed throughput".to_string(),
+        points: vec![(100, r.throughput_hz())],
+    };
+    bench::print_table_with_unit("rpc overload cell", &[thr], "req/s");
+    let rep = report::finish().expect("report sink was armed");
+    let json = rep.to_json();
+    obs::report::validate_json(&json).expect("schema-valid report");
+    assert!(json.contains("rpc_service_latency"));
+}

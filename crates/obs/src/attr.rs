@@ -304,6 +304,30 @@ mod tests {
     }
 
     #[test]
+    fn rpc_request_reply_is_one_waterfall() {
+        // The server re-publishes the request's trace id before posting
+        // the reply, so both directions' checkpoints — including the new
+        // rpc_dispatch/rpc_reply stages — group into a single waterfall.
+        let id = (1u64 << 40) | 9;
+        let events = [
+            life(0, 0, id, Stage::SendEnter, 0),
+            life(10, 1, id, Stage::RecvMatch, 0),
+            life(20, 1, id, Stage::Deliver, 0),
+            life(30, 1, id, Stage::RpcDispatch, 4), // arg = channel
+            life(50, 1, id, Stage::RpcReply, 4),
+            life(60, 0, id, Stage::RecvMatch, 0),
+            life(70, 0, id, Stage::Deliver, 0),
+        ];
+        let w = message_waterfalls(&events);
+        assert_eq!(w.len(), 1, "request and reply share one chain");
+        assert_eq!(w[0].src, 0, "the chain originates at the client");
+        assert_eq!(w[0].steps.len(), 7);
+        assert_eq!(w[0].stage_time(Stage::RpcDispatch), Some(30));
+        assert_eq!(w[0].stage_time(Stage::RpcReply), Some(50));
+        assert_eq!(w[0].total_ns(), 70, "full request→reply service span");
+    }
+
+    #[test]
     fn rows_skip_empty_layers() {
         let events = [enter(0, 2, Layer::Channel), exit(9, 2, Layer::Channel)];
         let rows = attribute(&events).rows_us();

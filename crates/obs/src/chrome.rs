@@ -312,6 +312,85 @@ mod tests {
     }
 
     #[test]
+    fn rpc_request_reply_renders_as_one_flow_chain() {
+        use crate::lifecycle::Stage;
+        // The server publishes the request's trace id before posting the
+        // reply, so every checkpoint of both directions carries one id —
+        // the whole request/reply exchange draws as a single causal
+        // chain in the Chrome viewer.
+        let id = (1u64 << 40) | 7;
+        let life = |time, node, stage| Event::Lifecycle {
+            time,
+            node,
+            id,
+            stage,
+            arg: 0,
+        };
+        let events = [
+            life(1_000, 0, Stage::SendEnter),       // client posts request
+            life(2_000, 1, Stage::RecvMatch),       // server's poll matches
+            life(3_000, 1, Stage::Deliver),         // request delivered
+            life(4_000, 1, Stage::RpcDispatch),     // handler gets the buffer
+            life(5_000, 1, Stage::RpcReply),        // in-place reply posted
+            life(6_000, 1, Stage::DescriptorWrite), // reply's BBP post
+            life(7_000, 0, Stage::RecvMatch),       // client's poll matches
+            life(8_000, 0, Stage::Deliver),         // reply delivered
+        ];
+        let text = chrome_trace_json(&events);
+        let doc = json::parse(&text).expect("flow export must be valid JSON");
+        let items = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        let flows: Vec<(&str, &str)> = items
+            .iter()
+            .filter(|e| e.get("cat").and_then(json::Json::as_str) == Some("lifecycle"))
+            .map(|e| {
+                (
+                    e.get("ph").unwrap().as_str().unwrap(),
+                    e.get("args")
+                        .unwrap()
+                        .get("stage")
+                        .unwrap()
+                        .as_str()
+                        .unwrap(),
+                )
+            })
+            .collect();
+        assert_eq!(
+            flows,
+            vec![
+                ("s", "send_enter"),
+                ("t", "recv_match"),
+                ("f", "deliver"),
+                ("t", "rpc_dispatch"),
+                ("t", "rpc_reply"),
+                ("t", "descriptor_write"),
+                ("t", "recv_match"),
+                ("f", "deliver"),
+            ]
+        );
+        // Every step binds to the same flow id.
+        for e in items
+            .iter()
+            .filter(|e| e.get("cat").and_then(json::Json::as_str) == Some("lifecycle"))
+        {
+            assert_eq!(e.get("id").unwrap().as_f64(), Some(id as f64));
+        }
+        // The rpc stages land on the rpc track (tid = Layer::Rpc index).
+        let dispatch = items
+            .iter()
+            .find(|e| {
+                e.get("args")
+                    .and_then(|a| a.get("stage"))
+                    .and_then(json::Json::as_str)
+                    == Some("rpc_dispatch")
+            })
+            .unwrap();
+        assert_eq!(
+            dispatch.get("tid").unwrap().as_f64(),
+            Some(Layer::Rpc.index() as f64)
+        );
+    }
+
+    #[test]
     fn scheduler_noise_is_omitted() {
         let events = [Event::Sched(TraceEntry {
             time: 10,

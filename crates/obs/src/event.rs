@@ -30,11 +30,16 @@ pub enum Layer {
     Ring,
     /// The simulation kernel (scheduler dispatch).
     Sched,
+    /// The request/reply serving layer above BBP (`crates/rpc`): message
+    /// queues, buffer ownership transfer, credit-based backpressure.
+    Rpc,
 }
 
 impl Layer {
-    /// All layers, in stack order (top first).
-    pub const ALL: [Layer; 8] = [
+    /// All layers. `ALL` is append-only: the index of each layer is the
+    /// Chrome-trace tid baked into golden trace files, so `Rpc` sits at
+    /// the end even though its logical stack position is above `Mpi`.
+    pub const ALL: [Layer; 9] = [
         Layer::Mpi,
         Layer::Adi,
         Layer::Channel,
@@ -43,6 +48,7 @@ impl Layer {
         Layer::Nic,
         Layer::Ring,
         Layer::Sched,
+        Layer::Rpc,
     ];
 
     /// Number of layers.
@@ -60,6 +66,7 @@ impl Layer {
             Layer::Nic => "nic",
             Layer::Ring => "ring",
             Layer::Sched => "sched",
+            Layer::Rpc => "rpc",
         }
     }
 
@@ -74,6 +81,7 @@ impl Layer {
             Layer::Nic => 5,
             Layer::Ring => 6,
             Layer::Sched => 7,
+            Layer::Rpc => 8,
         }
     }
 }

@@ -48,11 +48,18 @@ pub enum Stage {
     NackRepair = 10,
     /// A typed error surfaced for this message (arg = peer rank).
     Error = 11,
+    /// The RPC server popped the request off its message queue and
+    /// handed the buffer to the handler (arg = channel id).
+    RpcDispatch = 12,
+    /// The RPC server posted the in-place reply back toward the client
+    /// (arg = channel id).
+    RpcReply = 13,
 }
 
 impl Stage {
-    /// Every stage, in nominal lifecycle order.
-    pub const ALL: [Stage; 12] = [
+    /// Every stage, in nominal lifecycle order. Append-only: the
+    /// discriminants are packed into flight-recorder words.
+    pub const ALL: [Stage; 14] = [
         Stage::SendEnter,
         Stage::DescriptorWrite,
         Stage::RingInject,
@@ -65,6 +72,8 @@ impl Stage {
         Stage::Retry,
         Stage::NackRepair,
         Stage::Error,
+        Stage::RpcDispatch,
+        Stage::RpcReply,
     ];
 
     /// Stable lowercase name (the Chrome flow-event step label and the
@@ -83,6 +92,8 @@ impl Stage {
             Stage::Retry => "retry",
             Stage::NackRepair => "nack_repair",
             Stage::Error => "error",
+            Stage::RpcDispatch => "rpc_dispatch",
+            Stage::RpcReply => "rpc_reply",
         }
     }
 
@@ -100,6 +111,7 @@ impl Stage {
             | Stage::NackRepair
             | Stage::Error => Layer::Bbp,
             Stage::RingInject | Stage::RingHop => Layer::Ring,
+            Stage::RpcDispatch | Stage::RpcReply => Layer::Rpc,
         }
     }
 
@@ -137,7 +149,7 @@ mod tests {
             // The mapping is total and lands on an instrumented layer.
             assert!(matches!(
                 s.layer(),
-                Layer::Mpi | Layer::Adi | Layer::Bbp | Layer::Ring
+                Layer::Mpi | Layer::Adi | Layer::Bbp | Layer::Ring | Layer::Rpc
             ));
         }
     }

@@ -1,0 +1,294 @@
+//! The server-side message queue: one per endpoint, multiplexing every
+//! client channel onto a bounded pool of [`MessageBuffer`]s with two
+//! priority classes and doorbell-coalesced batched replies.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use bbp::BbpEndpoint;
+use des::ProcCtx;
+use obs::lifecycle::Stage;
+use obs::LogHistogram;
+
+use crate::buffer::{Header, MessageBuffer, Priority, HEADER_BYTES};
+use crate::RpcError;
+
+/// Server-side queue configuration.
+#[derive(Debug, Clone)]
+pub struct RpcConfig {
+    /// Number of preallocated request buffers. This bounds queue
+    /// residency: when the pool is empty, requests stay on the billboard
+    /// (backpressure propagates to senders through BBP credits).
+    pub pool: usize,
+    /// Body capacity per buffer, bytes. `pool` and `body_capacity`
+    /// together fix the server's entire steady-state memory footprint.
+    pub body_capacity: usize,
+    /// Maximum number of consecutive high-priority dispatches while
+    /// normal-priority work is waiting. Bounds starvation: a normal
+    /// request waits at most `max_high_streak` dispatches once it is at
+    /// the head of its queue.
+    pub max_high_streak: u32,
+}
+
+impl Default for RpcConfig {
+    fn default() -> Self {
+        RpcConfig {
+            pool: 32,
+            body_capacity: 256,
+            max_high_streak: 8,
+        }
+    }
+}
+
+/// Counters the queue maintains as it runs.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct QueueStats {
+    /// Requests accepted off the billboard into the pool.
+    pub polled: u64,
+    /// Requests handed to the handler.
+    pub dispatched: u64,
+    /// … of which high priority.
+    pub high_dispatched: u64,
+    /// … of which normal priority.
+    pub normal_dispatched: u64,
+    /// Replies sent (immediate and batched).
+    pub replied: u64,
+    /// High-water mark of buffers simultaneously out of the free pool.
+    pub max_residency: usize,
+}
+
+/// A per-endpoint serving queue over BBP.
+///
+/// Lifecycle per request: [`MessageQueue::poll`] moves arrivals into the
+/// class queues, [`MessageQueue::dispatch`] transfers one buffer to the
+/// handler, which writes the reply *in place* and returns it through
+/// [`MessageQueue::reply`] (immediate) or [`MessageQueue::reply_later`] +
+/// [`MessageQueue::flush`] (batched, one doorbell per destination).
+pub struct MessageQueue {
+    ep: BbpEndpoint,
+    cfg: RpcConfig,
+    free: Vec<MessageBuffer>,
+    high: VecDeque<MessageBuffer>,
+    normal: VecDeque<MessageBuffer>,
+    outbox: Vec<MessageBuffer>,
+    high_streak: u32,
+    stats: QueueStats,
+    residency_hist: Arc<LogHistogram>,
+}
+
+impl MessageQueue {
+    /// Wrap a server endpoint with a preallocated buffer pool.
+    pub fn new(ep: BbpEndpoint, cfg: RpcConfig) -> Self {
+        assert!(cfg.pool >= 1, "the buffer pool needs at least one buffer");
+        let max = ep.config().max_payload_bytes();
+        assert!(
+            HEADER_BYTES + cfg.body_capacity <= max,
+            "a {}-byte frame exceeds the endpoint's {max}-byte payload limit",
+            HEADER_BYTES + cfg.body_capacity
+        );
+        let mut free = Vec::with_capacity(cfg.pool);
+        for _ in 0..cfg.pool {
+            free.push(MessageBuffer::new(cfg.body_capacity));
+        }
+        MessageQueue {
+            ep,
+            high: VecDeque::with_capacity(cfg.pool),
+            normal: VecDeque::with_capacity(cfg.pool),
+            outbox: Vec::with_capacity(cfg.pool),
+            free,
+            cfg,
+            high_streak: 0,
+            stats: QueueStats::default(),
+            residency_hist: Arc::new(LogHistogram::new()),
+        }
+    }
+
+    /// Accept arrived requests into the pool, classifying by priority.
+    /// Stops when the pool is exhausted (remaining requests wait on the
+    /// billboard — that is the backpressure). Returns how many arrived.
+    pub fn poll(&mut self, ctx: &mut ProcCtx) -> usize {
+        let rank = self.ep.rank() as u32;
+        let mut accepted = 0;
+        while let Some(mut buf) = self.free.pop() {
+            let Some((src, len)) = self.ep.try_recv_any_into(ctx, buf.frame_mut()) else {
+                self.free.push(buf);
+                break;
+            };
+            let trace = ctx.obs().current_rx(rank);
+            buf.arrived(src, len, ctx.now(), trace);
+            match Header::decode(buf.frame()).map(|h| h.priority) {
+                Some(Priority::High) => self.high.push_back(buf),
+                _ => self.normal.push_back(buf),
+            }
+            self.stats.polled += 1;
+            accepted += 1;
+            let residency = self.cfg.pool - self.free.len();
+            self.stats.max_residency = self.stats.max_residency.max(residency);
+        }
+        accepted
+    }
+
+    /// Hand the next request to the handler, transferring buffer
+    /// ownership. High priority wins, but after `max_high_streak`
+    /// consecutive high dispatches with normal work waiting, one normal
+    /// request is served — that bounds starvation.
+    pub fn dispatch(&mut self, ctx: &mut ProcCtx) -> Option<MessageBuffer> {
+        let take_high = match (self.high.is_empty(), self.normal.is_empty()) {
+            (true, true) => return None,
+            (false, true) => true,
+            (true, false) => false,
+            (false, false) => self.high_streak < self.cfg.max_high_streak,
+        };
+        let mut buf = if take_high {
+            self.high_streak += 1;
+            self.stats.high_dispatched += 1;
+            self.high.pop_front().expect("checked non-empty")
+        } else {
+            self.high_streak = 0;
+            self.stats.normal_dispatched += 1;
+            self.normal.pop_front().expect("checked non-empty")
+        };
+        self.stats.dispatched += 1;
+        self.residency_hist
+            .record(ctx.now().saturating_sub(buf.enqueued_at()));
+        ctx.obs().lifecycle(
+            ctx.now(),
+            self.ep.rank() as u32,
+            buf.trace(),
+            Stage::RpcDispatch,
+            buf.channel() as u64,
+        );
+        buf.transfer_to_callee();
+        Some(buf)
+    }
+
+    /// Send one reply immediately (doorbell rings now) and return the
+    /// buffer to the pool. The reply rides the request's trace id, so
+    /// the whole exchange renders as one causal chain.
+    pub fn reply(&mut self, ctx: &mut ProcCtx, mut buf: MessageBuffer) -> Result<(), RpcError> {
+        buf.make_reply();
+        let rank = self.ep.rank() as u32;
+        ctx.obs().lifecycle(
+            ctx.now(),
+            rank,
+            buf.trace(),
+            Stage::RpcReply,
+            buf.channel() as u64,
+        );
+        let prev = ctx.obs().current_trace(rank);
+        ctx.obs().set_current_trace(rank, buf.trace());
+        let result = self.ep.send(ctx, buf.src(), buf.frame());
+        ctx.obs().set_current_trace(rank, prev);
+        buf.release();
+        self.free.push(buf);
+        match result {
+            Ok(()) => {
+                self.stats.replied += 1;
+                Ok(())
+            }
+            Err(e) => Err(RpcError::Transport(e)),
+        }
+    }
+
+    /// Stage a finished reply for a batched [`MessageQueue::flush`].
+    pub fn reply_later(&mut self, mut buf: MessageBuffer) {
+        buf.make_reply();
+        self.outbox.push(buf);
+    }
+
+    /// Post every staged reply with deferred doorbells, then ring one
+    /// flag write per destination node. Returns how many replies went
+    /// out. On a transport error the remaining buffers still return to
+    /// the pool and the first error is reported.
+    pub fn flush(&mut self, ctx: &mut ProcCtx) -> Result<usize, RpcError> {
+        let rank = self.ep.rank() as u32;
+        let mut outbox = std::mem::take(&mut self.outbox);
+        let mut flushed = 0usize;
+        let mut first_err: Option<RpcError> = None;
+        for mut buf in outbox.drain(..) {
+            if first_err.is_none() {
+                let dst = buf.src();
+                // Deadlock guard: a deferred post is invisible to the
+                // receiver until its doorbell rings, so its ACK — and the
+                // send credit it returns — can never arrive. If this
+                // destination is down to its last zero credits, ring what
+                // is already staged before posting more.
+                if self.ep.send_credits(dst) == Some(0) {
+                    self.ep.ring_doorbell(ctx, dst);
+                }
+                ctx.obs().lifecycle(
+                    ctx.now(),
+                    rank,
+                    buf.trace(),
+                    Stage::RpcReply,
+                    buf.channel() as u64,
+                );
+                let prev = ctx.obs().current_trace(rank);
+                ctx.obs().set_current_trace(rank, buf.trace());
+                let result = self.ep.post_deferred(ctx, dst, buf.frame());
+                ctx.obs().set_current_trace(rank, prev);
+                match result {
+                    Ok(()) => {
+                        flushed += 1;
+                        self.stats.replied += 1;
+                    }
+                    Err(e) => first_err = Some(RpcError::Transport(e)),
+                }
+            }
+            buf.release();
+            self.free.push(buf);
+        }
+        self.outbox = outbox;
+        self.ep.ring_all_doorbells(ctx);
+        match first_err {
+            None => Ok(flushed),
+            Some(e) => Err(e),
+        }
+    }
+
+    /// Requests waiting for dispatch (both classes).
+    pub fn queued(&self) -> usize {
+        self.high.len() + self.normal.len()
+    }
+
+    /// High-priority requests waiting for dispatch.
+    pub fn queued_high(&self) -> usize {
+        self.high.len()
+    }
+
+    /// Normal-priority requests waiting for dispatch.
+    pub fn queued_normal(&self) -> usize {
+        self.normal.len()
+    }
+
+    /// Buffers currently out of the free pool (queued + dispatched +
+    /// staged replies).
+    pub fn in_flight(&self) -> usize {
+        self.cfg.pool - self.free.len()
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> QueueStats {
+        self.stats
+    }
+
+    /// Queue-residency histogram (ns from arrival to dispatch).
+    pub fn residency_hist(&self) -> Arc<LogHistogram> {
+        Arc::clone(&self.residency_hist)
+    }
+
+    /// The underlying endpoint.
+    pub fn endpoint(&self) -> &BbpEndpoint {
+        &self.ep
+    }
+
+    /// The underlying endpoint, mutably (for draining its own stats).
+    pub fn endpoint_mut(&mut self) -> &mut BbpEndpoint {
+        &mut self.ep
+    }
+
+    /// This server's BBP rank.
+    pub fn rank(&self) -> usize {
+        self.ep.rank()
+    }
+}

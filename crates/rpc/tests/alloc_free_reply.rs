@@ -1,0 +1,155 @@
+//! The server's reply path must be zero-copy and zero-allocation once
+//! warm: the request buffer is reused in place for the reply, so
+//! `dispatch → write reply → reply_later` touches no heap at all, and
+//! `flush` adds nothing beyond what the bare BBP transport itself costs
+//! to post the same frames (the NIC's PIO write path owns its own
+//! allocations; the RPC layer must add zero on top).
+//!
+//! Allocation counting uses a wrapping global allocator, so everything
+//! runs inside ONE test function — a sibling test on another harness
+//! thread would pollute the counter.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc;
+
+use bbp::{BbpCluster, BbpConfig};
+use des::Simulation;
+use rpc::{MessageQueue, Priority, RpcClient, RpcConfig};
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::SeqCst);
+        System.alloc(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::SeqCst);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+/// Requests per round. Half the endpoint's send slots, so neither side
+/// ever blocks on slot reclamation mid-window.
+const N: usize = 8;
+const BODY: usize = 32;
+
+#[test]
+fn reply_path_is_alloc_free_after_warmup() {
+    let mut sim = Simulation::new();
+    let c = BbpCluster::new(&sim.handle(), BbpConfig::for_nodes(2));
+    let server_ep = c.endpoint(1);
+    let client_ep = c.endpoint(0);
+
+    let (tx, rx) = mpsc::channel::<(u64, u64, u64)>();
+
+    sim.spawn("client", move |ctx| {
+        let mut cl = RpcClient::new(client_ep, 1, 1, 2 * N as u32, BODY);
+        for round in 0..2u64 {
+            ctx.wait_until(round * des::us(5_000));
+            for i in 0..N {
+                let class = if i % 3 == 0 {
+                    Priority::High
+                } else {
+                    Priority::Normal
+                };
+                cl.try_request(ctx, 0, class, &[i as u8; BODY]).unwrap();
+            }
+            while cl.stats().completed < (round + 1) * N as u64 {
+                ctx.advance(2_000);
+                cl.poll_replies(ctx);
+            }
+        }
+        // Round three is the bare-transport control: the server posts N
+        // reply-sized frames outside the RPC layer. They match no pending
+        // request, so they surface as unmatched — drain them so every
+        // slot ACKs and the run ends clean.
+        while cl.stats().unmatched_replies < N as u64 {
+            ctx.advance(2_000);
+            cl.poll_replies(ctx);
+        }
+    });
+
+    sim.spawn("server", move |ctx| {
+        let mut mq = MessageQueue::new(
+            server_ep,
+            RpcConfig {
+                pool: N,
+                body_capacity: BODY,
+                max_high_streak: 4,
+            },
+        );
+        for round in 0..2u64 {
+            while mq.queued() < N {
+                ctx.advance(2_000);
+                mq.poll(ctx);
+            }
+            let before = ALLOCS.load(Ordering::SeqCst);
+            // The in-memory half: dispatch, write the reply over the
+            // request in place, stage it. Strictly zero heap traffic.
+            while let Some(mut buf) = mq.dispatch(ctx) {
+                let body = buf.body_mut();
+                for b in body[..BODY].iter_mut() {
+                    *b ^= 0xFF;
+                }
+                buf.set_body_len(BODY);
+                mq.reply_later(buf);
+            }
+            let staged = ALLOCS.load(Ordering::SeqCst);
+            // The transport half: one batched flush, one doorbell.
+            mq.flush(ctx).unwrap();
+            let flushed = ALLOCS.load(Ordering::SeqCst);
+            if round == 1 {
+                // Warm now: report the measured windows.
+                tx.send((before, staged, flushed)).unwrap();
+            }
+        }
+        // Bare-transport control round: post the same number of frames of
+        // the same size straight through BBP, no RPC layer.
+        let frame = [0u8; rpc::HEADER_BYTES + BODY];
+        let ep = mq.endpoint_mut();
+        let ctrl_before = ALLOCS.load(Ordering::SeqCst);
+        for _ in 0..N {
+            ep.post_deferred(ctx, 0, &frame).unwrap();
+        }
+        ep.ring_all_doorbells(ctx);
+        let ctrl_after = ALLOCS.load(Ordering::SeqCst);
+        tx.send((ctrl_before, ctrl_after, u64::MAX)).unwrap();
+    });
+
+    let report = sim.run();
+    assert!(report.is_clean(), "deadlocked: {:?}", report.deadlocked);
+
+    let (before, staged, flushed) = rx.recv().unwrap();
+    let (ctrl_before, ctrl_after, marker) = rx.recv().unwrap();
+    assert_eq!(marker, u64::MAX, "rounds reported in order");
+
+    assert_eq!(
+        staged - before,
+        0,
+        "dispatch → in-place reply → stage allocated"
+    );
+    let rpc_transport = flushed - staged;
+    let bare_transport = ctrl_after - ctrl_before;
+    assert!(
+        rpc_transport <= bare_transport,
+        "the RPC flush allocates beyond the bare transport: \
+         {rpc_transport} allocs vs {bare_transport} for the same frames"
+    );
+
+    // Sanity-check the counter itself so a broken hook cannot fake a pass.
+    let live = ALLOCS.load(Ordering::SeqCst);
+    std::hint::black_box(Box::new(0x5Cu64));
+    assert!(ALLOCS.load(Ordering::SeqCst) > live, "counter is live");
+}

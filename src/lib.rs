@@ -14,7 +14,9 @@
 //!   stack;
 //! - [`smpi`] — an MPI subset layered MPICH-style over pluggable devices;
 //! - [`shmem`] — the shared-memory programming model SCRAMNet was
-//!   originally used with (bakery locks, barriers, counters, events).
+//!   originally used with (bakery locks, barriers, counters, events);
+//! - [`rpc`] — zero-copy request/reply serving over BBP with
+//!   ownership-transfer buffers and credit-based backpressure.
 //!
 //! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
 //! paper-vs-measured record of every figure.
@@ -22,6 +24,8 @@
 pub use bbp;
 pub use des;
 pub use netsim;
+pub use obs;
+pub use rpc;
 pub use scramnet;
 pub use shmem;
 pub use smpi;
