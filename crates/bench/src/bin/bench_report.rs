@@ -7,7 +7,8 @@
 //! per-repetition latency quantiles.
 //!
 //! ```text
-//! bench-report [--quick] [--out PATH] [--trace PATH] [--messages] [--wallclock] [--baseline PATH]
+//! bench-report [--quick] [--out PATH] [--trace PATH] [--messages] [--wallclock]
+//!              [--baseline PATH] [--threads N] [--min-speedup X]
 //! bench-report --check PATH
 //! ```
 //!
@@ -28,20 +29,30 @@
 //!   if any shared scenario is now more than
 //!   [`WALLCLOCK_REGRESSION_FACTOR`]× slower in events/sec. Implies
 //!   `--wallclock`.
+//! - `--threads N`: also run the broadcast stress scenario on the
+//!   conservative parallel engine with `N` worker threads (implies
+//!   `--wallclock`; records per-shard utilization / lookahead-stall
+//!   breakdowns). `N > 1` additionally runs the 1-thread parallel
+//!   configuration and prints the measured speedup.
+//! - `--min-speedup X`: fail unless the `N`-thread run achieves at
+//!   least `X`× the 1-thread parallel run's events/sec (requires
+//!   `--threads N` with `N > 1`; CI's perf-smoke matrix passes 2.0 on
+//!   its multi-core runners — don't gate on single-core hosts, where
+//!   no parallel engine can scale).
 //! - `--check PATH`: validate an existing summary against the schema
 //!   and exit (runs no benchmarks).
 //!
 //! Exits non-zero if the report fails its own schema validation, the
 //! measured layering constant deviates from the paper by more than 20%,
-//! or the wall-clock baseline gate trips.
+//! or the wall-clock baseline or speedup gate trips.
 
 use std::process::ExitCode;
 
 use bench::{
     bbp_one_way_us, bbp_pingpong_histogram, best_of, crossover, event_chain_stress,
     mpi_bcast_events, mpi_layering_log_histogram, mpi_one_way_us, mpi_pingpong_histogram,
-    print_table, report, report_anchor, ring_bcast_stress, ring_pio_writers, MpiNet, Series,
-    WallclockRun,
+    print_table, report, report_anchor, ring_bcast_stress, ring_bcast_stress_par, ring_pio_writers,
+    MpiNet, Series, WallclockRun,
 };
 use obs::report::{Wallclock, PAPER_LAYERING_US};
 use smpi::CollectiveImpl;
@@ -54,7 +65,8 @@ const LAYERING_TOLERANCE_PCT: f64 = 20.0;
 const WALLCLOCK_REGRESSION_FACTOR: f64 = 3.0;
 
 const USAGE: &str = "usage: bench-report [--quick] [--out PATH] [--trace PATH] [--messages] \
-                     [--wallclock] [--baseline PATH] | --check PATH";
+                     [--wallclock] [--baseline PATH] [--threads N] [--min-speedup X] \
+                     | --check PATH";
 
 struct Args {
     quick: bool,
@@ -64,6 +76,8 @@ struct Args {
     messages: bool,
     wallclock: bool,
     baseline: Option<String>,
+    threads: Option<usize>,
+    min_speedup: Option<f64>,
     help: bool,
 }
 
@@ -76,6 +90,8 @@ fn parse_args() -> Result<Args, String> {
         messages: false,
         wallclock: false,
         baseline: None,
+        threads: None,
+        min_speedup: None,
         help: false,
     };
     let mut it = std::env::args().skip(1);
@@ -91,9 +107,32 @@ fn parse_args() -> Result<Args, String> {
                 args.baseline = Some(it.next().ok_or("--baseline needs a path")?);
                 args.wallclock = true;
             }
+            "--threads" => {
+                let n: usize = it
+                    .next()
+                    .ok_or("--threads needs a count")?
+                    .parse()
+                    .map_err(|e| format!("--threads: {e}"))?;
+                if n == 0 {
+                    return Err("--threads must be at least 1".to_string());
+                }
+                args.threads = Some(n);
+                args.wallclock = true;
+            }
+            "--min-speedup" => {
+                let x: f64 = it
+                    .next()
+                    .ok_or("--min-speedup needs a factor")?
+                    .parse()
+                    .map_err(|e| format!("--min-speedup: {e}"))?;
+                args.min_speedup = Some(x);
+            }
             "--help" | "-h" => args.help = true,
             other => return Err(format!("unknown argument '{other}'\n{USAGE}")),
         }
+    }
+    if args.min_speedup.is_some() && args.threads.unwrap_or(1) < 2 {
+        return Err("--min-speedup requires --threads N with N > 1".to_string());
     }
     Ok(args)
 }
@@ -117,6 +156,14 @@ fn load_baseline(path: &str) -> Result<Vec<Wallclock>, String> {
             if scenario.ends_with("@baseline") {
                 continue;
             }
+            // Pre-v4 baselines carry no thread count: everything they
+            // measured ran the sequential engine. The per-shard
+            // breakdown is a point-in-time diagnostic, not a gated
+            // quantity, so baseline echoes drop it either way.
+            let threads = w
+                .get("threads")
+                .and_then(obs::json::Json::as_f64)
+                .map_or(1, |t| t as u64);
             out.push(Wallclock {
                 scenario,
                 events: num("events") as u64,
@@ -125,6 +172,8 @@ fn load_baseline(path: &str) -> Result<Vec<Wallclock>, String> {
                 events_per_sec: num("events_per_sec"),
                 sim_ns_per_sec: num("sim_ns_per_sec"),
                 peak_queue_depth: num("peak_queue_depth") as u64,
+                threads,
+                shards: Vec::new(),
             });
         }
     }
@@ -134,10 +183,15 @@ fn load_baseline(path: &str) -> Result<Vec<Wallclock>, String> {
 /// Run the engine self-measurement scenarios, record them, and apply the
 /// baseline regression gate. Returns `Err` with a message if the gate
 /// trips.
-fn run_wallclock(quick: bool, baseline: &[Wallclock]) -> Result<(), String> {
+fn run_wallclock(
+    quick: bool,
+    baseline: &[Wallclock],
+    threads: Option<usize>,
+    min_speedup: Option<f64>,
+) -> Result<(), String> {
     // Best-of-3 per scenario: wall-clock self-measurement shares the
     // host, so the fastest repetition estimates the engine's real cost.
-    let runs: Vec<WallclockRun> = if quick {
+    let mut runs: Vec<WallclockRun> = if quick {
         vec![
             best_of(3, || ring_bcast_stress(16, 500)),
             best_of(3, || ring_pio_writers(16, 500)),
@@ -150,6 +204,24 @@ fn run_wallclock(quick: bool, baseline: &[Wallclock]) -> Result<(), String> {
             best_of(3, || event_chain_stress(64, 20_000)),
         ]
     };
+    // Parallel-engine runs of the broadcast stress. With N > 1 we also
+    // run the 1-thread configuration so the speedup compares the same
+    // engine at two thread counts (sharded-vs-sequential overhead is
+    // what the sequential scenario above already captures).
+    let mut speedup = None;
+    if let Some(n) = threads {
+        let packets = if quick { 500 } else { 2_000 };
+        let t1 = best_of(3, || ring_bcast_stress_par(16, packets, 1));
+        let tn = if n > 1 {
+            let tn = best_of(3, || ring_bcast_stress_par(16, packets, n));
+            speedup = Some(tn.events_per_sec() / t1.events_per_sec().max(1e-9));
+            Some(tn)
+        } else {
+            None
+        };
+        runs.push(t1);
+        runs.extend(tn);
+    }
     println!("\n== engine wall-clock self-measurement ==");
     let mut failures = Vec::new();
     for run in &runs {
@@ -163,6 +235,20 @@ fn run_wallclock(quick: bool, baseline: &[Wallclock]) -> Result<(), String> {
             run.sim_ns_per_sec(),
             run.peak_queue_depth,
         );
+        for s in &run.shards {
+            println!(
+                "  {:<28} shard {:>2}: {:>8} events  {:>5.1}% util  {:>7} stall passes  \
+                 mbox peak {:>4}  spilled {:>4}  queue peak {}",
+                "",
+                s.shard,
+                s.events,
+                s.utilization() * 100.0,
+                s.stall_passes,
+                s.max_mailbox_depth,
+                s.spilled,
+                s.peak_queue_depth,
+            );
+        }
         if let Some(base) = baseline.iter().find(|b| b.scenario == run.scenario) {
             let ratio = run.events_per_sec() / base.events_per_sec.max(1e-9);
             println!(
@@ -176,6 +262,16 @@ fn run_wallclock(quick: bool, baseline: &[Wallclock]) -> Result<(), String> {
                     run.scenario,
                     run.events_per_sec(),
                     base.events_per_sec
+                ));
+            }
+        }
+    }
+    if let (Some(n), Some(s)) = (threads, speedup) {
+        println!("  parallel speedup: {s:.2}x at {n} threads (vs 1-thread parallel run)");
+        if let Some(min) = min_speedup {
+            if s < min {
+                failures.push(format!(
+                    "parallel speedup {s:.2}x at {n} threads is below the required {min:.2}x"
                 ));
             }
         }
@@ -353,7 +449,7 @@ fn main() -> ExitCode {
             },
             None => Vec::new(),
         };
-        if let Err(e) = run_wallclock(args.quick, &baseline) {
+        if let Err(e) = run_wallclock(args.quick, &baseline, args.threads, args.min_speedup) {
             wallclock_failure = Some(e);
         }
     }

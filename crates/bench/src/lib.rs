@@ -541,6 +541,10 @@ pub struct WallclockRun {
     pub wall: std::time::Duration,
     /// Largest pending-queue depth observed.
     pub peak_queue_depth: usize,
+    /// Worker threads the engine ran on (1 = the sequential engine).
+    pub threads: usize,
+    /// Per-shard execution counters (empty for sequential-engine runs).
+    pub shards: Vec<obs::report::WallclockShard>,
 }
 
 impl WallclockRun {
@@ -570,6 +574,8 @@ fn timed_run(scenario: impl Into<String>, sim: &mut Simulation) -> WallclockRun 
         sim_ns: report.end_time,
         wall,
         peak_queue_depth: report.peak_queue_depth,
+        threads: 1,
+        shards: Vec::new(),
     }
 }
 
@@ -621,6 +627,68 @@ pub fn ring_bcast_stress(nodes: usize, packets_per_node: usize) -> WallclockRun 
         });
     }
     timed_run(format!("ring_bcast_stress_{nodes}node"), &mut sim)
+}
+
+/// The broadcast stress workload on the conservative parallel engine
+/// ([`scramnet::ParRing`] over `des::par`): the same traffic shape as
+/// [`ring_bcast_stress`] — every node sources `packets_per_node`
+/// 16-word packets 1 µs apart, sources staggered 125 ns, seeded
+/// link-level bit errors — executed on `threads` worker threads with one
+/// shard per node. `threads == 1` runs the identical sharded engine on
+/// one worker, so `tN / t1` events/sec is a pure scaling measurement
+/// (same code, same event count). The per-shard counters land in the
+/// run's `shards` breakdown.
+pub fn ring_bcast_stress_par(
+    nodes: usize,
+    packets_per_node: usize,
+    threads: usize,
+) -> WallclockRun {
+    let mut ring = scramnet::ParRing::new(
+        nodes,
+        8192,
+        scramnet::CostModel::default(),
+        scramnet::ParRingConfig {
+            bit_error_rate: 1e-4,
+            error_seed: 0x5C2A_317E,
+            ..Default::default()
+        },
+    );
+    for node in 0..nodes {
+        for i in 0..packets_per_node {
+            let w = i as u32;
+            ring.seed_packet(
+                node,
+                node as Time * 125 + i as Time * 1_000,
+                node * 32 + (i & 16),
+                (0..16).map(|k| w ^ k).collect(),
+            );
+        }
+    }
+    let t0 = std::time::Instant::now();
+    let report = ring.run(threads);
+    let wall = t0.elapsed();
+    WallclockRun {
+        scenario: format!("ring_bcast_stress_{nodes}node_t{threads}"),
+        events: report.dispatches,
+        sim_ns: report.end_time,
+        wall,
+        peak_queue_depth: report.peak_queue_depth(),
+        threads,
+        shards: report
+            .shards
+            .iter()
+            .enumerate()
+            .map(|(i, s)| obs::report::WallclockShard {
+                shard: i as u32,
+                events: s.executed,
+                busy_passes: s.busy_passes,
+                stall_passes: s.stall_passes,
+                max_mailbox_depth: s.max_mailbox_depth as u64,
+                spilled: s.spilled,
+                peak_queue_depth: s.peak_queue_depth as u64,
+            })
+            .collect(),
+    }
 }
 
 /// Run a wall-clock scenario `reps` times and keep the fastest run by

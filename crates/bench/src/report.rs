@@ -193,6 +193,8 @@ pub fn push_wallclock(run: &crate::WallclockRun) {
             events_per_sec: run.events_per_sec(),
             sim_ns_per_sec: run.sim_ns_per_sec(),
             peak_queue_depth: run.peak_queue_depth as u64,
+            threads: run.threads as u64,
+            shards: run.shards.clone(),
         })
     });
 }

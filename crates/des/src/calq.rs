@@ -1,0 +1,307 @@
+//! The banded calendar queue, generic over its payload.
+//!
+//! PR 2 built this structure directly into the scheduler's pending
+//! queue; the parallel engine ([`crate::par`]) needs one event queue
+//! *per shard*, so the calendar lives here as `CalendarQueue<T>` and
+//! both the sequential scheduler (`T = WakeWhat`) and every shard
+//! (`T = ShardEvent<S>`) instantiate it.
+//!
+//! Keys live in one of three places:
+//! - `batch`: the *near* band — the earliest time-window of keys, sorted
+//!   once at migration and popped front-to-back for O(1) pops.
+//! - `late`: a small four-ary heap catching pushes that land inside the
+//!   near window after it was sealed (hop chains rescheduling a few µs
+//!   ahead). A pop takes whichever head is smaller.
+//! - `far`: an unsorted vector of everything beyond the window — O(1)
+//!   pushes, scanned linearly only when the near band drains.
+//!
+//! A plain heap pays a serial chain of cache-missing sift levels on
+//! every pop once the queue is thousands deep; here the deep part of
+//! the queue is only ever touched by batched linear scans. If the
+//! workload floods the near window (`late` past [`LATE_CAP`]), the
+//! whole band is pushed back and the window recomputed, which adapts
+//! the width to wherever events are actually dense.
+//!
+//! Payloads sit still in the slab from push to pop (exactly two touches
+//! each); slots recycle through a free list, so the steady state
+//! allocates nothing no matter how deep the queue gets. Pop order is
+//! the total order on `(time, seq)` regardless of band placement, so
+//! the deterministic schedule is identical to any correct heap's.
+
+use crate::pq::FourAryHeap;
+use crate::time::Time;
+
+/// One queue key: fires at `time`; `seq` breaks ties so the schedule is
+/// deterministic. `(time, seq)` is unique per entry. The payload lives
+/// in the queue's slab under `slot`, so a key is 24 bytes and sift swaps
+/// in a deep queue move keys only — payloads never travel through the
+/// heap.
+#[derive(Clone, Copy)]
+pub(crate) struct Key {
+    pub time: Time,
+    pub seq: u64,
+    slot: u32,
+}
+
+impl PartialEq for Key {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for Key {}
+impl PartialOrd for Key {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Key {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+/// Migration batch sizing: aim for roughly this many keys per sorted
+/// batch (scaled up for very deep queues so the linear far-scan stays
+/// amortized against a proportionally larger batch).
+const BATCH_TARGET: u64 = 1024;
+
+/// When this many in-window pushes accumulate in the late heap, the
+/// near band is flushed back to `far` and re-migrated with a freshly
+/// (and therefore narrower) computed window.
+const LATE_CAP: usize = 2048;
+
+/// A banded calendar queue over a slab of `T` payloads, ordered by the
+/// total order on `(time, seq)`.
+pub(crate) struct CalendarQueue<T> {
+    /// Sorted near-band keys; `batch[cursor..]` are still pending.
+    batch: Vec<Key>,
+    cursor: usize,
+    /// In-window pushes that arrived after the batch was sealed.
+    late: FourAryHeap<Key>,
+    /// Out-of-window keys, unsorted.
+    far: Vec<Key>,
+    /// Smallest fire time in `far` (`Time::MAX` when empty).
+    far_min: Time,
+    /// Times `>= boundary` route to `far`; below it, to `late`.
+    boundary: Time,
+    slots: Vec<Option<T>>,
+    free: Vec<u32>,
+}
+
+impl<T> Default for CalendarQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> CalendarQueue<T> {
+    pub fn new() -> Self {
+        CalendarQueue {
+            batch: Vec::new(),
+            cursor: 0,
+            late: FourAryHeap::new(),
+            far: Vec::new(),
+            far_min: Time::MAX,
+            boundary: 0,
+            slots: Vec::new(),
+            free: Vec::new(),
+        }
+    }
+
+    /// Number of pending entries.
+    pub fn len(&self) -> usize {
+        (self.batch.len() - self.cursor) + self.late.len() + self.far.len()
+    }
+
+    /// Number of slab slots ever allocated (test observability: a
+    /// recycling steady state must not grow this).
+    #[cfg(test)]
+    pub fn slab_slots(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Fire time of the earliest entry, if any.
+    pub fn peek_time(&self) -> Option<Time> {
+        let mut t = Time::MAX;
+        let mut any = false;
+        if let Some(k) = self.batch.get(self.cursor) {
+            t = t.min(k.time);
+            any = true;
+        }
+        if let Some(k) = self.late.peek() {
+            t = t.min(k.time);
+            any = true;
+        }
+        if !self.far.is_empty() {
+            t = t.min(self.far_min);
+            any = true;
+        }
+        any.then_some(t)
+    }
+
+    pub fn push(&mut self, time: Time, seq: u64, what: T) {
+        let slot = match self.free.pop() {
+            Some(i) => {
+                self.slots[i as usize] = Some(what);
+                i
+            }
+            None => {
+                self.slots.push(Some(what));
+                (self.slots.len() - 1) as u32
+            }
+        };
+        let key = Key { time, seq, slot };
+        if time >= self.boundary {
+            self.far_min = self.far_min.min(time);
+            self.far.push(key);
+        } else {
+            self.late.push(key);
+            if self.late.len() >= LATE_CAP {
+                self.flush_near();
+            }
+        }
+    }
+
+    /// Remove and return the earliest entry.
+    #[cfg(test)]
+    pub fn pop(&mut self) -> Option<(Time, T)> {
+        self.pop_due(Time::MAX)
+    }
+
+    /// Remove and return the earliest entry, unless it fires after
+    /// `horizon`. The slab slot is read *before* any heap sift so the
+    /// payload's cache miss resolves in parallel with it.
+    pub fn pop_due(&mut self, horizon: Time) -> Option<(Time, T)> {
+        loop {
+            let near = self.batch.get(self.cursor).copied();
+            let use_late = match (near, self.late.peek()) {
+                (Some(a), Some(b)) => *b < a,
+                (None, Some(_)) => true,
+                (Some(_), None) => false,
+                (None, None) => {
+                    if self.far.is_empty() || self.far_min > horizon {
+                        return None;
+                    }
+                    self.migrate();
+                    continue;
+                }
+            };
+            let k = if use_late {
+                *self.late.peek().expect("late head checked above")
+            } else {
+                near.expect("near head checked above")
+            };
+            if k.time > horizon {
+                return None;
+            }
+            let what = self.slots[k.slot as usize]
+                .take()
+                .expect("pending slab slot occupied");
+            self.free.push(k.slot);
+            if use_late {
+                self.late.pop();
+            } else {
+                self.cursor += 1;
+            }
+            return Some((k.time, what));
+        }
+    }
+
+    /// Seal a fresh near band: pick a time window starting at the far
+    /// band's minimum, sized so roughly [`BATCH_TARGET`] keys fall in it
+    /// (assuming an even spread), move those keys over, and sort them.
+    fn migrate(&mut self) {
+        debug_assert!(self.cursor == self.batch.len() && self.late.len() == 0);
+        let n = self.far.len() as u64;
+        let mut t0 = Time::MAX;
+        let mut t1 = 0;
+        for k in &self.far {
+            t0 = t0.min(k.time);
+            t1 = t1.max(k.time);
+        }
+        let target = BATCH_TARGET.max(n / 8);
+        let width = ((t1 - t0).saturating_mul(target) / n).max(1);
+        let b = t0.saturating_add(width);
+        self.batch.clear();
+        self.cursor = 0;
+        let mut far_min = Time::MAX;
+        let mut i = 0;
+        while i < self.far.len() {
+            if self.far[i].time < b {
+                let k = self.far.swap_remove(i);
+                self.batch.push(k);
+            } else {
+                far_min = far_min.min(self.far[i].time);
+                i += 1;
+            }
+        }
+        self.boundary = b;
+        self.far_min = far_min;
+        self.batch.sort_unstable();
+    }
+
+    /// The near window turned out to sit in a dense region (the late
+    /// heap filled up): return everything near to `far` and drop the
+    /// boundary, so the next pop re-migrates with a window computed
+    /// from the actual local density.
+    fn flush_near(&mut self) {
+        for k in self.batch.drain(self.cursor..) {
+            self.far_min = self.far_min.min(k.time);
+            self.far.push(k);
+        }
+        self.cursor = 0;
+        self.batch.clear();
+        while let Some(k) = self.late.pop() {
+            self.far_min = self.far_min.min(k.time);
+            self.far.push(k);
+        }
+        self.boundary = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keys_order_by_time_then_seq() {
+        let a = Key {
+            time: 5,
+            seq: 1,
+            slot: 7,
+        };
+        let b = Key {
+            time: 5,
+            seq: 2,
+            slot: 0,
+        };
+        let c = Key {
+            time: 4,
+            seq: 9,
+            slot: 3,
+        };
+        assert!(c < a && a < b);
+    }
+
+    #[test]
+    fn pop_order_is_total_on_time_then_seq() {
+        let mut q = CalendarQueue::new();
+        q.push(30, 2, "c");
+        q.push(10, 1, "a");
+        q.push(10, 0, "z");
+        q.push(20, 3, "b");
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop()).map(|(_, v)| v).collect();
+        assert_eq!(order, ["z", "a", "b", "c"]);
+    }
+
+    #[test]
+    fn pop_due_respects_horizon() {
+        let mut q = CalendarQueue::new();
+        q.push(100, 0, 1u32);
+        q.push(200, 1, 2u32);
+        assert_eq!(q.pop_due(150), Some((100, 1)));
+        assert_eq!(q.pop_due(150), None);
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop_due(200), Some((200, 2)));
+    }
+}

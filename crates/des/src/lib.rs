@@ -49,6 +49,7 @@
 //! latency breakdown with [`obs::attribute`]. Recording is off by
 //! default and costs one relaxed atomic load per instrumentation site.
 
+mod calq;
 mod event;
 mod pq;
 mod process;
@@ -58,6 +59,7 @@ mod sim;
 mod time;
 
 pub mod metrics;
+pub mod par;
 pub mod queue;
 pub mod rng;
 

@@ -16,7 +16,13 @@ use crate::json::{self, write_f64, write_string, Json};
 /// from trace-id flow events. The validator still accepts v2 documents
 /// ([`validate_json`] dispatches on the version), so committed v2
 /// baselines keep validating.
-pub const SCHEMA_VERSION: u32 = 3;
+///
+/// v4 added the parallel-engine fields to every `wallclock` entry:
+/// `threads` (worker count, 1 for the sequential engine) and `shards`
+/// (per-shard execution counters — events, busy/stall passes, mailbox
+/// and queue peaks — empty for sequential runs). v2/v3 documents keep
+/// validating under their own rules.
+pub const SCHEMA_VERSION: u32 = 4;
 
 /// Oldest schema version [`validate_json`] still accepts.
 pub const MIN_SCHEMA_VERSION: u32 = 2;
@@ -155,6 +161,41 @@ pub struct MessageRow {
     pub stages: Vec<MessageStage>,
 }
 
+/// Per-shard execution counters of one parallel wallclock run
+/// (schema v4): the utilization / lookahead-stall breakdown.
+#[derive(Debug, Clone)]
+pub struct WallclockShard {
+    /// Shard id.
+    pub shard: u32,
+    /// Events executed on this shard.
+    pub events: u64,
+    /// Scheduling passes that executed at least one event.
+    pub busy_passes: u64,
+    /// Passes where pending events all sat above the conservative safe
+    /// bound (lookahead stalls).
+    pub stall_passes: u64,
+    /// Deepest in-link mailbox observed.
+    pub max_mailbox_depth: u64,
+    /// Posts that overflowed a bounded mailbox into the sender spill.
+    pub spilled: u64,
+    /// Largest local pending-queue depth observed.
+    pub peak_queue_depth: u64,
+}
+
+impl WallclockShard {
+    /// Fraction of scheduling passes that made progress (0 when the
+    /// shard never passed) — the utilization figure the bench report
+    /// prints.
+    pub fn utilization(&self) -> f64 {
+        let total = self.busy_passes + self.stall_passes;
+        if total == 0 {
+            0.0
+        } else {
+            self.busy_passes as f64 / total as f64
+        }
+    }
+}
+
 /// One wall-clock self-measurement: how fast the simulator itself ran
 /// one scenario on the host, independent of virtual-time results.
 #[derive(Debug, Clone)]
@@ -172,8 +213,13 @@ pub struct Wallclock {
     pub events_per_sec: f64,
     /// Virtual-time throughput: simulated nanoseconds per wall second.
     pub sim_ns_per_sec: f64,
-    /// Largest pending-queue depth observed during the run.
+    /// Largest pending-queue depth observed during the run (summed over
+    /// shards for parallel runs).
     pub peak_queue_depth: u64,
+    /// Worker threads the engine ran on (1 = sequential engine).
+    pub threads: u64,
+    /// Per-shard breakdown (empty for sequential-engine runs).
+    pub shards: Vec<WallclockShard>,
 }
 
 /// The complete report (`BENCH_summary.json`).
@@ -356,7 +402,32 @@ impl BenchReport {
             write_f64(&mut o, w.sim_ns_per_sec);
             o.push_str(", \"peak_queue_depth\": ");
             let _ = std::fmt::Write::write_fmt(&mut o, format_args!("{}", w.peak_queue_depth));
-            o.push('}');
+            o.push_str(", \"threads\": ");
+            let _ = std::fmt::Write::write_fmt(&mut o, format_args!("{}", w.threads));
+            o.push_str(", \"shards\": [");
+            for (j, s) in w.shards.iter().enumerate() {
+                if j > 0 {
+                    o.push_str(", ");
+                }
+                let _ = std::fmt::Write::write_fmt(
+                    &mut o,
+                    format_args!(
+                        "{{\"shard\": {}, \"events\": {}, \"busy_passes\": {}, \
+                         \"stall_passes\": {}, \"max_mailbox_depth\": {}, \
+                         \"spilled\": {}, \"peak_queue_depth\": {}, \"utilization\": ",
+                        s.shard,
+                        s.events,
+                        s.busy_passes,
+                        s.stall_passes,
+                        s.max_mailbox_depth,
+                        s.spilled,
+                        s.peak_queue_depth
+                    ),
+                );
+                write_f64(&mut o, s.utilization());
+                o.push('}');
+            }
+            o.push_str("]}");
         }
         o.push_str("\n  ]\n}\n");
         o
@@ -404,6 +475,7 @@ pub fn validate_json(text: &str) -> Result<(), String> {
         ));
     }
     let v3 = version >= 3.0;
+    let v4 = version >= 4.0;
     require_str(&doc, "generated_by", "root")?;
 
     for (i, a) in require_arr(&doc, "anchors")?.iter().enumerate() {
@@ -507,6 +579,30 @@ pub fn validate_json(text: &str) -> Result<(), String> {
         ] {
             require_num(w, key, &ctx)?;
         }
+        if v4 {
+            require_num(w, "threads", &ctx)?;
+            for (j, s) in require(w, "shards")
+                .map_err(|e| format!("{ctx}: {e}"))?
+                .as_arr()
+                .ok_or_else(|| format!("{ctx}: 'shards' must be an array"))?
+                .iter()
+                .enumerate()
+            {
+                let sctx = format!("{ctx}.shards[{j}]");
+                for key in [
+                    "shard",
+                    "events",
+                    "busy_passes",
+                    "stall_passes",
+                    "max_mailbox_depth",
+                    "spilled",
+                    "peak_queue_depth",
+                    "utilization",
+                ] {
+                    require_num(s, key, &sctx)?;
+                }
+            }
+        }
     }
     Ok(())
 }
@@ -582,6 +678,8 @@ mod tests {
                 events_per_sec: 4_166_666.0,
                 sim_ns_per_sec: 1.6e10,
                 peak_queue_depth: 48,
+                threads: 1,
+                shards: vec![],
             }],
         }
     }
@@ -614,8 +712,9 @@ mod tests {
 
     #[test]
     fn v2_documents_still_validate() {
-        // A committed v2 baseline has no p999_us and no messages
-        // section; the validator must dispatch to the v2 rules.
+        // A committed v2 baseline has no p999_us, no messages section,
+        // and no parallel-engine wallclock fields; the validator must
+        // dispatch to the v2 rules.
         let mut r = sample();
         r.messages.clear();
         let text = r
@@ -625,10 +724,80 @@ mod tests {
                 "\"schema_version\": 2",
             )
             .replace(", \"p999_us\": 45.05", "")
-            .replace("\"messages\": [\n  ],\n  ", "");
+            .replace("\"messages\": [\n  ],\n  ", "")
+            .replace(", \"threads\": 1, \"shards\": []", "");
         assert!(!text.contains("p999_us"));
         assert!(!text.contains("messages"));
+        assert!(!text.contains("threads"));
         validate_json(&text).unwrap();
+    }
+
+    #[test]
+    fn v3_documents_still_validate() {
+        // A committed v3 baseline predates the parallel-engine
+        // wallclock fields.
+        let text = sample()
+            .to_json()
+            .replace(
+                &format!("\"schema_version\": {SCHEMA_VERSION}"),
+                "\"schema_version\": 3",
+            )
+            .replace(", \"threads\": 1, \"shards\": []", "");
+        assert!(!text.contains("threads"));
+        validate_json(&text).unwrap();
+    }
+
+    #[test]
+    fn v4_requires_parallel_engine_fields() {
+        let no_threads = sample().to_json().replace("\"threads\"", "\"treads\"");
+        assert!(validate_json(&no_threads).unwrap_err().contains("threads"));
+        let no_shards = sample().to_json().replace("\"shards\"", "\"chards\"");
+        assert!(validate_json(&no_shards).unwrap_err().contains("shards"));
+    }
+
+    #[test]
+    fn shard_breakdown_round_trips_and_is_checked() {
+        let mut r = sample();
+        r.wallclock[0].threads = 4;
+        r.wallclock[0].shards = vec![
+            WallclockShard {
+                shard: 0,
+                events: 1000,
+                busy_passes: 90,
+                stall_passes: 10,
+                max_mailbox_depth: 7,
+                spilled: 0,
+                peak_queue_depth: 33,
+            },
+            WallclockShard {
+                shard: 1,
+                events: 980,
+                busy_passes: 80,
+                stall_passes: 20,
+                max_mailbox_depth: 5,
+                spilled: 2,
+                peak_queue_depth: 31,
+            },
+        ];
+        let text = r.to_json();
+        validate_json(&text).unwrap();
+        assert!(text.contains("\"stall_passes\": 20"));
+        let broken = text.replace("\"stall_passes\"", "\"stall_pazzes\"");
+        assert!(validate_json(&broken).unwrap_err().contains("stall_passes"));
+    }
+
+    #[test]
+    fn shard_utilization_is_busy_share() {
+        let s = WallclockShard {
+            shard: 0,
+            events: 0,
+            busy_passes: 3,
+            stall_passes: 1,
+            max_mailbox_depth: 0,
+            spilled: 0,
+            peak_queue_depth: 0,
+        };
+        assert!((s.utilization() - 0.75).abs() < 1e-12);
     }
 
     #[test]

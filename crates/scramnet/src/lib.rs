@@ -53,6 +53,7 @@ pub mod fault;
 mod hierarchy;
 mod nic;
 mod ring;
+pub(crate) mod shard;
 mod stats;
 
 pub use bank::WriteRecord;
@@ -61,6 +62,7 @@ pub use fault::{FaultAt, FaultPlan};
 pub use hierarchy::{HierarchyConfig, RingHierarchy};
 pub use nic::Nic;
 pub use ring::{Ring, RingConfig};
+pub use shard::{Delivery, HeartbeatConfig, ParRing, ParRingConfig, ViewRecord};
 pub use stats::RingStats;
 
 /// SCRAMNet's transfer unit: a 32-bit word. All shared-memory offsets in

@@ -221,7 +221,7 @@ impl RingShared {
 /// statistically identical, still seeded and deterministic, but a clean
 /// apply costs one subtraction instead of one RNG draw per word — at
 /// realistic error rates virtually every apply is clean.
-struct ErrorInjector {
+pub(crate) struct ErrorInjector {
     rate: f64,
     rng: des::rng::SimRng,
     /// Clean words remaining before the next flip.
@@ -229,7 +229,7 @@ struct ErrorInjector {
 }
 
 impl ErrorInjector {
-    fn new(rate: f64, seed: u64) -> Self {
+    pub(crate) fn new(rate: f64, seed: u64) -> Self {
         let mut inj = ErrorInjector {
             rate: rate.min(1.0),
             rng: des::rng::SimRng::seeded(seed),
@@ -255,7 +255,7 @@ impl ErrorInjector {
     /// Walk a span of `len` applied words, calling `flip(idx, bit)` for
     /// each corrupted one. The fast path — no flip lands in the span —
     /// is a single compare-and-subtract.
-    fn corrupt_span(&mut self, len: usize, mut flip: impl FnMut(usize, u32)) {
+    pub(crate) fn corrupt_span(&mut self, len: usize, mut flip: impl FnMut(usize, u32)) {
         let len = len as u64;
         if self.countdown >= len {
             self.countdown -= len;
@@ -470,6 +470,30 @@ impl Ring {
     pub fn source_packet(&self, node: usize, t: Time, addr: WordAddr, data: Arc<Vec<Word>>) {
         assert!(node < self.shared.n, "node {node} out of range");
         self.shared.inject(node, t, addr, data);
+    }
+
+    /// Record every bank apply on `node` — source writes and replicated
+    /// transit writes alike — into the returned shared log, as
+    /// [`Delivery`](crate::Delivery) records. This is the observable
+    /// *delivered message stream* the parallel engine
+    /// ([`crate::ParRing`]) is gated against. Installs `node`'s apply
+    /// tap, so it cannot be combined with bridge forwarding on the same
+    /// node (test harnesses only).
+    pub fn record_deliveries(&self, node: usize) -> Arc<Mutex<Vec<crate::shard::Delivery>>> {
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let sink = Arc::clone(&log);
+        self.set_tap(
+            node,
+            Box::new(move |writer, addr, data, t| {
+                sink.lock().push(crate::shard::Delivery {
+                    time: t,
+                    writer,
+                    addr,
+                    data: data.to_vec(),
+                });
+            }),
+        );
+        log
     }
 
     /// Snapshot of `node`'s entire bank (test helper).

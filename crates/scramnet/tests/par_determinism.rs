@@ -1,0 +1,317 @@
+//! Determinism cross-checks for the conservative parallel ring engine
+//! ([`scramnet::ParRing`] over `des::par`).
+//!
+//! Two kinds of gate:
+//!
+//! - **Cross-engine** (sequential [`Ring`] vs [`ParRing`]): under
+//!   *non-overlapping* load the two engines must agree on the exact
+//!   timestamped delivered-message stream of every node. Under
+//!   contention they legitimately diverge in timestamps — the
+//!   sequential ring claims downstream link occupancy synchronously at
+//!   inject time, the sharded engine claims it at arrival time — so
+//!   the contended comparison checks the order-and-content invariants
+//!   both engines promise: per-(node, writer) FIFO content streams and
+//!   final bank images. Cross-engine runs use `bit_error_rate = 0`
+//!   because the sequential ring draws corruption from one global
+//!   injector whose stream depends on global apply order, while the
+//!   parallel engine uses per-(node, writer) streams.
+//!
+//! - **Cross-thread-count** ([`ParRing`] at 1/2/4 workers vs its own
+//!   in-process reference `run_seq`): byte-identical timestamped
+//!   streams, bank images, and membership view histories — *with*
+//!   faults and seeded bit errors enabled, across several seeds. This
+//!   is the `ring_bcast_stress_16node` workload shape from the bench
+//!   harness plus a chaos-soak cell with heartbeats and a mid-run
+//!   crash.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use des::{Simulation, Time};
+use scramnet::{
+    CostModel, Delivery, HeartbeatConfig, ParRing, ParRingConfig, Ring, RingConfig, Word, WordAddr,
+};
+
+/// Per-(writer) FIFO content view of one node's delivered stream:
+/// timestamps dropped, order and payload kept.
+fn content_streams(deliveries: &[Delivery]) -> BTreeMap<usize, Vec<(WordAddr, Vec<Word>)>> {
+    let mut by_writer: BTreeMap<usize, Vec<(WordAddr, Vec<Word>)>> = BTreeMap::new();
+    for d in deliveries {
+        by_writer
+            .entry(d.writer)
+            .or_default()
+            .push((d.addr, d.data.clone()));
+    }
+    by_writer
+}
+
+#[test]
+fn light_load_matches_the_sequential_ring_timestamp_for_timestamp() {
+    const N: usize = 6;
+    const WORDS: usize = 2048;
+    const PACKETS: usize = 3;
+    // One injection anywhere per 100 µs: each packet fully circulates
+    // (≈ N hops + serialization ≈ 11 µs) before the next exists, so no
+    // link is ever contended and the engines must agree exactly.
+    let schedule: Vec<(usize, Time, WordAddr, Vec<Word>)> = (0..PACKETS)
+        .flat_map(|p| {
+            (0..N).map(move |node| {
+                let t = ((p * N + node) as Time) * 100_000 + 1_000;
+                let data: Vec<Word> = (0..8)
+                    .map(|j| (node * 1_000 + p * 10 + j) as Word)
+                    .collect();
+                (node, t, node * 64 + p, data)
+            })
+        })
+        .collect();
+
+    // Sequential reference engine, delivery taps on every node.
+    let mut sim = Simulation::new();
+    let ring = Ring::with_config(
+        &sim.handle(),
+        N,
+        WORDS,
+        CostModel::default(),
+        RingConfig::default(), // bit_error_rate 0.0
+    );
+    let taps: Vec<_> = (0..N).map(|n| ring.record_deliveries(n)).collect();
+    // Inject from scheduled events (as the NIC/bench paths do):
+    // `source_packet` claims link occupancy synchronously when called,
+    // so calling it at setup time would inject in setup order, not
+    // virtual-time order.
+    for (node, t, addr, data) in schedule.clone() {
+        let r = ring.clone();
+        let payload = Arc::new(data);
+        sim.handle()
+            .schedule_at(t, move |now| r.source_packet(node, now, addr, payload));
+    }
+    sim.run();
+
+    // Sharded engine, in-process sequential reference mode.
+    let mut par = ParRing::new(
+        N,
+        WORDS,
+        CostModel::default(),
+        ParRingConfig {
+            record_deliveries: true,
+            ..ParRingConfig::default()
+        },
+    );
+    for (node, t, addr, data) in &schedule {
+        par.seed_packet(*node, *t, *addr, data.clone());
+    }
+    let report = par.run_seq();
+    assert_eq!(report.late_arrivals(), 0);
+
+    for (node, tap) in taps.iter().enumerate() {
+        let seq: Vec<Delivery> = tap.lock().clone();
+        assert_eq!(
+            seq,
+            par.deliveries(node),
+            "node {node}: timestamped delivered streams diverge between engines"
+        );
+        assert_eq!(ring.snapshot(node), par.snapshot(node), "node {node} bank");
+    }
+}
+
+#[test]
+fn contended_stress_agrees_with_the_sequential_ring_on_content_and_banks() {
+    const N: usize = 16;
+    const WORDS: usize = 8192;
+    const PACKETS: usize = 60;
+    // The bench harness's ring_bcast_stress shape (16-word packets every
+    // 1 µs, sources staggered 125 ns) minus the bit errors — heavy
+    // enough that packets queue on links and the engines' occupancy
+    // accounting orders differently.
+    let schedule: Vec<(usize, Time, WordAddr, Vec<Word>)> = (0..N)
+        .flat_map(|node| {
+            (0..PACKETS).map(move |i| {
+                let w = i as Word;
+                (
+                    node,
+                    node as Time * 125 + i as Time * 1_000,
+                    node * 32 + (i & 16),
+                    (0..16).map(|k| w ^ k).collect(),
+                )
+            })
+        })
+        .collect();
+
+    let mut sim = Simulation::new();
+    let ring = Ring::with_config(
+        &sim.handle(),
+        N,
+        WORDS,
+        CostModel::default(),
+        RingConfig::default(),
+    );
+    let taps: Vec<_> = (0..N).map(|n| ring.record_deliveries(n)).collect();
+    for (node, t, addr, data) in schedule.clone() {
+        let r = ring.clone();
+        let payload = Arc::new(data);
+        sim.handle()
+            .schedule_at(t, move |now| r.source_packet(node, now, addr, payload));
+    }
+    sim.run();
+
+    let mut par = ParRing::new(
+        N,
+        WORDS,
+        CostModel::default(),
+        ParRingConfig {
+            record_deliveries: true,
+            ..ParRingConfig::default()
+        },
+    );
+    for (node, t, addr, data) in &schedule {
+        par.seed_packet(*node, *t, *addr, data.clone());
+    }
+    let report = par.run(2);
+    assert_eq!(report.late_arrivals(), 0);
+
+    for (node, tap) in taps.iter().enumerate() {
+        let seq = tap.lock().clone();
+        // Every node hears every packet from every writer, itself
+        // included, exactly once.
+        assert_eq!(seq.len(), N * PACKETS, "node {node} sequential count");
+        assert_eq!(
+            par.deliveries(node).len(),
+            N * PACKETS,
+            "node {node} parallel count"
+        );
+        assert_eq!(
+            content_streams(&seq),
+            content_streams(par.deliveries(node)),
+            "node {node}: per-writer FIFO content streams diverge"
+        );
+        assert_eq!(ring.snapshot(node), par.snapshot(node), "node {node} bank");
+    }
+}
+
+#[test]
+fn stress_with_faults_is_identical_across_thread_counts_and_seeds() {
+    const N: usize = 16;
+    const PACKETS: u64 = 40;
+    let build = |seed: u64| {
+        let mut ring = ParRing::new(
+            N,
+            8192,
+            CostModel::default(),
+            ParRingConfig {
+                bit_error_rate: 1e-4,
+                error_seed: seed,
+                record_deliveries: true,
+                ..ParRingConfig::default()
+            },
+        );
+        for node in 0..N {
+            for i in 0..PACKETS {
+                let w = i as Word;
+                ring.seed_packet(
+                    node,
+                    node as Time * 125 + i as Time * 1_000,
+                    node * 32 + (i as usize & 16),
+                    (0..16).map(|k| w ^ k).collect(),
+                );
+            }
+        }
+        // A mid-run fault campaign: one bypass, one crash, an armed
+        // packet-drop burst, and a link break that later heals.
+        ring.bypass_at(3, 20_000);
+        ring.kill_at(5, 35_000);
+        ring.arm_drops_at(1, 10_000, 2);
+        ring.break_egress_at(9, 17_000);
+        ring.heal_egress_at(9, 29_000);
+        ring
+    };
+    for seed in [0x5C2A_317E_u64, 1, 0xFEED_F00D_1234_5678] {
+        let mut golden = build(seed);
+        let gr = golden.run_seq();
+        assert_eq!(gr.late_arrivals(), 0, "seed {seed:#x} reference");
+        for threads in [1usize, 2, 4] {
+            let mut par = build(seed);
+            let r = par.run(threads);
+            assert_eq!(r.late_arrivals(), 0, "seed {seed:#x} t{threads}");
+            assert_eq!(r.dispatches, gr.dispatches, "seed {seed:#x} t{threads}");
+            for node in 0..N {
+                assert_eq!(
+                    golden.deliveries(node),
+                    par.deliveries(node),
+                    "seed {seed:#x} t{threads} node {node}: delivered streams"
+                );
+                assert_eq!(
+                    golden.snapshot(node),
+                    par.snapshot(node),
+                    "seed {seed:#x} t{threads} node {node}: bank image"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn chaos_heartbeat_cell_views_are_identical_across_thread_counts_and_seeds() {
+    const N: usize = 8;
+    let hb = HeartbeatConfig {
+        period_ns: 50_000,
+        suspect_ns: 200_000,
+        dead_ns: 600_000,
+        horizon_ns: 2_000_000,
+    };
+    let build = |seed: u64| {
+        let mut ring = ParRing::new(
+            N,
+            4096,
+            CostModel::default(),
+            ParRingConfig {
+                bit_error_rate: 1e-4,
+                error_seed: seed,
+                record_deliveries: true,
+                heartbeat: Some(hb.clone()),
+                ..ParRingConfig::default()
+            },
+        );
+        // Light data traffic alongside the heartbeats so membership and
+        // payload interleave, then a crash and a bypass mid-soak.
+        for node in 0..N {
+            for i in 0..10u64 {
+                ring.seed_packet(
+                    node,
+                    5_000 + i * 150_000 + node as Time * 125,
+                    512 + node * 16,
+                    vec![(node as Word) << 16 | i as Word; 4],
+                );
+            }
+        }
+        ring.kill_at(2, 400_000);
+        ring.bypass_at(6, 300_000);
+        ring
+    };
+    for seed in [7_u64, 0xA5A5_A5A5, 42] {
+        let mut golden = build(seed);
+        let gr = golden.run_seq();
+        assert_eq!(gr.late_arrivals(), 0, "seed {seed} reference");
+        // The campaign must actually produce view churn to compare.
+        assert!(
+            (0..N).any(|n| golden.view_history(n).len() > 1),
+            "seed {seed}: chaos cell produced no membership transitions"
+        );
+        for threads in [1usize, 2, 4] {
+            let mut par = build(seed);
+            let r = par.run(threads);
+            assert_eq!(r.late_arrivals(), 0, "seed {seed} t{threads}");
+            for node in 0..N {
+                assert_eq!(
+                    golden.view_history(node),
+                    par.view_history(node),
+                    "seed {seed} t{threads} node {node}: view histories"
+                );
+                assert_eq!(
+                    golden.deliveries(node),
+                    par.deliveries(node),
+                    "seed {seed} t{threads} node {node}: delivered streams"
+                );
+            }
+        }
+    }
+}
