@@ -28,6 +28,8 @@ use std::fmt::Write as _;
 use std::sync::Arc;
 
 use bbp::{BbpCluster, BbpConfig, MembershipView};
+
+mod common;
 use des::obs::{FlightGuard, LogHistogram};
 use des::{ms, us, Simulation, Time};
 use parking_lot::Mutex;
@@ -461,6 +463,7 @@ fn chaos_soak_converges_and_preserves_survivor_traffic() {
     let suspect = LogHistogram::new();
     let death = LogHistogram::new();
     let mut cells = Vec::new();
+    let mut walls: Vec<(f64, String)> = Vec::new();
     for kind in KINDS {
         if kind_filter.as_deref().is_some_and(|f| f != kind.name()) {
             continue;
@@ -469,9 +472,15 @@ fn chaos_soak_converges_and_preserves_survivor_traffic() {
             if seed_filter.is_some_and(|f| f != seed) {
                 continue;
             }
+            let start = std::time::Instant::now();
             cells.push(run_cell(kind, seed, &suspect, &death));
+            walls.push((
+                start.elapsed().as_secs_f64() * 1e3,
+                format!("{} seed={seed}", kind.name()),
+            ));
         }
     }
+    common::enforce_cell_budget(&walls);
     assert!(
         !cells.is_empty(),
         "the CHAOS_KIND/CHAOS_SEED filters matched no cell"

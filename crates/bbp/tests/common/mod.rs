@@ -1,0 +1,32 @@
+//! Shared campaign plumbing: the per-cell wall-clock budget gate.
+//!
+//! Campaign jobs in CI set `CAMPAIGN_CELL_BUDGET_MS`; any cell over the
+//! ceiling fails the job naming the exact cell, so a scenario whose
+//! runtime regresses is caught at that cell instead of the job timeout.
+//! Every campaign also prints its slowest cells unconditionally, which
+//! is what the ceiling gets calibrated against.
+
+/// Print the slowest `n` cells and enforce `CAMPAIGN_CELL_BUDGET_MS`
+/// (when set) over `walls`: `(wall-clock ms, cell label)` pairs.
+pub fn enforce_cell_budget(walls: &[(f64, String)]) {
+    let mut by_wall: Vec<&(f64, String)> = walls.iter().collect();
+    by_wall.sort_by(|a, b| b.0.total_cmp(&a.0));
+    println!("slowest cells (wall clock):");
+    for w in by_wall.iter().take(5) {
+        println!("  {:>8.1} ms  [{}]", w.0, w.1);
+    }
+    let Ok(raw) = std::env::var("CAMPAIGN_CELL_BUDGET_MS") else {
+        return;
+    };
+    let budget: f64 = raw
+        .parse()
+        .expect("CAMPAIGN_CELL_BUDGET_MS must be a number of milliseconds");
+    let over: Vec<&&(f64, String)> = by_wall.iter().filter(|w| w.0 > budget).collect();
+    if !over.is_empty() {
+        let mut msg = format!("cells over the {budget} ms wall-clock budget:\n");
+        for w in &over {
+            msg.push_str(&format!("  {:>8.1} ms  [{}]\n", w.0, w.1));
+        }
+        panic!("{msg}");
+    }
+}

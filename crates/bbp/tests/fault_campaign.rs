@@ -20,6 +20,8 @@ use std::fmt::Write as _;
 use std::sync::Arc;
 
 use bbp::{BbpCluster, BbpConfig, BbpError};
+
+mod common;
 use des::{us, Simulation};
 use parking_lot::Mutex;
 use scramnet::fault::FOREVER;
@@ -364,6 +366,7 @@ fn fault_matrix_holds_the_reliability_invariant() {
     });
 
     let mut cells = Vec::new();
+    let mut walls: Vec<(f64, String)> = Vec::new();
     for kind in KINDS {
         if kind_filter.as_deref().is_some_and(|f| f != kind.name()) {
             continue;
@@ -376,10 +379,16 @@ fn fault_matrix_holds_the_reliability_invariant() {
                 if size_filter.is_some_and(|f| f != size) {
                     continue;
                 }
+                let start = std::time::Instant::now();
                 cells.push(run_cell(kind, seed, size));
+                walls.push((
+                    start.elapsed().as_secs_f64() * 1e3,
+                    format!("{} seed={seed} size={size}", kind.name()),
+                ));
             }
         }
     }
+    common::enforce_cell_budget(&walls);
     assert!(
         !cells.is_empty(),
         "the FAULT_KIND/FAULT_SEED/FAULT_SIZE filters matched no cell"

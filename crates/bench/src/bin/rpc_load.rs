@@ -144,11 +144,12 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
     println!(
-        "  nominal: {} sent, {} completed, {} shed ({:.1}%), {:.0} req/s",
+        "  nominal: {} sent, {} completed, {} shed ({:.1}%, {:.0}/s), {:.0} req/s",
         nominal.sent,
         nominal.completed,
         nominal.shed + nominal.transport_shed,
         nominal.shed_fraction() * 100.0,
+        nominal.sheds_per_sec(),
         nominal.throughput_hz()
     );
     println!(
@@ -183,12 +184,17 @@ fn main() -> ExitCode {
         label: "shed fraction x1000".to_string(),
         points: Vec::new(),
     };
+    let mut sheds_rate = Series {
+        label: "sheds per sec".to_string(),
+        points: Vec::new(),
+    };
     for (m, r) in &sweep {
         // The x axis is the offered multiplier in percent so it stays an
         // integer for the table machinery.
         let x = (m * 100.0) as usize;
         thr.points.push((x, r.throughput_hz()));
         shed.points.push((x, r.shed_fraction() * 1000.0));
+        sheds_rate.points.push((x, r.sheds_per_sec()));
         if r.max_residency > base.pool {
             eprintln!(
                 "sweep x{m}: queue residency {} exceeded the {}-buffer pool",
@@ -199,7 +205,7 @@ fn main() -> ExitCode {
     }
     print_table_with_unit(
         "rpc saturation sweep (x = offered %, seed-deterministic)",
-        &[thr, shed],
+        &[thr, shed, sheds_rate],
         "req/s",
     );
     let sat = saturation_throughput_hz(&sweep);

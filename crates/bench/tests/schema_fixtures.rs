@@ -1,0 +1,60 @@
+//! Committed report fixtures, one per accepted schema version. These
+//! are real generator outputs (`rpc-load --quick` downgraded for v2–v4,
+//! `workload-campaign --quick` for v5), so `bench-report --check` /
+//! `validate_json` keep accepting every historical baseline a CI
+//! artifact store may still hold. If a schema bump breaks one of these,
+//! that is a compatibility regression, not a fixture to regenerate.
+
+use obs::report::{validate_json, MIN_SCHEMA_VERSION, SCHEMA_VERSION};
+
+fn fixture(version: u32) -> String {
+    let path = format!(
+        "{}/tests/fixtures/schema_v{version}.json",
+        env!("CARGO_MANIFEST_DIR")
+    );
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"))
+}
+
+#[test]
+fn every_supported_schema_version_has_a_validating_fixture() {
+    assert_eq!(
+        MIN_SCHEMA_VERSION, 2,
+        "update the fixture set on a floor bump"
+    );
+    assert_eq!(SCHEMA_VERSION, 5, "add a fixture when the schema grows");
+    for version in MIN_SCHEMA_VERSION..=SCHEMA_VERSION {
+        let doc = fixture(version);
+        assert!(
+            doc.contains(&format!("\"schema_version\": {version}")),
+            "fixture v{version} must carry its own version"
+        );
+        validate_json(&doc)
+            .unwrap_or_else(|e| panic!("committed v{version} fixture no longer validates: {e}"));
+    }
+}
+
+#[test]
+fn the_v5_fixture_exercises_the_capacity_section() {
+    let doc = fixture(5);
+    assert!(doc.contains("\"capacity\""));
+    assert!(doc.contains("\"max_sustainable_hz\""));
+    assert!(doc.contains("\"sheds_per_sec\""));
+    assert!(doc.contains("\"limited_by\""));
+}
+
+#[test]
+fn pre_v5_fixtures_have_no_capacity_section() {
+    for version in [2, 3, 4] {
+        assert!(
+            !fixture(version).contains("capacity"),
+            "a v{version} writer predates the capacity section"
+        );
+    }
+}
+
+#[test]
+fn downgrading_the_v5_fixture_below_the_floor_is_rejected() {
+    let doc = fixture(2).replace("\"schema_version\": 2", "\"schema_version\": 1");
+    let err = validate_json(&doc).expect_err("v1 is below the supported floor");
+    assert!(err.contains("outside supported"), "unexpected error: {err}");
+}

@@ -22,7 +22,14 @@ use crate::json::{self, write_f64, write_string, Json};
 /// (per-shard execution counters — events, busy/stall passes, mailbox
 /// and queue peaks — empty for sequential runs). v2/v3 documents keep
 /// validating under their own rules.
-pub const SCHEMA_VERSION: u32 = 4;
+///
+/// v5 added the `capacity` section: per-scenario SLO capacity results
+/// from the workload campaigns — the max sustainable load multiplier
+/// and throughput at a p999 latency target, with the full
+/// load-multiplier ladder per seed (`offered_hz`, `completed_hz`,
+/// `p999_us`, `sheds_per_sec`, `violations`, and what limited the
+/// cell). v2–v4 documents keep validating under their own rules.
+pub const SCHEMA_VERSION: u32 = 5;
 
 /// Oldest schema version [`validate_json`] still accepts.
 pub const MIN_SCHEMA_VERSION: u32 = 2;
@@ -222,6 +229,48 @@ pub struct Wallclock {
     pub shards: Vec<WallclockShard>,
 }
 
+/// One rung of a capacity scenario's load-multiplier ladder
+/// (schema v5).
+#[derive(Debug, Clone)]
+pub struct CapacityCell {
+    /// Seed the cell ran under.
+    pub seed: u64,
+    /// Load multiplier applied to the scenario's base rate.
+    pub mult: f64,
+    /// Offered arrivals per second of virtual time.
+    pub offered_hz: f64,
+    /// Completed requests per second of virtual time.
+    pub completed_hz: f64,
+    /// p999 service latency, µs.
+    pub p999_us: f64,
+    /// Arrivals shed per second (channel + transport credit gates) —
+    /// distinguishes shed-limited from latency-limited saturation.
+    pub sheds_per_sec: f64,
+    /// Invariant violations in the cell (0 for a healthy cell).
+    pub violations: u64,
+    /// What stopped this rung from sustaining: `"none"`, `"latency"`,
+    /// `"shed"`, or `"violation"`.
+    pub limited_by: String,
+}
+
+/// One scenario's capacity result at one message size (schema v5).
+#[derive(Debug, Clone)]
+pub struct CapacityScenario {
+    /// Scenario id, e.g. `"incast"`.
+    pub scenario: String,
+    /// Request body size, bytes.
+    pub size: usize,
+    /// The p999 SLO target the sweep was run against, µs.
+    pub p999_target_us: f64,
+    /// Highest offered load (requests/s) every seed sustained within
+    /// the SLO; 0 when no rung sustained.
+    pub max_sustainable_hz: f64,
+    /// The load multiplier of that rung; 0 when no rung sustained.
+    pub max_sustainable_mult: f64,
+    /// The full ladder, every (seed, mult) rung.
+    pub cells: Vec<CapacityCell>,
+}
+
 /// The complete report (`BENCH_summary.json`).
 #[derive(Debug, Clone, Default)]
 pub struct BenchReport {
@@ -244,6 +293,8 @@ pub struct BenchReport {
     pub messages: Vec<MessageRow>,
     /// Wall-clock engine self-measurements (the bench trajectory).
     pub wallclock: Vec<Wallclock>,
+    /// Workload-campaign capacity results (schema v5).
+    pub capacity: Vec<CapacityScenario>,
 }
 
 impl BenchReport {
@@ -385,6 +436,48 @@ impl BenchReport {
             }
             o.push_str("]}");
         }
+        o.push_str("\n  ],\n  \"capacity\": [");
+        for (i, c) in self.capacity.iter().enumerate() {
+            o.push_str(if i == 0 { "\n" } else { ",\n" });
+            o.push_str("    {\"scenario\": ");
+            write_string(&mut o, &c.scenario);
+            let _ = std::fmt::Write::write_fmt(&mut o, format_args!(", \"size\": {}", c.size));
+            o.push_str(", \"p999_target_us\": ");
+            write_f64(&mut o, c.p999_target_us);
+            o.push_str(", \"max_sustainable_hz\": ");
+            write_f64(&mut o, c.max_sustainable_hz);
+            o.push_str(", \"max_sustainable_mult\": ");
+            write_f64(&mut o, c.max_sustainable_mult);
+            o.push_str(", \"cells\": [");
+            for (j, cell) in c.cells.iter().enumerate() {
+                if j > 0 {
+                    o.push_str(", ");
+                }
+                let _ = std::fmt::Write::write_fmt(
+                    &mut o,
+                    format_args!("{{\"seed\": {}, \"mult\": ", cell.seed),
+                );
+                write_f64(&mut o, cell.mult);
+                for (key, v) in [
+                    ("offered_hz", cell.offered_hz),
+                    ("completed_hz", cell.completed_hz),
+                    ("p999_us", cell.p999_us),
+                    ("sheds_per_sec", cell.sheds_per_sec),
+                ] {
+                    o.push_str(", \"");
+                    o.push_str(key);
+                    o.push_str("\": ");
+                    write_f64(&mut o, v);
+                }
+                let _ = std::fmt::Write::write_fmt(
+                    &mut o,
+                    format_args!(", \"violations\": {}, \"limited_by\": ", cell.violations),
+                );
+                write_string(&mut o, &cell.limited_by);
+                o.push('}');
+            }
+            o.push_str("]}");
+        }
         o.push_str("\n  ],\n  \"wallclock\": [");
         for (i, w) in self.wallclock.iter().enumerate() {
             o.push_str(if i == 0 { "\n" } else { ",\n" });
@@ -476,6 +569,7 @@ pub fn validate_json(text: &str) -> Result<(), String> {
     }
     let v3 = version >= 3.0;
     let v4 = version >= 4.0;
+    let v5 = version >= 5.0;
     require_str(&doc, "generated_by", "root")?;
 
     for (i, a) in require_arr(&doc, "anchors")?.iter().enumerate() {
@@ -563,6 +657,44 @@ pub fn validate_json(text: &str) -> Result<(), String> {
                 require_str(s, "stage", &sctx)?;
                 require_num(s, "at_us", &sctx)?;
                 require_num(s, "node", &sctx)?;
+            }
+        }
+    }
+    if v5 {
+        for (i, c) in require_arr(&doc, "capacity")?.iter().enumerate() {
+            let ctx = format!("capacity[{i}]");
+            require_str(c, "scenario", &ctx)?;
+            for key in [
+                "size",
+                "p999_target_us",
+                "max_sustainable_hz",
+                "max_sustainable_mult",
+            ] {
+                require_num(c, key, &ctx)?;
+            }
+            for (j, cell) in require(c, "cells")
+                .map_err(|e| format!("{ctx}: {e}"))?
+                .as_arr()
+                .ok_or_else(|| format!("{ctx}: 'cells' must be an array"))?
+                .iter()
+                .enumerate()
+            {
+                let cctx = format!("{ctx}.cells[{j}]");
+                for key in [
+                    "seed",
+                    "mult",
+                    "offered_hz",
+                    "completed_hz",
+                    "p999_us",
+                    "sheds_per_sec",
+                    "violations",
+                ] {
+                    require_num(cell, key, &cctx)?;
+                }
+                let lim = require_str(cell, "limited_by", &cctx)?;
+                if !matches!(lim, "none" | "latency" | "shed" | "violation") {
+                    return Err(format!("{cctx}: unknown limited_by '{lim}'"));
+                }
             }
         }
     }
@@ -681,6 +813,35 @@ mod tests {
                 threads: 1,
                 shards: vec![],
             }],
+            capacity: vec![CapacityScenario {
+                scenario: "incast".to_string(),
+                size: 64,
+                p999_target_us: 400.0,
+                max_sustainable_hz: 28_800.0,
+                max_sustainable_mult: 1.0,
+                cells: vec![
+                    CapacityCell {
+                        seed: 1,
+                        mult: 1.0,
+                        offered_hz: 28_800.0,
+                        completed_hz: 28_650.0,
+                        p999_us: 310.0,
+                        sheds_per_sec: 0.0,
+                        violations: 0,
+                        limited_by: "none".to_string(),
+                    },
+                    CapacityCell {
+                        seed: 1,
+                        mult: 2.0,
+                        offered_hz: 57_600.0,
+                        completed_hz: 49_100.0,
+                        p999_us: 910.0,
+                        sheds_per_sec: 8_400.0,
+                        violations: 0,
+                        limited_by: "latency".to_string(),
+                    },
+                ],
+            }],
         }
     }
 
@@ -713,10 +874,11 @@ mod tests {
     #[test]
     fn v2_documents_still_validate() {
         // A committed v2 baseline has no p999_us, no messages section,
-        // and no parallel-engine wallclock fields; the validator must
-        // dispatch to the v2 rules.
+        // no parallel-engine wallclock fields, and no capacity section;
+        // the validator must dispatch to the v2 rules.
         let mut r = sample();
         r.messages.clear();
+        r.capacity.clear();
         let text = r
             .to_json()
             .replace(
@@ -725,26 +887,65 @@ mod tests {
             )
             .replace(", \"p999_us\": 45.05", "")
             .replace("\"messages\": [\n  ],\n  ", "")
+            .replace("\"capacity\": [\n  ],\n  ", "")
             .replace(", \"threads\": 1, \"shards\": []", "");
         assert!(!text.contains("p999_us"));
         assert!(!text.contains("messages"));
         assert!(!text.contains("threads"));
+        assert!(!text.contains("capacity"));
         validate_json(&text).unwrap();
     }
 
     #[test]
     fn v3_documents_still_validate() {
         // A committed v3 baseline predates the parallel-engine
-        // wallclock fields.
-        let text = sample()
+        // wallclock fields and the capacity section.
+        let mut r = sample();
+        r.capacity.clear();
+        let text = r
             .to_json()
             .replace(
                 &format!("\"schema_version\": {SCHEMA_VERSION}"),
                 "\"schema_version\": 3",
             )
+            .replace("\"capacity\": [\n  ],\n  ", "")
             .replace(", \"threads\": 1, \"shards\": []", "");
         assert!(!text.contains("threads"));
         validate_json(&text).unwrap();
+    }
+
+    #[test]
+    fn v4_documents_still_validate() {
+        // A committed v4 baseline predates the capacity section.
+        let mut r = sample();
+        r.capacity.clear();
+        let text = r
+            .to_json()
+            .replace(
+                &format!("\"schema_version\": {SCHEMA_VERSION}"),
+                "\"schema_version\": 4",
+            )
+            .replace("\"capacity\": [\n  ],\n  ", "");
+        assert!(!text.contains("capacity"));
+        validate_json(&text).unwrap();
+    }
+
+    #[test]
+    fn v5_requires_the_capacity_section() {
+        let no_capacity = sample().to_json().replace("\"capacity\"", "\"kapacity\"");
+        assert!(validate_json(&no_capacity)
+            .unwrap_err()
+            .contains("capacity"));
+        let no_sheds = sample()
+            .to_json()
+            .replace("\"sheds_per_sec\"", "\"sheds_per_sek\"");
+        assert!(validate_json(&no_sheds)
+            .unwrap_err()
+            .contains("sheds_per_sec"));
+        let bad_limit = sample()
+            .to_json()
+            .replace("\"limited_by\": \"latency\"", "\"limited_by\": \"vibes\"");
+        assert!(validate_json(&bad_limit).unwrap_err().contains("vibes"));
     }
 
     #[test]

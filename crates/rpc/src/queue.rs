@@ -246,6 +246,70 @@ impl MessageQueue {
         }
     }
 
+    /// Like [`MessageQueue::flush`], but credit-aware: only replies
+    /// whose destination currently holds at least one send credit go
+    /// out; the rest stay staged for a later call. Under a fail-fast
+    /// credit regime an overloaded server would otherwise race the ACK
+    /// path and lose replies — this lets it hold them until the peer's
+    /// credits return, turning reply pressure into bounded staging
+    /// instead of an error. Returns how many replies went out; staged
+    /// replies keep their buffers out of the pool (visible through
+    /// [`MessageQueue::in_flight`]).
+    pub fn flush_ready(&mut self, ctx: &mut ProcCtx) -> Result<usize, RpcError> {
+        let rank = self.ep.rank() as u32;
+        let mut outbox = std::mem::take(&mut self.outbox);
+        let mut flushed = 0usize;
+        let mut first_err: Option<RpcError> = None;
+        for mut buf in outbox.drain(..) {
+            if first_err.is_some() {
+                self.outbox.push(buf);
+                continue;
+            }
+            let dst = buf.src();
+            let prev = ctx.obs().current_trace(rank);
+            ctx.obs().set_current_trace(rank, buf.trace());
+            // The fail-fast credit gate sweeps already-acknowledged
+            // slots before giving up, so attempting the post is also
+            // what reclaims credits the peer has returned.
+            let result = self.ep.post_deferred(ctx, dst, buf.frame());
+            ctx.obs().set_current_trace(rank, prev);
+            match result {
+                Ok(()) => {
+                    ctx.obs().lifecycle(
+                        ctx.now(),
+                        rank,
+                        buf.trace(),
+                        Stage::RpcReply,
+                        buf.channel() as u64,
+                    );
+                    flushed += 1;
+                    self.stats.replied += 1;
+                    buf.release();
+                    self.free.push(buf);
+                }
+                Err(bbp::BbpError::NoCredit { .. }) => {
+                    // The peer's grant is exhausted: hold the reply.
+                    self.outbox.push(buf);
+                }
+                Err(e) => {
+                    first_err = Some(RpcError::Transport(e));
+                    buf.release();
+                    self.free.push(buf);
+                }
+            }
+        }
+        self.ep.ring_all_doorbells(ctx);
+        match first_err {
+            None => Ok(flushed),
+            Some(e) => Err(e),
+        }
+    }
+
+    /// Replies staged but not yet flushed.
+    pub fn staged(&self) -> usize {
+        self.outbox.len()
+    }
+
     /// Requests waiting for dispatch (both classes).
     pub fn queued(&self) -> usize {
         self.high.len() + self.normal.len()

@@ -74,6 +74,10 @@ pub struct Adi {
     completed_sends: HashSet<ReqId>,
     /// Native-collective null frames: (src world rank, context, phase).
     nulls: VecDeque<(usize, u16, u8)>,
+    /// High-water mark of unexpected-queue residency (messages parked at
+    /// once over the rank's lifetime) — the bound the workload campaigns
+    /// assert against.
+    unexpected_peak: usize,
     next_req: u64,
 }
 
@@ -92,6 +96,7 @@ impl Adi {
             completed_recvs: HashMap::new(),
             completed_sends: HashSet::new(),
             nulls: VecDeque::new(),
+            unexpected_peak: 0,
             next_req: 1,
         }
     }
@@ -109,6 +114,20 @@ impl Adi {
     /// The per-layer cost model in force.
     pub fn costs(&self) -> &SmpiCosts {
         &self.costs
+    }
+
+    /// Messages currently parked in the unexpected queue (eager payloads
+    /// and rendezvous announcements awaiting a matching receive).
+    pub fn unexpected_len(&self) -> usize {
+        self.unexpected.len()
+    }
+
+    /// High-water mark of unexpected-queue residency over the rank's
+    /// lifetime. A flood of `n` sends racing `k` preposted receives must
+    /// peak at exactly `n - k` and drain back to zero once the remaining
+    /// receives are posted.
+    pub fn unexpected_peak(&self) -> usize {
+        self.unexpected_peak
     }
 
     /// Borrow the underlying device.
@@ -726,6 +745,7 @@ impl Adi {
                 u.src as u64,
             );
             self.unexpected.push_back(u);
+            self.unexpected_peak = self.unexpected_peak.max(self.unexpected.len());
         }
     }
 }

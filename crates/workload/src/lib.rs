@@ -1,0 +1,42 @@
+#![warn(missing_docs)]
+
+//! # `workload` — seed-deterministic workload campaigns
+//!
+//! The fault campaign covers *failures*; this crate covers *load
+//! pathologies* — the way production systems actually die. It provides:
+//!
+//! - [`arrivals`]: the open-loop traffic primitives ([`Arrival`],
+//!   [`ServiceTime`], the gap sampler) shared with `bench::rpc_load`,
+//!   so campaigns and the saturation sweep draw from one generator.
+//! - [`plan`]: the [`WorkloadPlan`] DSL — scripted arrival windows
+//!   (Poisson, synchronized bursts, quiesce), a service model, a
+//!   server/hot-spot topology, and optional MPI sidecar traffic —
+//!   mirroring the `FaultPlan` DSL one layer down.
+//! - [`cell`]: the executor that runs one (plan, load multiplier) cell
+//!   on a fresh simulated ring and checks the per-cell invariants: no
+//!   deadlock, full drain, bounded unexpected-queue and buffer-pool
+//!   residency, fairness across sources, both RPC priority classes
+//!   progressing, and sidecar completion.
+//! - [`campaign`]: the (scenario × seed × size × load) matrix — incast,
+//!   hotspot, synchronized bursts, unexpected-queue floods, long-tail
+//!   stragglers, and mixed MPI+RPC — folded into the schema-v5
+//!   `capacity` report: per scenario, the max sustainable load at a
+//!   p999 latency target, found by a deterministic multiplier sweep.
+//!
+//! Every cell prints a `WORKLOAD_KIND`/`WORKLOAD_SEED`/`WORKLOAD_SIZE`/
+//! `WORKLOAD_LOAD` repro command, and violated cells dump their flight
+//! recorder, so a red campaign run always leaves a one-command
+//! postmortem trail.
+
+pub mod arrivals;
+pub mod campaign;
+pub mod cell;
+pub mod plan;
+
+pub use arrivals::{next_gap, Arrival, ArrivalState, ServiceTime};
+pub use campaign::{
+    run_campaign, CampaignCell, CampaignConfig, CampaignResult, WorkloadKind, KINDS, MULTS, SEEDS,
+    SIZES,
+};
+pub use cell::{run_cell, CellOutcome, FloodOutcome};
+pub use plan::{scaled_burst, Shape, Sidecar, Window, WorkloadPlan};

@@ -1,0 +1,223 @@
+//! Integration tests of the workload campaign machinery: cell
+//! determinism, per-scenario health at nominal load, the flood
+//! sidecar's residency invariant, capacity folding, and the repro
+//! environment filters.
+
+use des::{ms, us};
+use obs::LogHistogram;
+use workload::{
+    run_cell, CampaignCell, CampaignConfig, CampaignResult, CellOutcome, ServiceTime, Shape,
+    Sidecar, WorkloadKind, WorkloadPlan, KINDS,
+};
+
+/// A small cell that still exercises servers, priorities, and drain.
+fn small_plan(seed: u64) -> WorkloadPlan {
+    WorkloadPlan::new(seed)
+        .clients(2, 8)
+        .window(ms(2), Shape::Poisson { rate_hz: 400.0 })
+        .window(us(500), Shape::Off)
+}
+
+#[test]
+fn same_plan_same_mult_same_outcome() {
+    let plan = small_plan(7);
+    let a = run_cell(&plan, 2.0, "wl_test_det_a");
+    let b = run_cell(&plan, 2.0, "wl_test_det_b");
+    assert_eq!(a.sent, b.sent);
+    assert_eq!(a.completed, b.completed);
+    assert_eq!(a.shed, b.shed);
+    assert_eq!(a.transport_shed, b.transport_shed);
+    assert_eq!(a.offered, b.offered);
+    assert_eq!(a.max_residency, b.max_residency);
+    assert_eq!(a.high_dispatched, b.high_dispatched);
+    assert_eq!(a.normal_dispatched, b.normal_dispatched);
+    assert_eq!(a.per_node_completed, b.per_node_completed);
+    assert_eq!(a.service.quantile(0.999), b.service.quantile(0.999));
+    assert_eq!(a.violations, b.violations);
+}
+
+#[test]
+fn every_scenario_is_healthy_at_nominal_load() {
+    for kind in KINDS {
+        let plan = kind.plan(1, 64);
+        let out = run_cell(&plan, 1.0, &format!("wl_test_{}_x1", kind.name()));
+        assert_eq!(
+            out.violations,
+            Vec::<String>::new(),
+            "{} at x1 should run clean",
+            kind.name()
+        );
+        assert!(out.completed > 0, "{} completed nothing", kind.name());
+    }
+}
+
+#[test]
+fn flood_parks_exactly_the_unmatched_sends_and_drains() {
+    let plan = WorkloadPlan::new(3)
+        .clients(1, 4)
+        .window(ms(2), Shape::Poisson { rate_hz: 200.0 })
+        .window(ms(1), Shape::Off)
+        .sidecar(Sidecar::UnexpectedFlood {
+            messages: 20,
+            prepost: 5,
+            at: us(200),
+            post_delay: us(1_000),
+        });
+    let out = run_cell(&plan, 1.0, "wl_test_flood");
+    assert_eq!(out.violations, Vec::<String>::new());
+    let flood = out.flood.expect("the floodee reports its outcome");
+    assert_eq!(
+        flood.peak, 15,
+        "every send without a posted receive parks in the unexpected queue"
+    );
+    assert_eq!(flood.final_residency, 0, "the queue fully drains");
+    assert_eq!(flood.delivered, 20, "every flood message arrives intact");
+}
+
+#[test]
+fn pingpong_sidecar_completes_alongside_rpc_load() {
+    let plan = small_plan(11).sidecar(Sidecar::PingPong { rounds: 25 });
+    let out = run_cell(&plan, 1.0, "wl_test_pingpong");
+    assert_eq!(out.violations, Vec::<String>::new());
+    assert_eq!(out.pingpong_rounds, Some(25));
+}
+
+#[test]
+fn straggler_service_shows_up_in_the_tail() {
+    let plan = WorkloadPlan::new(5)
+        .clients(2, 8)
+        .service(ServiceTime::LongTail {
+            ns: 10_000,
+            slow_ns: 500_000,
+            slow_every: 16,
+        })
+        .window(ms(5), Shape::Poisson { rate_hz: 500.0 })
+        .window(ms(1), Shape::Off);
+    let out = run_cell(&plan, 1.0, "wl_test_straggler");
+    assert_eq!(out.violations, Vec::<String>::new());
+    assert!(
+        out.service.quantile(0.999) >= 500_000,
+        "p999 ({} ns) must include the 500 µs stragglers",
+        out.service.quantile(0.999)
+    );
+}
+
+/// Hand-build a campaign cell for the capacity fold.
+fn synthetic_cell(mult: f64, p999_ns: u64, violations: Vec<String>) -> CampaignCell {
+    let service = LogHistogram::new();
+    service.record(p999_ns);
+    CampaignCell {
+        kind: WorkloadKind::Incast,
+        seed: 1,
+        size: 64,
+        mult,
+        scenario: "synthetic".to_string(),
+        p999_target_us: 400.0,
+        outcome: CellOutcome {
+            sent: 1_000,
+            completed: 1_000,
+            shed: 0,
+            transport_shed: 0,
+            offered: 1_000,
+            service,
+            residency: LogHistogram::new(),
+            max_residency: 4,
+            high_dispatched: 200,
+            normal_dispatched: 800,
+            per_node_completed: vec![500, 500],
+            undrained: 0,
+            flood: None,
+            pingpong_rounds: None,
+            elapsed_ns: ms(10),
+            violations,
+        },
+        wall_ms: 1.0,
+    }
+}
+
+#[test]
+fn capacity_picks_the_highest_fully_sustained_rung() {
+    // x1 sustains, x2 violates, x4 would sustain on latency alone — but
+    // the ladder's envelope is the highest rung where everything held.
+    let result = CampaignResult {
+        cells: vec![
+            synthetic_cell(1.0, 100_000, Vec::new()),
+            synthetic_cell(2.0, 100_000, vec!["fairness: synthetic".to_string()]),
+            synthetic_cell(4.0, 100_000, Vec::new()),
+        ],
+    };
+    let cap = result.capacity();
+    assert_eq!(cap.len(), 1);
+    assert_eq!(cap[0].scenario, "incast");
+    assert_eq!(cap[0].max_sustainable_mult, 4.0);
+    let limited: Vec<&str> = cap[0].cells.iter().map(|c| c.limited_by.as_str()).collect();
+    assert_eq!(limited, vec!["none", "violation", "none"]);
+
+    // With the violation gone but the latency blown, x2 is latency
+    // limited and x1 is the envelope.
+    let result = CampaignResult {
+        cells: vec![
+            synthetic_cell(1.0, 100_000, Vec::new()),
+            synthetic_cell(2.0, 900_000, Vec::new()),
+        ],
+    };
+    let cap = result.capacity();
+    assert_eq!(cap[0].max_sustainable_mult, 1.0);
+    assert_eq!(cap[0].cells[1].limited_by, "latency");
+    assert!((cap[0].max_sustainable_hz - 100_000.0).abs() < 1.0);
+}
+
+#[test]
+fn violation_digest_carries_the_repro_command() {
+    let result = CampaignResult {
+        cells: vec![synthetic_cell(
+            1.0,
+            100_000,
+            vec!["priority: normal class starved".to_string()],
+        )],
+    };
+    let digest = result
+        .violation_digest()
+        .expect("a violated cell produces a digest");
+    assert!(digest.contains("priority: normal class starved"));
+    assert!(
+        digest.contains("WORKLOAD_KIND=incast WORKLOAD_SEED=1 WORKLOAD_SIZE=64 WORKLOAD_LOAD=1")
+    );
+    let clean = CampaignResult {
+        cells: vec![synthetic_cell(1.0, 100_000, Vec::new())],
+    };
+    assert!(clean.violation_digest().is_none());
+}
+
+#[test]
+fn env_filters_narrow_the_matrix_to_one_cell() {
+    // Set and clear in one test: the filter vars are process-global.
+    std::env::set_var("WORKLOAD_KIND", "hotspot");
+    std::env::set_var("WORKLOAD_SEED", "7");
+    std::env::set_var("WORKLOAD_SIZE", "512");
+    std::env::set_var("WORKLOAD_LOAD", "2");
+    let cfg = CampaignConfig::full().filtered_by_env();
+    std::env::remove_var("WORKLOAD_KIND");
+    std::env::remove_var("WORKLOAD_SEED");
+    std::env::remove_var("WORKLOAD_SIZE");
+    std::env::remove_var("WORKLOAD_LOAD");
+    assert_eq!(cfg.kinds, vec![WorkloadKind::Hotspot]);
+    assert_eq!(cfg.seeds, vec![7]);
+    assert_eq!(cfg.sizes, vec![512]);
+    assert_eq!(cfg.mults, vec![2.0]);
+}
+
+#[test]
+fn campaign_report_validates_against_schema_v5() {
+    let result = CampaignResult {
+        cells: vec![
+            synthetic_cell(1.0, 100_000, Vec::new()),
+            synthetic_cell(4.0, 900_000, Vec::new()),
+        ],
+    };
+    let report = result.to_report("workload-campaign test");
+    let json = report.to_json();
+    obs::report::validate_json(&json).expect("a campaign report is schema-v5 valid");
+    assert!(json.contains("\"capacity\""));
+    assert!(json.contains("\"sheds_per_sec\""));
+}

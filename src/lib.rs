@@ -16,7 +16,10 @@
 //! - [`shmem`] — the shared-memory programming model SCRAMNet was
 //!   originally used with (bakery locks, barriers, counters, events);
 //! - [`rpc`] — zero-copy request/reply serving over BBP with
-//!   ownership-transfer buffers and credit-based backpressure.
+//!   ownership-transfer buffers and credit-based backpressure;
+//! - [`workload`] — seed-deterministic workload campaigns (incast,
+//!   hotspots, bursts, unexpected-queue floods, stragglers, mixed
+//!   MPI+RPC) with SLO capacity reports.
 //!
 //! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
 //! paper-vs-measured record of every figure.
@@ -29,3 +32,4 @@ pub use rpc;
 pub use scramnet;
 pub use shmem;
 pub use smpi;
+pub use workload;
