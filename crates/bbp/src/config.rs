@@ -145,6 +145,27 @@ pub struct MembershipConfig {
     /// Staleness after which a peer is declared Dead: the coordinator
     /// engages its bypass and proposes an epoch bump excluding it.
     pub dead_after_ns: Time,
+    /// Quorum-enforced views (`false` = the legacy engine, byte-identical
+    /// to the pre-quorum protocol). When on:
+    ///
+    /// * a proposed view commits only once a strict majority of the
+    ///   *seed* membership echoes the proposal words back (an explicit
+    ///   ack round through each member's single-writer `prop` pair),
+    /// * a node whose ring segment no longer reaches a strict majority
+    ///   of the seed freezes at its last committed epoch — sends fail
+    ///   with [`crate::BbpError::Partitioned`] instead of producing a
+    ///   divergent view on the minority side,
+    /// * the data plane fences epochs: descriptor traffic from a sender
+    ///   whose published view is stale or divergent is rejected,
+    /// * a healed partition merges deterministically — the majority
+    ///   coordinator readmits the returning side at the next epoch
+    ///   through the existing rejoin/pairwise-reset machinery.
+    ///
+    /// Note the quorum denominator is the seed membership size, not the
+    /// current view: once half or more of the seed is gone (dead or cut
+    /// away), no further view can commit anywhere — an even split
+    /// freezes *both* sides by design.
+    pub quorum: bool,
 }
 
 impl Default for MembershipConfig {
@@ -153,6 +174,7 @@ impl Default for MembershipConfig {
             heartbeat_period_ns: 20_000, // 20 µs: a handful of ring transits
             suspect_after_ns: 200_000,   // 10 missed heartbeats
             dead_after_ns: 600_000,      // 30 missed heartbeats
+            quorum: false,
         }
     }
 }
@@ -250,6 +272,16 @@ impl BbpConfig {
         config
     }
 
+    /// [`BbpConfig::membership_for_nodes`] with quorum-enforced views on
+    /// top: view commits need a strict seed-majority ack round, minority
+    /// partitions freeze instead of diverging, and the data plane rejects
+    /// stale-epoch traffic.
+    pub fn quorum_for_nodes(nprocs: usize) -> Self {
+        let mut config = Self::membership_for_nodes(nprocs);
+        config.membership.as_mut().expect("membership is on").quorum = true;
+        config
+    }
+
     /// [`BbpConfig::for_nodes`] with the default credit ledger enabled.
     pub fn credited_for_nodes(nprocs: usize) -> Self {
         let mut config = Self::for_nodes(nprocs);
@@ -285,6 +317,11 @@ impl BbpConfig {
             assert!(
                 m.heartbeat_period_ns < m.suspect_after_ns && m.suspect_after_ns < m.dead_after_ns,
                 "membership thresholds must satisfy period < suspect < dead"
+            );
+            assert!(
+                !m.quorum || self.nprocs >= 3,
+                "quorum-enforced views need at least three seed members \
+                 (a strict majority must survive a single loss)"
             );
         }
         if let Some(cr) = &self.credit {
@@ -391,6 +428,19 @@ mod tests {
     #[should_panic(expected = "alive_mask")]
     fn membership_beyond_32_nodes_rejected() {
         BbpConfig::membership_for_nodes(33).validate();
+    }
+
+    #[test]
+    fn quorum_defaults_validate() {
+        let c = BbpConfig::quorum_for_nodes(5);
+        assert!(c.membership.as_ref().unwrap().quorum);
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "at least three seed members")]
+    fn quorum_on_two_nodes_rejected() {
+        BbpConfig::quorum_for_nodes(2).validate();
     }
 
     #[test]

@@ -80,6 +80,14 @@ pub struct EndpointStats {
     /// Doorbell coalescing: MESSAGE flag-word writes saved by batching
     /// deferred posts behind one doorbell per receiver.
     pub flag_writes_coalesced: u64,
+    /// Quorum mode: transitions into the partitioned (frozen) state —
+    /// this node's ring segment stopped reaching a strict majority of
+    /// the seed membership.
+    pub partitions_detected: u64,
+    /// Quorum mode: deliveries rejected by epoch fencing — the sender's
+    /// published view was stale (behind ours) or divergent (our epoch,
+    /// a different mask).
+    pub stale_epoch_rejects: u64,
 }
 
 /// One message buffer slot's sender-side state.
@@ -382,6 +390,15 @@ impl BbpEndpoint {
         ring_now: bool,
     ) -> Result<usize, BbpError> {
         ctx.advance(self.config.sw.send_entry_ns);
+        // Quorum mode: a frozen node must not inject descriptor or flag
+        // traffic stamped with its stale epoch — fail fast instead.
+        if let Some(st) = &self.membership {
+            if st.frozen() {
+                return Err(BbpError::Partitioned {
+                    epoch: st.view.epoch,
+                });
+            }
+        }
         for &t in targets {
             if t >= self.n || t == self.rank {
                 return Err(BbpError::BadDestination { dst: t });
@@ -722,6 +739,13 @@ impl BbpEndpoint {
                     break;
                 }
                 ctx.advance(self.config.sw.gc_retry_gap_ns);
+                // Keep the membership engine alive across a long wait
+                // (quorum mode only); a freeze mid-wait aborts the send
+                // typed, with the slot reclaimed like any other failure.
+                if let Err(e) = self.service_membership_in_wait(ctx) {
+                    self.reclaim_failed(slot);
+                    return Err(e);
+                }
             }
             if attempt < rel.max_retries {
                 self.retransmit(ctx, slot, targets, payload);
@@ -1060,6 +1084,70 @@ impl BbpEndpoint {
         self.inflight.is_empty()
     }
 
+    /// Quorum mode: is this endpoint frozen (its segment cut from the
+    /// seed majority, or healed but not yet readmitted into a committed
+    /// view)? Always `false` with membership off or quorum off.
+    pub fn is_partitioned(&self) -> bool {
+        self.frozen()
+    }
+
+    /// Quorum mode: the committed epoch this endpoint froze at, while it
+    /// is frozen. `None` whenever the endpoint is operational (including
+    /// always with membership off or quorum off).
+    pub fn frozen_epoch(&self) -> Option<u32> {
+        self.membership
+            .as_ref()
+            .filter(|st| st.frozen())
+            .map(|st| st.view.epoch)
+    }
+
+    fn frozen(&self) -> bool {
+        self.membership.as_ref().is_some_and(|st| st.frozen())
+    }
+
+    /// Fail fast with the typed partition error when frozen.
+    fn check_frozen(&self) -> Result<(), BbpError> {
+        match &self.membership {
+            Some(st) if st.frozen() => Err(BbpError::Partitioned {
+                epoch: st.view.epoch,
+            }),
+            _ => Ok(()),
+        }
+    }
+
+    /// Quorum mode: service the membership engine from inside a blocking
+    /// wait loop, paced at the heartbeat cadence.
+    ///
+    /// A reliable send or receive can hold this endpoint in its wait
+    /// loop for longer than the failure detector's thresholds. Without
+    /// servicing, two things go wrong at once: our heartbeat stalls, so
+    /// healthy peers start grading *us* dead; and our published view
+    /// words freeze at the epoch we entered the wait with, so if a view
+    /// change commits meanwhile every receiver fences our
+    /// retransmissions as stale — a livelock the retry budget converts
+    /// into a spurious timeout (the receiver cannot know we would adopt
+    /// the new view if we ever got back to
+    /// [`BbpEndpoint::membership_tick`]). Ticking from inside the wait
+    /// keeps the heartbeat flowing and adopts committed views, and the
+    /// frozen check turns "quorum lost mid-wait" into the typed
+    /// [`BbpError::Partitioned`] instead of a burned retry budget.
+    ///
+    /// A no-op outside quorum mode: the legacy detector has no fence,
+    /// tolerates transient in-wait staleness (a dead grade lifts when
+    /// the heartbeat resumes), and staying out of its wait loops keeps
+    /// the pre-quorum protocol byte-identical.
+    fn service_membership_in_wait(&mut self, ctx: &mut ProcCtx) -> Result<(), BbpError> {
+        let due = match (&self.membership, &self.config.membership) {
+            (Some(st), Some(m)) if m.quorum => ctx.now() >= st.next_hb_at,
+            _ => false,
+        };
+        if due {
+            self.membership_tick(ctx);
+            self.check_frozen()?;
+        }
+        Ok(())
+    }
+
     // ------------------------------------------------------------------
     // Receive side
     // ------------------------------------------------------------------
@@ -1075,6 +1163,7 @@ impl BbpEndpoint {
     /// [`BbpError::Corrupt`], an empty wait as [`BbpError::Timeout`].
     pub fn recv(&mut self, ctx: &mut ProcCtx, src: usize) -> Result<Vec<u8>, BbpError> {
         assert!(src < self.n && src != self.rank, "bad source rank {src}");
+        self.check_frozen()?;
         ctx.obs()
             .span_enter(ctx.now(), self.rank as u32, Layer::Bbp, "recv");
         let deadline = self
@@ -1093,6 +1182,10 @@ impl BbpEndpoint {
                 if self.pending[src].is_empty() {
                     self.recv_wait(ctx, deadline.is_some());
                 }
+            }
+            if let Err(e) = self.service_membership_in_wait(ctx) {
+                self.stats.recv_timeouts += 1;
+                break Err(e);
             }
             if self.stats.corrupt_dropped > drops0 {
                 self.stats.recv_timeouts += 1;
@@ -1121,6 +1214,7 @@ impl BbpEndpoint {
     /// [`BbpEndpoint::recv`] (a timeout reports the lowest-ranked
     /// candidate source as the peer).
     pub fn recv_any(&mut self, ctx: &mut ProcCtx) -> Result<(usize, Vec<u8>), BbpError> {
+        self.check_frozen()?;
         ctx.obs()
             .span_enter(ctx.now(), self.rank as u32, Layer::Bbp, "recv");
         let deadline = self
@@ -1150,6 +1244,10 @@ impl BbpEndpoint {
                 if !self.has_pending() {
                     self.recv_wait(ctx, deadline.is_some());
                 }
+            }
+            if let Err(e) = self.service_membership_in_wait(ctx) {
+                self.stats.recv_timeouts += 1;
+                break 'outer Err(e);
             }
             if self.stats.corrupt_dropped > drops0 {
                 self.stats.recv_timeouts += 1;
@@ -1240,6 +1338,10 @@ impl BbpEndpoint {
             if ctx.now() >= deadline {
                 return None;
             }
+            // Keep the heartbeat flowing across a long frame wait; a
+            // freeze mid-wait simply means nothing becomes deliverable
+            // and the deadline fires (this API has no error channel).
+            let _ = self.service_membership_in_wait(ctx);
             if self.pending[src].is_empty() {
                 self.poll_sender(ctx, src);
             }
@@ -1350,6 +1452,13 @@ impl BbpEndpoint {
     /// Poll one sender's MESSAGE flag word and enqueue newly flagged
     /// messages.
     fn poll_sender(&mut self, ctx: &mut ProcCtx, s: usize) {
+        // Quorum mode: a frozen node's shadows were scrubbed while the
+        // far side's words are still stale — polling before readmission
+        // would manufacture phantom detections. The data plane is frozen
+        // in both directions.
+        if self.frozen() {
+            return;
+        }
         ctx.advance(self.config.sw.poll_iter_ns);
         self.stats.polls += 1;
         ctx.obs().count(ctx.now(), self.rank as u32, "bbp.polls", 1);
@@ -1448,6 +1557,39 @@ impl BbpEndpoint {
         let Some(rel) = self.config.reliability.clone() else {
             return Some(self.deliver(ctx, src, msg));
         };
+        // Quorum mode: epoch fencing. Before trusting a single payload
+        // byte, check the *sender's* published view words: traffic from
+        // a node whose committed epoch is behind ours (it missed a view
+        // change — e.g. it is on the wrong side of a partition) or that
+        // claims our epoch with a divergent mask is held back, unacked.
+        // A sender *ahead* of us is accepted — we are the laggard and
+        // will adopt its view shortly. A zero mask means the sender has
+        // not published any view yet (startup) and is accepted too. The
+        // message is re-queued paced, not dropped: if the sender is
+        // merely adopting late its epoch re-aligns within a tick and the
+        // message delivers; if it is genuinely partitioned, the pending
+        // entry dies with the pairwise reset when the view change
+        // removing the sender commits.
+        let fence = match (&self.membership, &self.config.membership) {
+            (Some(st), Some(m)) if m.quorum => Some((st.view.epoch, st.view.alive_mask)),
+            _ => None,
+        };
+        if let Some((my_epoch, my_mask)) = fence {
+            let vw = self
+                .nic
+                .read_block(ctx, self.layout.view_epoch_word(src), 2);
+            let (src_epoch, src_mask) = (vw[0], vw[1]);
+            let stale = src_epoch < my_epoch;
+            let divergent = src_epoch == my_epoch && src_mask != 0 && src_mask != my_mask;
+            if stale || divergent {
+                self.stats.stale_epoch_rejects += 1;
+                ctx.obs()
+                    .count(ctx.now(), self.rank as u32, "bbp.stale_epoch_rejects", 1);
+                ctx.advance(rel.ack_timeout_ns);
+                self.pending[src].insert(msg.ext, msg);
+                return None;
+            }
+        }
         // Re-read the descriptor at delivery time: the posting flag only
         // proves *some* toggle replicated; the words we captured at poll
         // time may predate a retransmission repair.
@@ -1615,13 +1757,95 @@ impl BbpEndpoint {
     }
 
     fn tick_inner(&mut self, ctx: &mut ProcCtx, st: &mut MembershipState, cfg: &MembershipConfig) {
+        let quorum = cfg.quorum;
+        // 0. Quorum: reachability first. The NIC's reachable set tells us
+        //    which ring segment we sit in; losing a strict seed majority
+        //    freezes us at the committed epoch, and regaining it triggers
+        //    the pre-merge scrub. The scrub runs *before* this tick's
+        //    heartbeat so per-source FIFO guarantees any survivor that
+        //    sees our returning heartbeat already sees our zeroed flag
+        //    words — the same ordering the rejoin path relies on.
+        if quorum {
+            let reach = self.nic.reachable_set();
+            let mut now_cut: Word = 0;
+            for r in 0..self.n {
+                if r != self.rank && !reach.contains(r) {
+                    now_cut |= 1 << r;
+                }
+            }
+            let returned = st.cut_peers & !now_cut;
+            st.cut_peers = now_cut;
+            let connected = self.n - now_cut.count_ones() as usize;
+            let cut_off = connected * 2 <= self.n;
+            let mut scrubbed = false;
+            if cut_off && !st.partitioned {
+                st.partitioned = true;
+                if !st.merge_pending {
+                    st.frozen_at = st.view.epoch;
+                }
+                st.proposal = None;
+                self.stats.partitions_detected += 1;
+                ctx.obs()
+                    .count(ctx.now(), self.rank as u32, "bbp.partitions_detected", 1);
+            } else if !cut_off && st.partitioned {
+                st.partitioned = false;
+                st.merge_pending = true;
+                self.scrub_for_merge(ctx);
+                scrubbed = true;
+            }
+            // Peers the ring reaches again after a cut. Two symmetric
+            // obligations, both ordered before anything else this tick
+            // writes (per-source FIFO then sequences them for everyone):
+            //
+            // * restart the pairwise channel — the far side either
+            //   scrubbed its whole send state at its own heal or will be
+            //   reset when a view readmits it, so our receive-side seq
+            //   expectations must restart too or its fresh sequence
+            //   numbers would be dropped as phantoms forever (the scrub
+            //   above already reset every channel, hence the skip);
+            // * re-grade the peer Alive with a fresh staleness window —
+            //   its heartbeats were unreachable, not absent, and a stale
+            //   Dead grade here would poison the coordinator's first
+            //   post-heal proposal (the echo promise would then pin the
+            //   wrong mask for that epoch). A peer that truly died
+            //   behind the cut is simply re-detected from this instant.
+            if returned != 0 {
+                for r in 0..self.n {
+                    if returned & (1 << r) == 0 {
+                        continue;
+                    }
+                    if !scrubbed {
+                        self.reset_pairwise(ctx, r);
+                    }
+                    st.tracks[r].health = PeerHealth::Alive;
+                    st.tracks[r].last_change = ctx.now();
+                }
+            }
+        }
         // 1. Publish our heartbeat on cadence. The first publish also
         //    announces incarnation 1 (one block write keeps both words in
-        //    a single packet train).
+        //    a single packet train). Quorum mode republishes the committed
+        //    view words alongside every heartbeat: a bank cut away during
+        //    a partition missed our view writes, and only a rewrite can
+        //    refresh it after the heal.
         if ctx.now() >= st.next_hb_at {
             st.hb_counter = st.hb_counter.wrapping_add(1);
-            if st.incarnation == 0 {
+            let first = st.incarnation == 0;
+            if first {
                 st.incarnation = 1;
+            }
+            if quorum {
+                self.nic.write_block(
+                    ctx,
+                    self.layout.hb_word(self.rank),
+                    &[
+                        st.hb_counter,
+                        st.incarnation,
+                        st.view.epoch,
+                        st.view.alive_mask,
+                    ],
+                );
+            } else if first {
                 self.nic.write_block(
                     ctx,
                     self.layout.hb_word(self.rank),
@@ -1637,17 +1861,29 @@ impl BbpEndpoint {
                 .count(ctx.now(), self.rank as u32, "bbp.heartbeats", 1);
         }
         // 2. Scan every peer's member block (one PIO block read each) and
-        //    grade its heartbeat staleness against our local bank.
+        //    grade its heartbeat staleness against our local bank. Legacy
+        //    mode reads only the four words it ever wrote, keeping its
+        //    PIO timing identical; quorum mode reads the proposal pair
+        //    too.
+        let member_words = if quorum {
+            crate::layout::MEMBER_WORDS
+        } else {
+            4
+        };
         let mut peer_views: Vec<Option<(Word, Word)>> = vec![None; self.n];
+        let mut peer_props: Vec<(Word, Word)> = vec![(0, 0); self.n];
         for (r, view) in peer_views.iter_mut().enumerate() {
             if r == self.rank {
                 continue;
             }
-            let blk =
-                self.nic
-                    .read_block(ctx, self.layout.member_base(r), crate::layout::MEMBER_WORDS);
+            let blk = self
+                .nic
+                .read_block(ctx, self.layout.member_base(r), member_words);
             let (hb, inc) = (blk[0], blk[1]);
             *view = Some((blk[2], blk[3]));
+            if quorum {
+                peer_props[r] = (blk[4], blk[5]);
+            }
             let t = &mut st.tracks[r];
             if hb != t.hb || inc != t.incarnation {
                 if t.health == PeerHealth::Dead {
@@ -1655,8 +1891,10 @@ impl BbpEndpoint {
                     // rejoining: grade it Alive so the coordinator's next
                     // proposal readmits it. A bare heartbeat change while
                     // Dead (a reboot that skipped the rejoin protocol) is
-                    // ignored.
-                    if inc != t.incarnation {
+                    // ignored — except in quorum mode, where a silently
+                    // resuming heartbeat is the signature of a healed
+                    // partition: the peer never died, it was unreachable.
+                    if inc != t.incarnation || quorum {
                         t.health = PeerHealth::Alive;
                     }
                 } else {
@@ -1685,32 +1923,127 @@ impl BbpEndpoint {
         }
         // 3. Coordinator duty: the lowest rank we do not grade Dead. If
         //    that is us and our grading disagrees with the view we hold,
-        //    propose the next epoch.
-        let coordinator = (0..self.n)
-            .find(|&r| r == self.rank || st.tracks[r].health != PeerHealth::Dead)
-            .expect("we never grade ourselves dead");
-        if coordinator == self.rank {
+        //    propose the next epoch. In quorum mode a peer whose
+        //    *published* epoch is behind ours cannot coordinate (it
+        //    missed at least one commit — e.g. it just returned from a
+        //    partition), and we refuse the duty ourselves whenever a live
+        //    peer publishes an epoch past ours.
+        let behind = quorum
+            && peer_views.iter().enumerate().any(|(r, v)| {
+                st.tracks[r].health != PeerHealth::Dead && v.is_some_and(|(e, _)| e > st.view.epoch)
+            });
+        let coordinator = if quorum {
+            // Quorum: the live candidate publishing the *highest* view
+            // epoch wins, lowest rank breaking ties. A node returning
+            // from a partition (epoch behind the majority's commits)
+            // must defer to — and echo — the majority's coordinator, not
+            // a fellow returnee that happens to be ranked lower.
+            let mut best = (st.view.epoch, self.rank);
+            for (r, view) in peer_views.iter().enumerate() {
+                if r == self.rank || st.tracks[r].health == PeerHealth::Dead {
+                    continue;
+                }
+                let Some((e, _)) = *view else { continue };
+                if e > best.0 || (e == best.0 && r < best.1) {
+                    best = (e, r);
+                }
+            }
+            best.1
+        } else {
+            (0..self.n)
+                .find(|&r| r == self.rank || st.tracks[r].health != PeerHealth::Dead)
+                .expect("we never grade ourselves dead")
+        };
+        if coordinator == self.rank && !(quorum && (st.partitioned || behind)) {
             let mut desired: Word = 0;
             for r in 0..self.n {
                 if r == self.rank || st.tracks[r].health != PeerHealth::Dead {
                     desired |= 1 << r;
                 }
             }
-            if desired != st.view.alive_mask {
+            // A merge (healed partition) forces a fresh commit even when
+            // the mask is unchanged — the new epoch is the single point
+            // the re-joined halves agree on.
+            if desired != st.view.alive_mask || (quorum && st.merge_pending) {
                 let epoch = st.view.epoch + 1;
-                self.apply_view(
-                    ctx,
-                    st,
-                    MembershipView {
-                        epoch,
-                        alive_mask: desired,
-                    },
-                );
+                if !quorum {
+                    self.apply_view(
+                        ctx,
+                        st,
+                        MembershipView {
+                            epoch,
+                            alive_mask: desired,
+                        },
+                    );
+                } else {
+                    // Quorum: publish the proposal through our prop words
+                    // and commit only once a strict majority of the seed
+                    // has echoed it verbatim. Our own echo promise binds
+                    // us too: if we already acked a different mask at
+                    // this epoch we keep pushing that one to completion.
+                    let (pep, pmask) = match st.echoed {
+                        Some((e, m)) if e == epoch => (e, m),
+                        _ => (epoch, desired),
+                    };
+                    if st.proposal != Some((pep, pmask)) {
+                        st.proposal = Some((pep, pmask));
+                        st.echoed = Some((pep, pmask));
+                        self.nic.write_block(
+                            ctx,
+                            self.layout.prop_epoch_word(self.rank),
+                            &[pep, pmask],
+                        );
+                    }
+                    let mut acks = 1usize; // our own
+                    for (r, prop) in peer_props.iter().enumerate() {
+                        if r != self.rank && *prop == (pep, pmask) {
+                            acks += 1;
+                        }
+                    }
+                    if acks * 2 > self.n {
+                        self.apply_view(
+                            ctx,
+                            st,
+                            MembershipView {
+                                epoch: pep,
+                                alive_mask: pmask,
+                            },
+                        );
+                        st.proposal = None;
+                    }
+                }
+            } else {
+                st.proposal = None;
+            }
+        }
+        // 3b. Quorum member duty: echo the coordinator's outstanding
+        //     proposal through our own prop words — the ack the commit
+        //     round counts. At most one mask per proposed epoch: the
+        //     promise that makes two divergent commits at one epoch
+        //     impossible. A partitioned node echoes nothing.
+        if quorum && !st.partitioned && coordinator != self.rank {
+            let (pe, pm) = peer_props[coordinator];
+            let contains_us = pm & (1 << self.rank) != 0;
+            let already_promised_other = st.echoed.is_some_and(|(e, m)| e == pe && m != pm);
+            if pe > st.view.epoch
+                && contains_us
+                && !already_promised_other
+                && st.echoed != Some((pe, pm))
+            {
+                st.echoed = Some((pe, pm));
+                self.nic
+                    .write_block(ctx, self.layout.prop_epoch_word(self.rank), &[pe, pm]);
             }
         }
         // 4. Adoption: a strictly newer view from a peer we do not grade
         //    Dead, still containing us, supersedes ours (highest epoch
-        //    wins — epochs only increase, so everyone converges).
+        //    wins — epochs only increase, so everyone converges). A
+        //    partitioned node adopts nothing (frozen at its last
+        //    committed epoch); a merge-pending node adopts only once
+        //    every member of the readmitting view has republished it —
+        //    their view echoes FIFO-follow their pairwise resets toward
+        //    us, so our scrubbed shadows are safe to poll the moment we
+        //    unfreeze.
         let mut best: Option<MembershipView> = None;
         for (r, view) in peer_views.iter().enumerate() {
             let Some((epoch, mask)) = *view else {
@@ -1730,8 +2063,55 @@ impl BbpEndpoint {
             }
         }
         if let Some(v) = best {
-            self.apply_view(ctx, st, v);
+            if quorum && st.partitioned {
+                // frozen: no view changes while cut off
+            } else if quorum && st.merge_pending {
+                // Unfreeze only when every member of the readmitting
+                // view has visibly restarted its channel toward us:
+                // either it adopted and republished the view (its
+                // heal-time or admitted-member reset FIFO-precedes that
+                // write), or it is a fellow frozen node — still at an
+                // epoch no newer than our freeze point — whose prop-word
+                // echo of this very view FIFO-follows its own heal-time
+                // scrub. Without the second branch two merge-pending
+                // nodes would wait on each other's republish forever.
+                let all_members_echo = (0..self.n).all(|r| {
+                    r == self.rank
+                        || v.alive_mask & (1 << r) == 0
+                        || peer_views[r] == Some((v.epoch, v.alive_mask))
+                        || (peer_views[r].is_some_and(|(e, _)| e <= st.frozen_at)
+                            && peer_props[r] == (v.epoch, v.alive_mask))
+                });
+                if all_members_echo {
+                    self.apply_view(ctx, st, v);
+                }
+            } else {
+                self.apply_view(ctx, st, v);
+            }
         }
+    }
+
+    /// A partition around this node just healed: scrub every pairwise
+    /// channel and all local send state, exactly as a rejoining node
+    /// does. Runs *before* the next heartbeat publish, so per-source
+    /// FIFO replication shows every survivor our zeroed flag words no
+    /// later than the returning heartbeat that makes it look.
+    fn scrub_for_merge(&mut self, ctx: &mut ProcCtx) {
+        for r in 0..self.n {
+            if r != self.rank {
+                self.reset_pairwise(ctx, r);
+            }
+        }
+        self.slots
+            .iter_mut()
+            .for_each(|s| *s = SlotState::default());
+        self.inflight.clear();
+        self.data_head = 0;
+        self.next_seq = 0;
+        if let Some(cr) = &self.config.credit {
+            self.credit_avail.fill(cr.per_peer);
+        }
+        self.deferred_msgs.fill(0);
     }
 
     /// Install `view` (an epoch strictly past the one we hold): reset
@@ -1743,6 +2123,7 @@ impl BbpEndpoint {
     /// hardware (the ring heals around the dead node's hop).
     fn apply_view(&mut self, ctx: &mut ProcCtx, st: &mut MembershipState, view: MembershipView) {
         debug_assert!(view.epoch > st.view.epoch);
+        let quorum = self.config.membership.as_ref().is_some_and(|m| m.quorum);
         let admitted = view.alive_mask & !st.view.alive_mask;
         let removed = st.view.alive_mask & !view.alive_mask;
         for r in 0..self.n {
@@ -1751,6 +2132,11 @@ impl BbpEndpoint {
                 st.tracks[r].health = PeerHealth::Alive;
                 st.tracks[r].last_change = ctx.now();
             }
+        }
+        // Quorum merge: committing or adopting an epoch past the one we
+        // froze at completes the heal — unfreeze.
+        if quorum && st.merge_pending && view.epoch > st.frozen_at {
+            st.merge_pending = false;
         }
         st.view = view;
         self.nic.write_block(
@@ -1761,7 +2147,15 @@ impl BbpEndpoint {
         for r in 0..self.n {
             if r != self.rank && removed & (1 << r) != 0 {
                 st.tracks[r].health = PeerHealth::Dead;
-                self.nic.engage_bypass(r);
+                // Quorum mode distinguishes "dead" from "unreachable": a
+                // removed peer on the far side of a partition is likely
+                // alive, and its insertion register must stay in the ring
+                // so its own segment keeps functioning. Only a peer we
+                // can still reach — i.e. one that genuinely fell silent
+                // inside our segment — gets bypassed.
+                if !quorum || self.nic.peer_reachable(r) {
+                    self.nic.engage_bypass(r);
+                }
             }
         }
         self.stats.epoch_bumps += 1;
@@ -1872,11 +2266,26 @@ impl BbpEndpoint {
             epoch: 0,
             alive_mask: 0,
         };
-        self.nic.write_block(
-            ctx,
-            self.layout.member_base(self.rank),
-            &[st.hb_counter, st.incarnation, 0, 0],
-        );
+        st.partitioned = false;
+        st.merge_pending = false;
+        st.frozen_at = 0;
+        st.proposal = None;
+        st.echoed = None;
+        if cfg.quorum {
+            // Also zero the proposal pair: an echo left by our previous
+            // incarnation must never be counted toward a fresh commit.
+            self.nic.write_block(
+                ctx,
+                self.layout.member_base(self.rank),
+                &[st.hb_counter, st.incarnation, 0, 0, 0, 0],
+            );
+        } else {
+            self.nic.write_block(
+                ctx,
+                self.layout.member_base(self.rank),
+                &[st.hb_counter, st.incarnation, 0, 0],
+            );
+        }
         st.next_hb_at = ctx.now() + cfg.heartbeat_period_ns;
         self.stats.heartbeats += 1;
         ctx.obs()

@@ -50,6 +50,14 @@ pub enum BbpError {
         /// The peer whose grant is exhausted.
         peer: usize,
     },
+    /// Quorum-enforced membership: this node's ring segment no longer
+    /// reaches a strict majority of the seed membership, so it is frozen
+    /// at its last committed epoch — no sends, no view changes — until
+    /// the partition heals and the majority readmits it.
+    Partitioned {
+        /// The committed epoch this node froze at.
+        epoch: u32,
+    },
 }
 
 impl std::fmt::Display for BbpError {
@@ -78,6 +86,12 @@ impl std::fmt::Display for BbpError {
             BbpError::NoCredit { peer } => {
                 write!(f, "send credit grant toward rank {peer} is exhausted")
             }
+            BbpError::Partitioned { epoch } => {
+                write!(
+                    f,
+                    "node is cut off from the quorum, frozen at epoch {epoch}"
+                )
+            }
         }
     }
 }
@@ -98,5 +112,6 @@ mod tests {
             .contains('9'));
         assert!(BbpError::NoTargets.to_string().contains("target"));
         assert!(BbpError::NoCredit { peer: 3 }.to_string().contains('3'));
+        assert!(BbpError::Partitioned { epoch: 7 }.to_string().contains('7'));
     }
 }

@@ -17,10 +17,14 @@ pub const DESC_WORDS: usize = 3;
 pub const RELIABLE_DESC_WORDS: usize = 4;
 
 /// Words in the per-partition membership block (membership mode only):
-/// `[heartbeat, incarnation, view_epoch, view_mask]`, all written only
-/// by the partition's owner — heartbeats and view adoption ride the same
-/// single-writer discipline as the flags.
-pub const MEMBER_WORDS: usize = 4;
+/// `[heartbeat, incarnation, view_epoch, view_mask, prop_epoch,
+/// prop_mask]`, all written only by the partition's owner — heartbeats,
+/// view adoption, and quorum proposal/echo traffic all ride the same
+/// single-writer discipline as the flags. The two proposal words are
+/// written only under quorum-enforced membership (the coordinator
+/// publishes its proposal there; members echo it back through their own
+/// pair as the ack round) and stay zero otherwise.
+pub const MEMBER_WORDS: usize = 6;
 
 /// Computes word addresses for a given configuration.
 ///
@@ -35,8 +39,9 @@ pub const MEMBER_WORDS: usize = 4;
 /// | NACK flag words [n]         |  word r written ONLY by process r
 /// |   (reliable mode only)      |
 /// +-----------------------------+
-/// | membership block [4]        |  heartbeat/incarnation/view_epoch/
-/// |   (membership mode only)    |  view_mask, written ONLY by p
+/// | membership block [6]        |  heartbeat/incarnation/view_epoch/
+/// |   (membership mode only)    |  view_mask/prop_epoch/prop_mask,
+/// |                             |  written ONLY by p
 /// +-----------------------------+
 /// | descriptors [bufs][3 or 4]  |  written ONLY by p
 /// +-----------------------------+
@@ -143,8 +148,8 @@ impl Layout {
     }
 
     /// Base of `p`'s membership block (membership mode only). The block
-    /// is `[heartbeat, incarnation, view_epoch, view_mask]`, written only
-    /// by `p`.
+    /// is `[heartbeat, incarnation, view_epoch, view_mask, prop_epoch,
+    /// prop_mask]`, written only by `p`.
     pub fn member_base(&self, p: usize) -> WordAddr {
         debug_assert!(self.membership, "membership block exists only when enabled");
         self.partition_base(p) + self.flag_blocks() * self.nprocs
@@ -170,6 +175,18 @@ impl Layout {
     /// `p`'s published alive mask, paired with [`Layout::view_epoch_word`].
     pub fn view_mask_word(&self, p: usize) -> WordAddr {
         self.member_base(p) + 3
+    }
+
+    /// `p`'s proposal epoch word (quorum mode): the coordinator publishes
+    /// its proposed epoch here; every other member echoes the proposal it
+    /// is acknowledging through its own pair. Written only by `p`.
+    pub fn prop_epoch_word(&self, p: usize) -> WordAddr {
+        self.member_base(p) + 4
+    }
+
+    /// `p`'s proposal mask word, paired with [`Layout::prop_epoch_word`].
+    pub fn prop_mask_word(&self, p: usize) -> WordAddr {
+        self.member_base(p) + 5
     }
 
     /// First word of descriptor `b` in `p`'s partition. Written only by `p`.
@@ -247,7 +264,8 @@ mod tests {
                 };
                 if l.membership {
                     assert_eq!(l.member_base(p), after_flags);
-                    assert_eq!(l.view_mask_word(p) + 1, desc_start);
+                    assert_eq!(l.view_mask_word(p) + 1, l.prop_epoch_word(p));
+                    assert_eq!(l.prop_mask_word(p) + 1, desc_start);
                 } else {
                     assert_eq!(after_flags, desc_start);
                 }
@@ -270,7 +288,7 @@ mod tests {
             assert_eq!(off.descriptor(p, 0), plain.descriptor(p, 0));
             assert_eq!(off.data_base(p), plain.data_base(p));
         }
-        // And turning it on only inserts the 4-word block.
+        // And turning it on only inserts the 6-word block.
         let on = membership_layout(4);
         assert_eq!(on.partition_words(), plain.partition_words() + MEMBER_WORDS);
     }

@@ -1,10 +1,11 @@
 //! Membership and failure detection on the billboard.
 //!
-//! Each endpoint owns a four-word *member block* in its control partition
+//! Each endpoint owns a six-word *member block* in its control partition
 //! ([`crate::MEMBER_WORDS`]): a monotonic heartbeat counter, an
-//! incarnation number, and an epoch-stamped membership view (epoch +
-//! alive mask). All four are single-writer words, so the detector needs
-//! no coordination beyond SCRAMNet's replication itself:
+//! incarnation number, an epoch-stamped membership view (epoch + alive
+//! mask), and a proposal pair used only by quorum mode. All six are
+//! single-writer words, so the detector needs no coordination beyond
+//! SCRAMNet's replication itself:
 //!
 //! * every node publishes its heartbeat on a configurable cadence
 //!   ([`crate::MembershipConfig::heartbeat_period_ns`]),
@@ -24,6 +25,16 @@
 //! the following epoch). The types here are the data model; the engine
 //! lives in [`crate::BbpEndpoint::membership_tick`] and
 //! [`crate::BbpEndpoint::rejoin`].
+//!
+//! With [`crate::MembershipConfig::quorum`] on, the coordinator's
+//! proposal additionally rides an explicit ack round: it is published
+//! through the coordinator's `prop` words, every member echoes the pair
+//! it acknowledges through its own `prop` words (at most one mask per
+//! proposed epoch — the promise that makes two divergent commits at one
+//! epoch impossible), and the view commits only once a strict majority
+//! of the *seed* membership has echoed. A node whose ring segment stops
+//! reaching a seed majority freezes at its last committed epoch until
+//! the partition heals and the majority readmits it.
 
 use std::sync::Arc;
 
@@ -120,6 +131,30 @@ pub(crate) struct MembershipState {
     /// Detection-latency distributions (always on, shared with the
     /// harness via [`crate::BbpEndpoint::detection_latency`]).
     pub hists: Arc<DetectionHists>,
+    /// Quorum mode: our ring segment currently fails to reach a strict
+    /// majority of the seed — the node is frozen at `view.epoch`.
+    pub partitioned: bool,
+    /// Quorum mode: the partition healed but this node has not yet been
+    /// readmitted into a committed view past `frozen_at`; it stays
+    /// frozen (and scrubbed its pairwise channels) until then.
+    pub merge_pending: bool,
+    /// Quorum mode: the committed epoch held when the current freeze
+    /// began (merge completion = adopting/committing an epoch past it).
+    pub frozen_at: Word,
+    /// Quorum mode, coordinator side: the `(epoch, mask)` proposal
+    /// currently published through our prop words, if any.
+    pub proposal: Option<(Word, Word)>,
+    /// Quorum mode, member side: the `(epoch, mask)` we last echoed.
+    /// A member never echoes a *different* mask for an epoch it already
+    /// echoed — the single-writer promise that prevents two divergent
+    /// views from both gathering a quorum at the same epoch.
+    pub echoed: Option<(Word, Word)>,
+    /// Quorum mode: bit `r` set ⇔ the ring currently cannot reach seed
+    /// rank `r`. Tracked every tick so a heal is attributable: the bits
+    /// that clear are exactly the peers whose pairwise channels must be
+    /// restarted (their side either scrubbed or will be reset by a
+    /// readmitting view — ours resets here, symmetrically).
+    pub cut_peers: Word,
 }
 
 impl MembershipState {
@@ -138,7 +173,19 @@ impl MembershipState {
             },
             tracks: vec![PeerTrack::default(); n],
             hists: Arc::new(DetectionHists::default()),
+            partitioned: false,
+            merge_pending: false,
+            frozen_at: 0,
+            proposal: None,
+            echoed: None,
+            cut_peers: 0,
         }
+    }
+
+    /// Quorum mode: is this node frozen (cut off, or healed but not yet
+    /// readmitted)? Frozen nodes neither send, poll, propose, nor commit.
+    pub fn frozen(&self) -> bool {
+        self.partitioned || self.merge_pending
     }
 }
 

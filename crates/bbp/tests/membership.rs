@@ -254,6 +254,204 @@ fn killed_node_rejoins_in_a_new_epoch_and_exchanges_traffic() {
 }
 
 #[test]
+fn coordinator_death_during_suspicion_hands_off_without_epoch_churn() {
+    // The flapping scenario: rank 3 goes silent long enough to be
+    // Suspected (but not Dead) while the coordinator — rank 0, the one
+    // node entitled to propose views — is killed in the middle of that
+    // suspicion window. The next-lowest survivor (rank 1) must take
+    // over and propose exactly one view bump (excluding rank 0, keeping
+    // the recovered rank 3), with no duplicate and no skipped epoch
+    // anywhere: coordinator handoff must not double-propose, and a
+    // suspicion that never matures must not leak into a view.
+    let mut sim = Simulation::new();
+    let config = BbpConfig::membership_for_nodes(NODES);
+    let c = BbpCluster::new(&sim.handle(), config);
+    let ring = c.ring().clone();
+    let kill_at = us(250); // inside rank 3's [100 µs, 400 µs) stall
+    {
+        let r = ring.clone();
+        sim.handle()
+            .schedule_at(kill_at, move |_| r.silence_node(0));
+    }
+    let end = ms(2);
+    let history = Arc::new(Mutex::new(vec![Vec::new(); NODES]));
+    // The doomed coordinator ticks until its crash.
+    let mut coord = c.endpoint(0);
+    sim.spawn("n0", move |ctx| {
+        while ctx.now() < kill_at {
+            coord.membership_tick(ctx);
+            ctx.advance(us(10));
+        }
+    });
+    // Rank 3: stalls through [100 µs, 400 µs) — Suspected by everyone
+    // right as the coordinator dies — then resumes and recovers.
+    let mut flappy = c.endpoint(3);
+    let h3 = Arc::clone(&history);
+    sim.spawn("n3", move |ctx| {
+        while ctx.now() < end {
+            if ctx.now() >= us(100) && ctx.now() < us(400) {
+                ctx.advance(us(10));
+                continue;
+            }
+            flappy.membership_tick(ctx);
+            let v = flappy.membership_view().unwrap();
+            let mut h = h3.lock();
+            if h[3].last() != Some(&v) {
+                h[3].push(v);
+            }
+            drop(h);
+            ctx.advance(us(10));
+        }
+        assert_eq!(
+            flappy.stats().epoch_bumps,
+            1,
+            "rank 3 applied exactly the one committed transition"
+        );
+    });
+    let bumps = Arc::new(Mutex::new(0u64));
+    let final_views = Arc::new(Mutex::new(vec![None; NODES]));
+    for rank in 1..3 {
+        let mut ep = c.endpoint(rank);
+        let history = Arc::clone(&history);
+        let finals = Arc::clone(&final_views);
+        let bumps = Arc::clone(&bumps);
+        sim.spawn(format!("n{rank}"), move |ctx| {
+            survivor_loop(&mut ep, ctx, end, us(10), &history);
+            finals.lock()[rank] = Some(ep.membership_view().unwrap());
+            *bumps.lock() += ep.stats().epoch_bumps;
+        });
+    }
+    let report = sim.run();
+    assert!(report.is_clean(), "deadlocked: {:?}", report.deadlocked);
+    let finals = final_views.lock();
+    for rank in 1..3 {
+        assert_eq!(
+            finals[rank],
+            Some(MembershipView {
+                epoch: 1,
+                alive_mask: 0b1110
+            }),
+            "survivor {rank}: one bump, rank 0 out, the flapper kept"
+        );
+    }
+    // epoch_bumps counts *applied* view transitions: one per survivor
+    // means the handed-off coordinator proposed exactly once and nobody
+    // double-proposed during the flap.
+    assert_eq!(*bumps.lock(), 2, "one transition per surviving adopter");
+    // Identical histories with no duplicate and no skipped epoch: every
+    // node saw epoch 0 then epoch 1, nothing else.
+    let h = history.lock();
+    assert_eq!(h[1], h[2]);
+    assert_eq!(h[2], h[3]);
+    assert_eq!(h[1].len(), 2, "no flapping in the committed history");
+    assert!(ring.is_bypassed(0), "the dead coordinator's hop is healed");
+    assert!(!ring.is_bypassed(3), "suspicion alone never bypasses");
+}
+
+#[test]
+fn rejoin_racing_a_view_change_lands_in_the_next_committed_view() {
+    // Rank 3 is killed and excluded (epoch 1); later it rejoins at the
+    // same moment rank 2 is killed — the readmission races the death of
+    // another member. Wherever the proposals interleave, the committed
+    // history must stay linear (one mask per epoch, everywhere) and
+    // everyone must converge on the view with rank 3 in and rank 2 out.
+    let mut sim = Simulation::new();
+    let config = BbpConfig::membership_for_nodes(NODES);
+    let c = BbpCluster::new(&sim.handle(), config);
+    let ring = c.ring().clone();
+    let kill3_at = us(100);
+    let reboot_at = us(1_500);
+    let kill2_at = us(1_550); // mid-rejoin of rank 3
+    for (at, node) in [(kill3_at, 3usize), (kill2_at, 2usize)] {
+        let r = ring.clone();
+        sim.handle().schedule_at(at, move |_| r.silence_node(node));
+    }
+    {
+        let r = ring.clone();
+        sim.handle()
+            .schedule_at(reboot_at, move |_| r.unsilence_node(3));
+    }
+    let end = ms(4);
+    let history = Arc::new(Mutex::new(vec![Vec::new(); NODES]));
+    // The two doomed incarnations tick until their kills.
+    for (rank, kill_at) in [(3usize, kill3_at), (2usize, kill2_at)] {
+        let mut victim = c.endpoint(rank);
+        sim.spawn(format!("n{rank}"), move |ctx| {
+            while ctx.now() < kill_at {
+                victim.membership_tick(ctx);
+                ctx.advance(us(10));
+            }
+        });
+    }
+    // Rank 3's replacement incarnation: drives the rejoin protocol
+    // while the cluster is mid-way through excluding rank 2, then keeps
+    // ticking and recording like any member.
+    let mut reborn = c.endpoint(3);
+    let rejoin_view = Arc::new(Mutex::new(None));
+    let rv = Arc::clone(&rejoin_view);
+    let h3 = Arc::clone(&history);
+    sim.spawn("n3-reborn", move |ctx| {
+        ctx.wait_until(reboot_at + us(10));
+        let view = reborn.rejoin(ctx, ms(2)).expect("readmission converges");
+        *rv.lock() = Some(view);
+        while ctx.now() < end {
+            reborn.membership_tick(ctx);
+            let v = reborn.membership_view().unwrap();
+            let mut h = h3.lock();
+            if h[3].last() != Some(&v) {
+                h[3].push(v);
+            }
+            drop(h);
+            ctx.advance(us(10));
+        }
+    });
+    let final_views = Arc::new(Mutex::new(vec![None; NODES]));
+    for rank in 0..2 {
+        let mut ep = c.endpoint(rank);
+        let history = Arc::clone(&history);
+        let finals = Arc::clone(&final_views);
+        sim.spawn(format!("n{rank}"), move |ctx| {
+            survivor_loop(&mut ep, ctx, end, us(10), &history);
+            finals.lock()[rank] = Some(ep.membership_view().unwrap());
+        });
+    }
+    let report = sim.run();
+    assert!(report.is_clean(), "deadlocked: {:?}", report.deadlocked);
+    // The rejoiner was admitted into a view that contains it and
+    // postdates its exclusion.
+    let admitted = rejoin_view.lock().expect("rejoin completed");
+    assert!(admitted.is_alive(3), "readmission view contains the joiner");
+    assert!(admitted.epoch >= 2, "readmission postdates the exclusion");
+    // Everyone converged on rank-3-in / rank-2-out.
+    let finals = final_views.lock();
+    let reference = finals[0].expect("rank 0 finished");
+    assert_eq!(reference.alive_mask, 0b1011, "rank 3 in, rank 2 out");
+    assert_eq!(finals[1], Some(reference));
+    // Linear history: across every view any rank ever held (including
+    // both of rank 3's incarnations), one epoch maps to one mask.
+    let h = history.lock();
+    let mut epoch_masks = std::collections::HashMap::new();
+    for hist in h.iter() {
+        for v in hist {
+            let prev = epoch_masks.insert(v.epoch, v.alive_mask);
+            assert!(
+                prev.is_none_or(|m| m == v.alive_mask),
+                "epoch {} seen with two masks: {prev:?} vs {:#b}",
+                v.epoch,
+                v.alive_mask
+            );
+        }
+    }
+    assert_eq!(
+        h[3].last(),
+        Some(&reference),
+        "the rejoiner tracked the racing exclusion to the same final view"
+    );
+    assert!(ring.is_bypassed(2), "the racing death still got its bypass");
+    assert!(!ring.is_bypassed(3), "rejoin reinserted the node's hop");
+}
+
+#[test]
 fn membership_off_touches_neither_time_nor_state() {
     let mut sim = Simulation::new();
     let c = BbpCluster::new(&sim.handle(), BbpConfig::reliable_for_nodes(2));

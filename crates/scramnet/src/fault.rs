@@ -49,6 +49,17 @@ enum Action {
     /// detector can expose. After `dur` the host reboots (un-silenced);
     /// protocol-level rejoin is up to the layers above.
     KillNode { node: usize, dur: Time },
+    /// Segment the ring: sever the *pair* of links the dual-ring wrap
+    /// cannot route around, isolating the arc between them. Both cuts
+    /// land at the same instant and (unless `dur` is [`FOREVER`]) heal
+    /// together at `t + dur`. A plan carrying a partition enables
+    /// [`RingConfig::segment_wrap`] in [`FaultPlan::ring_config`], since
+    /// segmentation is only meaningful under the wrap model.
+    Partition {
+        cut_a: usize,
+        cut_b: usize,
+        dur: Time,
+    },
 }
 
 impl Action {
@@ -73,6 +84,12 @@ impl Action {
             }
             Action::KillNode { node, dur } => {
                 write!(out, "kill_node({node},{dur})").unwrap();
+            }
+            Action::Partition { cut_a, cut_b, dur } if dur == FOREVER => {
+                write!(out, "partition({cut_a},{cut_b},forever)").unwrap();
+            }
+            Action::Partition { cut_a, cut_b, dur } => {
+                write!(out, "partition({cut_a},{cut_b},{dur})").unwrap();
             }
         }
     }
@@ -144,12 +161,24 @@ impl FaultPlan {
     }
 
     /// Overlay this plan's corruption stream onto an existing config.
+    /// A plan that scripts a partition also switches the ring to the
+    /// dual-ring wrap model (see [`RingConfig::segment_wrap`]).
     pub fn apply_to(&self, mut config: RingConfig) -> RingConfig {
         if self.corrupt_rate > 0.0 {
             config.bit_error_rate = self.corrupt_rate;
             config.error_seed = self.seed;
         }
+        if self.has_partition() {
+            config.segment_wrap = true;
+        }
         config
+    }
+
+    /// True when the plan scripts at least one [`FaultAt::partition`].
+    pub fn has_partition(&self) -> bool {
+        self.actions
+            .iter()
+            .any(|(_, a)| matches!(a, Action::Partition { .. }))
     }
 
     /// Schedule every timed action on `ring`'s simulation handle. Call
@@ -177,6 +206,28 @@ impl FaultPlan {
                     if dur != FOREVER {
                         let r = ring.clone();
                         handle.schedule_at(t.saturating_add(dur), move |_| r.heal_link(link));
+                    }
+                }
+                Action::Partition { cut_a, cut_b, dur } => {
+                    let r = ring.clone();
+                    let h = handle.clone();
+                    handle.schedule_at(t, move |t| {
+                        // Segmentation is the canonical postmortem
+                        // moment: keep the lifecycle ring from just
+                        // before the detectors start reacting.
+                        let rec = h.recorder();
+                        rec.lifecycle(t, cut_a as u32, 0, des::obs::Stage::Error, cut_b as u64);
+                        rec.flight()
+                            .dump_to_dir(&format!("partition_{cut_a}_{cut_b}_t{t}"));
+                        r.break_link(cut_a);
+                        r.break_link(cut_b);
+                    });
+                    if dur != FOREVER {
+                        let r = ring.clone();
+                        handle.schedule_at(t.saturating_add(dur), move |_| {
+                            r.heal_link(cut_a);
+                            r.heal_link(cut_b);
+                        });
                     }
                 }
                 Action::KillNode { node, dur } => {
@@ -242,6 +293,16 @@ impl FaultAt {
     /// NIC stays inserted — only a failure detector can tell.
     pub fn kill_node(self, node: usize, dur: Time) -> FaultPlan {
         self.push(Action::KillNode { node, dur })
+    }
+
+    /// Segment the ring for `dur` ([`FOREVER`] = never heals): sever
+    /// links `cut_a → cut_a+1` and `cut_b → cut_b+1` together,
+    /// isolating the arc between the two cuts. Reads as intent in
+    /// campaign cells and repro lines — `partition(1,4,…)` instead of
+    /// two raw `break_link`s.
+    pub fn partition(self, cut_a: usize, cut_b: usize, dur: Time) -> FaultPlan {
+        assert!(cut_a != cut_b, "a partition needs two distinct cuts");
+        self.push(Action::Partition { cut_a, cut_b, dur })
     }
 }
 
@@ -372,6 +433,51 @@ mod tests {
             plan.describe(),
             "seed=7 corrupt=0.5 @1000:drop_next(2) @2000:stall_node(1,forever)"
         );
+    }
+
+    #[test]
+    fn describe_renders_partitions() {
+        let plan = FaultPlan::new(42)
+            .at(1000)
+            .partition(1, 4, us(2))
+            .at(9000)
+            .partition(0, 2, FOREVER);
+        assert_eq!(
+            plan.describe(),
+            "seed=42 @1000:partition(1,4,2000) @9000:partition(0,2,forever)"
+        );
+        assert!(plan.has_partition());
+        assert!(plan.ring_config().segment_wrap);
+        assert!(!FaultPlan::new(0).has_partition());
+        assert!(!FaultPlan::new(0).ring_config().segment_wrap);
+    }
+
+    #[test]
+    fn partition_window_segments_then_heals() {
+        // 6 nodes, cuts at links 1 and 4: segments {2,3,4} and {5,0,1}.
+        let plan = FaultPlan::new(9).at(us(5)).partition(1, 4, us(20));
+        let mut sim = Simulation::new();
+        let ring = Ring::with_config(
+            &sim.handle(),
+            6,
+            64,
+            CostModel::default(),
+            plan.ring_config(),
+        );
+        plan.arm(&ring);
+        let nic = ring.nic(0);
+        sim.spawn("w", move |ctx| {
+            ctx.wait_until(us(10)); // inside the partition window
+            nic.write_word(ctx, 0, 7);
+            ctx.wait_until(us(40)); // after the heal
+            nic.write_word(ctx, 1, 8);
+        });
+        sim.run();
+        let snap = ring.snapshot(3);
+        assert_eq!(snap[0], 0, "other segment missed the write");
+        assert_eq!(snap[1], 8, "healed ring carries traffic again");
+        assert_eq!(ring.snapshot(1)[0], 7, "own segment saw the write");
+        assert!(!ring.is_link_broken(1) && !ring.is_link_broken(4));
     }
 
     #[test]

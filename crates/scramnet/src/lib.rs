@@ -61,7 +61,7 @@ pub use cost::{CostModel, TxMode};
 pub use fault::{FaultAt, FaultPlan};
 pub use hierarchy::{HierarchyConfig, RingHierarchy};
 pub use nic::Nic;
-pub use ring::{Ring, RingConfig};
+pub use ring::{ReachabilitySet, Ring, RingConfig};
 pub use shard::{Delivery, HeartbeatConfig, ParRing, ParRingConfig, ViewRecord};
 pub use stats::RingStats;
 

@@ -184,6 +184,23 @@ impl Nic {
         self.shared.node_in_ring(peer)
     }
 
+    /// This node's current hardware segment map: which peers its
+    /// traffic can reach given severed links and bypassed NICs. A peer
+    /// outside the set is *unreachable* — possibly perfectly healthy on
+    /// the far side of a partition — which is a different verdict from
+    /// the dead-or-bypassed one [`Nic::peer_alive`] renders. Membership
+    /// layers consult this before grading a silent peer.
+    pub fn reachable_set(&self) -> crate::ReachabilitySet {
+        self.shared.reachability_from(self.node)
+    }
+
+    /// True if `peer` is in this node's current segment (see
+    /// [`Nic::reachable_set`]).
+    pub fn peer_reachable(&self, peer: usize) -> bool {
+        assert!(peer < self.shared.n, "node {peer} out of range");
+        self.shared.reachability_from(self.node).contains(peer)
+    }
+
     /// Switch `peer`'s insertion register out of the ring from this host
     /// — the failure detector's declare-dead action. From here on the
     /// ring heals past `peer` (hop latency drops to `bypass_hop_ns`) and

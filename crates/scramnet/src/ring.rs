@@ -33,6 +33,15 @@ pub struct RingConfig {
     /// Global identity per local node (None = identity). Used by ring
     /// hierarchies so provenance tracks the true originating host.
     pub node_ids: Option<Vec<usize>>,
+    /// Dual-ring wrap on severed links: when a packet reaches a broken
+    /// egress link it loops back across the redundant counter-rotating
+    /// ring to the head of the source's segment and keeps replicating
+    /// there (FDDI-style ring wrap). A lone cut is then healed
+    /// transparently; a *pair* of cuts segments the ring into two
+    /// independent sub-rings, each internally fully connected. Off by
+    /// default: the legacy model truncates at the first break, which
+    /// the existing fault campaigns and golden traces rely on.
+    pub segment_wrap: bool,
 }
 
 impl Default for RingConfig {
@@ -43,6 +52,7 @@ impl Default for RingConfig {
             bit_error_rate: 0.0,
             error_seed: 0,
             node_ids: None,
+            segment_wrap: false,
         }
     }
 }
@@ -103,6 +113,43 @@ impl BypassSnapshot {
     #[inline]
     fn get(&self, node: usize) -> bool {
         self.words[node / 64] & (1 << (node % 64)) != 0
+    }
+
+    #[inline]
+    fn any(&self) -> bool {
+        self.words.iter().any(|w| *w != 0)
+    }
+}
+
+/// The set of peers one node can currently exchange traffic with, as
+/// carved out by severed links and bypassed NICs: the node's ring
+/// *segment*. Dual-ring wrap heals a lone cut (the whole ring remains
+/// one segment); a pair of cuts splits it into two arcs. Bypassed NICs
+/// are excluded (their banks miss all traffic); the node itself is
+/// always a member. This is the hardware's segment map — it says
+/// nothing about whether the peer's *host* is alive, which is exactly
+/// the distinction the protocol layer needs: a peer outside the set is
+/// *unreachable*, not necessarily dead.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ReachabilitySet {
+    words: [u64; 4],
+}
+
+impl ReachabilitySet {
+    #[inline]
+    fn insert(&mut self, node: usize) {
+        self.words[node / 64] |= 1 << (node % 64);
+    }
+
+    /// True if `node` is in the set.
+    #[inline]
+    pub fn contains(&self, node: usize) -> bool {
+        self.words[node / 64] & (1 << (node % 64)) != 0
+    }
+
+    /// Number of reachable nodes (including the node itself).
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
     }
 }
 
@@ -175,8 +222,11 @@ pub(crate) struct RingShared {
     silenced: BypassMask,
     /// Severed egress links (`broken_links` bit i = link i → i+1 cut).
     /// Packets crossing a broken link are truncated: nodes before the
-    /// break keep the write, nodes after never see it.
+    /// break keep the write, nodes after never see it (unless
+    /// `segment_wrap` loops them back to the segment head).
     broken_links: BypassMask,
+    /// Dual-ring wrap on broken links (see [`RingConfig::segment_wrap`]).
+    segment_wrap: bool,
     /// Armed drop faults: while non-zero, each injection decrements the
     /// counter and skips replication entirely (the local bank still sees
     /// the write — the loss happens on the wire).
@@ -313,6 +363,7 @@ impl Ring {
             bypassed: BypassMask::default(),
             silenced: BypassMask::default(),
             broken_links: BypassMask::default(),
+            segment_wrap: config.segment_wrap,
             drop_next: AtomicU64::new(0),
             stats: AtomicRingStats::default(),
             conflicts: Mutex::new(Vec::new()),
@@ -438,6 +489,15 @@ impl Ring {
     /// True if the egress link `link → link+1` is currently severed.
     pub fn is_link_broken(&self, link: usize) -> bool {
         self.shared.broken_links.get(link)
+    }
+
+    /// `node`'s current hardware segment map: which peers its traffic
+    /// can reach (and, symmetrically within a segment, whose traffic
+    /// can reach it). Lets a protocol layer distinguish "peer dead"
+    /// from "peer unreachable" when the ring is segmented.
+    pub fn reachable_set(&self, node: usize) -> ReachabilitySet {
+        assert!(node < self.shared.n, "node {node} out of range");
+        self.shared.reachability_from(node)
     }
 
     /// Traffic statistics so far.
@@ -594,14 +654,25 @@ impl RingShared {
             let mut hop_from = src;
             let mut span_end = head + ser;
             loop {
-                let next = (hop_from + 1) % self.n;
+                let next = if broken.get(hop_from) {
+                    if !self.segment_wrap {
+                        // The packet dies at the severed link: everything
+                        // planned so far still applies, the rest never
+                        // will.
+                        truncated = true;
+                        break;
+                    }
+                    // Dual-ring wrap: the packet loops back over the
+                    // counter-rotating ring to the head of src's segment
+                    // and keeps replicating from there. At most one wrap
+                    // per packet: the links between the segment head and
+                    // src are unbroken by construction, so the walk ends
+                    // when it comes back around to src.
+                    self.segment_start(src, &broken)
+                } else {
+                    (hop_from + 1) % self.n
+                };
                 if next == src {
-                    break;
-                }
-                if broken.get(hop_from) {
-                    // The packet dies at the severed link: everything
-                    // planned so far still applies, the rest never will.
-                    truncated = true;
                     break;
                 }
                 let hop_cost = if bypassed.get(next) {
@@ -783,6 +854,58 @@ impl RingShared {
     /// the ring here; only heartbeat detection can expose it.
     pub(crate) fn node_in_ring(&self, node: usize) -> bool {
         !self.bypassed.get(node)
+    }
+
+    /// First node of `node`'s segment: the node just downstream of the
+    /// nearest broken link found scanning backward from `node`. Only
+    /// meaningful when at least one link is broken (otherwise the scan
+    /// walks the full circle and lands back on an arbitrary node).
+    fn segment_start(&self, node: usize, broken: &BypassSnapshot) -> usize {
+        let mut start = node;
+        for _ in 0..self.n {
+            let prev = (start + self.n - 1) % self.n;
+            if broken.get(prev) {
+                break;
+            }
+            start = prev;
+        }
+        start
+    }
+
+    /// The current [`ReachabilitySet`] of `node`: its ring segment under
+    /// the broken-link map (a lone cut leaves one segment — the wrap
+    /// routes around it; a pair of cuts yields two), minus bypassed
+    /// NICs, plus always the node itself.
+    pub(crate) fn reachability_from(&self, node: usize) -> ReachabilitySet {
+        let broken = self.broken_links.snapshot();
+        let bypassed = self.bypassed.snapshot();
+        let mut set = ReachabilitySet::default();
+        if !broken.any() {
+            for p in 0..self.n {
+                if !bypassed.get(p) {
+                    set.insert(p);
+                }
+            }
+        } else {
+            let start = self.segment_start(node, &broken);
+            let mut cur = start;
+            loop {
+                if !bypassed.get(cur) {
+                    set.insert(cur);
+                }
+                if broken.get(cur) {
+                    // `cur`'s egress is the cut closing the segment.
+                    break;
+                }
+                let next = (cur + 1) % self.n;
+                if next == start {
+                    break;
+                }
+                cur = next;
+            }
+        }
+        set.insert(node);
+        set
     }
 
     /// Flip `node`'s insertion register from host software — the failure
@@ -1206,5 +1329,95 @@ mod tests {
             variable < fixed,
             "variable ({variable}) should beat fixed ({fixed}) at 8 KB"
         );
+    }
+
+    fn wrap_ring(sim: &Simulation, n: usize) -> Ring {
+        let cfg = RingConfig {
+            segment_wrap: true,
+            ..Default::default()
+        };
+        Ring::with_config(&sim.handle(), n, 4096, CostModel::default(), cfg)
+    }
+
+    #[test]
+    fn segment_wrap_heals_a_lone_cut() {
+        // With dual-ring wrap a single severed link is routed around:
+        // every bank still sees the write.
+        let mut sim = Simulation::new();
+        let ring = wrap_ring(&sim, 4);
+        ring.break_link(1);
+        let nic = ring.nic(0);
+        sim.spawn("w", move |ctx| nic.write_word(ctx, 7, 9));
+        sim.run();
+        for node in 1..4 {
+            assert_eq!(ring.snapshot(node)[7], 9, "node {node}");
+        }
+    }
+
+    #[test]
+    fn segment_wrap_pair_of_cuts_isolates_the_segments() {
+        // Cut links 1→2 and 4→5 on a 6-ring: segments {2,3,4} and
+        // {5,0,1}. Writes stay inside the writer's segment.
+        let mut sim = Simulation::new();
+        let ring = wrap_ring(&sim, 6);
+        ring.break_link(1);
+        ring.break_link(4);
+        let a = ring.nic(0); // segment {5,0,1}
+        let b = ring.nic(3); // segment {2,3,4}
+        sim.spawn("a", move |ctx| a.write_word(ctx, 0, 11));
+        sim.spawn("b", move |ctx| b.write_word(ctx, 1, 22));
+        sim.run();
+        for node in [5usize, 0, 1] {
+            assert_eq!(ring.snapshot(node)[0], 11, "node {node} in 0's segment");
+            assert_eq!(ring.snapshot(node)[1], 0, "node {node} missed 3's write");
+        }
+        for node in [2usize, 3, 4] {
+            assert_eq!(ring.snapshot(node)[1], 22, "node {node} in 3's segment");
+            assert_eq!(ring.snapshot(node)[0], 0, "node {node} missed 0's write");
+        }
+    }
+
+    #[test]
+    fn segment_wrap_off_still_truncates() {
+        let mut sim = Simulation::new();
+        let ring = quiet_ring(&sim, 4);
+        ring.break_link(1);
+        let nic = ring.nic(0);
+        sim.spawn("w", move |ctx| nic.write_word(ctx, 7, 9));
+        sim.run();
+        assert_eq!(ring.snapshot(2)[7], 0, "legacy model truncates");
+        assert_eq!(ring.stats().link_truncations, 1);
+    }
+
+    #[test]
+    fn reachability_tracks_segments_and_bypass() {
+        let sim = Simulation::new();
+        let ring = wrap_ring(&sim, 6);
+        // Healthy ring: everybody reaches everybody.
+        let all = ring.reachable_set(0);
+        assert_eq!(all.count(), 6);
+        // A lone cut is healed by the wrap: still one segment.
+        ring.break_link(2);
+        assert_eq!(ring.reachable_set(0).count(), 6);
+        // A second cut segments the ring: {3,4} and {5,0,1,2}.
+        ring.break_link(4);
+        let s0 = ring.reachable_set(0);
+        assert_eq!(s0.count(), 4);
+        for node in [5usize, 0, 1, 2] {
+            assert!(s0.contains(node), "node {node}");
+        }
+        assert!(!s0.contains(3) && !s0.contains(4));
+        let s3 = ring.reachable_set(3);
+        assert_eq!(s3.count(), 2);
+        assert!(s3.contains(3) && s3.contains(4));
+        // Bypassed peers drop out of the set; the node itself never does.
+        ring.bypass_node(1);
+        let s0 = ring.reachable_set(0);
+        assert!(!s0.contains(1) && s0.contains(0));
+        assert!(ring.reachable_set(1).contains(1));
+        // Healing both cuts restores the full set (minus the bypass).
+        ring.heal_link(2);
+        ring.heal_link(4);
+        assert_eq!(ring.reachable_set(0).count(), 5);
     }
 }

@@ -40,6 +40,7 @@ fn stress_trace() -> String {
         bit_error_rate: 0.002,
         error_seed: 42,
         node_ids: None,
+        segment_wrap: false,
     };
     let ring = Ring::with_config(&sim.handle(), NODES, 8192, CostModel::default(), cfg);
     // Dual-ring redundancy path: one insertion register switched out.

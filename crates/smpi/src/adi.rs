@@ -146,6 +146,13 @@ impl Adi {
         self.dev.membership()
     }
 
+    /// Quorum-enforced membership: `Some(epoch)` while the transport is
+    /// frozen because this node's segment lost its quorum. `None` on
+    /// transports that never partition.
+    pub fn partitioned(&self) -> Option<u32> {
+        self.dev.partitioned()
+    }
+
     fn fresh_req(&mut self) -> ReqId {
         let id = ReqId(self.next_req);
         self.next_req += 1;

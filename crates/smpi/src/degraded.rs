@@ -18,6 +18,14 @@
 //!   whole group calls [`Mpi::revoke`] (every live member then observes
 //!   [`MpiError::Revoked`]), and the survivors call [`Mpi::shrink`] to
 //!   build a dense re-ranked communicator and carry on.
+//! - **Partitions fail typed, on both sides.** With quorum-enforced
+//!   membership underneath, majority-side ranks see the minority graded
+//!   dead ([`MpiError::PeerFailed`]) and can `revoke`/`shrink` as usual;
+//!   minority-side ranks — whose transport froze — get
+//!   [`MpiError::Partitioned`] from every operation (including blocked
+//!   collectives, which would otherwise hang: a frozen rank's epoch
+//!   never moves) until the partition heals and the majority readmits
+//!   them.
 //!
 //! Shrink needs no negotiation traffic: epoch transitions are observed
 //! identically on every live node (the membership layer's agreement
@@ -61,6 +69,9 @@ impl Mpi {
         peers: &[usize],
     ) -> Result<Option<(u32, u32)>, MpiError> {
         self.absorb_revocations();
+        if let Some(epoch) = self.adi.partitioned() {
+            return Err(MpiError::Partitioned { epoch });
+        }
         let view = self.adi.membership();
         if self.revoked.contains(&comm.context) {
             return Err(MpiError::Revoked {
@@ -80,8 +91,12 @@ impl Mpi {
 
     /// Translate a transport failure, upgrading the reliability layer's
     /// `PeerDown` to the ULFM taxonomy when a failure detector is
-    /// present to vouch for the death.
+    /// present to vouch for the death, and the quorum layer's freeze to
+    /// the typed partition error.
     pub(crate) fn transport_to_mpi(&self, comm: &Comm, e: DeviceError) -> MpiError {
+        if let DeviceError::Partitioned { epoch } = e {
+            return MpiError::Partitioned { epoch };
+        }
         if let DeviceError::PeerDown { peer } = e {
             if let (Some((epoch, _)), Some(rank)) = (self.adi.membership(), comm.comm_rank(peer)) {
                 return MpiError::PeerFailed { rank, epoch };
@@ -101,6 +116,12 @@ impl Mpi {
         entry_epoch: u32,
     ) -> Result<(), MpiError> {
         self.absorb_revocations();
+        // A frozen minority rank's epoch never moves (that is the point
+        // of the freeze), so without this check a blocked collective
+        // would spin forever waiting for traffic the fence rejects.
+        if let Some(epoch) = self.adi.partitioned() {
+            return Err(MpiError::Partitioned { epoch });
+        }
         if self.revoked.contains(&comm.context) {
             return Err(MpiError::Revoked {
                 epoch: self.adi.membership().map_or(0, |(e, _)| e),

@@ -26,15 +26,28 @@ pub enum DeviceError {
         /// World rank of the dead peer.
         peer: usize,
     },
+    /// This node's network segment lost its quorum: the transport froze
+    /// at its last committed membership epoch and refuses all traffic
+    /// until the partition heals and the majority readmits it. Unlike
+    /// the other variants this failure names no peer — the whole node
+    /// is cut off.
+    Partitioned {
+        /// The membership epoch the transport froze at.
+        epoch: u32,
+    },
 }
 
 impl DeviceError {
-    /// World rank of the peer the failure involves.
+    /// World rank of the peer the failure involves. Panics on
+    /// [`DeviceError::Partitioned`], which involves no single peer.
     pub fn peer(&self) -> usize {
         match *self {
             DeviceError::Corrupt { peer }
             | DeviceError::Timeout { peer }
             | DeviceError::PeerDown { peer } => peer,
+            DeviceError::Partitioned { .. } => {
+                panic!("a partition failure involves no single peer")
+            }
         }
     }
 }
@@ -49,6 +62,9 @@ impl std::fmt::Display for DeviceError {
                 write!(f, "transport timed out talking to rank {peer}")
             }
             DeviceError::PeerDown { peer } => write!(f, "rank {peer} is down"),
+            DeviceError::Partitioned { epoch } => {
+                write!(f, "network partitioned; frozen at membership epoch {epoch}")
+            }
         }
     }
 }
@@ -218,6 +234,15 @@ pub trait Device: Send {
     fn membership(&self) -> Option<(u32, u32)> {
         None
     }
+    /// Quorum-enforced membership only: `Some(epoch)` while the
+    /// transport is frozen because this node's segment lost its quorum
+    /// (the epoch is the last committed view it froze at). The default
+    /// `None` means the device never partitions. The ADI checks this at
+    /// operation entry and inside blocking waits so minority ranks fail
+    /// typed instead of hanging.
+    fn partitioned(&self) -> Option<u32> {
+        None
+    }
 }
 
 #[cfg(test)]
@@ -284,6 +309,15 @@ mod tests {
             assert!(e.to_string().contains(needle), "{e}");
             assert!(e.to_string().contains('3'), "{e}");
         }
+        let p = DeviceError::Partitioned { epoch: 5 };
+        assert!(p.to_string().contains("partitioned"), "{p}");
+        assert!(p.to_string().contains('5'), "{p}");
+    }
+
+    #[test]
+    #[should_panic(expected = "no single peer")]
+    fn partition_failures_name_no_peer() {
+        let _ = DeviceError::Partitioned { epoch: 1 }.peer();
     }
 
     #[test]

@@ -16,6 +16,7 @@ fn map_bbp_err(e: BbpError) -> DeviceError {
         BbpError::Corrupt { peer } => DeviceError::Corrupt { peer },
         BbpError::Timeout { peer, .. } => DeviceError::Timeout { peer },
         BbpError::PeerDown { peer } => DeviceError::PeerDown { peer },
+        BbpError::Partitioned { epoch } => DeviceError::Partitioned { epoch },
         other => panic!("BBP configuration error under the channel device: {other}"),
     }
 }
@@ -115,6 +116,10 @@ impl Device for BbpDevice {
 
     fn membership(&self) -> Option<(u32, u32)> {
         self.ep.membership_view().map(|v| (v.epoch, v.alive_mask))
+    }
+
+    fn partitioned(&self) -> Option<u32> {
+        self.ep.frozen_epoch()
     }
 }
 

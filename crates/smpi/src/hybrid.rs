@@ -180,6 +180,11 @@ impl Device for HybridDevice {
         // node dead on the billboard is dead, whatever Myrinet thinks.
         self.fast.membership()
     }
+
+    fn partitioned(&self) -> Option<u32> {
+        // Same reasoning: quorum lives on the billboard's detector.
+        self.fast.partitioned()
+    }
 }
 
 #[cfg(test)]

@@ -88,6 +88,17 @@ pub enum MpiError {
         /// The membership epoch at which the revocation was observed.
         epoch: u32,
     },
+    /// This rank's network segment lost its quorum: the transport froze
+    /// at its last committed membership epoch and every operation fails
+    /// until the partition heals and the majority readmits the node.
+    /// Only produced on worlds whose membership layer enforces quorum
+    /// ([`bbp::MembershipConfig::quorum`]). Unlike [`MpiError::PeerFailed`]
+    /// this is a *local* condition — no peer is known dead; this rank is
+    /// the one cut off.
+    Partitioned {
+        /// The membership epoch the transport froze at.
+        epoch: u32,
+    },
 }
 
 impl std::fmt::Display for MpiError {
@@ -107,6 +118,12 @@ impl std::fmt::Display for MpiError {
             MpiError::Revoked { epoch } => {
                 write!(f, "communicator revoked (membership epoch {epoch})")
             }
+            MpiError::Partitioned { epoch } => {
+                write!(
+                    f,
+                    "this rank is cut off from the quorum (frozen at membership epoch {epoch})"
+                )
+            }
         }
     }
 }
@@ -115,7 +132,10 @@ impl std::error::Error for MpiError {}
 
 impl From<DeviceError> for MpiError {
     fn from(e: DeviceError) -> Self {
-        MpiError::Transport(e)
+        match e {
+            DeviceError::Partitioned { epoch } => MpiError::Partitioned { epoch },
+            other => MpiError::Transport(other),
+        }
     }
 }
 
@@ -153,5 +173,9 @@ mod tests {
         assert_eq!(t, MpiError::Transport(DeviceError::PeerDown { peer: 2 }));
         assert!(t.to_string().contains("transport"));
         assert!(t.to_string().contains('2'));
+        let p = MpiError::from(DeviceError::Partitioned { epoch: 6 });
+        assert_eq!(p, MpiError::Partitioned { epoch: 6 });
+        assert!(p.to_string().contains("quorum"));
+        assert!(p.to_string().contains('6'));
     }
 }
