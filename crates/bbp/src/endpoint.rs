@@ -452,6 +452,25 @@ impl BbpEndpoint {
         s.targets.extend_from_slice(targets);
         s.trace = trace;
         self.inflight.push_back(slot);
+        {
+            // Send-slot residency and credit-ledger balance at the
+            // moment of posting. One relaxed load when telemetry is off.
+            let rec = ctx.obs();
+            if rec.telemetry_on() {
+                let now = ctx.now();
+                let rank = self.rank as u32;
+                rec.gauge(
+                    now,
+                    rank,
+                    "bbp.send_slots_in_use",
+                    self.inflight.len() as u64,
+                );
+                if !self.credit_avail.is_empty() {
+                    let bal: u64 = self.credit_avail.iter().map(|&c| c as u64).sum();
+                    rec.gauge(now, rank, "bbp.credit_balance", bal);
+                }
+            }
+        }
         self.write_descriptor(ctx, slot, &packed);
         self.pack_scratch = packed;
         ctx.obs().lifecycle(
@@ -1074,6 +1093,23 @@ impl BbpEndpoint {
         }
         ctx.obs()
             .span_exit(ctx.now(), self.rank as u32, Layer::Bbp, "gc");
+        if freed > 0 {
+            let rec = ctx.obs();
+            if rec.telemetry_on() {
+                let now = ctx.now();
+                let rank = self.rank as u32;
+                rec.gauge(
+                    now,
+                    rank,
+                    "bbp.send_slots_in_use",
+                    self.inflight.len() as u64,
+                );
+                if !self.credit_avail.is_empty() {
+                    let bal: u64 = self.credit_avail.iter().map(|&c| c as u64).sum();
+                    rec.gauge(now, rank, "bbp.credit_balance", bal);
+                }
+            }
+        }
         freed
     }
 
@@ -1787,11 +1823,16 @@ impl BbpEndpoint {
                 self.stats.partitions_detected += 1;
                 ctx.obs()
                     .count(ctx.now(), self.rank as u32, "bbp.partitions_detected", 1);
+                // Grade step series: 3 = Partitioned (self).
+                ctx.obs()
+                    .gauge(ctx.now(), self.rank as u32, "bbp.membership_grade", 3);
             } else if !cut_off && st.partitioned {
                 st.partitioned = false;
                 st.merge_pending = true;
                 self.scrub_for_merge(ctx);
                 scrubbed = true;
+                ctx.obs()
+                    .gauge(ctx.now(), self.rank as u32, "bbp.membership_grade", 0);
             }
             // Peers the ring reaches again after a cut. Two symmetric
             // obligations, both ordered before anything else this tick
@@ -1816,6 +1857,10 @@ impl BbpEndpoint {
                     }
                     if !scrubbed {
                         self.reset_pairwise(ctx, r);
+                    }
+                    if st.tracks[r].health != PeerHealth::Alive {
+                        ctx.obs()
+                            .gauge(ctx.now(), r as u32, "bbp.membership_grade", 0);
                     }
                     st.tracks[r].health = PeerHealth::Alive;
                     st.tracks[r].last_change = ctx.now();
@@ -1885,6 +1930,7 @@ impl BbpEndpoint {
                 peer_props[r] = (blk[4], blk[5]);
             }
             let t = &mut st.tracks[r];
+            let grade_before = t.health;
             if hb != t.hb || inc != t.incarnation {
                 if t.health == PeerHealth::Dead {
                     // A dead peer announcing a fresh incarnation is
@@ -1919,6 +1965,19 @@ impl BbpEndpoint {
                         .count(ctx.now(), self.rank as u32, "bbp.deaths", 1);
                     st.hists.death_ns.record(stale);
                 }
+            }
+            // Grade transitions as a step series keyed by the graded
+            // peer: 0 Alive, 1 Suspected, 2 Dead (3 = Partitioned,
+            // recorded at the freeze site). The health monitor's
+            // `step_rate_below` reads this as a flap detector.
+            if t.health != grade_before {
+                let grade = match t.health {
+                    PeerHealth::Alive => 0,
+                    PeerHealth::Suspected => 1,
+                    PeerHealth::Dead => 2,
+                };
+                ctx.obs()
+                    .gauge(ctx.now(), r as u32, "bbp.membership_grade", grade);
             }
         }
         // 3. Coordinator duty: the lowest rank we do not grade Dead. If

@@ -33,7 +33,10 @@
 //!   conservative parallel engine with `N` worker threads (implies
 //!   `--wallclock`; records per-shard utilization / lookahead-stall
 //!   breakdowns). `N > 1` additionally runs the 1-thread parallel
-//!   configuration and prints the measured speedup.
+//!   configuration and prints the measured speedup. One extra
+//!   instrumented pass samples the per-shard `par.*` gauge series into
+//!   the report's `timeseries` section — and, with `--trace PATH`, as
+//!   Chrome counter tracks in a sibling `<PATH>_par.json`.
 //! - `--min-speedup X`: fail unless the `N`-thread run achieves at
 //!   least `X`× the 1-thread parallel run's events/sec (requires
 //!   `--threads N` with `N > 1`; CI's perf-smoke matrix passes 2.0 on
@@ -50,9 +53,10 @@ use std::process::ExitCode;
 
 use bench::{
     bbp_one_way_us, bbp_pingpong_histogram, best_of, crossover, event_chain_stress,
-    mpi_bcast_events, mpi_layering_log_histogram, mpi_one_way_us, mpi_pingpong_histogram,
-    print_table, report, report_anchor, ring_bcast_stress, ring_bcast_stress_par, ring_pio_writers,
-    MpiNet, Series, WallclockRun,
+    mpi_bcast_events_telemetry, mpi_layering_log_histogram, mpi_one_way_us, mpi_pingpong_histogram,
+    print_table, quorum_partition_counters, report, report_anchor, ring_bcast_stress,
+    ring_bcast_stress_par, ring_bcast_stress_par_traced, ring_pio_writers, MpiNet, Series,
+    WallclockRun,
 };
 use obs::report::{Wallclock, PAPER_LAYERING_US};
 use smpi::CollectiveImpl;
@@ -399,10 +403,13 @@ fn main() -> ExitCode {
         None => println!("Fast Ethernet never overtakes SCRAMNet MPI in this sweep"),
     }
 
-    // Per-layer attribution of a 4-node MPI_Bcast.
+    // Per-layer attribution of a 4-node MPI_Bcast, with continuous
+    // telemetry: the same run feeds the report's `timeseries` section
+    // and the Chrome counter tracks.
     let bcast_len = if args.quick { 256 } else { 1024 };
-    let (bcast_us, events) =
-        mpi_bcast_events(MpiNet::Scramnet, bcast_len, 4, CollectiveImpl::Native);
+    let (bcast_us, events, series) =
+        mpi_bcast_events_telemetry(MpiNet::Scramnet, bcast_len, 4, CollectiveImpl::Native);
+    report::push_timeseries(&series);
     let breakdown = obs::attribute(&events);
     report::set_layers(&breakdown);
     println!("\n== MPI_Bcast {bcast_len} B on 4 nodes: {bcast_us:.1} µs, per-layer self time ==");
@@ -416,16 +423,31 @@ fn main() -> ExitCode {
         );
     }
     if let Some(path) = &args.trace {
-        let trace = obs::chrome_trace_json(&events);
+        let trace = obs::chrome_trace_json_with_telemetry(&events, &series);
         if let Err(e) = std::fs::write(path, trace) {
             eprintln!("failed to write {path}: {e}");
             return ExitCode::FAILURE;
         }
-        println!("Chrome trace written to {path}");
+        println!(
+            "Chrome trace written to {path} ({} gauge counter tracks)",
+            series.len()
+        );
     }
     if args.messages {
         print_waterfalls(&events, bcast_len);
     }
+
+    // Partition-tolerance counters (the schema-v6 `quorum` section): a
+    // short quorum scenario cutting off a 2-node minority.
+    let quorum = quorum_partition_counters(1);
+    println!("\n== quorum partition counters (5 nodes, minority {{0,1}} cut) ==");
+    for q in &quorum {
+        println!(
+            "  node {}: {} stale-epoch rejects, {} freezes, {} epoch bumps",
+            q.node, q.stale_epoch_rejects, q.freezes, q.epoch_bumps
+        );
+    }
+    report::push_quorum(quorum);
 
     // Per-repetition latency distributions.
     report::push_quantiles("bbp_pingpong_0B", &bbp_pingpong_histogram(0, 4));
@@ -451,6 +473,30 @@ fn main() -> ExitCode {
         };
         if let Err(e) = run_wallclock(args.quick, &baseline, args.threads, args.min_speedup) {
             wallclock_failure = Some(e);
+        }
+    }
+
+    // Instrumented parallel run: one extra pass with per-shard gauge
+    // sampling on (separate from the timed best-of runs, which stay
+    // uninstrumented). The `par.*` series land in the `timeseries`
+    // section, and with `--trace` also as Chrome counter tracks in a
+    // sibling `<trace>_par.json` (one track per shard).
+    if let Some(n) = args.threads {
+        let packets = if args.quick { 500 } else { 2_000 };
+        let (_run, par_series) = ring_bcast_stress_par_traced(16, packets, n);
+        report::push_timeseries(&par_series);
+        println!(
+            "  per-shard gauge sampling: {} series recorded at {n} threads",
+            par_series.len()
+        );
+        if let Some(path) = &args.trace {
+            let par_path = format!("{}_par.json", path.trim_end_matches(".json"));
+            let trace = obs::chrome_trace_json_with_telemetry(&[], &par_series);
+            if let Err(e) = std::fs::write(&par_path, trace) {
+                eprintln!("failed to write {par_path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            println!("Parallel-engine counter tracks written to {par_path}");
         }
     }
 

@@ -407,6 +407,75 @@ pub fn bbp_pingpong_histogram(len: usize, nodes: usize) -> Histogram {
     hist
 }
 
+/// A short quorum partition scenario feeding the report's `quorum`
+/// section (schema v6): 5 quorum-enforced nodes, a persistent cut
+/// isolating the minority {0, 1}. The majority {2, 3, 4} detects the
+/// loss, commits an exclusion view (epoch bumps), the minority freezes
+/// (partitions detected), and a cross-cut descriptor left in flight at
+/// the cut is fenced under its stale sender epoch. Returns the
+/// per-node partition-tolerance counters at cell end.
+pub fn quorum_partition_counters(seed: u64) -> Vec<obs::report::QuorumRow> {
+    let n = 5;
+    let onset = des::us(100 + (seed % 7) * 30);
+    let end = des::ms(3);
+
+    let plan = scramnet::FaultPlan::new(seed)
+        .at(onset)
+        .partition(1, 4, scramnet::fault::FOREVER);
+    let mut sim = Simulation::new();
+    let cluster = bbp::BbpCluster::with_hardware(
+        &sim.handle(),
+        BbpConfig::quorum_for_nodes(n),
+        scramnet::CostModel::default(),
+        plan.ring_config(),
+    );
+    plan.arm(cluster.ring());
+
+    let stats: Arc<Mutex<Vec<bbp::EndpointStats>>> =
+        Arc::new(Mutex::new(vec![bbp::EndpointStats::default(); n]));
+    for rank in 0..n {
+        let mut ep = cluster.endpoint(rank);
+        let stats = Arc::clone(&stats);
+        sim.spawn(format!("n{rank}"), move |ctx| {
+            let mut bait_sent = false;
+            while ctx.now() < end {
+                ep.membership_tick(ctx);
+                // The fencing bait: rank 0 posts toward the far side
+                // right before the cut; rank 2 only polls that channel
+                // once the exclusion epoch is committed, so the pending
+                // descriptor is consumed under a stale sender epoch.
+                if rank == 0 && !bait_sent && ctx.now() >= onset.saturating_sub(des::us(60)) {
+                    bait_sent = true;
+                    let _ = ep.send(ctx, 2, b"left in flight");
+                }
+                if rank == 2 && ctx.now() >= onset + des::us(800) {
+                    let _ = ep.try_recv(ctx, 0);
+                }
+                ctx.advance(des::us(10));
+            }
+            stats.lock()[rank] = ep.stats().clone();
+        });
+    }
+    let report = sim.run();
+    assert!(
+        report.is_clean(),
+        "quorum partition scenario deadlocked: {:?}",
+        report.deadlocked
+    );
+    let rows = stats
+        .lock()
+        .iter()
+        .enumerate()
+        .map(|(rank, s)| obs::report::QuorumRow {
+            node: rank as u32,
+            stale_epoch_rejects: s.stale_epoch_rejects,
+            freezes: s.partitions_detected,
+            epoch_bumps: s.epoch_bumps,
+        })
+        .collect();
+    rows
+}
+
 /// Per-repetition one-way MPI latencies at `len` bytes: one nanosecond
 /// sample per timed round trip, in repetition order.
 pub fn mpi_pingpong_samples(net: MpiNet, len: usize) -> Vec<Time> {
@@ -480,17 +549,33 @@ pub fn mpi_bcast_events(
     nodes: usize,
     coll: CollectiveImpl,
 ) -> (f64, Vec<obs::Event>) {
+    let (us, events, _) = mpi_bcast_events_telemetry(net, len, nodes, coll);
+    (us, events)
+}
+
+/// [`mpi_bcast_events`] with continuous telemetry: the timed broadcast
+/// also samples every layer's gauge series (FIFO backlogs, send-slot
+/// residency, unexpected-queue lengths, …), returned alongside the
+/// span events for counter tracks or the report's `timeseries` section.
+pub fn mpi_bcast_events_telemetry(
+    net: MpiNet,
+    len: usize,
+    nodes: usize,
+    coll: CollectiveImpl,
+) -> (f64, Vec<obs::Event>, Vec<obs::SeriesSnapshot>) {
     let mut sim = Simulation::new();
     let world = net.world(&sim, nodes, coll);
     let align: Time = des::ms(5);
     let last = Arc::new(Mutex::new(0u64));
     // Arm the recorder only once warm-up has settled — every rank is
     // parked in `wait_until(align)` long before this fires — so the
-    // trace holds exactly the timed broadcast.
+    // trace holds exactly the timed broadcast. The telemetry gate arms
+    // at the same instant (enabling clears any warm-up series).
     let rec = sim.recorder_arc();
     sim.spawn("obs-arm", move |ctx| {
         ctx.wait_until(align - des::us(1));
         rec.enable();
+        rec.telemetry().enable();
     });
     for rank in 0..nodes {
         let mut mpi = world.proc(rank);
@@ -517,8 +602,10 @@ pub fn mpi_bcast_events(
         report.deadlocked
     );
     sim.recorder().disable();
+    let series = sim.recorder().telemetry().snapshot();
+    sim.recorder().telemetry().disable();
     let t = *last.lock();
-    ((t - align).as_us(), sim.recorder().take_events())
+    ((t - align).as_us(), sim.recorder().take_events(), series)
 }
 
 // ----------------------------------------------------------------------
@@ -643,6 +730,32 @@ pub fn ring_bcast_stress_par(
     packets_per_node: usize,
     threads: usize,
 ) -> WallclockRun {
+    ring_bcast_stress_par_core(nodes, packets_per_node, threads, None).0
+}
+
+/// [`ring_bcast_stress_par`] with continuous telemetry: the run samples
+/// the per-shard `par.*` gauge series (committed-clock skew, calendar
+/// depth, mailbox depth, spill backlog) and returns them alongside the
+/// wall-clock result, ready for [`obs::chrome_trace_json_with_telemetry`]
+/// counter tracks or the report's `timeseries` section. Sampling
+/// contends on the telemetry registry, so use the plain variant for
+/// speedup measurements.
+pub fn ring_bcast_stress_par_traced(
+    nodes: usize,
+    packets_per_node: usize,
+    threads: usize,
+) -> (WallclockRun, Vec<obs::SeriesSnapshot>) {
+    let rec = Arc::new(obs::Recorder::new());
+    rec.telemetry().enable();
+    ring_bcast_stress_par_core(nodes, packets_per_node, threads, Some(rec))
+}
+
+fn ring_bcast_stress_par_core(
+    nodes: usize,
+    packets_per_node: usize,
+    threads: usize,
+    rec: Option<Arc<obs::Recorder>>,
+) -> (WallclockRun, Vec<obs::SeriesSnapshot>) {
     let mut ring = scramnet::ParRing::new(
         nodes,
         8192,
@@ -664,10 +777,14 @@ pub fn ring_bcast_stress_par(
             );
         }
     }
+    if let Some(rec) = &rec {
+        ring.set_recorder(Arc::clone(rec));
+    }
     let t0 = std::time::Instant::now();
     let report = ring.run(threads);
     let wall = t0.elapsed();
-    WallclockRun {
+    let series = rec.map_or_else(Vec::new, |r| r.telemetry().snapshot());
+    let run = WallclockRun {
         scenario: format!("ring_bcast_stress_{nodes}node_t{threads}"),
         events: report.dispatches,
         sim_ns: report.end_time,
@@ -688,7 +805,8 @@ pub fn ring_bcast_stress_par(
                 peak_queue_depth: s.peak_queue_depth as u64,
             })
             .collect(),
-    }
+    };
+    (run, series)
 }
 
 /// Run a wall-clock scenario `reps` times and keep the fastest run by

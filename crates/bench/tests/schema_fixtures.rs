@@ -1,9 +1,10 @@
 //! Committed report fixtures, one per accepted schema version. These
 //! are real generator outputs (`rpc-load --quick` downgraded for v2–v4,
-//! `workload-campaign --quick` for v5), so `bench-report --check` /
-//! `validate_json` keep accepting every historical baseline a CI
-//! artifact store may still hold. If a schema bump breaks one of these,
-//! that is a compatibility regression, not a fixture to regenerate.
+//! `workload-campaign --quick` for v5, `bench-report --quick --threads 2`
+//! for v6), so `bench-report --check` / `validate_json` keep accepting
+//! every historical baseline a CI artifact store may still hold. If a
+//! schema bump breaks one of these, that is a compatibility regression,
+//! not a fixture to regenerate.
 
 use obs::report::{validate_json, MIN_SCHEMA_VERSION, SCHEMA_VERSION};
 
@@ -21,7 +22,7 @@ fn every_supported_schema_version_has_a_validating_fixture() {
         MIN_SCHEMA_VERSION, 2,
         "update the fixture set on a floor bump"
     );
-    assert_eq!(SCHEMA_VERSION, 5, "add a fixture when the schema grows");
+    assert_eq!(SCHEMA_VERSION, 6, "add a fixture when the schema grows");
     for version in MIN_SCHEMA_VERSION..=SCHEMA_VERSION {
         let doc = fixture(version);
         assert!(
@@ -43,11 +44,33 @@ fn the_v5_fixture_exercises_the_capacity_section() {
 }
 
 #[test]
+fn the_v6_fixture_exercises_the_timeseries_and_quorum_sections() {
+    let doc = fixture(6);
+    assert!(doc.contains("\"timeseries\""));
+    assert!(doc.contains("\"peak_at_us\""));
+    assert!(doc.contains("\"quorum\""));
+    assert!(doc.contains("\"stale_epoch_rejects\""));
+    assert!(doc.contains("\"freezes\""));
+    assert!(doc.contains("\"epoch_bumps\""));
+}
+
+#[test]
 fn pre_v5_fixtures_have_no_capacity_section() {
     for version in [2, 3, 4] {
         assert!(
             !fixture(version).contains("capacity"),
             "a v{version} writer predates the capacity section"
+        );
+    }
+}
+
+#[test]
+fn pre_v6_fixtures_have_no_timeseries_or_quorum_sections() {
+    for version in [2, 3, 4, 5] {
+        let doc = fixture(version);
+        assert!(
+            !doc.contains("\"timeseries\"") && !doc.contains("\"quorum\""),
+            "a v{version} writer predates the telemetry sections"
         );
     }
 }

@@ -270,6 +270,9 @@ struct Shard<S> {
     /// event box itself).
     outgoing: Vec<(u32, Entry<S>)>,
     stats: ShardStats,
+    /// Telemetry sink (see [`ParSim::set_recorder`]): busy passes sample
+    /// per-shard clock skew and queue/spill depths as gauge series.
+    rec: Option<Arc<obs::Recorder>>,
 }
 
 /// Execution context handed to every shard event: the shard's state
@@ -424,6 +427,7 @@ impl<S: Send> ParSim<S> {
                 out_meta: Vec::new(),
                 outgoing: Vec::new(),
                 stats: ShardStats::default(),
+                rec: None,
             })
             .collect();
         ParSim {
@@ -444,6 +448,20 @@ impl<S: Send> ParSim<S> {
     /// Number of shards.
     pub fn shard_count(&self) -> usize {
         self.shards.len()
+    }
+
+    /// Attach a telemetry sink: when the recorder's telemetry gate is
+    /// on, every busy scheduling pass samples the shard's committed-
+    /// clock skew (`par.clock_skew_ns` — distance from the conservative
+    /// safe bound), local calendar depth (`par.queue_depth`), and
+    /// sender-side spill backlog (`par.spill_depth`) as gauge series
+    /// keyed by shard id. Worker threads sample concurrently, so the
+    /// series are diagnostic (never golden-gated); with the gate off
+    /// the cost is one relaxed load per pass.
+    pub fn set_recorder(&mut self, rec: Arc<obs::Recorder>) {
+        for sh in &mut self.shards {
+            sh.rec = Some(Arc::clone(&rec));
+        }
     }
 
     /// Borrow a shard's state (between runs; test observability).
@@ -718,8 +736,10 @@ fn shard_pass<S>(sh: &mut Shard<S>, pending: &AtomicU64) -> bool {
         .min()
         .unwrap_or(Time::MAX);
     // 2. Drain in-link mailboxes into the local calendar.
+    let mut pass_mbox = 0usize;
     for l in &sh.inbox {
         let depth = l.mbox.depth();
+        pass_mbox = pass_mbox.max(depth);
         if depth > sh.stats.max_mailbox_depth {
             sh.stats.max_mailbox_depth = depth;
         }
@@ -763,6 +783,25 @@ fn shard_pass<S>(sh: &mut Shard<S>, pending: &AtomicU64) -> bool {
     if executed > 0 {
         sh.stats.busy_passes += 1;
         progress = true;
+        // Telemetry: busy passes sample shard health (stalled passes
+        // spin too fast to sample usefully). One relaxed load when off.
+        if let Some(rec) = &sh.rec {
+            if rec.telemetry_on() {
+                let t = sh.committed;
+                if safe != Time::MAX {
+                    rec.gauge(
+                        t,
+                        sh.id,
+                        "par.clock_skew_ns",
+                        safe.saturating_sub(sh.committed),
+                    );
+                }
+                rec.gauge(t, sh.id, "par.queue_depth", sh.queue.len() as u64);
+                rec.gauge(t, sh.id, "par.mailbox_depth", pass_mbox as u64);
+                let spill: usize = sh.out.iter().map(|l| l.spill.len()).sum();
+                rec.gauge(t, sh.id, "par.spill_depth", spill as u64);
+            }
+        }
     } else if sh.queue.peek_time().is_some() {
         sh.stats.stall_passes += 1;
     }

@@ -6,7 +6,8 @@
 use std::fmt::Write as _;
 
 use crate::event::{Event, Layer, TraceKind, NO_NODE};
-use crate::json::write_string;
+use crate::json::{write_f64, write_string};
+use crate::timeseries::SeriesSnapshot;
 use crate::Time;
 
 /// `pid` used for events not tied to a node (`NO_NODE`): Chrome accepts
@@ -35,7 +36,17 @@ fn write_ts(out: &mut String, t: Time) {
 /// entries (yield/resume/event) are omitted — they narrate the scheduler,
 /// not the workload, and triple the file size.
 pub fn chrome_trace_json(events: &[Event]) -> String {
-    let mut out = String::with_capacity(events.len() * 96 + 256);
+    chrome_trace_json_with_telemetry(events, &[])
+}
+
+/// [`chrome_trace_json`] plus gauge time series rendered as `C`
+/// (counter) events on per-node tracks: one counter event per retained
+/// bucket, carrying the bucket's last value at its end time. With an
+/// empty `series` slice the output is byte-identical to
+/// [`chrome_trace_json`] — telemetry left disabled never perturbs a
+/// golden trace.
+pub fn chrome_trace_json_with_telemetry(events: &[Event], series: &[SeriesSnapshot]) -> String {
+    let mut out = String::with_capacity(events.len() * 96 + series.len() * 2048 + 256);
     out.push_str("{\"traceEvents\":[");
     let mut first = true;
 
@@ -56,6 +67,8 @@ pub fn chrome_trace_json(events: &[Event]) -> String {
     }
     tracks.sort_unstable();
     let mut pids: Vec<i64> = tracks.iter().map(|(p, _)| *p).collect();
+    pids.extend(series.iter().map(|s| pid_of(s.node)));
+    pids.sort_unstable();
     pids.dedup();
     for pid in &pids {
         push_sep(&mut out, &mut first);
@@ -191,6 +204,23 @@ pub fn chrome_trace_json(events: &[Event]) -> String {
             Event::Sched(_) => {}
         }
     }
+
+    // Gauge series: one `C` event per retained bucket, plotted at the
+    // bucket's end time with its last value. Counter tracks are keyed
+    // by (pid, name), so each gauge draws per node.
+    for s in series {
+        for b in &s.buckets {
+            push_sep(&mut out, &mut first);
+            out.push_str("{\"name\":");
+            write_string(&mut out, s.name);
+            out.push_str(",\"ph\":\"C\",\"ts\":");
+            write_ts(&mut out, b.t1);
+            let _ = write!(out, ",\"pid\":{},\"args\":{{\"value\":", pid_of(s.node));
+            write_f64(&mut out, b.last);
+            out.push_str("}}");
+        }
+    }
+
     out.push_str("],\"displayTimeUnit\":\"ms\"}");
     out
 }
@@ -387,6 +417,50 @@ mod tests {
         assert_eq!(
             dispatch.get("tid").unwrap().as_f64(),
             Some(Layer::Rpc.index() as f64)
+        );
+    }
+
+    #[test]
+    fn telemetry_series_render_as_counter_tracks() {
+        use crate::timeseries::Telemetry;
+        let t = Telemetry::new();
+        t.enable();
+        t.observe(1_000, 2, "rpc.buffers_in_use", 3.0);
+        t.observe(5_000, 2, "rpc.buffers_in_use", 7.0);
+        let series = t.snapshot();
+        let events = [Event::SpanEnter {
+            time: 0,
+            node: 0,
+            layer: Layer::Mpi,
+            name: "send",
+        }];
+        let text = chrome_trace_json_with_telemetry(&events, &series);
+        let doc = json::parse(&text).expect("telemetry export must be valid JSON");
+        let items = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        let counters: Vec<&json::Json> = items
+            .iter()
+            .filter(|e| e.get("ph").and_then(json::Json::as_str) == Some("C"))
+            .collect();
+        assert_eq!(counters.len(), 2, "one C event per bucket");
+        assert_eq!(counters[0].get("pid").unwrap().as_f64(), Some(2.0));
+        assert_eq!(
+            counters[1]
+                .get("args")
+                .unwrap()
+                .get("value")
+                .unwrap()
+                .as_f64(),
+            Some(7.0)
+        );
+        // The telemetry-only node still gets a named process track.
+        assert!(items.iter().any(|e| {
+            e.get("ph").and_then(json::Json::as_str) == Some("M")
+                && e.get("pid").and_then(json::Json::as_f64) == Some(2.0)
+        }));
+        // An empty series slice is byte-identical to the plain exporter.
+        assert_eq!(
+            chrome_trace_json_with_telemetry(&events, &[]),
+            chrome_trace_json(&events)
         );
     }
 

@@ -27,6 +27,12 @@
 //!   waterfall; the Chrome exporter renders it as `s`/`t`/`f` flow
 //!   events.
 //!
+//! - **Gauges** ([`timeseries::Telemetry`]) sample load-bearing state —
+//!   queue residencies, credit balances, shard clock skew, membership
+//!   grades — into fixed-capacity downsampling time series on their own
+//!   enable gate, and the [`health::HealthSpec`] engine turns campaign
+//!   invariants over those series into declarative rules.
+//!
 //! The recorder is **zero-overhead when disabled**: every recording call
 //! is one relaxed atomic load, no locks and no allocations (verified by
 //! `tests/obs_zero_cost.rs`). Two always-on facilities are budgeted just
@@ -51,18 +57,22 @@ mod event;
 mod recorder;
 
 pub mod flight;
+pub mod health;
 pub mod hist;
 pub mod json;
 pub mod lifecycle;
 pub mod report;
+pub mod timeseries;
 
 pub use attr::{attribute, message_waterfalls, LayerBreakdown, MessageWaterfall, WaterfallStep};
-pub use chrome::chrome_trace_json;
+pub use chrome::{chrome_trace_json, chrome_trace_json_with_telemetry};
 pub use event::{Event, Layer, TraceEntry, TraceKind, NO_NODE};
 pub use flight::{FlightGuard, FlightRecorder};
+pub use health::{HealthSpec, Violation};
 pub use hist::LogHistogram;
 pub use lifecycle::Stage;
 pub use recorder::Recorder;
+pub use timeseries::{SeriesSnapshot, Telemetry};
 
 /// Virtual time in integer nanoseconds (identical to `des::Time`).
 pub type Time = u64;

@@ -7,6 +7,7 @@ use std::sync::{Mutex, PoisonError};
 use crate::event::{Event, Layer, TraceEntry};
 use crate::flight::FlightRecorder;
 use crate::lifecycle::Stage;
+use crate::timeseries::Telemetry;
 use crate::Time;
 
 /// Per-node current-trace slots (indexed `node % CURRENT_SLOTS`).
@@ -41,6 +42,10 @@ pub struct Recorder {
     msg_ids: Mutex<Vec<((u32, u32), u64)>>,
     /// The always-on postmortem ring (see [`crate::flight`]).
     flight: FlightRecorder,
+    /// Gauge time series behind their own enable gate (see
+    /// [`crate::timeseries`]): a determinism trace can run with
+    /// telemetry off and stay byte-identical.
+    telemetry: Telemetry,
 }
 
 impl Recorder {
@@ -54,6 +59,7 @@ impl Recorder {
             current_rx: std::array::from_fn(|_| AtomicU64::new(0)),
             msg_ids: Mutex::new(Vec::new()),
             flight: FlightRecorder::new(),
+            telemetry: Telemetry::new(),
         }
     }
 
@@ -255,6 +261,38 @@ impl Recorder {
         &self.flight
     }
 
+    // ------------------------------------------------------------------
+    // Gauge time series
+    // ------------------------------------------------------------------
+
+    /// The gauge registry (enable/snapshot; see [`crate::timeseries`]).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
+    /// Whether gauge sampling is on — **independent of
+    /// [`Recorder::is_enabled`]**, so determinism traces never pick up
+    /// telemetry noise. One relaxed load; gate any expensive value
+    /// computation on this.
+    #[inline(always)]
+    pub fn telemetry_on(&self) -> bool {
+        self.telemetry.is_enabled()
+    }
+
+    /// Sample gauge `name` on `node`: its absolute value at sim time
+    /// `time`. One relaxed load when telemetry is off; alloc-free in
+    /// steady state when on.
+    #[inline]
+    pub fn gauge(&self, time: Time, node: u32, name: &'static str, value: u64) {
+        self.telemetry.observe(time, node, name, value as f64);
+    }
+
+    /// [`Recorder::gauge`] for fractional values (utilizations, ratios).
+    #[inline]
+    pub fn gauge_f(&self, time: Time, node: u32, name: &'static str, value: f64) {
+        self.telemetry.observe(time, node, name, value);
+    }
+
     /// Number of events currently in the log.
     pub fn len(&self) -> usize {
         self.lock().len()
@@ -420,6 +458,25 @@ mod tests {
         assert_eq!(r.lookup_msg(1, 7), 0);
         r.enable();
         assert_eq!(r.lookup_msg(0, 7), 0, "enable() clears the map");
+    }
+
+    #[test]
+    fn telemetry_gate_is_independent_of_the_event_log_gate() {
+        let r = Recorder::new();
+        r.enable();
+        r.gauge(1_000, 0, "q.depth", 3);
+        assert_eq!(
+            r.telemetry().series_count(),
+            0,
+            "event-log enable must not turn gauges on"
+        );
+        assert!(r.is_empty(), "gauges never touch the event log");
+        r.telemetry().enable();
+        r.disable();
+        r.gauge(2_000, 0, "q.depth", 5);
+        r.gauge_f(3_000, 0, "link.util", 0.75);
+        assert_eq!(r.telemetry().series_count(), 2);
+        assert!(r.is_empty());
     }
 
     #[test]

@@ -29,7 +29,14 @@ use crate::json::{self, write_f64, write_string, Json};
 /// load-multiplier ladder per seed (`offered_hz`, `completed_hz`,
 /// `p999_us`, `sheds_per_sec`, `violations`, and what limited the
 /// cell). v2–v4 documents keep validating under their own rules.
-pub const SCHEMA_VERSION: u32 = 5;
+///
+/// v6 added the `timeseries` section — one row per continuously
+/// sampled gauge (per-metric `min`/`mean`/`max`/`last` plus the sim
+/// time the peak was first reached) — and the `quorum` section
+/// surfacing the partition-tolerance counters per node
+/// (`stale_epoch_rejects`, `freezes`, `epoch_bumps`). v2–v5 documents
+/// keep validating under their own rules.
+pub const SCHEMA_VERSION: u32 = 6;
 
 /// Oldest schema version [`validate_json`] still accepts.
 pub const MIN_SCHEMA_VERSION: u32 = 2;
@@ -253,6 +260,57 @@ pub struct CapacityCell {
     pub limited_by: String,
 }
 
+/// Summary row of one continuously sampled gauge series (schema v6).
+#[derive(Debug, Clone)]
+pub struct TimeseriesRow {
+    /// Gauge name (dot-scoped by layer, e.g. `rpc.buffers_in_use`).
+    pub name: String,
+    /// Owning node (or shard id for `par.*` gauges).
+    pub node: u32,
+    /// Observations folded into the series.
+    pub n: u64,
+    /// Exact series minimum.
+    pub min: f64,
+    /// Exact series mean.
+    pub mean: f64,
+    /// Exact series maximum.
+    pub max: f64,
+    /// Final observed value.
+    pub last: f64,
+    /// Sim time the maximum was first reached, µs.
+    pub peak_at_us: f64,
+}
+
+impl TimeseriesRow {
+    /// Summarize a telemetry snapshot into its report row.
+    pub fn from_snapshot(s: &crate::timeseries::SeriesSnapshot) -> Self {
+        TimeseriesRow {
+            name: s.name.to_string(),
+            node: s.node,
+            n: s.observations,
+            min: s.min,
+            mean: s.mean,
+            max: s.max,
+            last: s.last,
+            peak_at_us: s.peak_at as f64 / 1_000.0,
+        }
+    }
+}
+
+/// Per-node partition-tolerance counters (schema v6): how the quorum
+/// machinery behaved during the report's partition scenario.
+#[derive(Debug, Clone)]
+pub struct QuorumRow {
+    /// Node rank.
+    pub node: u32,
+    /// Sends/acks rejected for carrying a stale epoch.
+    pub stale_epoch_rejects: u64,
+    /// Times the node froze on losing quorum (partitions detected).
+    pub freezes: u64,
+    /// Epoch bumps observed (view changes joined).
+    pub epoch_bumps: u64,
+}
+
 /// One scenario's capacity result at one message size (schema v5).
 #[derive(Debug, Clone)]
 pub struct CapacityScenario {
@@ -295,6 +353,10 @@ pub struct BenchReport {
     pub wallclock: Vec<Wallclock>,
     /// Workload-campaign capacity results (schema v5).
     pub capacity: Vec<CapacityScenario>,
+    /// Continuous-gauge summaries (schema v6).
+    pub timeseries: Vec<TimeseriesRow>,
+    /// Per-node partition-tolerance counters (schema v6).
+    pub quorum: Vec<QuorumRow>,
 }
 
 impl BenchReport {
@@ -478,6 +540,41 @@ impl BenchReport {
             }
             o.push_str("]}");
         }
+        o.push_str("\n  ],\n  \"timeseries\": [");
+        for (i, t) in self.timeseries.iter().enumerate() {
+            o.push_str(if i == 0 { "\n" } else { ",\n" });
+            o.push_str("    {\"name\": ");
+            write_string(&mut o, &t.name);
+            let _ = std::fmt::Write::write_fmt(
+                &mut o,
+                format_args!(", \"node\": {}, \"n\": {}", t.node, t.n),
+            );
+            for (key, v) in [
+                ("min", t.min),
+                ("mean", t.mean),
+                ("max", t.max),
+                ("last", t.last),
+                ("peak_at_us", t.peak_at_us),
+            ] {
+                o.push_str(", \"");
+                o.push_str(key);
+                o.push_str("\": ");
+                write_f64(&mut o, v);
+            }
+            o.push('}');
+        }
+        o.push_str("\n  ],\n  \"quorum\": [");
+        for (i, q) in self.quorum.iter().enumerate() {
+            o.push_str(if i == 0 { "\n" } else { ",\n" });
+            let _ = std::fmt::Write::write_fmt(
+                &mut o,
+                format_args!(
+                    "    {{\"node\": {}, \"stale_epoch_rejects\": {}, \
+                     \"freezes\": {}, \"epoch_bumps\": {}}}",
+                    q.node, q.stale_epoch_rejects, q.freezes, q.epoch_bumps
+                ),
+            );
+        }
         o.push_str("\n  ],\n  \"wallclock\": [");
         for (i, w) in self.wallclock.iter().enumerate() {
             o.push_str(if i == 0 { "\n" } else { ",\n" });
@@ -570,6 +667,7 @@ pub fn validate_json(text: &str) -> Result<(), String> {
     let v3 = version >= 3.0;
     let v4 = version >= 4.0;
     let v5 = version >= 5.0;
+    let v6 = version >= 6.0;
     require_str(&doc, "generated_by", "root")?;
 
     for (i, a) in require_arr(&doc, "anchors")?.iter().enumerate() {
@@ -695,6 +793,21 @@ pub fn validate_json(text: &str) -> Result<(), String> {
                 if !matches!(lim, "none" | "latency" | "shed" | "violation") {
                     return Err(format!("{cctx}: unknown limited_by '{lim}'"));
                 }
+            }
+        }
+    }
+    if v6 {
+        for (i, t) in require_arr(&doc, "timeseries")?.iter().enumerate() {
+            let ctx = format!("timeseries[{i}]");
+            require_str(t, "name", &ctx)?;
+            for key in ["node", "n", "min", "mean", "max", "last", "peak_at_us"] {
+                require_num(t, key, &ctx)?;
+            }
+        }
+        for (i, q) in require_arr(&doc, "quorum")?.iter().enumerate() {
+            let ctx = format!("quorum[{i}]");
+            for key in ["node", "stale_epoch_rejects", "freezes", "epoch_bumps"] {
+                require_num(q, key, &ctx)?;
             }
         }
     }
@@ -842,6 +955,22 @@ mod tests {
                     },
                 ],
             }],
+            timeseries: vec![TimeseriesRow {
+                name: "rpc.buffers_in_use".to_string(),
+                node: 0,
+                n: 1_200,
+                min: 0.0,
+                mean: 3.4,
+                max: 16.0,
+                last: 0.0,
+                peak_at_us: 812.5,
+            }],
+            quorum: vec![QuorumRow {
+                node: 2,
+                stale_epoch_rejects: 3,
+                freezes: 1,
+                epoch_bumps: 2,
+            }],
         }
     }
 
@@ -879,6 +1008,8 @@ mod tests {
         let mut r = sample();
         r.messages.clear();
         r.capacity.clear();
+        r.timeseries.clear();
+        r.quorum.clear();
         let text = r
             .to_json()
             .replace(
@@ -888,11 +1019,14 @@ mod tests {
             .replace(", \"p999_us\": 45.05", "")
             .replace("\"messages\": [\n  ],\n  ", "")
             .replace("\"capacity\": [\n  ],\n  ", "")
+            .replace("\"timeseries\": [\n  ],\n  ", "")
+            .replace("\"quorum\": [\n  ],\n  ", "")
             .replace(", \"threads\": 1, \"shards\": []", "");
         assert!(!text.contains("p999_us"));
         assert!(!text.contains("messages"));
         assert!(!text.contains("threads"));
         assert!(!text.contains("capacity"));
+        assert!(!text.contains("timeseries"));
         validate_json(&text).unwrap();
     }
 
@@ -902,6 +1036,8 @@ mod tests {
         // wallclock fields and the capacity section.
         let mut r = sample();
         r.capacity.clear();
+        r.timeseries.clear();
+        r.quorum.clear();
         let text = r
             .to_json()
             .replace(
@@ -909,6 +1045,8 @@ mod tests {
                 "\"schema_version\": 3",
             )
             .replace("\"capacity\": [\n  ],\n  ", "")
+            .replace("\"timeseries\": [\n  ],\n  ", "")
+            .replace("\"quorum\": [\n  ],\n  ", "")
             .replace(", \"threads\": 1, \"shards\": []", "");
         assert!(!text.contains("threads"));
         validate_json(&text).unwrap();
@@ -919,15 +1057,77 @@ mod tests {
         // A committed v4 baseline predates the capacity section.
         let mut r = sample();
         r.capacity.clear();
+        r.timeseries.clear();
+        r.quorum.clear();
         let text = r
             .to_json()
             .replace(
                 &format!("\"schema_version\": {SCHEMA_VERSION}"),
                 "\"schema_version\": 4",
             )
-            .replace("\"capacity\": [\n  ],\n  ", "");
+            .replace("\"capacity\": [\n  ],\n  ", "")
+            .replace("\"timeseries\": [\n  ],\n  ", "")
+            .replace("\"quorum\": [\n  ],\n  ", "");
         assert!(!text.contains("capacity"));
         validate_json(&text).unwrap();
+    }
+
+    #[test]
+    fn v5_documents_still_validate() {
+        // A committed v5 baseline predates the timeseries and quorum
+        // sections.
+        let mut r = sample();
+        r.timeseries.clear();
+        r.quorum.clear();
+        let text = r
+            .to_json()
+            .replace(
+                &format!("\"schema_version\": {SCHEMA_VERSION}"),
+                "\"schema_version\": 5",
+            )
+            .replace("\"timeseries\": [\n  ],\n  ", "")
+            .replace("\"quorum\": [\n  ],\n  ", "");
+        assert!(!text.contains("timeseries"));
+        assert!(!text.contains("quorum"));
+        validate_json(&text).unwrap();
+    }
+
+    #[test]
+    fn v6_requires_timeseries_and_quorum() {
+        let no_ts = sample()
+            .to_json()
+            .replace("\"timeseries\"", "\"timezeries\"");
+        assert!(validate_json(&no_ts).unwrap_err().contains("timeseries"));
+        let no_quorum = sample().to_json().replace("\"quorum\"", "\"kworum\"");
+        assert!(validate_json(&no_quorum).unwrap_err().contains("quorum"));
+        let no_peak = sample()
+            .to_json()
+            .replace("\"peak_at_us\"", "\"peak_at_uz\"");
+        assert!(validate_json(&no_peak).unwrap_err().contains("peak_at_us"));
+        let no_rejects = sample()
+            .to_json()
+            .replace("\"stale_epoch_rejects\"", "\"stale_epoch_rejectz\"");
+        assert!(validate_json(&no_rejects)
+            .unwrap_err()
+            .contains("stale_epoch_rejects"));
+    }
+
+    #[test]
+    fn timeseries_row_summarizes_a_snapshot() {
+        let tel = crate::timeseries::Telemetry::new();
+        tel.enable();
+        tel.observe(1_000, 3, "m", 2.0);
+        tel.observe(5_000, 3, "m", 8.0);
+        tel.observe(9_000, 3, "m", 5.0);
+        let snaps = tel.snapshot();
+        let row = TimeseriesRow::from_snapshot(&snaps[0]);
+        assert_eq!(row.name, "m");
+        assert_eq!(row.node, 3);
+        assert_eq!(row.n, 3);
+        assert!((row.min - 2.0).abs() < 1e-12);
+        assert!((row.max - 8.0).abs() < 1e-12);
+        assert!((row.last - 5.0).abs() < 1e-12);
+        assert!((row.peak_at_us - 5.0).abs() < 1e-12);
     }
 
     #[test]

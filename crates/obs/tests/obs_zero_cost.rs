@@ -2,27 +2,36 @@
 //! recorded state, so leaving instrumentation compiled into every layer
 //! cannot perturb a simulation that never enables it.
 //!
-//! Allocation counting uses a wrapping global allocator, so everything
-//! runs inside ONE test function — a sibling test on another harness
-//! thread would pollute the counter.
+//! Allocation counting is per-thread (a const-initialized thread-local
+//! bumped by the wrapping global allocator), so harness threads — the
+//! libtest main thread buffering output, timers — cannot pollute the
+//! count. Everything still runs inside ONE test function: the counter
+//! only sees the thread it runs on.
 
 use std::alloc::{GlobalAlloc, Layout, System};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::cell::Cell;
 
 use obs::{Layer, Recorder, Stage};
 
 struct CountingAlloc;
 
-static ALLOCS: AtomicU64 = AtomicU64::new(0);
+std::thread_local! {
+    static THREAD_ALLOCS: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Allocations observed on the calling thread.
+fn allocs() -> u64 {
+    THREAD_ALLOCS.with(Cell::get)
+}
 
 unsafe impl GlobalAlloc for CountingAlloc {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        ALLOCS.fetch_add(1, Ordering::SeqCst);
+        let _ = THREAD_ALLOCS.try_with(|c| c.set(c.get() + 1));
         System.alloc(layout)
     }
 
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        ALLOCS.fetch_add(1, Ordering::SeqCst);
+        let _ = THREAD_ALLOCS.try_with(|c| c.set(c.get() + 1));
         System.realloc(ptr, layout, new_size)
     }
 
@@ -39,13 +48,13 @@ fn disabled_recorder_never_allocates() {
     let rec = Recorder::new();
     assert!(!rec.is_enabled());
 
-    let before = ALLOCS.load(Ordering::SeqCst);
+    let before = allocs();
     for t in 0..10_000u64 {
         rec.span_enter(t, 0, Layer::Mpi, "send");
         rec.count(t, 1, "ring.packets", 3);
         rec.span_exit(t + 1, 0, Layer::Mpi, "send");
     }
-    let after = ALLOCS.load(Ordering::SeqCst);
+    let after = allocs();
 
     assert_eq!(
         after - before,
@@ -63,7 +72,7 @@ fn disabled_recorder_never_allocates() {
     // preallocated flight ring; `lifecycle_hot` (the per-hop variant)
     // must be a complete no-op.
     let hot_before = rec.flight().recorded();
-    let before = ALLOCS.load(Ordering::SeqCst);
+    let before = allocs();
     for t in 0..10_000u64 {
         let id = rec.mint_trace_id(3);
         rec.set_current_trace(3, id);
@@ -73,7 +82,7 @@ fn disabled_recorder_never_allocates() {
         rec.lifecycle(t, 3, id, Stage::SendEnter, 64);
         rec.lifecycle_hot(t, 3, id, Stage::RingHop, 1);
     }
-    let after = ALLOCS.load(Ordering::SeqCst);
+    let after = allocs();
 
     assert_eq!(
         after - before,
@@ -91,14 +100,66 @@ fn disabled_recorder_never_allocates() {
          `lifecycle_hot` records nothing while disabled"
     );
 
+    // Continuous telemetry: a disabled gauge site is one relaxed load —
+    // no allocation, no registration. Telemetry has its own gate,
+    // separate from the event-log gate, so golden determinism traces
+    // stay byte-identical with gauges compiled in but off.
+    let before = allocs();
+    for t in 0..10_000u64 {
+        rec.gauge(t, 0, "ring.fifo_backlog_ns", t % 64);
+        rec.gauge_f(t, 1, "bbp.credit_balance", 32.0);
+    }
+    let after = allocs();
+    assert_eq!(
+        after - before,
+        0,
+        "disabled gauge sampling must not allocate"
+    );
+    assert_eq!(
+        rec.telemetry().series_count(),
+        0,
+        "disabled gauges must register nothing"
+    );
+
+    // Enabled telemetry: registration allocates once per (gauge, node);
+    // steady-state sampling afterwards is allocation-free even across
+    // bucket turnover and repeated pairwise downsampling — the bucket
+    // ring is preallocated at SERIES_CAP and merges in place.
+    rec.telemetry().enable();
+    rec.gauge(0, 0, "rpc.buffers_in_use", 0);
+    let before = allocs();
+    for t in 1..=400_000u64 {
+        rec.gauge(t * 10, 0, "rpc.buffers_in_use", t % 16);
+    }
+    let after = allocs();
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state gauge sampling must not allocate"
+    );
+    assert!(
+        rec.is_empty(),
+        "gauges must never write to the event log: golden traces cannot \
+         see whether telemetry ran"
+    );
+
+    // Counter sanity for the telemetry path too: a fresh (gauge, node)
+    // pair registers a new series, which does allocate.
+    let before = allocs();
+    rec.gauge(0, 7, "rpc.buffers_in_use", 1);
+    let after = allocs();
+    assert!(after > before, "registering a new series should allocate");
+    assert_eq!(rec.telemetry().series_count(), 2);
+    rec.telemetry().disable();
+
     // Sanity-check the counter itself: the enabled path does allocate
     // (the event vector grows), so a broken counter cannot fake a pass.
     rec.enable();
-    let before = ALLOCS.load(Ordering::SeqCst);
+    let before = allocs();
     for t in 0..64u64 {
         rec.span_enter(t, 0, Layer::Mpi, "send");
     }
-    let after = ALLOCS.load(Ordering::SeqCst);
+    let after = allocs();
     assert!(after > before, "enabled recording should allocate");
     assert_eq!(rec.len(), 64);
 }

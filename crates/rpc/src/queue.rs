@@ -124,6 +124,16 @@ impl MessageQueue {
             accepted += 1;
             let residency = self.cfg.pool - self.free.len();
             self.stats.max_residency = self.stats.max_residency.max(residency);
+            // The same residency the hand-rolled stat tracks, as a
+            // gauge series: the workload campaign's pool invariant
+            // reads this through the health monitor.
+            let rec = ctx.obs();
+            if rec.telemetry_on() {
+                let now = ctx.now();
+                rec.gauge(now, rank, "rpc.buffers_in_use", residency as u64);
+                rec.gauge(now, rank, "rpc.queued_high", self.high.len() as u64);
+                rec.gauge(now, rank, "rpc.queued_normal", self.normal.len() as u64);
+            }
         }
         accepted
     }
@@ -151,6 +161,15 @@ impl MessageQueue {
         self.stats.dispatched += 1;
         self.residency_hist
             .record(ctx.now().saturating_sub(buf.enqueued_at()));
+        {
+            let rec = ctx.obs();
+            if rec.telemetry_on() {
+                let now = ctx.now();
+                let rank = self.ep.rank() as u32;
+                rec.gauge(now, rank, "rpc.queued_high", self.high.len() as u64);
+                rec.gauge(now, rank, "rpc.queued_normal", self.normal.len() as u64);
+            }
+        }
         ctx.obs().lifecycle(
             ctx.now(),
             self.ep.rank() as u32,
@@ -202,6 +221,20 @@ impl MessageQueue {
     /// the pool and the first error is reported.
     pub fn flush(&mut self, ctx: &mut ProcCtx) -> Result<usize, RpcError> {
         let rank = self.ep.rank() as u32;
+        // Staged-reply depth at its batch peak (reply_later has no sim
+        // clock, so staging is sampled when the batch flushes) and its
+        // return to zero.
+        {
+            let rec = ctx.obs();
+            if rec.telemetry_on() && !self.outbox.is_empty() {
+                rec.gauge(
+                    ctx.now(),
+                    rank,
+                    "rpc.staged_replies",
+                    self.outbox.len() as u64,
+                );
+            }
+        }
         let mut outbox = std::mem::take(&mut self.outbox);
         let mut flushed = 0usize;
         let mut first_err: Option<RpcError> = None;
@@ -240,6 +273,19 @@ impl MessageQueue {
         }
         self.outbox = outbox;
         self.ep.ring_all_doorbells(ctx);
+        {
+            let rec = ctx.obs();
+            if rec.telemetry_on() && flushed > 0 {
+                let now = ctx.now();
+                rec.gauge(now, rank, "rpc.staged_replies", self.outbox.len() as u64);
+                rec.gauge(
+                    now,
+                    rank,
+                    "rpc.buffers_in_use",
+                    (self.cfg.pool - self.free.len()) as u64,
+                );
+            }
+        }
         match first_err {
             None => Ok(flushed),
             Some(e) => Err(e),
@@ -257,6 +303,17 @@ impl MessageQueue {
     /// [`MessageQueue::in_flight`]).
     pub fn flush_ready(&mut self, ctx: &mut ProcCtx) -> Result<usize, RpcError> {
         let rank = self.ep.rank() as u32;
+        {
+            let rec = ctx.obs();
+            if rec.telemetry_on() && !self.outbox.is_empty() {
+                rec.gauge(
+                    ctx.now(),
+                    rank,
+                    "rpc.staged_replies",
+                    self.outbox.len() as u64,
+                );
+            }
+        }
         let mut outbox = std::mem::take(&mut self.outbox);
         let mut flushed = 0usize;
         let mut first_err: Option<RpcError> = None;
@@ -299,6 +356,19 @@ impl MessageQueue {
             }
         }
         self.ep.ring_all_doorbells(ctx);
+        {
+            let rec = ctx.obs();
+            if rec.telemetry_on() && flushed > 0 {
+                let now = ctx.now();
+                rec.gauge(now, rank, "rpc.staged_replies", self.outbox.len() as u64);
+                rec.gauge(
+                    now,
+                    rank,
+                    "rpc.buffers_in_use",
+                    (self.cfg.pool - self.free.len()) as u64,
+                );
+            }
+        }
         match first_err {
             None => Ok(flushed),
             Some(e) => Err(e),

@@ -646,10 +646,16 @@ impl RingShared {
         debug_assert!(plan.hops.is_empty() && plan.data.is_none());
         let mut busy_ns = ser;
         let mut truncated = false;
+        // Telemetry locals captured under the lock, gauged after it
+        // (the lock stays free of recorder calls).
+        let src_backlog;
+        let src_horizon;
         let span_end = {
             let mut links = self.links.lock();
             let mut head = t_ready.max(links[src]);
+            src_backlog = head - t_ready;
             links[src] = head + ser;
+            src_horizon = links[src] - t_ready;
             // Walk the ring; the packet is removed when it returns to src.
             let mut hop_from = src;
             let mut span_end = head + ser;
@@ -701,6 +707,17 @@ impl RingShared {
             span_end
         };
         self.stats.link_busy_ns.add(busy_ns);
+        {
+            // Per-node FIFO occupancy (queueing our packet saw before
+            // serializing) and per-link booked horizon (utilization
+            // backlog on this node's egress link). One relaxed load
+            // when telemetry is off.
+            let rec = self.handle.recorder();
+            if rec.telemetry_on() {
+                rec.gauge(t_ready, src as u32, "ring.fifo_backlog_ns", src_backlog);
+                rec.gauge(t_ready, src as u32, "ring.link_horizon_ns", src_horizon);
+            }
+        }
         if truncated {
             self.stats.link_truncations.add(1);
             self.handle

@@ -451,6 +451,15 @@ impl ParRing {
         self.n
     }
 
+    /// Attach a telemetry sink to every shard (see
+    /// [`des::par::ParSim::set_recorder`]): with the recorder's
+    /// telemetry gate on, busy passes sample per-shard clock skew,
+    /// queue/mailbox depth, and spill backlog as `par.*` gauge series
+    /// keyed by shard id.
+    pub fn set_recorder(&mut self, rec: Arc<des::obs::Recorder>) {
+        self.sim.set_recorder(rec);
+    }
+
     /// The per-link lookahead in force (from
     /// [`CostModel::link_lookahead_ns`]).
     pub fn lookahead_ns(&self) -> Time {

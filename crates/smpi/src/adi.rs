@@ -316,6 +316,12 @@ impl Adi {
             ctx.obs()
                 .count(ctx.now(), self.node(), "adi.unexpected_hits", 1);
             let u = self.unexpected.remove(idx).unwrap();
+            ctx.obs().gauge(
+                ctx.now(),
+                self.node(),
+                "adi.unexpected_len",
+                self.unexpected.len() as u64,
+            );
             ctx.obs().lifecycle(
                 ctx.now(),
                 self.node(),
@@ -753,6 +759,15 @@ impl Adi {
             );
             self.unexpected.push_back(u);
             self.unexpected_peak = self.unexpected_peak.max(self.unexpected.len());
+            // The same depth the hand-rolled peak tracks, as a gauge
+            // series — the workload campaign's flood invariants read
+            // this through the health monitor.
+            ctx.obs().gauge(
+                ctx.now(),
+                self.node(),
+                "adi.unexpected_len",
+                self.unexpected.len() as u64,
+            );
         }
     }
 }

@@ -72,8 +72,17 @@ pub struct CellOutcome {
     pub pingpong_rounds: Option<u32>,
     /// Virtual time the arrival script covered, nanoseconds.
     pub elapsed_ns: Time,
-    /// Invariant violations, empty when the cell is healthy.
+    /// Invariant violations, empty when the cell is healthy. Includes
+    /// the health-monitor findings (also listed separately below).
     pub violations: Vec<String>,
+    /// What the declarative health monitor found on the sampled gauge
+    /// series — the residency and flood invariants expressed as
+    /// [`obs::HealthSpec`] rules. Must agree with the hand-rolled
+    /// checks (cross-checked in tests).
+    pub health_violations: Vec<String>,
+    /// The cell's sampled gauge series, for report `timeseries` rows
+    /// or ad-hoc health specs over a finished cell.
+    pub telemetry: Vec<obs::SeriesSnapshot>,
 }
 
 impl CellOutcome {
@@ -143,6 +152,10 @@ pub fn run_cell(plan: &WorkloadPlan, mult: f64, label: &str) -> CellOutcome {
 
     let mut sim = Simulation::new();
     let flight = obs::FlightGuard::new(label.to_string(), sim.recorder_arc());
+    // Continuous telemetry: every layer samples its gauges (buffer
+    // residency, queue depths, unexpected parks, …) for the whole cell;
+    // the health monitor evaluates the sampled series after the run.
+    sim.recorder().telemetry().enable();
     let cluster = BbpCluster::new(&sim.handle(), bbp);
 
     let end = plan.windows_end();
@@ -399,6 +412,8 @@ pub fn run_cell(plan: &WorkloadPlan, mult: f64, label: &str) -> CellOutcome {
 
     let report = sim.run();
     flight.dump_now();
+    let telemetry = sim.recorder().telemetry().snapshot();
+    sim.recorder().telemetry().disable();
 
     let (sent, completed, shed, transport_shed, high_offered, normal_offered) = *totals.lock();
     let per_node_completed = per_node.lock().clone();
@@ -443,6 +458,8 @@ pub fn run_cell(plan: &WorkloadPlan, mult: f64, label: &str) -> CellOutcome {
         },
         elapsed_ns: end,
         violations: Vec::new(),
+        health_violations: Vec::new(),
+        telemetry,
     };
 
     // --- per-cell invariants ------------------------------------------
@@ -526,8 +543,43 @@ pub fn run_cell(plan: &WorkloadPlan, mult: f64, label: &str) -> CellOutcome {
             v.push(format!("pingpong: {done}/{rounds} rounds completed"));
         }
     }
+    // --- the same invariants, declaratively ---------------------------
+    // The health monitor re-checks the residency and flood invariants
+    // on the sampled gauge series; a violated rule also dumps the
+    // offending series next to the cell's flight ring.
+    out.health_violations = cell_health_spec(plan)
+        .evaluate_and_dump(&out.telemetry, label)
+        .iter()
+        .map(obs::Violation::describe)
+        .collect();
+    v.extend(out.health_violations.iter().cloned());
     out.violations = v;
     out
+}
+
+/// The declarative form of [`run_cell`]'s gauge-backed invariants: the
+/// server pool bound as a `never_above` on `rpc.buffers_in_use`, and —
+/// for flood cells — the floodee's park bound plus full drain as
+/// `never_above`/`settles_to_zero_by` on `adi.unexpected_len`. The
+/// gauges are sampled at the exact sites the hand-rolled stats read,
+/// so the monitor's verdicts must match the string checks in
+/// [`run_cell`] rule for rule.
+pub fn cell_health_spec(plan: &WorkloadPlan) -> obs::HealthSpec {
+    let mut spec = obs::HealthSpec::new().never_above("rpc.buffers_in_use", plan.pool as f64);
+    if let Sidecar::UnexpectedFlood {
+        messages, prepost, ..
+    } = plan.sidecar
+    {
+        let expected_park = (messages - prepost.min(messages)) as f64;
+        let floodee = (plan.nprocs() - 2) as u32;
+        let hard_stop = plan.windows_end() + ms(60) + ms(10);
+        spec = spec
+            .never_above("adi.unexpected_len", expected_park)
+            .on_node(floodee)
+            .settles_to_zero_by("adi.unexpected_len", hard_stop)
+            .on_node(floodee);
+    }
+    spec
 }
 
 /// The sidecar's MPI stack: ADI-direct costs over the shared billboard.

@@ -38,5 +38,5 @@ pub use campaign::{
     run_campaign, CampaignCell, CampaignConfig, CampaignResult, WorkloadKind, KINDS, MULTS, SEEDS,
     SIZES,
 };
-pub use cell::{run_cell, CellOutcome, FloodOutcome};
+pub use cell::{cell_health_spec, run_cell, CellOutcome, FloodOutcome};
 pub use plan::{scaled_burst, Shape, Sidecar, Window, WorkloadPlan};

@@ -74,6 +74,98 @@ fn flood_parks_exactly_the_unmatched_sends_and_drains() {
     assert_eq!(flood.delivered, 20, "every flood message arrives intact");
 }
 
+/// The health monitor must reach the same verdicts as the hand-rolled
+/// invariants because the gauges are sampled at the exact sites the
+/// hand-rolled stats read: the sampled maxima equal the stat maxima,
+/// so `never_above` agrees with the string checks rule for rule.
+#[test]
+fn health_monitor_mirrors_the_hand_rolled_invariants() {
+    let plan = WorkloadPlan::new(9)
+        .clients(1, 4)
+        .window(ms(2), Shape::Poisson { rate_hz: 200.0 })
+        .window(ms(1), Shape::Off)
+        .sidecar(Sidecar::UnexpectedFlood {
+            messages: 20,
+            prepost: 5,
+            at: us(200),
+            post_delay: us(1_000),
+        });
+    let out = run_cell(&plan, 1.0, "wl_test_health_agree");
+    assert_eq!(out.violations, Vec::<String>::new());
+    assert_eq!(out.health_violations, Vec::<String>::new());
+
+    let floodee = (plan.nprocs() - 2) as u32;
+    let park = out
+        .telemetry
+        .iter()
+        .find(|s| s.name == "adi.unexpected_len" && s.node == floodee)
+        .expect("the floodee's unexpected queue was sampled");
+    let flood = out.flood.expect("the floodee reports its outcome");
+    assert_eq!(
+        park.max as usize, flood.peak,
+        "the sampled park peak is the hand-rolled peak"
+    );
+    assert_eq!(
+        park.last as usize, flood.final_residency,
+        "the sampled final residency is the hand-rolled one"
+    );
+    let residency = out
+        .telemetry
+        .iter()
+        .filter(|s| s.name == "rpc.buffers_in_use")
+        .map(|s| s.max)
+        .fold(0.0f64, f64::max);
+    assert_eq!(
+        residency as usize, out.max_residency,
+        "the sampled residency peak is the hand-rolled one"
+    );
+}
+
+/// A deliberately tightened spec over the same finished cell must flag
+/// the flood's legitimate parking — and dump the offending series next
+/// to the flight ring for postmortem.
+#[test]
+fn tightened_health_spec_flags_and_dumps_the_offending_series() {
+    let plan = WorkloadPlan::new(13)
+        .clients(1, 4)
+        .window(ms(2), Shape::Poisson { rate_hz: 200.0 })
+        .window(ms(1), Shape::Off)
+        .sidecar(Sidecar::UnexpectedFlood {
+            messages: 20,
+            prepost: 5,
+            at: us(200),
+            post_delay: us(1_000),
+        });
+    let out = run_cell(&plan, 1.0, "wl_test_health_tight");
+    assert_eq!(out.health_violations, Vec::<String>::new());
+
+    // The flood parks 15 messages by design; a 1-message bound trips.
+    let tight = obs::HealthSpec::new().never_above("adi.unexpected_len", 1.0);
+    let violations = tight.evaluate_and_dump(&out.telemetry, "wl_test_health_tight");
+    assert_eq!(violations.len(), 1, "the tightened park bound must trip");
+    let v = &violations[0];
+    assert_eq!(v.metric, "adi.unexpected_len");
+    // The violation pins the *first* offending window, not the peak.
+    assert!(
+        v.observed > 1.0,
+        "observed {} must exceed the bound",
+        v.observed
+    );
+
+    let dir = std::env::var("FLIGHT_DUMP_DIR").unwrap_or_else(|_| "target/flight".to_string());
+    let path = format!(
+        "{dir}/series_wl_test_health_tight_adi_unexpected_len_{}.json",
+        v.node
+    );
+    let dump = std::fs::read_to_string(&path).expect("the offending series is dumped");
+    let doc = obs::json::parse(&dump).expect("series dump is valid JSON");
+    assert_eq!(
+        doc.get("metric").and_then(obs::json::Json::as_str),
+        Some("adi.unexpected_len")
+    );
+    assert_eq!(doc.get("max").and_then(obs::json::Json::as_f64), Some(15.0));
+}
+
 #[test]
 fn pingpong_sidecar_completes_alongside_rpc_load() {
     let plan = small_plan(11).sidecar(Sidecar::PingPong { rounds: 25 });
@@ -130,6 +222,8 @@ fn synthetic_cell(mult: f64, p999_ns: u64, violations: Vec<String>) -> CampaignC
             pingpong_rounds: None,
             elapsed_ns: ms(10),
             violations,
+            health_violations: Vec::new(),
+            telemetry: Vec::new(),
         },
         wall_ms: 1.0,
     }
